@@ -1,0 +1,59 @@
+// ℓp-norm kernel family ablation (§2.4): throughput of the fused kernel per
+// norm, against the single-loop (FLANN-style) baseline that is the only
+// alternative for non-Euclidean metrics — the GEMM expansion does not exist
+// there, which is exactly the paper's argument for GSKNN's generality.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/generators.hpp"
+
+using namespace gsknn;
+using namespace gsknn::bench;
+
+int main() {
+  print_header("Norm ablation (§2.4) — fused kernel vs single-loop baseline, seconds");
+  const int m = scaled(4096, 1024);
+  const int n = m;
+  const int k = 16;
+  const auto q = iota_ids(m);
+  const auto r = iota_ids(n, m);
+  std::printf("# m = n = %d, k = %d\n", m, k);
+  std::printf("%8s | %6s | %12s %12s %9s\n", "norm", "d", "GSKNN (s)",
+              "1-loop (s)", "speedup");
+
+  struct NormRow {
+    Norm norm;
+    const char* name;
+  };
+  const NormRow norms[] = {{Norm::kL2Sq, "l2sq"},
+                           {Norm::kL1, "l1"},
+                           {Norm::kLInf, "linf"},
+                           {Norm::kLp, "l3"}};
+  for (const auto& nr : norms) {
+    for (int d : {16, 64, 256}) {
+      // The ℓp kernel is the scalar pow() path on both sides; one deep-d
+      // cell says everything and the rest just burns minutes.
+      if (nr.norm == Norm::kLp && d > 64) continue;
+      const PointTable X = make_uniform(d, m + n, 0x4089 + d);
+      KnnConfig cfg;
+      cfg.norm = nr.norm;
+      cfg.p = 3.0;
+      cfg.variant = Variant::kVar1;
+
+      NeighborTable t(m, k);
+      const double gs = time_best(2, [&] {
+        t.reset();
+        knn_kernel(X, q, r, t, cfg);
+      });
+      NeighborTable tb(m, k);
+      const double bl = time_best(2, [&] {
+        tb.reset();
+        knn_single_loop_baseline(X, q, r, tb, cfg);
+      });
+      std::printf("%8s | %6d | %12.3f %12.3f %8.1fx\n", nr.name, d, gs, bl,
+                  bl / gs);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Precision ablation (extension beyond the paper's double-only kernels):
+// single- vs double-precision fused kernel throughput. Float doubles the
+// lanes per vector and halves the memory traffic, so the expected gain is
+// ~2× in the compute-bound regime and somewhat more when memory-bound.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/generators.hpp"
+
+using namespace gsknn;
+using namespace gsknn::bench;
+
+int main() {
+  print_header("Precision ablation — float (8×8/16×8 tiles) vs double kernels");
+  const int m = scaled(4096, 1024);
+  const int n = m;
+  const int k = 16;
+  const auto q = iota_ids(m);
+  const auto r = iota_ids(n, m);
+  std::printf("# m = n = %d, k = %d, Var#1\n", m, k);
+  std::printf("%6s %14s %14s %9s\n", "d", "double GF/s", "float GF/s",
+              "f32 gain");
+
+  for (int d : {8, 16, 64, 256, 1024}) {
+    const PointTable Xd = make_uniform(d, m + n, 0xF32 + d);
+    const PointTableF Xf = to_float(Xd);
+    KnnConfig cfg;
+    cfg.variant = Variant::kVar1;
+
+    NeighborTable td(m, k);
+    const double sd = time_best(2, [&] {
+      td.reset();
+      knn_kernel(Xd, q, r, td, cfg);
+    });
+    NeighborTableF tf(m, k);
+    const double sf = time_best(2, [&] {
+      tf.reset();
+      knn_kernel(Xf, q, r, tf, cfg);
+    });
+    std::printf("%6d %14.1f %14.1f %8.2fx\n", d, knn_gflops(m, n, d, sd),
+                knn_gflops(m, n, d, sf), sd / sf);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper (see
+// DESIGN.md §4). They print a machine header (so absolute numbers are
+// interpretable), then the same rows/series the paper reports. Setting
+// GSKNN_BENCH_QUICK=1 shrinks problem sizes ~4× for fast iteration; the
+// recorded EXPERIMENTS.md numbers use the default (full) scale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "gsknn/common/arch.hpp"
+#include "gsknn/common/timer.hpp"
+
+namespace gsknn::bench {
+
+inline bool quick_mode() {
+  const char* e = std::getenv("GSKNN_BENCH_QUICK");
+  return e != nullptr && e[0] == '1';
+}
+
+/// Scale a problem size down in quick mode (keeping tile multiples).
+inline int scaled(int full, int quick) { return quick_mode() ? quick : full; }
+
+inline void print_header(const char* title) {
+  std::printf("# %s\n", title);
+  std::printf("# machine: %s\n", arch_summary().c_str());
+  std::printf("# mode: %s\n", quick_mode() ? "quick (GSKNN_BENCH_QUICK=1)" : "full");
+}
+
+/// Wall time of fn(), best of `reps` runs (kernels are deterministic; best-of
+/// filters scheduler noise, matching the paper's 3-run averaging intent).
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+/// Useful-flop efficiency the paper plots: (2d+3)·m·n flops over `seconds`.
+inline double knn_gflops(int m, int n, int d, double seconds) {
+  return (2.0 * d + 3.0) * static_cast<double>(m) * n / seconds / 1e9;
+}
+
+inline std::vector<int> iota_ids(int n, int offset = 0) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), offset);
+  return v;
+}
+
+}  // namespace gsknn::bench

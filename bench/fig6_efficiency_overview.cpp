@@ -1,0 +1,62 @@
+// Reproduces Figure 6: the 12-panel efficiency overview — GFLOPS of GSKNN
+// versus the GEMM+STL reference as a function of d (log axis 4…1024), for
+// m = n ∈ {small, medium, large} × k ∈ {16, 128, 512, 2048}. Following the
+// paper's §3 parameters, Var#1 is used for k ≤ 512 and Var#6 (4-ary heap)
+// for k = 2048.
+//
+// Scaled per DESIGN.md §2: the paper's panels are m = n ∈ {2048, 4096, 8192}
+// on 10 cores; here the default grid is m = n ∈ {1024, 2048, 4096} on the
+// cores available.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/generators.hpp"
+
+using namespace gsknn;
+using namespace gsknn::bench;
+
+int main() {
+  print_header("Figure 6 — GFLOPS over d: GSKNN vs GEMM+STL ref, 12 panels");
+
+  const int sizes_full[] = {1024, 2048, 4096};
+  const int sizes_quick[] = {512, 1024, 2048};
+  const int* sizes = quick_mode() ? sizes_quick : sizes_full;
+
+  for (int si = 0; si < 3; ++si) {
+    const int m = sizes[si];
+    const int n = m;
+    const auto q = iota_ids(m);
+    const auto r = iota_ids(n, m);
+    for (int k : {16, 128, 512, 2048}) {
+      const Variant variant = (k <= 512) ? Variant::kVar1 : Variant::kVar6;
+      const HeapArity arity =
+          (k <= 512) ? HeapArity::kBinary : HeapArity::kQuad;
+      std::printf("\npanel: m = n = %d, k = %d (Var#%d)\n", m, k,
+                  variant == Variant::kVar1 ? 1 : 6);
+      std::printf("%6s %12s %12s %9s\n", "d", "GSKNN GF/s", "ref GF/s",
+                  "speedup");
+      for (int d : {4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+        const PointTable X = make_uniform(d, m + n, 0xF16 + d + m);
+
+        KnnConfig cfg;
+        cfg.variant = variant;
+        NeighborTable t(m, k, arity);
+        const double gs = time_best(2, [&] {
+          t.reset();
+          knn_kernel(X, q, r, t, cfg);
+        });
+
+        NeighborTable tr(m, k);
+        const double ref = time_best(2, [&] {
+          tr.reset();
+          knn_gemm_baseline(X, q, r, tr, {});
+        });
+
+        std::printf("%6d %12.1f %12.1f %8.2fx\n", d, knn_gflops(m, n, d, gs),
+                    knn_gflops(m, n, d, ref), ref / gs);
+      }
+    }
+  }
+  return 0;
+}

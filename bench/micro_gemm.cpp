@@ -1,0 +1,59 @@
+// Micro-benchmark: the dgemm substrate across shapes (regression guard for
+// the Goto blocking + AVX2 micro-kernel).
+#include <benchmark/benchmark.h>
+
+#include "gsknn/blas/gemm.hpp"
+#include "gsknn/common/aligned.hpp"
+#include "gsknn/common/rng.hpp"
+
+namespace {
+
+using gsknn::AlignedBuffer;
+using gsknn::Xoshiro256;
+
+void fill_random(AlignedBuffer<double>& buf, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (auto& v : buf) v = rng.uniform(-1.0, 1.0);
+}
+
+void BM_DgemmSquare(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  AlignedBuffer<double> a(static_cast<std::size_t>(n) * n);
+  AlignedBuffer<double> b(static_cast<std::size_t>(n) * n);
+  AlignedBuffer<double> c(static_cast<std::size_t>(n) * n);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  for (auto _ : state) {
+    gsknn::blas::dgemm(gsknn::blas::Trans::kNo, gsknn::blas::Trans::kNo, n, n,
+                       n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * n * n * n * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DgemmSquare)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DgemmKnnShape(benchmark::State& state) {
+  // The baseline's exact call: Cᵀ(n×m) = −2·RᵀQ with small d.
+  const int d = static_cast<int>(state.range(0));
+  const int m = 2048, n = 2048;
+  AlignedBuffer<double> q(static_cast<std::size_t>(d) * m);
+  AlignedBuffer<double> r(static_cast<std::size_t>(d) * n);
+  AlignedBuffer<double> c(static_cast<std::size_t>(n) * m);
+  fill_random(q, 3);
+  fill_random(r, 4);
+  for (auto _ : state) {
+    gsknn::blas::dgemm(gsknn::blas::Trans::kYes, gsknn::blas::Trans::kNo, n, m,
+                       d, -2.0, r.data(), d, q.data(), d, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * d * m * n * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DgemmKnnShape)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Micro-benchmark: general-stride packing bandwidth (the gather-from-X phase
+// whose fusion into the kernel is a core GSKNN saving, eq. 5).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gsknn/common/aligned.hpp"
+#include "gsknn/common/rng.hpp"
+#include "gsknn/data/generators.hpp"
+#include "../src/core/pack.hpp"
+
+namespace {
+
+using namespace gsknn;
+
+void BM_PackQueriesContiguous(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int count = 512;
+  const PointTable X = make_uniform(d, 4096, 1);
+  std::vector<int> idx(4096);
+  std::iota(idx.begin(), idx.end(), 0);
+  AlignedBuffer<double> dst(static_cast<std::size_t>(count + 8) * d);
+  for (auto _ : state) {
+    core::pack_points<8>(X, idx.data(), 0, count, 0, d, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) * count * d *
+                          static_cast<long>(sizeof(double)));
+}
+BENCHMARK(BM_PackQueriesContiguous)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PackQueriesScattered(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int count = 512;
+  const PointTable X = make_uniform(d, 65536, 2);
+  std::vector<int> idx(static_cast<std::size_t>(count));
+  Xoshiro256 rng(7);
+  for (auto& i : idx) i = static_cast<int>(rng.below(65536));
+  AlignedBuffer<double> dst(static_cast<std::size_t>(count + 8) * d);
+  for (auto _ : state) {
+    core::pack_points<8>(X, idx.data(), 0, count, 0, d, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) * count * d *
+                          static_cast<long>(sizeof(double)));
+}
+BENCHMARK(BM_PackQueriesScattered)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PackNorms(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const PointTable X = make_uniform(16, count, 3);
+  std::vector<int> idx(static_cast<std::size_t>(count));
+  std::iota(idx.begin(), idx.end(), 0);
+  AlignedBuffer<double> dst(static_cast<std::size_t>(count) + 8);
+  for (auto _ : state) {
+    core::pack_norms<8>(X, idx.data(), 0, count, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+BENCHMARK(BM_PackNorms)->Arg(512)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Reproduces Table 5: runtime breakdown (ms) of the GEMM-based kernel
+// (Tcoll + Tgemm + Tsq2d + Theap, each measured directly) versus GSKNN
+// (total time; Theap estimated as T(k) − T(k=1), exactly the paper's
+// method, because a timer inside the 2nd loop would perturb the kernel).
+//
+// Full scale matches the paper: m = n = 8192, d ∈ {16, 64, 256, 1024},
+// k ∈ {16, 128, 512, 2048}. GSKNN uses Var#1 for k ≤ 512 and Var#6 with the
+// 4-ary heap for k = 2048 (paper §3).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/generators.hpp"
+
+using namespace gsknn;
+using namespace gsknn::bench;
+
+namespace {
+
+double run_gsknn_ms(const PointTable& X, const std::vector<int>& q,
+                    const std::vector<int>& r, int k) {
+  KnnConfig cfg;
+  cfg.variant = (k <= 512) ? Variant::kVar1 : Variant::kVar6;
+  const HeapArity arity = (k <= 512) ? HeapArity::kBinary : HeapArity::kQuad;
+  NeighborTable t(static_cast<int>(q.size()), k, arity);
+  const double secs = time_best(2, [&] {
+    t.reset();
+    knn_kernel(X, q, r, t, cfg);
+  });
+  return secs * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 5 — runtime breakdown (ms), GEMM+STL ref vs GSKNN");
+  const int m = scaled(8192, 2048);
+  const int n = m;
+  std::printf("# m = n = %d; ref cells: Tcoll + Tgemm + Tsq2d + Theap = Ttotal;"
+              " GSKNN cells: Theap_est / Ttotal (Theap_est = T(k) - T(k=1))\n",
+              m);
+
+  for (int d : {16, 64, 256, 1024}) {
+    const PointTable X = make_uniform(d, m + n, 0x7AB1E5);
+    const auto q = iota_ids(m);
+    const auto r = iota_ids(n, m);
+
+    std::printf("\nm = n = %d, d = %d\n", m, d);
+    std::printf("%6s | %28s | %8s || %10s | %10s\n", "k",
+                "ref coll+gemm+sq2d+heap", "ref tot", "gsknn heap",
+                "gsknn tot");
+
+    const double g1 = run_gsknn_ms(X, q, r, 1);  // Theap baseline for GSKNN
+    for (int k : {16, 128, 512, 2048}) {
+      BaselineBreakdown bd;
+      NeighborTable ref(m, k);
+      time_best(2, [&] {
+        ref.reset();
+        knn_gemm_baseline(X, q, r, ref, {}, {}, &bd);
+      });
+      const double gk = run_gsknn_ms(X, q, r, k);
+      std::printf("%6d | %6.0f + %6.0f + %6.0f + %4.0f | %8.0f || %10.0f | %10.0f\n",
+                  k, bd.t_collect * 1e3, bd.t_gemm * 1e3, bd.t_sq2d * 1e3,
+                  bd.t_heap * 1e3, bd.total() * 1e3,
+                  gk - g1 > 0 ? gk - g1 : 0.0, gk);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""GSKNN from Python via ctypes — no build step, just the shared library.
+
+Usage:
+    python3 knn_demo.py [path/to/libgsknn.so]
+
+Generates a small random dataset, runs the exact kNN kernel, verifies the
+result against a pure-Python brute force, and prints a sample.
+"""
+import ctypes
+import math
+import random
+import sys
+from pathlib import Path
+
+
+def load_library(argv):
+    if len(argv) > 1:
+        return ctypes.CDLL(argv[1])
+    here = Path(__file__).resolve()
+    candidates = [
+        here.parents[2] / "build" / "src" / "libgsknn.so",
+        Path("libgsknn.so"),
+    ]
+    for cand in candidates:
+        if cand.exists():
+            return ctypes.CDLL(str(cand))
+    raise SystemExit("libgsknn.so not found; pass its path as argv[1]")
+
+
+def declare(lib):
+    lib.gsknn_table_create.restype = ctypes.c_void_p
+    lib.gsknn_table_create.argtypes = [
+        ctypes.c_int, ctypes.c_int, ctypes.POINTER(ctypes.c_double)]
+    lib.gsknn_table_destroy.argtypes = [ctypes.c_void_p]
+    lib.gsknn_result_create.restype = ctypes.c_void_p
+    lib.gsknn_result_create.argtypes = [ctypes.c_int, ctypes.c_int]
+    lib.gsknn_result_destroy.argtypes = [ctypes.c_void_p]
+    lib.gsknn_search.restype = ctypes.c_int
+    lib.gsknn_search.argtypes = [
+        ctypes.c_void_p, ctypes.POINTER(ctypes.c_int), ctypes.c_int,
+        ctypes.POINTER(ctypes.c_int), ctypes.c_int, ctypes.c_int,
+        ctypes.c_int, ctypes.c_double, ctypes.c_int, ctypes.c_void_p]
+    lib.gsknn_result_row.restype = ctypes.c_int
+    lib.gsknn_result_row.argtypes = [
+        ctypes.c_void_p, ctypes.c_int, ctypes.c_int,
+        ctypes.POINTER(ctypes.c_int), ctypes.POINTER(ctypes.c_double)]
+    lib.gsknn_last_error.restype = ctypes.c_char_p
+    lib.gsknn_arch_summary.restype = ctypes.c_char_p
+
+
+def main():
+    lib = load_library(sys.argv)
+    declare(lib)
+    print("arch:", lib.gsknn_arch_summary().decode())
+
+    d, n, k, n_queries = 16, 2000, 5, 4
+    rng = random.Random(42)
+    points = [[rng.random() for _ in range(d)] for _ in range(n)]
+
+    flat = (ctypes.c_double * (d * n))(*[v for p in points for v in p])
+    table = lib.gsknn_table_create(d, n, flat)
+    assert table, lib.gsknn_last_error().decode()
+
+    queries = (ctypes.c_int * n_queries)(*range(n_queries))
+    refs = (ctypes.c_int * (n - n_queries))(*range(n_queries, n))
+    result = lib.gsknn_result_create(n_queries, k)
+    rc = lib.gsknn_search(table, queries, n_queries, refs, n - n_queries,
+                          0, 0, 2.0, 0, result)  # L2SQ, variant auto
+    assert rc == 0, lib.gsknn_last_error().decode()
+
+    ids = (ctypes.c_int * k)()
+    dists = (ctypes.c_double * k)()
+    mismatches = 0
+    for qi in range(n_queries):
+        count = lib.gsknn_result_row(result, qi, k, ids, dists)
+        assert count == k
+        # Pure-Python brute force check.
+        truth = sorted(
+            (sum((a - b) ** 2 for a, b in zip(points[qi], points[ri])), ri)
+            for ri in range(n_queries, n))[:k]
+        for j in range(k):
+            if not math.isclose(dists[j], truth[j][0], rel_tol=1e-9):
+                mismatches += 1
+        print(f"query {qi}: " + ", ".join(
+            f"{ids[j]}@{dists[j]:.4f}" for j in range(count)))
+
+    lib.gsknn_result_destroy(result)
+    lib.gsknn_table_destroy(table)
+    print("verification:", "OK" if mismatches == 0 else
+          f"{mismatches} MISMATCHES")
+    return 0 if mismatches == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

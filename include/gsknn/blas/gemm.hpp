@@ -1,0 +1,42 @@
+// Dense double-precision GEMM substrate.
+//
+// The paper's baseline (Algorithm 2.1) computes C = −2·QᵀR with a vendor
+// GEMM (MKL). This repo has no vendor BLAS, so we provide our own
+// Goto-algorithm implementation with the same blocking discipline and the
+// same AVX2 micro-kernel technology as the GSKNN core — which makes the
+// GSKNN-vs-GEMM comparison isolate the *fusion* effect rather than a
+// difference in kernel quality (see DESIGN.md §2).
+//
+// Interface is BLAS-like, column-major, with transA/transB support:
+//   C(m×n) := alpha · op(A)·op(B) + beta · C,
+// where op(A) is m×k and op(B) is k×n.
+#pragma once
+
+namespace gsknn::blas {
+
+enum class Trans { kNo, kYes };
+
+/// Blocked, packed, vectorized dgemm (the production path).
+void dgemm(Trans transa, Trans transb, int m, int n, int k, double alpha,
+           const double* A, int lda, const double* B, int ldb, double beta,
+           double* C, int ldc);
+
+/// Single-precision sibling (8×8 AVX2 / 16×8 AVX-512 micro-kernels).
+void sgemm(Trans transa, Trans transb, int m, int n, int k, float alpha,
+           const float* A, int lda, const float* B, int ldb, float beta,
+           float* C, int ldc);
+
+/// Triple-loop references (tests and tiny problems).
+void dgemm_naive(Trans transa, Trans transb, int m, int n, int k, double alpha,
+                 const double* A, int lda, const double* B, int ldb,
+                 double beta, double* C, int ldc);
+void sgemm_naive(Trans transa, Trans transb, int m, int n, int k, float alpha,
+                 const float* A, int lda, const float* B, int ldb, float beta,
+                 float* C, int ldc);
+
+/// Row squared norms of op(A) (m×k): out[i] = Σ_p op(A)(i,p)². Helper for
+/// the GEMM-based kNN baseline when norms are not precomputed.
+void row_sqnorms(Trans transa, int m, int k, const double* A, int lda,
+                 double* out);
+
+}  // namespace gsknn::blas

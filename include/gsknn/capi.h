@@ -1,0 +1,84 @@
+/* C API for GSKNN — a stable, minimal FFI surface for bindings (Python
+ * ctypes/cffi, Julia, Rust, ...). Wraps the three things a consumer needs:
+ * hold a coordinate table, run the exact kernel, read back neighbor lists.
+ *
+ * Conventions:
+ *   - points are column-major double arrays (point i = d consecutive values);
+ *   - all functions return 0 on success, negative on error;
+ *   - gsknn_last_error() returns a thread-local message for the last failure;
+ *   - handles must be released with the matching destroy function.
+ */
+#ifndef GSKNN_CAPI_H
+#define GSKNN_CAPI_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct gsknn_table gsknn_table;     /* PointTable handle */
+typedef struct gsknn_result gsknn_result;   /* NeighborTable handle */
+
+/* Norms (mirror gsknn::Norm). */
+enum {
+  GSKNN_NORM_L2SQ = 0,
+  GSKNN_NORM_L1 = 1,
+  GSKNN_NORM_LINF = 2,
+  GSKNN_NORM_LP = 3,
+  GSKNN_NORM_COSINE = 4
+};
+
+/* Variants (mirror gsknn::Variant; 0 = automatic model-driven choice). */
+enum {
+  GSKNN_VARIANT_AUTO = 0,
+  GSKNN_VARIANT_1 = 1,
+  GSKNN_VARIANT_2 = 2,
+  GSKNN_VARIANT_3 = 3,
+  GSKNN_VARIANT_5 = 5,
+  GSKNN_VARIANT_6 = 6
+};
+
+/* ---- tables ---------------------------------------------------------- */
+
+/* Create a table from n points of dimension d (column-major coords copied). */
+gsknn_table* gsknn_table_create(int d, int n, const double* coords);
+
+/* Load from a native .gsknn file or CSV (auto-detected). NULL on error. */
+gsknn_table* gsknn_table_load(const char* path);
+
+int gsknn_table_dim(const gsknn_table* t);
+int gsknn_table_size(const gsknn_table* t);
+void gsknn_table_destroy(gsknn_table* t);
+
+/* ---- search ---------------------------------------------------------- */
+
+/* Allocate an m-query × k result. */
+gsknn_result* gsknn_result_create(int m, int k);
+void gsknn_result_destroy(gsknn_result* r);
+
+/* Exact kNN kernel: update `result` rows 0..mq with the nq reference
+ * candidates. qidx/ridx are indices into `table`. norm/variant use the enums
+ * above; lp is the exponent for GSKNN_NORM_LP; threads 0 = default. */
+int gsknn_search(const gsknn_table* table, const int* qidx, int mq,
+                 const int* ridx, int nq, int norm, int variant, double lp,
+                 int threads, gsknn_result* result);
+
+/* Read row `row` (ascending distance). Writes up to `cap` entries, returns
+ * the count actually written (may be < k when fewer candidates were seen). */
+int gsknn_result_row(const gsknn_result* r, int row, int cap, int* ids,
+                     double* dists);
+
+/* ---- misc ------------------------------------------------------------ */
+
+/* Thread-local message describing the last error (never NULL). */
+const char* gsknn_last_error(void);
+
+/* Library/arch description string (static storage). */
+const char* gsknn_arch_summary(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* GSKNN_CAPI_H */

@@ -1,0 +1,112 @@
+// RAII aligned storage used for packed panels, distance buffers and heaps.
+//
+// Hot loops in the blas/core modules require 64-byte alignment for vector
+// loads/stores; std::vector cannot guarantee that portably, so every buffer
+// that reaches a micro-kernel is an AlignedBuffer.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "gsknn/common/macros.hpp"
+
+namespace gsknn {
+
+/// Allocate `bytes` bytes aligned to `alignment` (power of two). Throws
+/// std::bad_alloc on failure. Pair with aligned_free().
+inline void* aligned_alloc_bytes(std::size_t bytes,
+                                 std::size_t alignment = kVectorAlignBytes) {
+  if (bytes == 0) return nullptr;
+  void* p = std::aligned_alloc(alignment, round_up(bytes, alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+inline void aligned_free(void* p) noexcept { std::free(p); }
+
+/// Fixed-capacity aligned array of trivially-copyable T.
+///
+/// Semantics are closer to a memory arena than to std::vector: the buffer is
+/// sized with reset() (destructive — contents are never preserved) and
+/// elements are NOT value-initialized, because micro-kernels always overwrite
+/// before reading. Shrinking keeps the existing allocation so per-call arenas
+/// stabilize after the first use.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer is for POD-like element types");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count,
+                         std::size_t alignment = kVectorAlignBytes)
+      : alignment_(alignment) {
+    reset(count);
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        capacity_(std::exchange(other.capacity_, 0)),
+        size_(std::exchange(other.size_, 0)),
+        alignment_(other.alignment_) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      aligned_free(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      capacity_ = std::exchange(other.capacity_, 0);
+      size_ = std::exchange(other.size_, 0);
+      alignment_ = other.alignment_;
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { aligned_free(data_); }
+
+  /// Destructive resize: grows the allocation if needed, never preserves
+  /// contents, never shrinks the allocation.
+  void reset(std::size_t count) {
+    if (count > capacity_) {
+      aligned_free(data_);
+      data_ = static_cast<T*>(aligned_alloc_bytes(count * sizeof(T), alignment_));
+      capacity_ = count;
+    }
+    size_ = count;
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t capacity_ = 0;  // allocated element capacity
+  std::size_t size_ = 0;      // last reset() request
+  std::size_t alignment_ = kVectorAlignBytes;
+};
+
+}  // namespace gsknn

@@ -1,0 +1,90 @@
+// Runtime CPU feature detection, cache hierarchy discovery, and derivation of
+// the GSKNN/GEMM blocking parameters (m_r, n_r, d_c, m_c, n_c).
+//
+// The derivation rules follow §2.4 of the paper (which in turn follows the
+// analytical BLIS model of Low et al.):
+//   * m_r × n_r  — register tile; sized so enough independent FMA chains are
+//     in flight to cover the FMA latency.
+//   * d_c        — depth block; m_r·d_c + n_r·d_c doubles ≈ 3/4 of L1.
+//   * m_c        — m_c·d_c doubles (the packed Qc panel) ≈ 3/4 of L2.
+//   * n_c        — d_c·n_c doubles (the packed Rc panel) fits in L3.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gsknn {
+
+/// Instruction-set levels the dispatcher distinguishes. Higher values imply
+/// all lower ones are available.
+enum class SimdLevel : int {
+  kScalar = 0,  ///< portable C++ only
+  kAvx2 = 2,    ///< AVX2 + FMA3 (8×4 double micro-kernels)
+  kAvx512 = 3,  ///< AVX-512F (16×4 double micro-kernels)
+};
+
+/// CPUID-derived feature flags.
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+
+  /// Highest level usable by this build *and* this machine. The environment
+  /// overrides GSKNN_FORCE_SCALAR=1 and GSKNN_MAX_SIMD=avx2|avx512|scalar
+  /// cap it (tests and A/B comparisons).
+  SimdLevel best_level() const;
+};
+
+/// Sizes of the data-cache hierarchy in bytes; zero when undiscoverable
+/// (then conservative defaults are substituted by default_blocking()).
+struct CacheInfo {
+  std::size_t l1d = 32 * 1024;
+  std::size_t l2 = 256 * 1024;
+  std::size_t l3 = 8 * 1024 * 1024;
+  std::size_t line = 64;
+};
+
+/// Blocking parameters for the six-loop GSKNN/GEMM nest. All counts are in
+/// elements (doubles), not bytes. mr/nr must match the micro-kernel the
+/// dispatcher selects; default_blocking() guarantees that.
+struct BlockingParams {
+  int mr = 8;     ///< register-tile rows (queries)
+  int nr = 4;     ///< register-tile columns (references)
+  int dc = 256;   ///< depth (dimension) block — 5th loop
+  int mc = 104;   ///< query block — 4th loop
+  int nc = 4096;  ///< reference block — 6th loop
+
+  bool valid() const {
+    return mr > 0 && nr > 0 && dc > 0 && mc >= mr && nc >= nr && mc % mr == 0 &&
+           nc % nr == 0;
+  }
+};
+
+/// Detect CPU features via CPUID (cached after first call).
+const CpuFeatures& cpu_features();
+
+/// Discover cache sizes (sysfs on Linux, with sane fallbacks; cached).
+const CacheInfo& cache_info();
+
+/// Derive blocking parameters for `level` from the cache hierarchy using the
+/// §2.4 rules (double precision, the kernel tiles of this build).
+/// Deterministic for a given machine.
+BlockingParams default_blocking(SimdLevel level);
+
+/// Generic derivation for an arbitrary tile and element size — the §2.4
+/// rules parameterized: d_c fills 3/4 of L1 with the two micro-panels, m_c
+/// fills 3/4 of L2 with the packed query panel, n_c half of L3 with the
+/// reference panel.
+BlockingParams derive_blocking(int mr, int nr, int elem_bytes);
+
+/// Human-readable one-line description (for bench headers).
+std::string arch_summary();
+
+/// Environment override: set GSKNN_FORCE_SCALAR=1 to disable vector kernels
+/// (used by tests to compare code paths). Evaluated once.
+bool force_scalar();
+
+}  // namespace gsknn

@@ -1,0 +1,94 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every stochastic component in this repo (dataset generators, randomized
+// KD-tree rotations, LSH projections, test fixtures) draws from SplitMix64 /
+// Xoshiro256** seeded explicitly, so all experiments are bit-reproducible
+// across runs and thread counts.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace gsknn {
+
+/// SplitMix64 — used to expand a single u64 seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — the workhorse generator. Satisfies the requirements of a
+/// C++ UniformRandomBitGenerator so it plugs into <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire reduction).
+  std::uint64_t below(std::uint64_t n) {
+    const auto x = (*this)();
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n)) >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (stateless wrt caching to
+  /// keep the generator's stream position deterministic per draw pair).
+  double normal() {
+    for (;;) {
+      const double u = uniform(-1.0, 1.0);
+      const double v = uniform(-1.0, 1.0);
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) {
+        return u * std::sqrt(-2.0 * std::log(s) / s);
+      }
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int r) {
+    return (x << r) | (x >> (64 - r));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace gsknn

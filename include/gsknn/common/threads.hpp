@@ -1,0 +1,33 @@
+// Thin OpenMP abstraction so every module compiles (and tests pass) with or
+// without OpenMP. `threads == 0` everywhere in the public API means "use the
+// runtime default".
+#pragma once
+
+#if defined(GSKNN_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace gsknn {
+
+/// Number of threads a parallel region would use for a request of `threads`
+/// (0 = runtime default).
+inline int resolve_threads(int threads) {
+#if defined(GSKNN_HAVE_OPENMP)
+  if (threads <= 0) return omp_get_max_threads();
+  return threads;
+#else
+  (void)threads;
+  return 1;
+#endif
+}
+
+/// Calling thread's index inside a parallel region (0 outside).
+inline int thread_id() {
+#if defined(GSKNN_HAVE_OPENMP)
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+}  // namespace gsknn

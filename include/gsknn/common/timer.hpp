@@ -1,0 +1,46 @@
+// Wall-clock timing helpers for benches and the breakdown instrumentation of
+// Table 5. steady_clock-based; resolution is tens of nanoseconds, far below
+// the millisecond-scale phases being measured.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gsknn {
+
+/// Simple stopwatch. start() may be called repeatedly to restart.
+class WallTimer {
+ public:
+  WallTimer() { start(); }
+
+  void start() { t0_ = Clock::now(); }
+
+  /// Seconds since the last start().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - t0_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0_;
+};
+
+/// Accumulating timer for phase breakdowns: tic()/toc() pairs add into a
+/// running total. Used by the Algorithm-2.1 baseline to produce the
+/// Tcoll/Tgemm/Tsq2d/Theap columns of Table 5.
+class PhaseTimer {
+ public:
+  void tic() { t_.start(); }
+  void toc() { total_ += t_.seconds(); }
+  double seconds() const { return total_; }
+  double milliseconds() const { return total_ * 1e3; }
+  void reset() { total_ = 0.0; }
+
+ private:
+  WallTimer t_;
+  double total_ = 0.0;
+};
+
+}  // namespace gsknn

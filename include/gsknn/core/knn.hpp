@@ -1,0 +1,143 @@
+// GSKNN — the fused general-stride k-nearest-neighbors kernel (the paper's
+// contribution, §2.3–§2.5), plus the two baselines it is evaluated against.
+//
+// The kernel solves the *kNN kernel* problem: given m query points and n
+// reference points — both given as index lists into a global d × N
+// coordinate table X — update each query's k-nearest-neighbor list. It is
+// the inner building block that exact low-d solvers and approximate high-d
+// solvers (randomized KD-trees, LSH; see gsknn/tree) call many times.
+//
+// Typical use:
+//
+//   PointTable X = make_uniform(64, 100000, seed);
+//   std::vector<int> q = ..., r = ...;           // global point ids
+//   NeighborTable nn(q.size(), 16);              // starts at +inf
+//   knn_kernel(X, q, r, nn);                     // exact 16-NN of q in r
+//   auto best = nn.sorted_row(0);                // (dist², id) ascending
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "gsknn/common/arch.hpp"
+#include "gsknn/data/point_table.hpp"
+#include "gsknn/select/neighbor_table.hpp"
+
+namespace gsknn {
+
+/// Distance norms supported by the fused micro-kernels (§2.4). For kL2Sq
+/// the reported distances are *squared* Euclidean; for kLp they are the
+/// p-th power of the ℓp distance — monotone transforms that preserve
+/// neighbor order, matching the paper's convention.
+enum class Norm {
+  kL2Sq,    ///< squared ℓ2 (the GEMM-expansion path; needs X.norms2())
+  kL1,      ///< ℓ1 (VSUB/VAND/VADD form)
+  kLInf,    ///< ℓ∞ (VSUB/VAND/VMAX form)
+  kLp,      ///< general ℓp, 0 < p < ∞, scalar pow path
+  kCosine,  ///< cosine distance 1 − qᵀr/(‖q‖·‖r‖); needs X.norms2().
+            ///< Zero-norm points are at distance 1 from everything.
+};
+
+/// Placement of the neighbor selection within the six-loop nest (§2.3).
+/// The number names the loop after which selection runs. Var#4 is excluded:
+/// after the 4th loop the d-dimension is still blocked, so distances are
+/// incomplete (the paper eliminates it for the same reason).
+enum class Variant {
+  kAuto,  ///< model-driven choice between kVar1 and kVar6
+  kVar1,  ///< fused into the micro-kernel (best for small k)
+  kVar2,  ///< after each mc×nr strip
+  kVar3,  ///< after each mc×nc block
+  kVar5,  ///< after each m×nc panel (bounded memory)
+  kVar6,  ///< after the full m×n distance matrix (best for large k)
+};
+
+struct KnnConfig {
+  Variant variant = Variant::kAuto;
+  Norm norm = Norm::kL2Sq;
+  double p = 3.0;  ///< exponent when norm == kLp
+  /// Override the arch-derived blocking parameters (tests/tuning).
+  std::optional<BlockingParams> blocking;
+  int threads = 0;     ///< 0 = OpenMP default; 1 = sequential
+  bool dedup = false;  ///< refuse ids already present in a row (tree solvers)
+};
+
+/// The GSKNN kernel (Algorithm 2.2/2.3). Updates `result` with the n
+/// reference candidates for each of the m queries.
+///
+/// * `qidx`/`ridx` — global point ids of the queries/references (general
+///   stride: any subset, any order; duplicates allowed in ridx only with
+///   cfg.dedup).
+/// * `result` — m-or-more-row NeighborTable; query i updates row
+///   `result_rows.empty() ? i : result_rows[i]`. Passing `qidx` itself as
+///   `result_rows` gives the all-NN "global table" pattern.
+void knn_kernel(const PointTable& X, std::span<const int> qidx,
+                std::span<const int> ridx, NeighborTable& result,
+                const KnnConfig& cfg = {},
+                std::span<const int> result_rows = {});
+
+/// Single-precision kernel (extension beyond the paper's double-only
+/// implementation): identical semantics and blocking discipline, float
+/// storage, arithmetic and micro-kernels (scalar 8×4, AVX2 8×8, AVX-512
+/// 16×8). Distances are float; roughly 2× the flops/s of the double path
+/// at the same memory traffic.
+void knn_kernel(const PointTableF& X, std::span<const int> qidx,
+                std::span<const int> ridx, NeighborTableF& result,
+                const KnnConfig& cfg = {},
+                std::span<const int> result_rows = {});
+
+/// Phase breakdown of the GEMM baseline (Table 5's Tcoll/Tgemm/Tsq2d/Theap).
+struct BaselineBreakdown {
+  double t_collect = 0.0;  ///< gathering Q, R (and norms) from X
+  double t_gemm = 0.0;     ///< the −2·QᵀR GEMM call
+  double t_sq2d = 0.0;     ///< adding ‖q‖² + ‖r‖² to C
+  double t_heap = 0.0;     ///< neighbor selection over C rows
+  double total() const { return t_collect + t_gemm + t_sq2d + t_heap; }
+};
+
+/// Algorithm 2.1: collect Q/R, C = −2·QᵀR via blas::dgemm, add norms, then
+/// per-row STL-heap selection. Supports kL2Sq only (the GEMM expansion does
+/// not exist for other norms — the limitation §1 calls out).
+void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
+                       std::span<const int> ridx, NeighborTable& result,
+                       const KnnConfig& cfg = {},
+                       std::span<const int> result_rows = {},
+                       BaselineBreakdown* breakdown = nullptr);
+
+/// FLANN/ANN-style baseline: one pass over references per query, scalar
+/// distance loop, heap update. Any norm. The "much slower" class of
+/// implementations the paper's related-work section measures against.
+void knn_single_loop_baseline(const PointTable& X, std::span<const int> qidx,
+                              std::span<const int> ridx,
+                              NeighborTable& result, const KnnConfig& cfg = {},
+                              std::span<const int> result_rows = {});
+
+/// One independent kernel invocation inside a batch.
+struct KnnTask {
+  std::span<const int> qidx;
+  std::span<const int> ridx;
+  NeighborTable* result = nullptr;
+  std::span<const int> result_rows = {};  ///< as in knn_kernel
+};
+
+/// Task-parallel batch execution (§2.5): kernels are sorted by
+/// model-estimated runtime and assigned to threads by greedy
+/// first-termination list scheduling; each kernel runs single-threaded.
+/// Tasks must write to disjoint result rows if they share a NeighborTable.
+void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
+               const KnnConfig& cfg = {});
+
+/// Reference-side data parallelism (§2.5, footnote 5: the Xeon Phi scheme).
+/// The query-side 4th-loop parallelization of knn_kernel needs m ≥ mc·p to
+/// occupy p threads; when m is small and n is large, this variant splits
+/// the *references* across threads into private per-thread neighbor tables
+/// and merges them afterwards — the race-free realization of parallelizing
+/// the 3rd/6th loops. Results are identical to the sequential kernel.
+void knn_kernel_parallel_refs(const PointTable& X, std::span<const int> qidx,
+                              std::span<const int> ridx,
+                              NeighborTable& result, const KnnConfig& cfg = {},
+                              std::span<const int> result_rows = {});
+
+/// Resolve kAuto for a given shape (exposed for tests and benches).
+Variant resolve_variant(int m, int n, int d, int k, const KnnConfig& cfg);
+
+}  // namespace gsknn

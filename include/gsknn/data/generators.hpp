@@ -1,0 +1,34 @@
+// Synthetic dataset generators used throughout the evaluation.
+//
+// The paper evaluates on two synthetic distributions:
+//   * uniform [0,1]^d          — Table 5 / Figures 4–6 experiments;
+//   * 10-dimensional Gaussian samples embedded into R^d by a random
+//     orthogonal-ish map — the Table 1 integrated experiment. The intrinsic
+//     low dimension is what makes randomized KD-trees converge quickly.
+// All generators are deterministic in (seed, size) and independent of thread
+// count.
+#pragma once
+
+#include <cstdint>
+
+#include "gsknn/data/point_table.hpp"
+
+namespace gsknn {
+
+/// N points uniform in [0,1]^d.
+PointTable make_uniform(int d, int n, std::uint64_t seed);
+
+/// N points from a standard normal in an `intrinsic_dim`-dimensional latent
+/// space, embedded into R^d by a random linear map with orthonormalized
+/// columns, plus optional isotropic noise of magnitude `noise`.
+/// Requires intrinsic_dim <= d.
+PointTable make_gaussian_embedded(int d, int n, int intrinsic_dim,
+                                  std::uint64_t seed, double noise = 0.0);
+
+/// Mixture of `clusters` isotropic Gaussians with centers uniform in
+/// [0,1]^d and standard deviation `sigma` — a classic image-descriptor-like
+/// workload for the approximate solvers.
+PointTable make_gaussian_mixture(int d, int n, int clusters, double sigma,
+                                 std::uint64_t seed);
+
+}  // namespace gsknn

@@ -1,0 +1,40 @@
+// Dataset and result I/O.
+//
+// Two formats:
+//   * a native binary PointTable container ("GSKNNPT1" magic, little-endian
+//     int32 d and n, then d·n doubles column-major) — lossless and fast;
+//   * CSV, one point per row — interoperable with numpy/pandas/R exports,
+//     which is how real descriptor datasets (SIFT, GIST, UCI tables [19])
+//     usually arrive.
+// Neighbor tables export to CSV as (query_row, rank, neighbor_id, distance).
+//
+// All functions throw std::runtime_error with a path-qualified message on
+// malformed input.
+#pragma once
+
+#include <string>
+
+#include "gsknn/data/point_table.hpp"
+#include "gsknn/select/neighbor_table.hpp"
+
+namespace gsknn {
+
+/// Write the table in the native binary format.
+void save_table(const PointTable& table, const std::string& path);
+
+/// Read a native binary table.
+PointTable load_table(const std::string& path);
+
+/// Parse a CSV of n rows × d numeric columns into a d × n table. Accepts
+/// comma/semicolon/tab/space separation; blank lines are skipped; a
+/// non-numeric first line is treated as a header and skipped.
+PointTable load_csv(const std::string& path);
+
+/// Write a table as CSV (one point per row) — inverse of load_csv.
+void save_csv(const PointTable& table, const std::string& path);
+
+/// Export neighbor lists: header + one line per (query row, rank):
+/// `query,rank,neighbor_id,distance`, ascending rank, +inf slots skipped.
+void save_neighbors_csv(const NeighborTable& table, const std::string& path);
+
+}  // namespace gsknn

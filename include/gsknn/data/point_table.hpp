@@ -1,0 +1,99 @@
+// PointTable — the paper's global coordinate table X.
+//
+// Stores N points of dimension d in column-major order (point i is the
+// contiguous column X(:, i)), plus the cached squared 2-norms X2(i) that the
+// GEMM expansion ‖x−y‖² = ‖x‖² + ‖y‖² − 2xᵀy requires. All kernels gather
+// from this table by index ("general stride"), never from separately
+// collected dense Q/R matrices.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "gsknn/common/aligned.hpp"
+
+namespace gsknn {
+
+/// Templated on the coordinate scalar (double = the paper-faithful path,
+/// float = the single-precision extension); use the PointTable / PointTableF
+/// aliases.
+template <typename T>
+class PointTableT {
+ public:
+  PointTableT() = default;
+
+  /// Allocate a d × n table (contents uninitialized; call compute_norms()
+  /// after filling).
+  PointTableT(int dim, int n) { resize(dim, n); }
+
+  void resize(int dim, int n) {
+    assert(dim > 0 && n >= 0);
+    d_ = dim;
+    n_ = n;
+    x_.reset(static_cast<std::size_t>(dim) * static_cast<std::size_t>(n));
+    x2_.reset(static_cast<std::size_t>(n));
+  }
+
+  int dim() const { return d_; }
+  int size() const { return n_; }
+
+  /// Raw column-major coordinate storage, leading dimension = dim().
+  T* data() { return x_.data(); }
+  const T* data() const { return x_.data(); }
+
+  /// Squared 2-norms per point (valid after compute_norms()).
+  T* norms2() { return x2_.data(); }
+  const T* norms2() const { return x2_.data(); }
+
+  /// Column (point) accessors.
+  T* col(int i) {
+    assert(i >= 0 && i < n_);
+    return x_.data() + static_cast<std::size_t>(i) * d_;
+  }
+  const T* col(int i) const {
+    assert(i >= 0 && i < n_);
+    return x_.data() + static_cast<std::size_t>(i) * d_;
+  }
+  std::span<const T> point(int i) const {
+    return {col(i), static_cast<std::size_t>(d_)};
+  }
+
+  T& at(int row, int i) { return col(i)[row]; }
+  T at(int row, int i) const { return col(i)[row]; }
+
+  /// Recompute all cached squared norms. O(d·N); call once after filling.
+  void compute_norms() {
+    for (int i = 0; i < n_; ++i) {
+      const T* p = col(i);
+      T s = 0;
+      for (int r = 0; r < d_; ++r) s += p[r] * p[r];
+      x2_[static_cast<std::size_t>(i)] = s;
+    }
+  }
+
+ private:
+  int d_ = 0;
+  int n_ = 0;
+  AlignedBuffer<T> x_;
+  AlignedBuffer<T> x2_;
+};
+
+using PointTable = PointTableT<double>;
+using PointTableF = PointTableT<float>;
+
+/// Convert a double table to single precision (coords narrowed, norms
+/// recomputed in float — not narrowed — so the GEMM expansion stays
+/// internally consistent at float precision).
+inline PointTableF to_float(const PointTable& src) {
+  PointTableF out(src.dim(), src.size());
+  const double* in = src.data();
+  float* dst = out.data();
+  const std::size_t total =
+      static_cast<std::size_t>(src.dim()) * static_cast<std::size_t>(src.size());
+  for (std::size_t i = 0; i < total; ++i) dst[i] = static_cast<float>(in[i]);
+  out.compute_norms();
+  return out;
+}
+
+}  // namespace gsknn

@@ -1,0 +1,44 @@
+// Blocking-parameter autotuning (paper §2.4: "tuning by exhaustive search or
+// tuning by modeling").
+//
+// The model narrows the (dc, mc, nc) space to candidates consistent with the
+// cache-residency rules, then a short measurement pass ranks them on a
+// representative problem — the hybrid the paper advocates: "the prediction
+// can help quickly narrow down a small region for fine tuning and prevent an
+// exhaustive search."
+#pragma once
+
+#include <vector>
+
+#include "gsknn/common/arch.hpp"
+#include "gsknn/core/knn.hpp"
+
+namespace gsknn::model {
+
+struct TuneResult {
+  BlockingParams best;
+  double best_seconds = 0.0;
+  /// Every candidate tried with its measured time (descending quality).
+  std::vector<std::pair<BlockingParams, double>> trials;
+};
+
+struct TuneOptions {
+  int m = 2048;  ///< representative problem shape to measure on
+  int n = 2048;
+  int d = 64;
+  int k = 16;
+  Norm norm = Norm::kL2Sq;
+  int reps = 2;           ///< best-of reps per candidate
+  int max_candidates = 12;  ///< model-pruned shortlist size
+};
+
+/// Generate the model-pruned candidate list for this machine (exposed for
+/// tests; candidates all satisfy BlockingParams::valid() and the §2.4 cache
+/// bounds within a tolerance factor).
+std::vector<BlockingParams> tune_candidates(const TuneOptions& opts);
+
+/// Measure the shortlist and return the fastest blocking. Deterministic
+/// given the machine (data seeds are fixed).
+TuneResult autotune(const TuneOptions& opts = {});
+
+}  // namespace gsknn::model

@@ -1,0 +1,251 @@
+// NeighborTable — the kernel's output object: the paper's (D, N) pair of
+// m × k matrices holding, per query row, the current k nearest squared
+// distances and reference ids, each row organized as a max-heap.
+//
+// Rows are initialized to +inf/-1 sentinels, so a freshly created table acts
+// as an "empty" neighbor list whose root is +inf (every candidate accepted)
+// and a table carried across solver iterations acts as a pruning filter.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "gsknn/common/aligned.hpp"
+#include "gsknn/select/heap.hpp"
+
+namespace gsknn {
+
+enum class HeapArity {
+  kBinary,  ///< classic binary max-heap, k slots per row
+  kQuad,    ///< padded 4-ary max-heap, k+3 physical slots per row
+};
+
+/// Append-only open-addressing set of point ids, one per neighbor row, used
+/// to deduplicate candidates in O(1) instead of an O(k) row scan.
+///
+/// It is append-only on purpose: entries are never removed when their id is
+/// evicted from the heap, and that is *sound* — a heap root never increases,
+/// so a re-offered evicted id (whose distance to this query is a fixed
+/// number ≥ the root at its eviction) can never pass the root compare again.
+/// Stale entries therefore never reject a candidate the heap would accept.
+class RowIdSet {
+ public:
+  /// Prepare for ~expected ids; clears existing contents.
+  void init(int expected) {
+    std::size_t cap = 16;
+    while (cap < static_cast<std::size_t>(expected) * 2) cap *= 2;
+    slots_.assign(cap, -1);
+    count_ = 0;
+  }
+
+  bool contains(int id) const {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t h = hash(id);; ++h) {
+      const int v = slots_[h & mask];
+      if (v == -1) return false;
+      if (v == id) return true;
+    }
+  }
+
+  /// Returns true when `id` was newly added (absent before).
+  bool insert_if_absent(int id) {
+    if (slots_.empty()) init(16);
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t h = hash(id);; ++h) {
+      int& v = slots_[h & mask];
+      if (v == id) return false;
+      if (v == -1) {
+        v = id;
+        if (++count_ * 10 > static_cast<int>(slots_.size()) * 7) grow();
+        return true;
+      }
+    }
+  }
+
+  int size() const { return count_; }
+
+ private:
+  static std::size_t hash(int id) {
+    auto z = static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+    z = (z ^ (z >> 16)) * 0x45D9F3B5ull;
+    z = (z ^ (z >> 13)) * 0xC2B2AE35ull;
+    return static_cast<std::size_t>(z ^ (z >> 16));
+  }
+
+  void grow() {
+    std::vector<int> old;
+    old.swap(slots_);
+    slots_.assign(old.size() * 2, -1);
+    count_ = 0;
+    for (int v : old) {
+      if (v != -1) insert_if_absent(v);
+    }
+  }
+
+  std::vector<int> slots_;
+  int count_ = 0;
+};
+
+/// Templated on the distance scalar T (double for the paper-faithful path,
+/// float for the single-precision extension). Use the NeighborTable /
+/// NeighborTableF aliases below.
+template <typename T>
+class NeighborTableT {
+ public:
+  NeighborTableT() = default;
+
+  NeighborTableT(int m, int k, HeapArity arity = HeapArity::kBinary) {
+    resize(m, k, arity);
+  }
+
+  void resize(int m, int k, HeapArity arity = HeapArity::kBinary) {
+    assert(m >= 0 && k > 0);
+    m_ = m;
+    k_ = k;
+    arity_ = arity;
+    stride_ = (arity == HeapArity::kQuad) ? heap::quad_physical_size(k) : k;
+    // Pad the row stride to a cache-line multiple of doubles so rows never
+    // false-share across threads.
+    stride_ = static_cast<int>(round_up(static_cast<std::size_t>(stride_), 8));
+    dist_.reset(static_cast<std::size_t>(m) * stride_);
+    id_.reset(static_cast<std::size_t>(m) * stride_);
+    idsets_.clear();  // re-enable after resize if wanted
+    reset();
+  }
+
+  /// Re-initialize every row to the empty (+inf) state. The entire padded
+  /// stride is filled with sentinels — the pad slots are read by the dedup
+  /// membership scan, so they must never contain stale ids.
+  void reset() {
+    for (int i = 0; i < m_; ++i) {
+      T* d = row_dists(i);
+      int* x = row_ids(i);
+      for (int s = 0; s < stride_; ++s) {
+        d[s] = std::numeric_limits<T>::infinity();
+        x[s] = heap::kNoId;
+      }
+    }
+    for (auto& s : idsets_) s.init(k_);
+  }
+
+  int rows() const { return m_; }
+  int k() const { return k_; }
+  HeapArity arity() const { return arity_; }
+  int row_stride() const { return stride_; }
+
+  T* row_dists(int i) {
+    assert(i >= 0 && i < m_);
+    return dist_.data() + static_cast<std::size_t>(i) * stride_;
+  }
+  const T* row_dists(int i) const {
+    assert(i >= 0 && i < m_);
+    return dist_.data() + static_cast<std::size_t>(i) * stride_;
+  }
+  int* row_ids(int i) {
+    assert(i >= 0 && i < m_);
+    return id_.data() + static_cast<std::size_t>(i) * stride_;
+  }
+  const int* row_ids(int i) const {
+    assert(i >= 0 && i < m_);
+    return id_.data() + static_cast<std::size_t>(i) * stride_;
+  }
+
+  /// Current k-th nearest distance of row i (the heap root; physical slot 0
+  /// in both layouts).
+  T row_root(int i) const { return row_dists(i)[0]; }
+
+  /// O(1)-reject candidate insertion.
+  void try_insert(int row, T d, int x) {
+    if (arity_ == HeapArity::kQuad) {
+      heap::quad_try_insert(row_dists(row), row_ids(row), k_, d, x);
+    } else {
+      heap::binary_try_insert(row_dists(row), row_ids(row), k_, d, x);
+    }
+  }
+
+  /// Candidate insertion that refuses ids already present in the row. Needed
+  /// when the same reference can be offered twice (e.g. by overlapping
+  /// leaves across randomized-tree iterations). The membership check runs
+  /// only after the root check passes, so the common rejected case stays
+  /// O(1) either way; with enable_dedup_index() the accepted case is O(1)
+  /// too (instead of an O(k) row scan).
+  void try_insert_unique(int row, T d, int x) {
+    if (d >= row_root(row)) return;
+    if (!idsets_.empty()) {
+      if (!idsets_[static_cast<std::size_t>(row)].insert_if_absent(x)) return;
+    } else {
+      const int* ids = row_ids(row);
+      for (int s = 0; s < stride_; ++s) {
+        if (ids[s] == x) return;
+      }
+    }
+    try_insert(row, d, x);
+  }
+
+  /// Attach per-row id-set indexes (O(1) dedup). Call on a fresh or reset()
+  /// table, before any dedup insertions.
+  void enable_dedup_index() {
+    idsets_.resize(static_cast<std::size_t>(m_));
+    for (auto& s : idsets_) s.init(k_);
+  }
+
+  bool has_dedup_index() const { return !idsets_.empty(); }
+
+  /// The row's id-set, or nullptr when the index is not enabled.
+  RowIdSet* row_idset(int i) {
+    return idsets_.empty() ? nullptr : &idsets_[static_cast<std::size_t>(i)];
+  }
+
+  /// Row contents in ascending distance order, +inf sentinels dropped.
+  /// For inspection/tests — O(k log k).
+  std::vector<std::pair<T, int>> sorted_row(int i) const {
+    std::vector<std::pair<T, int>> out;
+    out.reserve(static_cast<std::size_t>(k_));
+    const T* d = row_dists(i);
+    const int* x = row_ids(i);
+    if (arity_ == HeapArity::kQuad) {
+      for (int j = 0; j < k_; ++j) {
+        const int p = heap::quad_phys(j);
+        if (std::isfinite(d[p])) out.emplace_back(d[p], x[p]);
+      }
+    } else {
+      for (int j = 0; j < k_; ++j) {
+        if (std::isfinite(d[j])) out.emplace_back(d[j], x[j]);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// True iff every row satisfies its heap invariant (tests).
+  bool all_rows_are_heaps() const {
+    for (int i = 0; i < m_; ++i) {
+      const bool ok = (arity_ == HeapArity::kQuad)
+                          ? heap::quad_is_heap(row_dists(i), k_)
+                          : heap::binary_is_heap(row_dists(i), k_);
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+ private:
+  int m_ = 0;
+  int k_ = 0;
+  int stride_ = 0;
+  HeapArity arity_ = HeapArity::kBinary;
+  AlignedBuffer<T> dist_;
+  AlignedBuffer<int> id_;
+  std::vector<RowIdSet> idsets_;  ///< empty unless enable_dedup_index()
+};
+
+/// The paper-faithful double-precision table and its float sibling.
+using NeighborTable = NeighborTableT<double>;
+using NeighborTableF = NeighborTableT<float>;
+
+}  // namespace gsknn

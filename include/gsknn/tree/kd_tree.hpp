@@ -1,0 +1,73 @@
+// Exact KD-tree nearest-neighbor search.
+//
+// The paper's introduction frames the landscape: "in low dimensions (say
+// d < 10), regular spatial decompositions like KD-trees can solve the kNN
+// problem using O(N) distance evaluations. But in higher dimensions
+// tree-based algorithms end up having quadratic complexity" [26, 33]. This
+// is that classic structure — exact search with bounding-ball pruning —
+// both as a baseline for low-d workloads and as the demonstration of why
+// the paper's high-d solvers abandon exactness (bench/ablation_exact_tree).
+//
+// Splits are median splits on the widest coordinate; leaves hold up to
+// `leaf_size` points. Queries prune a subtree when the distance from the
+// query to the subtree's bounding box exceeds the current k-th best.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "gsknn/data/point_table.hpp"
+#include "gsknn/select/neighbor_table.hpp"
+
+namespace gsknn::tree {
+
+class KdTree {
+ public:
+  /// Build over all points of X (which must outlive the tree).
+  explicit KdTree(const PointTable& X, int leaf_size = 32);
+
+  /// Exact k nearest neighbors of an arbitrary coordinate vector (length
+  /// X.dim()), ascending by squared ℓ2 distance. `out` is overwritten.
+  /// Returns the number of leaf points whose distance was evaluated.
+  long query(const double* q, int k,
+             std::vector<std::pair<double, int>>& out) const;
+
+  /// Exact kNN for queries given by id into X; row i of `result` receives
+  /// query i's neighbors (the query point itself is included, distance 0).
+  /// Returns the total number of distance evaluations.
+  long query_batch(std::span<const int> qidx, NeighborTable& result,
+                   int threads = 0) const;
+
+  int size() const { return static_cast<int>(perm_.size()); }
+  int leaf_count() const { return leaves_; }
+  int depth() const { return depth_; }
+
+ private:
+  struct Node {
+    // Internal nodes: split dimension/value and children; leaves: range
+    // [begin, end) into perm_.
+    int split_dim = -1;
+    double split_val = 0.0;
+    int left = -1;
+    int right = -1;
+    int begin = 0;
+    int end = 0;
+    bool is_leaf() const { return split_dim < 0; }
+  };
+
+  int build(int begin, int end, int depth);
+  long search(int node, const double* q, int k, double* dist, int* id) const;
+
+  const PointTable& x_;
+  int leaf_size_;
+  std::vector<Node> nodes_;
+  std::vector<int> perm_;   ///< point ids, leaf ranges contiguous
+  std::vector<double> lo_;  ///< per-node bounding box, d mins then d maxs
+  std::vector<double> hi_;
+  int leaves_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace gsknn::tree

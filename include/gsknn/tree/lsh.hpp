@@ -1,0 +1,32 @@
+// Locality-sensitive hashing solver for approximate all-nearest-neighbors —
+// the second solver family the paper integrates GSKNN into ([21, 34]).
+//
+// Classic p-stable (Gaussian) LSH for ℓ2: each of L tables hashes a point
+// with g concatenated projections h(x) = ⌊(wᵀx + b) / width⌋; points that
+// collide in a bucket form one kNN-kernel group (queries = references =
+// bucket). Oversized buckets are chunked to bound kernel size.
+#pragma once
+
+#include <cstdint>
+
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/point_table.hpp"
+#include "gsknn/tree/rkd_forest.hpp"
+
+namespace gsknn::tree {
+
+struct LshConfig {
+  int tables = 8;          ///< L — independent hash tables (iterations)
+  int hashes_per_table = 2;///< g — concatenated projections per table
+  double bucket_width = 1.0;  ///< w — quantization width of each projection
+  int max_group = 2048;    ///< chunk size bound for huge buckets
+  std::uint64_t seed = 0;
+  KernelBackend backend = KernelBackend::kGsknn;
+  KnnConfig kernel;        ///< dedup forced on
+};
+
+/// Approximate all-kNN via LSH bucketing + per-bucket exact kernels.
+AllNnResult lsh_all_nearest_neighbors(const PointTable& X, int k,
+                                      const LshConfig& cfg);
+
+}  // namespace gsknn::tree

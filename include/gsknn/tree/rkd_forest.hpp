@@ -1,0 +1,66 @@
+// Randomized KD-tree forest for approximate all-nearest-neighbors.
+//
+// This is the outer solver of the paper's Table 1 experiment ([34]; here a
+// single-node OpenMP implementation instead of MPI — see DESIGN.md §2).
+// Each iteration builds a KD-tree whose split directions are randomized,
+// partitions the dataset into leaves of ≤ leaf_size points, and solves an
+// exact kNN kernel inside every leaf (queries = references = the leaf's
+// points), merging candidates into one global NeighborTable with id
+// deduplication. Different trees produce different groupings; iterating
+// drives recall toward 1 when the data has low intrinsic dimension.
+//
+// The kernel backend is switchable between GSKNN and the GEMM baseline —
+// the two columns of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/point_table.hpp"
+
+namespace gsknn::tree {
+
+/// Which kNN kernel the solver calls per leaf.
+enum class KernelBackend {
+  kGsknn,         ///< the fused kernel (knn_kernel)
+  kGemmBaseline,  ///< Algorithm 2.1 (knn_gemm_baseline) — Table 1 "ref"
+};
+
+struct RkdConfig {
+  int leaf_size = 512;   ///< max points per leaf (the paper's m)
+  int num_trees = 8;     ///< iterations (one random tree each)
+  std::uint64_t seed = 0;
+  KernelBackend backend = KernelBackend::kGsknn;
+  /// Forwarded to the kernel; `dedup` is forced on, `variant`/`norm` and
+  /// threading are respected.
+  KnnConfig kernel;
+  /// Number of candidate split directions sampled per node (split uses the
+  /// one with maximal projected spread — FLANN-style randomization).
+  int split_candidates = 4;
+};
+
+struct AllNnResult {
+  NeighborTable table;           ///< N rows × k, global ids
+  double build_seconds = 0.0;    ///< tree construction (all iterations)
+  double kernel_seconds = 0.0;   ///< time inside the per-leaf kNN kernels
+  int leaves_processed = 0;
+};
+
+/// Approximate all-kNN of every point of X among all points of X.
+AllNnResult all_nearest_neighbors(const PointTable& X, int k,
+                                  const RkdConfig& cfg);
+
+/// One randomized KD-tree partition of [0, N): returns leaf index lists
+/// (exposed for tests and for custom solvers built on the kernel).
+std::vector<std::vector<int>> random_kd_partition(const PointTable& X,
+                                                  int leaf_size,
+                                                  std::uint64_t seed,
+                                                  int split_candidates = 4);
+
+/// Exact average recall@k of `approx` measured on `samples` random queries
+/// (exhaustive search as ground truth). In [0, 1].
+double recall_at_k(const PointTable& X, const NeighborTable& approx, int k,
+                   int samples, std::uint64_t seed);
+
+}  // namespace gsknn::tree

@@ -1,0 +1,115 @@
+// Packing routines for the GEMM substrate (internal).
+//
+// pack_a copies an mb × kb block of op(A) into "MR-sliver" format: for each
+// group of MR consecutive rows, kb depth-steps of MR contiguous elements.
+// Rows beyond mb (the last partial sliver) are zero-filled so the
+// micro-kernel always runs a full tile. pack_b is the mirror image for
+// NR-slivers of op(B). Sliver widths are template parameters because they
+// follow the selected micro-kernel's tile geometry.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+
+#include "gsknn/common/macros.hpp"
+#include "gsknn/blas/gemm.hpp"
+
+namespace gsknn::blas {
+
+/// op(A)(i, p) for the m×k operand.
+template <typename T>
+GSKNN_ALWAYS_INLINE T op_a(Trans t, const T* A, int lda, int i,
+                           int p) {
+  return t == Trans::kNo ? A[i + static_cast<long>(p) * lda]
+                         : A[p + static_cast<long>(i) * lda];
+}
+
+/// Pack rows [i0, i0+mb) × depth [p0, p0+kb) of op(A) into Ap
+/// (ceil(mb/MR)·kb·MR doubles).
+template <int MR, typename T>
+void pack_a(Trans transa, const T* A, int lda, int i0, int p0, int mb,
+            int kb, T* GSKNN_RESTRICT Ap) {
+  for (int ir = 0; ir < mb; ir += MR) {
+    const int rows = (mb - ir < MR) ? mb - ir : MR;
+    T* dst = Ap + static_cast<long>(ir) * kb;
+    if (transa == Trans::kNo && rows == MR) {
+      // Columns of A are contiguous in memory only along i; copy per depth.
+      const T* src = A + (i0 + ir) + static_cast<long>(p0) * lda;
+      for (int p = 0; p < kb; ++p) {
+        std::memcpy(dst + static_cast<long>(p) * MR,
+                    src + static_cast<long>(p) * lda, sizeof(T) * MR);
+      }
+    } else {
+      for (int p = 0; p < kb; ++p) {
+        for (int i = 0; i < rows; ++i) {
+          dst[static_cast<long>(p) * MR + i] =
+              op_a(transa, A, lda, i0 + ir + i, p0 + p);
+        }
+        for (int i = rows; i < MR; ++i) {
+          dst[static_cast<long>(p) * MR + i] = T(0);
+        }
+      }
+    }
+  }
+}
+
+/// op(B)(p, j) for the k×n operand.
+template <typename T>
+GSKNN_ALWAYS_INLINE T op_b(Trans t, const T* B, int ldb, int p,
+                           int j) {
+  return t == Trans::kNo ? B[p + static_cast<long>(j) * ldb]
+                         : B[j + static_cast<long>(p) * ldb];
+}
+
+/// Pack depth [p0, p0+kb) × cols [j0, j0+nb) of op(B) into Bp
+/// (ceil(nb/NR)·kb·NR doubles).
+template <int NR, typename T>
+void pack_b(Trans transb, const T* B, int ldb, int p0, int j0, int kb,
+            int nb, T* GSKNN_RESTRICT Bp) {
+  for (int jr = 0; jr < nb; jr += NR) {
+    const int cols = (nb - jr < NR) ? nb - jr : NR;
+    T* dst = Bp + static_cast<long>(jr) * kb;
+    for (int p = 0; p < kb; ++p) {
+      for (int j = 0; j < cols; ++j) {
+        dst[static_cast<long>(p) * NR + j] =
+            op_b(transb, B, ldb, p0 + p, j0 + jr + j);
+      }
+      for (int j = cols; j < NR; ++j) {
+        dst[static_cast<long>(p) * NR + j] = T(0);
+      }
+    }
+  }
+}
+
+/// Runtime-sliver dispatchers for the tile widths that exist.
+template <typename T>
+inline void pack_a_rt(int MR, Trans transa, const T* A, int lda, int i0,
+                      int p0, int mb, int kb, T* Ap) {
+  switch (MR) {
+    case 8:
+      pack_a<8>(transa, A, lda, i0, p0, mb, kb, Ap);
+      return;
+    case 16:
+      pack_a<16>(transa, A, lda, i0, p0, mb, kb, Ap);
+      return;
+    default:
+      assert(false && "unsupported MR");
+  }
+}
+
+template <typename T>
+inline void pack_b_rt(int NR, Trans transb, const T* B, int ldb, int p0,
+                      int j0, int kb, int nb, T* Bp) {
+  switch (NR) {
+    case 4:
+      pack_b<4>(transb, B, ldb, p0, j0, kb, nb, Bp);
+      return;
+    case 8:
+      pack_b<8>(transb, B, ldb, p0, j0, kb, nb, Bp);
+      return;
+    default:
+      assert(false && "unsupported NR");
+  }
+}
+
+}  // namespace gsknn::blas

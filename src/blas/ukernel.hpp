@@ -1,0 +1,85 @@
+// GEMM micro-kernel contract (internal).
+//
+// A micro-kernel computes one register-resident m_r × n_r tile:
+//   tile(i, j) = Σ_{p<kc} Ap[p·mr + i] · Bp[p·nr + j]
+// from zero, then writes  C := alpha·tile + beta·C  (beta == 0 means C is
+// uninitialized and must be overwritten, never read).
+//
+// Ap/Bp are packed slivers: mr (resp. nr) contiguous elements per depth
+// step, zero-padded at the edges by the packing routines so the kernel can
+// always execute the full tile. Edge tiles in C are handled by the caller
+// writing through a temporary. Tile geometry travels with the kernel in
+// UKernelT so each (ISA, scalar) pair picks its own shape:
+//   scalar    8×4 (double and float)
+//   AVX2+FMA  8×4 double, 8×8 float
+//   AVX-512F  16×4 double, 16×8 float
+#pragma once
+
+#include "gsknn/common/arch.hpp"
+
+namespace gsknn::blas {
+
+/// Tile of the scalar and AVX2-double kernels (mirrors the paper's 8×4).
+inline constexpr int kMr = 8;
+inline constexpr int kNr = 4;
+
+/// Largest tile any kernel uses (edge-staging buffer size).
+inline constexpr int kMaxMr = 16;
+inline constexpr int kMaxNr = 8;
+
+template <typename T>
+using UKernelFnT = void (*)(int kc, const T* Ap, const T* Bp, T alpha, T beta,
+                            T* C, int ldc);
+
+using UKernelFn = UKernelFnT<double>;
+
+/// A kernel plus its tile geometry.
+template <typename T>
+struct UKernelT {
+  UKernelFnT<T> fn = nullptr;
+  int mr = kMr;
+  int nr = kNr;
+};
+
+using UKernel = UKernelT<double>;
+
+/// Portable C++ kernels (always available), 8×4.
+void ukernel_8x4_scalar(int kc, const double* Ap, const double* Bp,
+                        double alpha, double beta, double* C, int ldc);
+void ukernel_8x4_scalar_f32(int kc, const float* Ap, const float* Bp,
+                            float alpha, float beta, float* C, int ldc);
+
+#if defined(GSKNN_BUILD_AVX2)
+/// AVX2+FMA kernels: 8×4 double, 8×8 float.
+void ukernel_8x4_avx2(int kc, const double* Ap, const double* Bp, double alpha,
+                      double beta, double* C, int ldc);
+void ukernel_8x8_avx2_f32(int kc, const float* Ap, const float* Bp,
+                          float alpha, float beta, float* C, int ldc);
+#endif
+
+#if defined(GSKNN_BUILD_AVX512)
+/// AVX-512F kernels: 16×4 double, 16×8 float.
+void ukernel_16x4_avx512(int kc, const double* Ap, const double* Bp,
+                         double alpha, double beta, double* C, int ldc);
+void ukernel_16x8_avx512_f32(int kc, const float* Ap, const float* Bp,
+                             float alpha, float beta, float* C, int ldc);
+#endif
+
+/// Pick the best kernel for `level`.
+UKernel select_ukernel(SimdLevel level);
+UKernelT<float> select_ukernel_f32(SimdLevel level);
+
+template <typename T>
+UKernelT<T> select_ukernel_t(SimdLevel level);
+
+template <>
+inline UKernelT<double> select_ukernel_t<double>(SimdLevel level) {
+  return select_ukernel(level);
+}
+
+template <>
+inline UKernelT<float> select_ukernel_t<float>(SimdLevel level) {
+  return select_ukernel_f32(level);
+}
+
+}  // namespace gsknn::blas

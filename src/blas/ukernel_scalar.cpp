@@ -1,0 +1,73 @@
+#include "gsknn/common/macros.hpp"
+#include "ukernel.hpp"
+
+namespace gsknn::blas {
+
+namespace {
+
+template <typename T>
+void ukernel_8x4_scalar_impl(int kc, const T* GSKNN_RESTRICT Ap,
+                             const T* GSKNN_RESTRICT Bp, T alpha, T beta,
+                             T* GSKNN_RESTRICT C, int ldc) {
+  T acc[kMr][kNr] = {};
+  for (int p = 0; p < kc; ++p) {
+    const T* a = Ap + static_cast<long>(p) * kMr;
+    const T* b = Bp + static_cast<long>(p) * kNr;
+    for (int j = 0; j < kNr; ++j) {
+      const T bj = b[j];
+      for (int i = 0; i < kMr; ++i) acc[i][j] += a[i] * bj;
+    }
+  }
+  if (beta == T(0)) {
+    for (int j = 0; j < kNr; ++j) {
+      for (int i = 0; i < kMr; ++i) {
+        C[i + static_cast<long>(j) * ldc] = alpha * acc[i][j];
+      }
+    }
+  } else {
+    for (int j = 0; j < kNr; ++j) {
+      for (int i = 0; i < kMr; ++i) {
+        T& c = C[i + static_cast<long>(j) * ldc];
+        c = alpha * acc[i][j] + beta * c;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ukernel_8x4_scalar(int kc, const double* Ap, const double* Bp,
+                        double alpha, double beta, double* C, int ldc) {
+  ukernel_8x4_scalar_impl<double>(kc, Ap, Bp, alpha, beta, C, ldc);
+}
+
+void ukernel_8x4_scalar_f32(int kc, const float* Ap, const float* Bp,
+                            float alpha, float beta, float* C, int ldc) {
+  ukernel_8x4_scalar_impl<float>(kc, Ap, Bp, alpha, beta, C, ldc);
+}
+
+UKernel select_ukernel(SimdLevel level) {
+#if defined(GSKNN_BUILD_AVX512)
+  if (level >= SimdLevel::kAvx512) return {ukernel_16x4_avx512, 16, 4};
+#endif
+#if defined(GSKNN_BUILD_AVX2)
+  if (level >= SimdLevel::kAvx2) return {ukernel_8x4_avx2, kMr, kNr};
+#else
+  (void)level;
+#endif
+  return {ukernel_8x4_scalar, kMr, kNr};
+}
+
+UKernelT<float> select_ukernel_f32(SimdLevel level) {
+#if defined(GSKNN_BUILD_AVX512)
+  if (level >= SimdLevel::kAvx512) return {ukernel_16x8_avx512_f32, 16, 8};
+#endif
+#if defined(GSKNN_BUILD_AVX2)
+  if (level >= SimdLevel::kAvx2) return {ukernel_8x8_avx2_f32, 8, 8};
+#else
+  (void)level;
+#endif
+  return {ukernel_8x4_scalar_f32, kMr, kNr};
+}
+
+}  // namespace gsknn::blas

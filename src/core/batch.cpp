@@ -1,0 +1,57 @@
+// Task-parallel batch driver (§2.5).
+//
+// Many independent small kernels (one per tree leaf in the approximate
+// solvers) rarely expose enough intra-kernel parallelism, so the paper
+// schedules whole kernels across cores instead: estimate each kernel's
+// runtime with the §2.6 model, sort descending, and greedily assign to the
+// least-loaded processor (first-termination / LPT list scheduling).
+#include <vector>
+
+#include "gsknn/common/threads.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/model/perf_model.hpp"
+
+namespace gsknn {
+
+void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
+               const KnnConfig& cfg) {
+  const int t = static_cast<int>(tasks.size());
+  if (t == 0) return;
+  const int p = resolve_threads(cfg.threads);
+
+  // Estimate per-task runtimes with the performance model.
+  static const model::MachineParams mp{};
+  const BlockingParams bp =
+      cfg.blocking.value_or(default_blocking(cpu_features().best_level()));
+  std::vector<double> est(static_cast<std::size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    const auto& task = tasks[static_cast<std::size_t>(i)];
+    const model::ProblemShape s{static_cast<int>(task.qidx.size()),
+                                static_cast<int>(task.ridx.size()), X.dim(),
+                                k};
+    const Variant v = resolve_variant(s.m, s.n, s.d, s.k, cfg);
+    est[static_cast<std::size_t>(i)] = model::predicted_time(
+        v == Variant::kVar1 ? model::Method::kVar1 : model::Method::kVar6, s,
+        mp, bp);
+  }
+
+  const std::vector<int> assignment = model::schedule_lpt(est, p);
+
+  // Each worker executes its tasks sequentially; kernels run single-threaded.
+  KnnConfig task_cfg = cfg;
+  task_cfg.threads = 1;
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp parallel num_threads(p)
+#endif
+  {
+    const int tid = thread_id();
+    for (int i = 0; i < t; ++i) {
+      if (assignment[static_cast<std::size_t>(i)] != tid) continue;
+      const auto& task = tasks[static_cast<std::size_t>(i)];
+      knn_kernel(X, task.qidx, task.ridx, *task.result, task_cfg,
+                 task.result_rows);
+    }
+  }
+}
+
+}  // namespace gsknn

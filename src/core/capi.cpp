@@ -1,0 +1,174 @@
+// C API implementation (see include/gsknn/capi.h). Exceptions are caught at
+// the boundary and surfaced through gsknn_last_error().
+#include "gsknn/capi.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "gsknn/common/arch.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/io.hpp"
+
+namespace {
+
+thread_local std::string tl_error = "ok";
+
+void set_error(const char* what) { tl_error = what; }
+
+}  // namespace
+
+struct gsknn_table {
+  gsknn::PointTable table;
+};
+
+struct gsknn_result {
+  gsknn::NeighborTable table;
+};
+
+extern "C" {
+
+gsknn_table* gsknn_table_create(int d, int n, const double* coords) {
+  try {
+    if (d <= 0 || n < 0 || (n > 0 && coords == nullptr)) {
+      set_error("gsknn_table_create: bad arguments");
+      return nullptr;
+    }
+    auto* t = new gsknn_table;
+    t->table.resize(d, n);
+    std::memcpy(t->table.data(), coords,
+                sizeof(double) * static_cast<std::size_t>(d) * n);
+    t->table.compute_norms();
+    return t;
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return nullptr;
+  }
+}
+
+gsknn_table* gsknn_table_load(const char* path) {
+  try {
+    auto* t = new gsknn_table;
+    try {
+      t->table = gsknn::load_table(path);
+    } catch (const std::exception&) {
+      t->table = gsknn::load_csv(path);
+    }
+    return t;
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return nullptr;
+  }
+}
+
+int gsknn_table_dim(const gsknn_table* t) { return t ? t->table.dim() : -1; }
+int gsknn_table_size(const gsknn_table* t) { return t ? t->table.size() : -1; }
+void gsknn_table_destroy(gsknn_table* t) { delete t; }
+
+gsknn_result* gsknn_result_create(int m, int k) {
+  try {
+    if (m < 0 || k <= 0) {
+      set_error("gsknn_result_create: bad arguments");
+      return nullptr;
+    }
+    auto* r = new gsknn_result;
+    r->table.resize(m, k);
+    return r;
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return nullptr;
+  }
+}
+
+void gsknn_result_destroy(gsknn_result* r) { delete r; }
+
+int gsknn_search(const gsknn_table* table, const int* qidx, int mq,
+                 const int* ridx, int nq, int norm, int variant, double lp,
+                 int threads, gsknn_result* result) {
+  if (table == nullptr || result == nullptr ||
+      (mq > 0 && qidx == nullptr) || (nq > 0 && ridx == nullptr)) {
+    set_error("gsknn_search: null argument");
+    return -1;
+  }
+  try {
+    gsknn::KnnConfig cfg;
+    switch (norm) {
+      case GSKNN_NORM_L2SQ:
+        cfg.norm = gsknn::Norm::kL2Sq;
+        break;
+      case GSKNN_NORM_L1:
+        cfg.norm = gsknn::Norm::kL1;
+        break;
+      case GSKNN_NORM_LINF:
+        cfg.norm = gsknn::Norm::kLInf;
+        break;
+      case GSKNN_NORM_LP:
+        cfg.norm = gsknn::Norm::kLp;
+        break;
+      case GSKNN_NORM_COSINE:
+        cfg.norm = gsknn::Norm::kCosine;
+        break;
+      default:
+        set_error("gsknn_search: unknown norm");
+        return -2;
+    }
+    switch (variant) {
+      case GSKNN_VARIANT_AUTO:
+        cfg.variant = gsknn::Variant::kAuto;
+        break;
+      case GSKNN_VARIANT_1:
+        cfg.variant = gsknn::Variant::kVar1;
+        break;
+      case GSKNN_VARIANT_2:
+        cfg.variant = gsknn::Variant::kVar2;
+        break;
+      case GSKNN_VARIANT_3:
+        cfg.variant = gsknn::Variant::kVar3;
+        break;
+      case GSKNN_VARIANT_5:
+        cfg.variant = gsknn::Variant::kVar5;
+        break;
+      case GSKNN_VARIANT_6:
+        cfg.variant = gsknn::Variant::kVar6;
+        break;
+      default:
+        set_error("gsknn_search: unknown variant");
+        return -2;
+    }
+    cfg.p = lp;
+    cfg.threads = threads;
+    gsknn::knn_kernel(table->table, {qidx, static_cast<std::size_t>(mq)},
+                      {ridx, static_cast<std::size_t>(nq)}, result->table,
+                      cfg);
+    return 0;
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return -3;
+  }
+}
+
+int gsknn_result_row(const gsknn_result* r, int row, int cap, int* ids,
+                     double* dists) {
+  if (r == nullptr || row < 0 || row >= r->table.rows() || cap < 0) {
+    set_error("gsknn_result_row: bad arguments");
+    return -1;
+  }
+  const auto sorted = r->table.sorted_row(row);
+  const int count = static_cast<int>(
+      std::min<std::size_t>(sorted.size(), static_cast<std::size_t>(cap)));
+  for (int i = 0; i < count; ++i) {
+    if (ids != nullptr) ids[i] = sorted[static_cast<std::size_t>(i)].second;
+    if (dists != nullptr) dists[i] = sorted[static_cast<std::size_t>(i)].first;
+  }
+  return count;
+}
+
+const char* gsknn_last_error(void) { return tl_error.c_str(); }
+
+const char* gsknn_arch_summary(void) {
+  static const std::string summary = gsknn::arch_summary();
+  return summary.c_str();
+}
+
+}  // extern "C"

@@ -1,0 +1,362 @@
+// The six-loop GSKNN driver (paper Algorithm 2.2).
+//
+// Loop nest (outermost first), identical to the Goto/BLIS partitioning:
+//   6th  jc over n  (block nc)  — reference panel, packed Rc lives in L3
+//   5th  pc over d  (block dc)  — depth block; rank-dc accumulation
+//   4th  ic over m  (block mc)  — query panel, packed Qc in L2; OpenMP here
+//   3rd  jr over nc (step nr)   — micro-panel of Rc promoted to L1
+//   2nd  ir over mc (step mr)   — micro-panel of Qc
+//   1st  (inside the micro-kernel) over dc
+//
+// Variant = the loop after which neighbor selection runs. Var#1 selects in
+// the micro-kernel and, when d ≤ dc, never materializes distances at all;
+// the other variants store finished distances into a query-major buffer and
+// select at their loop boundary. Var#4 does not exist (distances are
+// incomplete after the 4th loop — the paper eliminates it, and the Variant
+// enum does not offer it).
+//
+// The whole driver is a template over the distance scalar: double is the
+// paper-faithful path, float the single-precision extension. Only the
+// micro-kernels and the blocking derivation differ per precision.
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "gsknn/common/threads.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/model/perf_model.hpp"
+#include "micro.hpp"
+#include "pack.hpp"
+
+namespace gsknn {
+
+namespace core {
+namespace {
+
+/// Per-thread packing arena for the Qc panel (private L2 panel; §2.5).
+template <typename T>
+struct QueryArena {
+  AlignedBuffer<T> qc;
+  AlignedBuffer<T> q2c;
+};
+
+template <typename T>
+QueryArena<T>& query_arena() {
+  thread_local QueryArena<T> arena;
+  return arena;
+}
+
+/// Sentinel "heap row" for padded tile rows: root = -inf rejects everything.
+template <typename T>
+const T* neg_inf_row() {
+  alignas(64) static const T row[kMaxMr] = {
+      -std::numeric_limits<T>::infinity()};
+  return row;
+}
+
+int kDummyIds[kMaxMr] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                         -1, -1, -1, -1, -1, -1, -1, -1};
+
+/// Scan `len` contiguous finished distances and update one heap row.
+/// Candidate j carries global id ids[j].
+template <typename T>
+void row_select(const T* GSKNN_RESTRICT cand, const int* GSKNN_RESTRICT ids,
+                int len, T* hd, int* hi, RowIdSet* hset, int k, int stride,
+                HeapArity arity, bool dedup) {
+  for (int j = 0; j < len; ++j) {
+    const T dj = cand[j];
+    if (dj >= hd[0]) continue;
+    if (dedup) {
+      if (hset != nullptr) {
+        if (!hset->insert_if_absent(ids[j])) continue;
+      } else {
+        bool present = false;
+        for (int t = 0; t < stride; ++t) {
+          if (hi[t] == ids[j]) {
+            present = true;
+            break;
+          }
+        }
+        if (present) continue;
+      }
+    }
+    if (arity == HeapArity::kQuad) {
+      heap::quad_replace_root(hd, hi, k, dj, ids[j]);
+    } else {
+      heap::binary_replace_root(hd, hi, k, dj, ids[j]);
+    }
+  }
+}
+
+/// Balance mc so the 4th loop's block count divides evenly over `threads`
+/// (the paper's "dynamically deciding mc", §2.5).
+int balanced_mc(int m, int mc, int mr, int threads) {
+  if (threads <= 1) return mc;
+  const int blocks = static_cast<int>(ceil_div(m, mc));
+  const int target = static_cast<int>(round_up(blocks, threads));
+  int out = static_cast<int>(
+      round_up(ceil_div(static_cast<std::size_t>(m), static_cast<std::size_t>(target)),
+               static_cast<std::size_t>(mr)));
+  return out < mr ? mr : out;
+}
+
+/// Resolve (micro-kernel, blocking) consistently: explicit blocking pins the
+/// tile geometry and the dispatcher searches lower SIMD levels for a kernel
+/// matching it; otherwise blocking is derived from the best kernel's tile.
+template <typename T>
+void resolve_kernel_and_blocking(SimdLevel level, const KnnConfig& cfg,
+                                 MicroKernelT<T>& mk, BlockingParams& bp) {
+  mk = select_micro_t<T>(level, cfg.norm);
+  if (cfg.blocking.has_value()) {
+    bp = *cfg.blocking;
+    if (!bp.valid()) {
+      throw std::invalid_argument("gsknn: invalid blocking parameters");
+    }
+    if (bp.mr != mk.mr || bp.nr != mk.nr) {
+      for (SimdLevel lv : {SimdLevel::kAvx2, SimdLevel::kScalar}) {
+        if (lv > level) continue;
+        const MicroKernelT<T> alt = select_micro_t<T>(lv, cfg.norm);
+        if (alt.fn != nullptr && alt.mr == bp.mr && alt.nr == bp.nr) {
+          mk = alt;
+          return;
+        }
+      }
+      throw std::invalid_argument(
+          "gsknn: blocking mr/nr do not match any available micro-kernel");
+    }
+  } else {
+    bp = derive_blocking(mk.mr, mk.nr, sizeof(T));
+  }
+}
+
+template <typename T>
+void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
+                     std::span<const int> ridx, NeighborTableT<T>& result,
+                     const KnnConfig& cfg, std::span<const int> result_rows) {
+  const int m = static_cast<int>(qidx.size());
+  const int n = static_cast<int>(ridx.size());
+  const int d = X.dim();
+  const int k = result.k();
+  if (m == 0 || n == 0) return;
+  if (!result_rows.empty() && static_cast<int>(result_rows.size()) != m) {
+    throw std::invalid_argument("gsknn: result_rows size must equal qidx size");
+  }
+  if (result_rows.empty() && result.rows() < m) {
+    throw std::invalid_argument("gsknn: result table has fewer rows than queries");
+  }
+
+  const Variant variant = resolve_variant(m, n, d, k, cfg);
+  const SimdLevel level = cpu_features().best_level();
+  const bool needs_norms =
+      (cfg.norm == Norm::kL2Sq || cfg.norm == Norm::kCosine);
+
+  MicroKernelT<T> mk;
+  BlockingParams bp;
+  resolve_kernel_and_blocking<T>(level, cfg, mk, bp);
+  const MicroFnT<T> micro = mk.fn;
+  const int tmr = mk.mr;  // register-tile rows of the selected kernel
+  const int tnr = mk.nr;  // register-tile columns
+  const int threads = resolve_threads(cfg.threads);
+  const int mc = balanced_mc(m, bp.mc, tmr, threads);
+  const int nc = bp.nc;
+  const int dc = bp.dc;
+
+  const auto heap_row = [&](int i) {
+    return result_rows.empty() ? i : result_rows[static_cast<std::size_t>(i)];
+  };
+  const int stride = result.row_stride();
+  const HeapArity arity = result.arity();
+
+  // Distance buffer. Var#1 needs it only to carry rank-dc accumulation when
+  // d > dc; Var#2/3/5 hold the current nc-wide panel; Var#6 holds the full
+  // m × n matrix.
+  const bool needs_cbuf = (variant != Variant::kVar1) || (d > dc);
+  const int width = (variant == Variant::kVar6) ? n : (n < nc ? n : nc);
+  const int wpad = static_cast<int>(round_up(static_cast<std::size_t>(width),
+                                             static_cast<std::size_t>(tnr)));
+  const int mpad = static_cast<int>(round_up(static_cast<std::size_t>(m),
+                                             static_cast<std::size_t>(tmr)));
+  // Var#1's buffer is a pure rank-dc accumulator (only the micro-kernel ever
+  // reads it back), so it uses column-major tiles with contiguous stores.
+  // The selection variants scan query rows, so they pay the transposed
+  // (query-major) layout. Either way the leading dimension gets one extra
+  // cache line so power-of-two problem sizes don't alias all tile rows onto
+  // a single cache set (pure conflict misses otherwise).
+  const bool c_colmajor = (variant == Variant::kVar1);
+  const int ld = (c_colmajor ? mpad : wpad) + static_cast<int>(64 / sizeof(T));
+  AlignedBuffer<T> cbuf;
+  if (needs_cbuf) {
+    cbuf.reset(static_cast<std::size_t>(ld) *
+               static_cast<std::size_t>(c_colmajor ? wpad : mpad));
+  }
+
+  // Shared packed reference panel (lives in L3; §2.5).
+  AlignedBuffer<T> rc;
+  AlignedBuffer<T> r2c;
+
+  for (int jc = 0; jc < n; jc += nc) {  // ---- 6th loop ----
+    const int nb = (n - jc < nc) ? n - jc : nc;
+    const int nbpad = static_cast<int>(round_up(static_cast<std::size_t>(nb),
+                                                static_cast<std::size_t>(tnr)));
+    const int colbase = (variant == Variant::kVar6) ? jc : 0;
+
+    for (int pc = 0; pc < d; pc += dc) {  // ---- 5th loop ----
+      const int db = (d - pc < dc) ? d - pc : dc;
+      const bool first = (pc == 0);
+      const bool last = (pc + db >= d);
+
+      rc.reset(static_cast<std::size_t>(nbpad) * db);
+      pack_points_rt(tnr, X, ridx.data(), jc, nb, pc, db, rc.data());
+      if (last && needs_norms) {
+        r2c.reset(static_cast<std::size_t>(nbpad));
+        pack_norms_rt(tnr, X, ridx.data(), jc, nb, r2c.data());
+      }
+
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp parallel for schedule(static) num_threads(threads)
+#endif
+      for (int ic = 0; ic < m; ic += mc) {  // ---- 4th loop ----
+        const int mb = (m - ic < mc) ? m - ic : mc;
+        const int mbpad = static_cast<int>(round_up(
+            static_cast<std::size_t>(mb), static_cast<std::size_t>(tmr)));
+        QueryArena<T>& ar = query_arena<T>();
+        ar.qc.reset(static_cast<std::size_t>(mbpad) * db);
+        pack_points_rt(tmr, X, qidx.data(), ic, mb, pc, db, ar.qc.data());
+        const T* q2c = nullptr;
+        if (last && needs_norms) {
+          ar.q2c.reset(static_cast<std::size_t>(mbpad));
+          pack_norms_rt(tmr, X, qidx.data(), ic, mb, ar.q2c.data());
+          q2c = ar.q2c.data();
+        }
+
+        for (int jr = 0; jr < nb; jr += tnr) {  // ---- 3rd loop ----
+          const int cols = (nb - jr < tnr) ? nb - jr : tnr;
+          const T* rs = rc.data() + static_cast<long>(jr) * db;
+          const T* r2s = (last && needs_norms) ? r2c.data() + jr : nullptr;
+
+          for (int ir = 0; ir < mb; ir += tmr) {  // ---- 2nd loop ----
+            const int rows = (mb - ir < tmr) ? mb - ir : tmr;
+            const T* qs = ar.qc.data() + static_cast<long>(ir) * db;
+            const T* q2s = (last && needs_norms) ? q2c + ir : nullptr;
+
+            T* ctile = nullptr;
+            if (needs_cbuf) {
+              ctile = c_colmajor
+                          ? cbuf.data() + (ic + ir) +
+                                static_cast<long>(colbase + jr) * ld
+                          : cbuf.data() + static_cast<long>(ic + ir) * ld +
+                                colbase + jr;
+            }
+            const T* cin = (!first && needs_cbuf) ? ctile : nullptr;
+            T* cout = ctile;
+            SelectCtxT<T> ctx;
+            const SelectCtxT<T>* sel = nullptr;
+            if (variant == Variant::kVar1 && last) {
+              cout = nullptr;  // Var#1 discards the tile after selection
+              for (int i = 0; i < tmr; ++i) {
+                if (i < rows) {
+                  const int row = heap_row(ic + ir + i);
+                  ctx.hd[i] = result.row_dists(row);
+                  ctx.hi[i] = result.row_ids(row);
+                  ctx.hset[i] = result.row_idset(row);
+                } else {
+                  ctx.hd[i] = const_cast<T*>(neg_inf_row<T>());
+                  ctx.hi[i] = kDummyIds;
+                  ctx.hset[i] = nullptr;
+                }
+              }
+              ctx.cand_ids = ridx.data() + jc + jr;
+              ctx.k = k;
+              ctx.row_stride = stride;
+              ctx.arity = arity;
+              ctx.dedup = cfg.dedup;
+              sel = &ctx;
+            }
+
+            micro(db, qs, rs, cin, ld, cout, ld, c_colmajor, q2s, r2s, last,
+                  rows, cols, sel, cfg.p);
+          }  // 2nd loop
+
+          if (variant == Variant::kVar2 && last) {
+            for (int i = 0; i < mb; ++i) {
+              const int row = heap_row(ic + i);
+              row_select(cbuf.data() + static_cast<long>(ic + i) * ld + jr,
+                         ridx.data() + jc + jr, cols, result.row_dists(row),
+                         result.row_ids(row), result.row_idset(row), k,
+                         stride, arity, cfg.dedup);
+            }
+          }
+        }  // 3rd loop
+
+        if (variant == Variant::kVar3 && last) {
+          for (int i = 0; i < mb; ++i) {
+            const int row = heap_row(ic + i);
+            row_select(cbuf.data() + static_cast<long>(ic + i) * ld,
+                       ridx.data() + jc, nb, result.row_dists(row),
+                       result.row_ids(row), result.row_idset(row), k, stride,
+                       arity, cfg.dedup);
+          }
+        }
+      }  // 4th loop
+    }  // 5th loop
+
+    if (variant == Variant::kVar5) {
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp parallel for schedule(static) num_threads(threads)
+#endif
+      for (int i = 0; i < m; ++i) {
+        const int row = heap_row(i);
+        row_select(cbuf.data() + static_cast<long>(i) * ld, ridx.data() + jc,
+                   nb, result.row_dists(row), result.row_ids(row),
+                   result.row_idset(row), k, stride, arity, cfg.dedup);
+      }
+    }
+  }  // 6th loop
+
+  if (variant == Variant::kVar6) {
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp parallel for schedule(static) num_threads(threads)
+#endif
+    for (int i = 0; i < m; ++i) {
+      const int row = heap_row(i);
+      row_select(cbuf.data() + static_cast<long>(i) * ld, ridx.data(), n,
+                 result.row_dists(row), result.row_ids(row),
+                 result.row_idset(row), k, stride, arity, cfg.dedup);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+
+Variant resolve_variant(int m, int n, int d, int k, const KnnConfig& cfg) {
+  if (cfg.variant != Variant::kAuto) return cfg.variant;
+  // The paper's §3 operating rule: Var#1 up to k = 512, Var#6 beyond. Our
+  // Figure-5 reproduction measures the crossover at exactly that point, and
+  // the §2.6 model — whose analytic threshold lands materially earlier (see
+  // EXPERIMENTS.md) — keeps the last word only above the empirical floor,
+  // where it can still prefer Var#1 (e.g. tiny n, where Var#6's extra
+  // distance-matrix pass never amortizes).
+  if (k <= 512) return Variant::kVar1;
+  static const model::MachineParams mp{};
+  const BlockingParams bp =
+      cfg.blocking.value_or(default_blocking(cpu_features().best_level()));
+  const model::ProblemShape s{m, n, d, k};
+  return model::choose_variant(s, mp, bp) == model::Method::kVar1
+             ? Variant::kVar1
+             : Variant::kVar6;
+}
+
+void knn_kernel(const PointTable& X, std::span<const int> qidx,
+                std::span<const int> ridx, NeighborTable& result,
+                const KnnConfig& cfg, std::span<const int> result_rows) {
+  core::knn_kernel_impl<double>(X, qidx, ridx, result, cfg, result_rows);
+}
+
+void knn_kernel(const PointTableF& X, std::span<const int> qidx,
+                std::span<const int> ridx, NeighborTableF& result,
+                const KnnConfig& cfg, std::span<const int> result_rows) {
+  core::knn_kernel_impl<float>(X, qidx, ridx, result, cfg, result_rows);
+}
+
+}  // namespace gsknn

@@ -1,0 +1,139 @@
+// Fused micro-kernel contract (internal; paper Algorithm 2.3).
+//
+// One call processes a single m_r × n_r tile through up to four steps:
+//   1. rank-dc update     acc = (Cin ? Cin : 0) ⊕ combine(Qp, Rp)
+//                          (⊕ is + for ℓ2/cosine/ℓ1/ℓp, max for ℓ∞)
+//   2. distance finish    ℓ2/cosine, when `last`: map inner products to
+//                          distances in registers
+//   3. heap selection     when `sel` (Var#1): insert acc(i,j), i<rows,
+//                          j<cols, into the per-row heaps
+//   4. store              when Cout: write the tile — query-major
+//                          Cout[i·ldout + j] (rows contiguous, what the
+//                          selection variants scan) or column-major
+//                          Cout[i + j·ldout] (pure accumulator buffers)
+//
+// Everything is templated on the distance scalar T: the paper-faithful
+// double path and the single-precision extension share one driver. Tile
+// geometry travels with the kernel (MicroKernelT), so each (ISA, scalar)
+// pair picks its own shape:
+//   scalar    8×4 (double and float)
+//   AVX2+FMA  8×4 double, 8×8 float
+//   AVX-512F  16×4 double, 16×8 float
+#pragma once
+
+#include "gsknn/common/arch.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/select/heap.hpp"
+
+namespace gsknn::core {
+
+/// Register tile of the scalar and AVX2-double kernels (the paper's mr=8,
+/// nr=4 on AVX).
+inline constexpr int kMr = 8;
+inline constexpr int kNr = 4;
+
+/// Upper bounds across all kernels (sizes of per-tile scratch arrays).
+inline constexpr int kMaxMr = 16;
+inline constexpr int kMaxNr = 8;
+
+/// Selection context for the fused (Var#1) path: per-valid-row heap
+/// pointers plus candidate metadata.
+template <typename T>
+struct SelectCtxT {
+  T* hd[kMaxMr];           ///< row heap distance arrays ([0, rows) valid)
+  int* hi[kMaxMr];         ///< row heap id arrays
+  RowIdSet* hset[kMaxMr];  ///< per-row dedup index (may be null entries)
+  const int* cand_ids;     ///< global ids of the tile's columns
+  int k = 0;
+  int row_stride = 0;  ///< physical slots per row (fallback dedup scan bound)
+  HeapArity arity = HeapArity::kBinary;
+  bool dedup = false;
+};
+
+using SelectCtx = SelectCtxT<double>;
+
+/// Insert one accepted candidate (caller already verified d < root).
+template <typename T>
+GSKNN_ALWAYS_INLINE void sel_insert(const SelectCtxT<T>& s, int row, T d,
+                                    int id) {
+  T* hd = s.hd[row];
+  int* hi = s.hi[row];
+  if (s.dedup) {
+    if (s.hset[row] != nullptr) {
+      if (!s.hset[row]->insert_if_absent(id)) return;
+    } else {
+      for (int t = 0; t < s.row_stride; ++t) {
+        if (hi[t] == id) return;
+      }
+    }
+  }
+  if (s.arity == HeapArity::kQuad) {
+    heap::quad_replace_root(hd, hi, s.k, d, id);
+  } else {
+    heap::binary_replace_root(hd, hi, s.k, d, id);
+  }
+}
+
+/// The unified micro-kernel signature. `dcur` is the current depth-block
+/// length; `finish` is true on the final depth block; `lp` is the ℓp
+/// exponent (ignored by the fixed norms); `c_colmajor` selects the Cin/Cout
+/// tile layout.
+template <typename T>
+using MicroFnT = void (*)(int dcur, const T* Qp, const T* Rp, const T* Cin,
+                          int ldin, T* Cout, int ldout, bool c_colmajor,
+                          const T* q2, const T* r2, bool finish, int rows,
+                          int cols, const SelectCtxT<T>* sel, double lp);
+
+using MicroFn = MicroFnT<double>;
+
+/// A micro-kernel plus the register-tile geometry it implements. Packing,
+/// blocking validation and edge handling in the driver all derive from
+/// mr/nr, so porting to a new ISA is: write the kernel, report its tile
+/// (the paper's portability argument, §5).
+template <typename T>
+struct MicroKernelT {
+  MicroFnT<T> fn = nullptr;
+  int mr = kMr;
+  int nr = kNr;
+};
+
+using MicroKernel = MicroKernelT<double>;
+
+/// Portable micro-kernels, one per norm (8×4), both precisions.
+MicroFn micro_scalar(Norm norm);
+MicroFnT<float> micro_scalar_f32(Norm norm);
+
+#if defined(GSKNN_BUILD_AVX2)
+/// AVX2+FMA micro-kernels: 8×4 double, 8×8 float (ℓ2, ℓ1, ℓ∞, cosine; ℓp
+/// falls back to scalar).
+MicroFn micro_avx2(Norm norm);
+MicroKernelT<float> micro_avx2_f32(Norm norm);
+#endif
+
+#if defined(GSKNN_BUILD_AVX512)
+/// AVX-512F micro-kernels: 16×4 double, 16×8 float. fn == nullptr for norms
+/// without a 512-bit implementation.
+MicroKernel micro_avx512(Norm norm);
+MicroKernelT<float> micro_avx512_f32(Norm norm);
+#endif
+
+/// Dispatch by SIMD level (ℓp always resolves to the scalar kernel).
+MicroKernel select_micro(SimdLevel level, Norm norm);
+MicroKernelT<float> select_micro_f32(SimdLevel level, Norm norm);
+
+/// Precision-generic dispatch used by the templated driver.
+template <typename T>
+MicroKernelT<T> select_micro_t(SimdLevel level, Norm norm);
+
+template <>
+inline MicroKernelT<double> select_micro_t<double>(SimdLevel level,
+                                                   Norm norm) {
+  return select_micro(level, norm);
+}
+
+template <>
+inline MicroKernelT<float> select_micro_t<float>(SimdLevel level, Norm norm) {
+  return select_micro_f32(level, norm);
+}
+
+}  // namespace gsknn::core

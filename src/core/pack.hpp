@@ -1,0 +1,94 @@
+// General-stride packing (internal; paper §2.3 "Packing").
+//
+// Unlike the BLAS packing in src/blas, these routines gather points straight
+// from the global table X through an index list — the collection phase of
+// Algorithm 2.1 and the GEMM packing phase are fused into one pass, which is
+// where GSKNN's Tm^Q + Tm^R savings (eq. 5) come from.
+//
+// Layout ("Z-shape" sliver format): for each group of S consecutive points,
+// `db` depth-steps of S contiguous values:
+//   dst[(g·db + p)·S + i] = X(p0 + p, idx[i0 + g·S + i]).
+// The final partial group is zero-padded so micro-kernels always execute a
+// full tile.
+#pragma once
+
+#include <cstring>
+
+#include "gsknn/common/macros.hpp"
+#include "gsknn/data/point_table.hpp"
+
+namespace gsknn::core {
+
+/// Pack `count` points idx[i0 .. i0+count) over depth [p0, p0+db) into
+/// S-slivers at dst (ceil(count/S)·db·S doubles).
+template <int S, typename T>
+void pack_points(const PointTableT<T>& X, const int* GSKNN_RESTRICT idx,
+                 int i0, int count, int p0, int db, T* GSKNN_RESTRICT dst) {
+  const int d = X.dim();
+  const T* GSKNN_RESTRICT x = X.data();
+  for (int g = 0; g < count; g += S) {
+    const int pts = (count - g < S) ? count - g : S;
+    T* GSKNN_RESTRICT blk = dst + static_cast<long>(g) * db;
+    for (int i = 0; i < pts; ++i) {
+      const T* GSKNN_RESTRICT src =
+          x + static_cast<long>(idx[i0 + g + i]) * d + p0;
+      for (int p = 0; p < db; ++p) blk[static_cast<long>(p) * S + i] = src[p];
+    }
+    for (int i = pts; i < S; ++i) {
+      for (int p = 0; p < db; ++p) blk[static_cast<long>(p) * S + i] = T(0);
+    }
+  }
+}
+
+/// Pack the squared norms of `count` points into dst
+/// (round_up(count, S) doubles), zero-padding the tail.
+template <int S, typename T>
+void pack_norms(const PointTableT<T>& X, const int* GSKNN_RESTRICT idx,
+                int i0, int count, T* GSKNN_RESTRICT dst) {
+  const T* GSKNN_RESTRICT x2 = X.norms2();
+  int i = 0;
+  for (; i < count; ++i) dst[i] = x2[idx[i0 + i]];
+  const int padded = static_cast<int>(round_up(static_cast<std::size_t>(count),
+                                               static_cast<std::size_t>(S)));
+  for (; i < padded; ++i) dst[i] = T(0);
+}
+
+/// Runtime-sliver dispatchers (the driver's tile geometry comes from the
+/// selected micro-kernel; only these sliver widths exist).
+template <typename T>
+inline void pack_points_rt(int S, const PointTableT<T>& X, const int* idx,
+                           int i0, int count, int p0, int db, T* dst) {
+  switch (S) {
+    case 4:
+      pack_points<4>(X, idx, i0, count, p0, db, dst);
+      return;
+    case 8:
+      pack_points<8>(X, idx, i0, count, p0, db, dst);
+      return;
+    case 16:
+      pack_points<16>(X, idx, i0, count, p0, db, dst);
+      return;
+    default:
+      assert(false && "unsupported sliver width");
+  }
+}
+
+template <typename T>
+inline void pack_norms_rt(int S, const PointTableT<T>& X, const int* idx,
+                          int i0, int count, T* dst) {
+  switch (S) {
+    case 4:
+      pack_norms<4>(X, idx, i0, count, dst);
+      return;
+    case 8:
+      pack_norms<8>(X, idx, i0, count, dst);
+      return;
+    case 16:
+      pack_norms<16>(X, idx, i0, count, dst);
+      return;
+    default:
+      assert(false && "unsupported sliver width");
+  }
+}
+
+}  // namespace gsknn::core

@@ -1,0 +1,84 @@
+// Reference-side data parallelism (§2.5, footnote 5).
+//
+// The paper's preferred scheme parallelizes the 4th (query) loop because
+// reference-side parallelism "may lead to a potential race condition when
+// updating the same neighbor list"; its footnote resolves the race on Xeon
+// Phi "by creating private-per-thread heaps followed by a parallel merge".
+// This is that scheme: each thread runs the sequential kernel over a
+// contiguous slice of the references into a private table, then the tables
+// are merged (query-parallel, race-free) into the caller's result.
+#include <vector>
+
+#include "gsknn/common/threads.hpp"
+#include "gsknn/core/knn.hpp"
+
+namespace gsknn {
+
+void knn_kernel_parallel_refs(const PointTableT<double>& X,
+                              std::span<const int> qidx,
+                              std::span<const int> ridx,
+                              NeighborTable& result, const KnnConfig& cfg,
+                              std::span<const int> result_rows) {
+  const int m = static_cast<int>(qidx.size());
+  const int n = static_cast<int>(ridx.size());
+  if (m == 0 || n == 0) return;
+  const int threads = resolve_threads(cfg.threads);
+  const int k = result.k();
+
+  // Not enough reference work to split: run the plain kernel.
+  if (threads <= 1 || n < 2 * threads) {
+    knn_kernel(X, qidx, ridx, result, cfg, result_rows);
+    return;
+  }
+
+  // Private per-thread tables over identity rows. Dedup (if requested)
+  // must only act within a slice here — across slices the same id cannot
+  // appear twice unless it appeared twice in ridx, which the merge below
+  // handles through the caller's table.
+  KnnConfig worker_cfg = cfg;
+  worker_cfg.threads = 1;
+  std::vector<NeighborTable> priv(static_cast<std::size_t>(threads));
+  const int chunk = (n + threads - 1) / threads;
+
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp parallel num_threads(threads)
+#endif
+  {
+    const int t = thread_id();
+    const int lo = t * chunk;
+    const int hi = (lo + chunk < n) ? lo + chunk : n;
+    if (lo < hi) {
+      NeighborTable& mine = priv[static_cast<std::size_t>(t)];
+      mine.resize(m, k, result.arity());
+      if (cfg.dedup) mine.enable_dedup_index();
+      knn_kernel(X, qidx, ridx.subspan(static_cast<std::size_t>(lo),
+                                       static_cast<std::size_t>(hi - lo)),
+                 mine, worker_cfg);
+    }
+  }
+
+  // Parallel merge: each query row is owned by one iteration, so inserting
+  // every private candidate into the caller's row is race-free.
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp parallel for schedule(static) num_threads(threads)
+#endif
+  for (int i = 0; i < m; ++i) {
+    const int row =
+        result_rows.empty() ? i : result_rows[static_cast<std::size_t>(i)];
+    for (const auto& table : priv) {
+      if (table.rows() == 0) continue;
+      const double* d = table.row_dists(i);
+      const int* ids = table.row_ids(i);
+      for (int s = 0; s < table.row_stride(); ++s) {
+        if (ids[s] == heap::kNoId) continue;
+        if (cfg.dedup) {
+          result.try_insert_unique(row, d[s], ids[s]);
+        } else {
+          result.try_insert(row, d[s], ids[s]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gsknn

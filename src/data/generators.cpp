@@ -1,0 +1,98 @@
+#include "gsknn/data/generators.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "gsknn/common/rng.hpp"
+
+namespace gsknn {
+
+PointTable make_uniform(int d, int n, std::uint64_t seed) {
+  PointTable t(d, n);
+  Xoshiro256 rng(seed);
+  double* x = t.data();
+  const std::size_t total = static_cast<std::size_t>(d) * n;
+  for (std::size_t i = 0; i < total; ++i) x[i] = rng.uniform();
+  t.compute_norms();
+  return t;
+}
+
+namespace {
+
+/// Gram–Schmidt orthonormalization of the `cols` leading columns of a d×cols
+/// column-major matrix. Degenerate columns are re-drawn from `rng`.
+void orthonormalize(double* a, int d, int cols, Xoshiro256& rng) {
+  for (int j = 0; j < cols; ++j) {
+    double* v = a + static_cast<std::size_t>(j) * d;
+    for (;;) {
+      for (int i = 0; i < j; ++i) {
+        const double* u = a + static_cast<std::size_t>(i) * d;
+        double dot = 0.0;
+        for (int r = 0; r < d; ++r) dot += u[r] * v[r];
+        for (int r = 0; r < d; ++r) v[r] -= dot * u[r];
+      }
+      double nrm = 0.0;
+      for (int r = 0; r < d; ++r) nrm += v[r] * v[r];
+      nrm = std::sqrt(nrm);
+      if (nrm > 1e-8) {
+        for (int r = 0; r < d; ++r) v[r] /= nrm;
+        break;
+      }
+      for (int r = 0; r < d; ++r) v[r] = rng.normal();
+    }
+  }
+}
+
+}  // namespace
+
+PointTable make_gaussian_embedded(int d, int n, int intrinsic_dim,
+                                  std::uint64_t seed, double noise) {
+  assert(intrinsic_dim > 0 && intrinsic_dim <= d);
+  Xoshiro256 rng(seed);
+
+  // Random embedding map E (d × intrinsic_dim) with orthonormal columns so
+  // latent distances are preserved exactly and the data truly lives on an
+  // intrinsic_dim-dimensional subspace of R^d.
+  std::vector<double> embed(static_cast<std::size_t>(d) * intrinsic_dim);
+  for (double& e : embed) e = rng.normal();
+  orthonormalize(embed.data(), d, intrinsic_dim, rng);
+
+  PointTable t(d, n);
+  std::vector<double> latent(static_cast<std::size_t>(intrinsic_dim));
+  for (int i = 0; i < n; ++i) {
+    for (int l = 0; l < intrinsic_dim; ++l) latent[static_cast<std::size_t>(l)] = rng.normal();
+    double* x = t.col(i);
+    for (int r = 0; r < d; ++r) x[r] = 0.0;
+    for (int l = 0; l < intrinsic_dim; ++l) {
+      const double* e = embed.data() + static_cast<std::size_t>(l) * d;
+      const double z = latent[static_cast<std::size_t>(l)];
+      for (int r = 0; r < d; ++r) x[r] += z * e[r];
+    }
+    if (noise > 0.0) {
+      for (int r = 0; r < d; ++r) x[r] += noise * rng.normal();
+    }
+  }
+  t.compute_norms();
+  return t;
+}
+
+PointTable make_gaussian_mixture(int d, int n, int clusters, double sigma,
+                                 std::uint64_t seed) {
+  assert(clusters > 0);
+  Xoshiro256 rng(seed);
+  std::vector<double> centers(static_cast<std::size_t>(d) * clusters);
+  for (double& c : centers) c = rng.uniform();
+
+  PointTable t(d, n);
+  for (int i = 0; i < n; ++i) {
+    const int c = static_cast<int>(rng.below(static_cast<std::uint64_t>(clusters)));
+    const double* mu = centers.data() + static_cast<std::size_t>(c) * d;
+    double* x = t.col(i);
+    for (int r = 0; r < d; ++r) x[r] = mu[r] + sigma * rng.normal();
+  }
+  t.compute_norms();
+  return t;
+}
+
+}  // namespace gsknn

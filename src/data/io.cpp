@@ -1,0 +1,153 @@
+#include "gsknn/data/io.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gsknn {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'S', 'K', 'N', 'N', 'P', 'T', '1'};
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("gsknn io: " + path + ": " + what);
+}
+
+}  // namespace
+
+void save_table(const PointTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const std::int32_t d = table.dim();
+  const std::int32_t n = table.size();
+  out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(table.data()),
+            static_cast<std::streamsize>(sizeof(double) *
+                                         static_cast<std::size_t>(d) * n));
+  if (!out) fail(path, "write failed");
+}
+
+PointTable load_table(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    fail(path, "not a GSKNN point-table file");
+  }
+  std::int32_t d = 0, n = 0;
+  in.read(reinterpret_cast<char*>(&d), sizeof(d));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in || d <= 0 || n < 0) fail(path, "corrupt header");
+  PointTable table(d, n);
+  in.read(reinterpret_cast<char*>(table.data()),
+          static_cast<std::streamsize>(sizeof(double) *
+                                       static_cast<std::size_t>(d) * n));
+  if (!in) fail(path, "truncated data section");
+  table.compute_norms();
+  return table;
+}
+
+namespace {
+
+/// Split one CSV line on comma/semicolon/tab/space runs.
+std::vector<double> parse_row(const std::string& line, bool* numeric) {
+  std::vector<double> vals;
+  *numeric = true;
+  std::size_t i = 0;
+  const auto is_sep = [](char c) {
+    return c == ',' || c == ';' || c == '\t' || c == ' ' || c == '\r';
+  };
+  while (i < line.size()) {
+    while (i < line.size() && is_sep(line[i])) ++i;
+    if (i >= line.size()) break;
+    std::size_t j = i;
+    while (j < line.size() && !is_sep(line[j])) ++j;
+    const std::string tok = line.substr(i, j - i);
+    try {
+      std::size_t used = 0;
+      vals.push_back(std::stod(tok, &used));
+      if (used != tok.size()) *numeric = false;
+    } catch (const std::exception&) {
+      *numeric = false;
+      vals.push_back(0.0);
+    }
+    i = j;
+  }
+  return vals;
+}
+
+}  // namespace
+
+PointTable load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open");
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  int lineno = 0;
+  int d = -1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    bool numeric = true;
+    auto vals = parse_row(line, &numeric);
+    if (!numeric) {
+      if (rows.empty() && d < 0) continue;  // header line
+      fail(path, "non-numeric value at line " + std::to_string(lineno));
+    }
+    if (vals.empty()) continue;
+    if (d < 0) {
+      d = static_cast<int>(vals.size());
+    } else if (static_cast<int>(vals.size()) != d) {
+      fail(path, "inconsistent column count at line " + std::to_string(lineno));
+    }
+    rows.push_back(std::move(vals));
+  }
+  if (rows.empty()) fail(path, "no data rows");
+  PointTable table(d, static_cast<int>(rows.size()));
+  for (int i = 0; i < table.size(); ++i) {
+    double* col = table.col(i);
+    for (int r = 0; r < d; ++r) col[r] = rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(r)];
+  }
+  table.compute_norms();
+  return table;
+}
+
+void save_csv(const PointTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  out.precision(17);
+  for (int i = 0; i < table.size(); ++i) {
+    const double* col = table.col(i);
+    for (int r = 0; r < table.dim(); ++r) {
+      if (r > 0) out << ',';
+      out << col[r];
+    }
+    out << '\n';
+  }
+  if (!out) fail(path, "write failed");
+}
+
+void save_neighbors_csv(const NeighborTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  out.precision(17);
+  out << "query,rank,neighbor_id,distance\n";
+  for (int i = 0; i < table.rows(); ++i) {
+    const auto row = table.sorted_row(i);
+    for (std::size_t rank = 0; rank < row.size(); ++rank) {
+      out << i << ',' << rank << ',' << row[rank].second << ','
+          << row[rank].first << '\n';
+    }
+  }
+  if (!out) fail(path, "write failed");
+}
+
+}  // namespace gsknn

@@ -1,0 +1,1 @@
+// Anchor TU for the gsknn_shared library; all content comes from the static archives.

@@ -1,0 +1,177 @@
+// Machine-parameter calibration for the performance model.
+//
+// Three short micro-benchmarks measure the quantities the paper reads off
+// the Ivy Bridge spec sheet:
+//   * peak_flops — 8 independent FMA chains (saturates both FMA ports on any
+//     post-Haswell core; on FMA-less builds, multiply-add pairs);
+//   * tau_b      — streaming reduction over a buffer several times larger
+//     than LLC;
+//   * tau_l      — dependent pointer chase over a shuffled permutation
+//     (every load misses and serializes).
+// Each takes a few tens of milliseconds; results are cached by the caller.
+#include <numeric>
+#include <vector>
+
+#include "gsknn/common/rng.hpp"
+#include "gsknn/common/timer.hpp"
+#include "gsknn/model/perf_model.hpp"
+
+#if defined(GSKNN_BUILD_AVX2) || defined(GSKNN_BUILD_AVX512)
+#include <immintrin.h>
+#endif
+
+namespace gsknn::model {
+
+namespace {
+
+double measure_peak_flops() {
+#if defined(GSKNN_BUILD_AVX512)
+  if (cpu_features().best_level() == SimdLevel::kAvx512) {
+    // 8 chains × 8 lanes × 2 flops per FMA per iteration.
+    const long iters = 20'000'000;
+    __m512d a0 = _mm512_set1_pd(1.0000001), a1 = _mm512_set1_pd(1.0000002);
+    __m512d a2 = _mm512_set1_pd(1.0000003), a3 = _mm512_set1_pd(1.0000004);
+    __m512d a4 = _mm512_set1_pd(1.0000005), a5 = _mm512_set1_pd(1.0000006);
+    __m512d a6 = _mm512_set1_pd(1.0000007), a7 = _mm512_set1_pd(1.0000008);
+    const __m512d x = _mm512_set1_pd(0.9999999);
+    const __m512d y = _mm512_set1_pd(1e-9);
+    WallTimer t;
+    for (long i = 0; i < iters; ++i) {
+      a0 = _mm512_fmadd_pd(a0, x, y);
+      a1 = _mm512_fmadd_pd(a1, x, y);
+      a2 = _mm512_fmadd_pd(a2, x, y);
+      a3 = _mm512_fmadd_pd(a3, x, y);
+      a4 = _mm512_fmadd_pd(a4, x, y);
+      a5 = _mm512_fmadd_pd(a5, x, y);
+      a6 = _mm512_fmadd_pd(a6, x, y);
+      a7 = _mm512_fmadd_pd(a7, x, y);
+    }
+    const double secs = t.seconds();
+    const __m512d sum = _mm512_add_pd(
+        _mm512_add_pd(_mm512_add_pd(a0, a1), _mm512_add_pd(a2, a3)),
+        _mm512_add_pd(_mm512_add_pd(a4, a5), _mm512_add_pd(a6, a7)));
+    volatile double guard = _mm512_reduce_add_pd(sum);
+    (void)guard;
+    return static_cast<double>(iters) * 8.0 * 8.0 * 2.0 / secs;
+  }
+#endif
+#if defined(GSKNN_BUILD_AVX2)
+  if (cpu_features().best_level() >= SimdLevel::kAvx2) {
+    // 8 chains × 4 lanes × 2 flops per FMA per iteration.
+    const long iters = 20'000'000;
+    __m256d a0 = _mm256_set1_pd(1.0000001), a1 = _mm256_set1_pd(1.0000002);
+    __m256d a2 = _mm256_set1_pd(1.0000003), a3 = _mm256_set1_pd(1.0000004);
+    __m256d a4 = _mm256_set1_pd(1.0000005), a5 = _mm256_set1_pd(1.0000006);
+    __m256d a6 = _mm256_set1_pd(1.0000007), a7 = _mm256_set1_pd(1.0000008);
+    const __m256d x = _mm256_set1_pd(0.9999999);
+    const __m256d y = _mm256_set1_pd(1e-9);
+    WallTimer t;
+    for (long i = 0; i < iters; ++i) {
+      a0 = _mm256_fmadd_pd(a0, x, y);
+      a1 = _mm256_fmadd_pd(a1, x, y);
+      a2 = _mm256_fmadd_pd(a2, x, y);
+      a3 = _mm256_fmadd_pd(a3, x, y);
+      a4 = _mm256_fmadd_pd(a4, x, y);
+      a5 = _mm256_fmadd_pd(a5, x, y);
+      a6 = _mm256_fmadd_pd(a6, x, y);
+      a7 = _mm256_fmadd_pd(a7, x, y);
+    }
+    const double secs = t.seconds();
+    // Prevent the whole computation from being optimized away.
+    double sink[4];
+    _mm256_storeu_pd(sink, _mm256_add_pd(_mm256_add_pd(a0, a1),
+                                         _mm256_add_pd(
+                                             _mm256_add_pd(a2, a3),
+                                             _mm256_add_pd(
+                                                 _mm256_add_pd(a4, a5),
+                                                 _mm256_add_pd(a6, a7)))));
+    volatile double guard = sink[0];
+    (void)guard;
+    return static_cast<double>(iters) * 8.0 * 4.0 * 2.0 / secs;
+  }
+#endif
+  // Scalar fallback: 8 dependent-chain-free multiply-adds per iteration.
+  const long iters = 20'000'000;
+  double a0 = 1.0, a1 = 1.1, a2 = 1.2, a3 = 1.3;
+  double a4 = 1.4, a5 = 1.5, a6 = 1.6, a7 = 1.7;
+  const double x = 0.9999999, y = 1e-9;
+  WallTimer t;
+  for (long i = 0; i < iters; ++i) {
+    a0 = a0 * x + y;
+    a1 = a1 * x + y;
+    a2 = a2 * x + y;
+    a3 = a3 * x + y;
+    a4 = a4 * x + y;
+    a5 = a5 * x + y;
+    a6 = a6 * x + y;
+    a7 = a7 * x + y;
+  }
+  const double secs = t.seconds();
+  volatile double guard = a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7;
+  (void)guard;
+  return static_cast<double>(iters) * 8.0 * 2.0 / secs;
+}
+
+double measure_tau_b() {
+  // Stream-read 64 MiB (≫ LLC) a few times; τb = seconds per double.
+  const std::size_t count = 8u * 1024 * 1024;  // doubles
+  std::vector<double> buf(count, 1.0);
+  double sum = 0.0;
+  const int reps = 4;
+  WallTimer t;
+  for (int r = 0; r < reps; ++r) {
+    const double* p = buf.data();
+    double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::size_t i = 0; i + 4 <= count; i += 4) {
+      s0 += p[i];
+      s1 += p[i + 1];
+      s2 += p[i + 2];
+      s3 += p[i + 3];
+    }
+    sum += s0 + s1 + s2 + s3;
+  }
+  const double secs = t.seconds();
+  volatile double guard = sum;
+  (void)guard;
+  return secs / (static_cast<double>(count) * reps);
+}
+
+double measure_tau_l() {
+  // Dependent pointer chase over a random cycle spanning 4 MiB — an
+  // LLC-resident working set, which is what the model's τℓ stands for: the
+  // neighbor heaps are latency-bound but rarely DRAM-resident (a full
+  // DRAM chase would be ~5× larger and mispredict every heap term).
+  const std::size_t count = 1024 * 1024;
+  std::vector<std::uint32_t> next(count);
+  std::vector<std::uint32_t> perm(count);
+  std::iota(perm.begin(), perm.end(), 0u);
+  Xoshiro256 rng(0xC0FFEEull);
+  for (std::size_t i = count - 1; i > 0; --i) {
+    const std::size_t j = rng.below(i + 1);
+    std::swap(perm[i], perm[j]);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    next[perm[i]] = perm[(i + 1) % count];
+  }
+  std::uint32_t cur = perm[0];
+  const long steps = 4'000'000;
+  WallTimer t;
+  for (long i = 0; i < steps; ++i) cur = next[cur];
+  const double secs = t.seconds();
+  volatile std::uint32_t guard = cur;
+  (void)guard;
+  return secs / static_cast<double>(steps);
+}
+
+}  // namespace
+
+MachineParams calibrate(int threads) {
+  MachineParams mp;
+  mp.peak_flops = measure_peak_flops() * (threads > 0 ? threads : 1);
+  mp.tau_b = measure_tau_b();
+  mp.tau_l = measure_tau_l();
+  mp.eps = 0.5;
+  return mp;
+}
+
+}  // namespace gsknn::model

@@ -1,0 +1,10 @@
+// Explicit instantiations of the neighbor table (keeps the heavy template
+// expansion out of every consumer TU).
+#include "gsknn/select/neighbor_table.hpp"
+
+namespace gsknn {
+
+template class NeighborTableT<double>;
+template class NeighborTableT<float>;
+
+}  // namespace gsknn

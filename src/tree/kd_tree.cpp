@@ -1,0 +1,173 @@
+#include "gsknn/tree/kd_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "gsknn/common/threads.hpp"
+#include "gsknn/select/heap.hpp"
+
+namespace gsknn::tree {
+
+KdTree::KdTree(const PointTable& X, int leaf_size)
+    : x_(X), leaf_size_(leaf_size > 0 ? leaf_size : 1) {
+  perm_.resize(static_cast<std::size_t>(X.size()));
+  std::iota(perm_.begin(), perm_.end(), 0);
+  nodes_.reserve(static_cast<std::size_t>(2 * X.size() / leaf_size_ + 4));
+  if (X.size() > 0) build(0, X.size(), 1);
+}
+
+int KdTree::build(int begin, int end, int depth) {
+  depth_ = std::max(depth_, depth);
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  const int d = x_.dim();
+
+  // Bounding box of this range (used for query-time pruning).
+  const std::size_t box_base = static_cast<std::size_t>(node_id) * d;
+  lo_.resize(box_base + d);
+  hi_.resize(box_base + d);
+  for (int r = 0; r < d; ++r) {
+    lo_[box_base + r] = 1e300;
+    hi_[box_base + r] = -1e300;
+  }
+  for (int i = begin; i < end; ++i) {
+    const double* p = x_.col(perm_[static_cast<std::size_t>(i)]);
+    for (int r = 0; r < d; ++r) {
+      lo_[box_base + r] = std::min(lo_[box_base + r], p[r]);
+      hi_[box_base + r] = std::max(hi_[box_base + r], p[r]);
+    }
+  }
+
+  if (end - begin <= leaf_size_) {
+    nodes_[static_cast<std::size_t>(node_id)].begin = begin;
+    nodes_[static_cast<std::size_t>(node_id)].end = end;
+    ++leaves_;
+    return node_id;
+  }
+
+  // Split the widest dimension at the median.
+  int split_dim = 0;
+  double widest = -1.0;
+  for (int r = 0; r < d; ++r) {
+    const double w = hi_[box_base + r] - lo_[box_base + r];
+    if (w > widest) {
+      widest = w;
+      split_dim = r;
+    }
+  }
+  const int mid = begin + (end - begin) / 2;
+  std::nth_element(perm_.begin() + begin, perm_.begin() + mid,
+                   perm_.begin() + end, [&](int a, int b) {
+                     return x_.col(a)[split_dim] < x_.col(b)[split_dim];
+                   });
+  const double split_val = x_.col(perm_[static_cast<std::size_t>(mid)])[split_dim];
+
+  // All points equal along every dimension (widest == 0): make a leaf to
+  // guarantee termination even for fully duplicated data.
+  if (widest <= 0.0) {
+    nodes_[static_cast<std::size_t>(node_id)].begin = begin;
+    nodes_[static_cast<std::size_t>(node_id)].end = end;
+    ++leaves_;
+    return node_id;
+  }
+
+  const int left = build(begin, mid, depth + 1);
+  const int right = build(mid, end, depth + 1);
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.split_dim = split_dim;
+  node.split_val = split_val;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+namespace {
+
+/// Squared distance from q to an axis-aligned box [lo, hi].
+double box_dist2(const double* q, const double* lo, const double* hi, int d) {
+  double acc = 0.0;
+  for (int r = 0; r < d; ++r) {
+    double t = 0.0;
+    if (q[r] < lo[r]) {
+      t = lo[r] - q[r];
+    } else if (q[r] > hi[r]) {
+      t = q[r] - hi[r];
+    }
+    acc += t * t;
+  }
+  return acc;
+}
+
+}  // namespace
+
+long KdTree::search(int node_id, const double* q, int k, double* dist,
+                    int* id) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  const int d = x_.dim();
+
+  if (node.is_leaf()) {
+    long evals = 0;
+    for (int i = node.begin; i < node.end; ++i) {
+      const int pid = perm_[static_cast<std::size_t>(i)];
+      const double* p = x_.col(pid);
+      double d2 = 0.0;
+      for (int r = 0; r < d; ++r) {
+        const double t = q[r] - p[r];
+        d2 += t * t;
+      }
+      ++evals;
+      heap::binary_try_insert(dist, id, k, d2, pid);
+    }
+    return evals;
+  }
+
+  // Visit the child containing q first, then the sibling only if its box
+  // can still hold a closer point than the current k-th best.
+  const bool left_first = q[node.split_dim] <= node.split_val;
+  const int first = left_first ? node.left : node.right;
+  const int second = left_first ? node.right : node.left;
+
+  long evals = search(first, q, k, dist, id);
+  const std::size_t box = static_cast<std::size_t>(second) * d;
+  if (box_dist2(q, lo_.data() + box, hi_.data() + box, d) < dist[0]) {
+    evals += search(second, q, k, dist, id);
+  }
+  return evals;
+}
+
+long KdTree::query(const double* q, int k,
+                   std::vector<std::pair<double, int>>& out) const {
+  out.clear();
+  if (size() == 0) return 0;
+  std::vector<double> dist(static_cast<std::size_t>(k));
+  std::vector<int> id(static_cast<std::size_t>(k));
+  heap::binary_init(dist.data(), id.data(), k);
+  const long evals = search(0, q, k, dist.data(), id.data());
+  for (int i = 0; i < k; ++i) {
+    if (id[static_cast<std::size_t>(i)] != heap::kNoId) {
+      out.emplace_back(dist[static_cast<std::size_t>(i)],
+                       id[static_cast<std::size_t>(i)]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return evals;
+}
+
+long KdTree::query_batch(std::span<const int> qidx, NeighborTable& result,
+                         int threads) const {
+  long total = 0;
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 16) reduction(+ : total) \
+    num_threads(resolve_threads(threads))
+#else
+  (void)threads;
+#endif
+  for (int i = 0; i < static_cast<int>(qidx.size()); ++i) {
+    total += search(0, x_.col(qidx[static_cast<std::size_t>(i)]), result.k(),
+                    result.row_dists(i), result.row_ids(i));
+  }
+  return total;
+}
+
+}  // namespace gsknn::tree

@@ -1,0 +1,169 @@
+#include "gsknn/blas/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "gsknn/common/rng.hpp"
+
+namespace gsknn::blas {
+namespace {
+
+std::vector<double> random_matrix(int rows, int cols, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> a(static_cast<std::size_t>(rows) * cols);
+  for (double& x : a) x = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+void expect_close(const std::vector<double>& a, const std::vector<double>& b,
+                  double tol = 1e-11) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol * std::max(1.0, std::abs(b[i]))) << "i=" << i;
+  }
+}
+
+using Shape = std::tuple<int, int, int>;  // m, n, k
+
+class GemmVsNaive
+    : public ::testing::TestWithParam<std::tuple<Shape, Trans, Trans>> {};
+
+TEST_P(GemmVsNaive, MatchesReference) {
+  const auto [shape, ta, tb] = GetParam();
+  const auto [m, n, k] = shape;
+  const int lda = (ta == Trans::kNo) ? m : k;
+  const int ldb = (tb == Trans::kNo) ? k : n;
+  const auto A = random_matrix(lda, (ta == Trans::kNo) ? k : m, 1);
+  const auto B = random_matrix(ldb, (tb == Trans::kNo) ? n : k, 2);
+
+  std::vector<double> c1(static_cast<std::size_t>(m) * n, 0.5);
+  std::vector<double> c2 = c1;
+  const double alpha = -2.0, beta = 0.3;
+  dgemm(ta, tb, m, n, k, alpha, A.data(), lda, B.data(), ldb, beta, c1.data(),
+        m);
+  dgemm_naive(ta, tb, m, n, k, alpha, A.data(), lda, B.data(), ldb, beta,
+              c2.data(), m);
+  expect_close(c1, c2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmVsNaive,
+    ::testing::Combine(
+        ::testing::Values(Shape{1, 1, 1}, Shape{8, 4, 16}, Shape{7, 3, 5},
+                          Shape{33, 29, 31}, Shape{128, 64, 256},
+                          Shape{100, 100, 1}, Shape{1, 100, 100},
+                          Shape{257, 129, 300}),
+        ::testing::Values(Trans::kNo, Trans::kYes),
+        ::testing::Values(Trans::kNo, Trans::kYes)));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  const int m = 16, n = 12, k = 20;
+  const auto A = random_matrix(m, k, 3);
+  const auto B = random_matrix(k, n, 4);
+  std::vector<double> c1(static_cast<std::size_t>(m) * n,
+                         std::numeric_limits<double>::quiet_NaN());
+  std::vector<double> c2(static_cast<std::size_t>(m) * n, 0.0);
+  dgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0, A.data(), m, B.data(), k, 0.0,
+        c1.data(), m);
+  dgemm_naive(Trans::kNo, Trans::kNo, m, n, k, 1.0, A.data(), m, B.data(), k,
+              0.0, c2.data(), m);
+  expect_close(c1, c2);
+}
+
+TEST(Gemm, AlphaZeroScalesOnly) {
+  const int m = 5, n = 6, k = 7;
+  const auto A = random_matrix(m, k, 5);
+  const auto B = random_matrix(k, n, 6);
+  std::vector<double> c(static_cast<std::size_t>(m) * n, 2.0);
+  dgemm(Trans::kNo, Trans::kNo, m, n, k, 0.0, A.data(), m, B.data(), k, 0.5,
+        c.data(), m);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Gemm, KZeroActsAsScale) {
+  const int m = 4, n = 4;
+  std::vector<double> c(16, 3.0);
+  dgemm(Trans::kNo, Trans::kNo, m, n, 0, 1.0, nullptr, 1, nullptr, 1, 2.0,
+        c.data(), m);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 6.0);
+}
+
+TEST(Gemm, EmptyDimensionsAreNoops) {
+  std::vector<double> c(4, 1.0);
+  dgemm(Trans::kNo, Trans::kNo, 0, 2, 3, 1.0, nullptr, 1, nullptr, 3, 0.0,
+        c.data(), 1);
+  dgemm(Trans::kNo, Trans::kNo, 2, 0, 3, 1.0, nullptr, 2, nullptr, 3, 0.0,
+        c.data(), 2);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Gemm, LargeLdcRespected) {
+  const int m = 8, n = 8, k = 8, ldc = 13;
+  const auto A = random_matrix(m, k, 7);
+  const auto B = random_matrix(k, n, 8);
+  std::vector<double> c1(static_cast<std::size_t>(ldc) * n, -1.0);
+  std::vector<double> c2 = c1;
+  dgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0, A.data(), m, B.data(), k, 0.0,
+        c1.data(), ldc);
+  dgemm_naive(Trans::kNo, Trans::kNo, m, n, k, 1.0, A.data(), m, B.data(), k,
+              0.0, c2.data(), ldc);
+  expect_close(c1, c2);
+  // Rows m..ldc between columns must be untouched.
+  for (int j = 0; j < n; ++j) {
+    for (int i = m; i < ldc; ++i) {
+      EXPECT_EQ(c1[static_cast<std::size_t>(j) * ldc + i], -1.0);
+    }
+  }
+}
+
+TEST(Gemm, KnnExpansionPattern) {
+  // The exact call pattern of the kNN baseline: Cᵀ = −2·RᵀQ.
+  const int d = 24, mq = 10, nr = 14;
+  const auto Q = random_matrix(d, mq, 9);
+  const auto R = random_matrix(d, nr, 10);
+  std::vector<double> c1(static_cast<std::size_t>(nr) * mq, 0.0);
+  std::vector<double> c2 = c1;
+  dgemm(Trans::kYes, Trans::kNo, nr, mq, d, -2.0, R.data(), d, Q.data(), d,
+        0.0, c1.data(), nr);
+  dgemm_naive(Trans::kYes, Trans::kNo, nr, mq, d, -2.0, R.data(), d, Q.data(),
+              d, 0.0, c2.data(), nr);
+  expect_close(c1, c2);
+}
+
+TEST(RowSqNorms, MatchesDefinition) {
+  const int m = 9, k = 17;
+  const auto A = random_matrix(m, k, 11);
+  std::vector<double> out(m);
+  row_sqnorms(Trans::kNo, m, k, A.data(), m, out.data());
+  for (int i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (int p = 0; p < k; ++p) {
+      const double v = A[static_cast<std::size_t>(p) * m + i];
+      s += v * v;
+    }
+    EXPECT_NEAR(out[static_cast<std::size_t>(i)], s, 1e-12);
+  }
+}
+
+TEST(RowSqNorms, TransposedOperand) {
+  const int m = 6, k = 4;
+  const auto A = random_matrix(k, m, 12);  // stored k×m, op is transpose
+  std::vector<double> out(m);
+  row_sqnorms(Trans::kYes, m, k, A.data(), k, out.data());
+  for (int i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (int p = 0; p < k; ++p) {
+      const double v = A[static_cast<std::size_t>(i) * k + p];
+      s += v * v;
+    }
+    EXPECT_NEAR(out[static_cast<std::size_t>(i)], s, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace gsknn::blas

@@ -1,0 +1,111 @@
+// Single-precision GEMM: blocked sgemm vs the naive reference, float
+// tolerances. The float tile geometries (8×8 AVX2 / 16×8 AVX-512) have
+// different edge cases than dgemm's, hence the distinct shape list.
+#include "gsknn/blas/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "gsknn/common/rng.hpp"
+
+namespace gsknn::blas {
+namespace {
+
+std::vector<float> random_matrix(int rows, int cols, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> a(static_cast<std::size_t>(rows) * cols);
+  for (float& x : a) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return a;
+}
+
+void expect_close(const std::vector<float>& a, const std::vector<float>& b,
+                  int k) {
+  ASSERT_EQ(a.size(), b.size());
+  // Accumulation-order differences grow like sqrt(k)·eps.
+  const float tol = 1e-5f * std::sqrt(static_cast<float>(std::max(1, k)));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol * std::max(1.0f, std::abs(b[i]))) << "i=" << i;
+  }
+}
+
+using Shape = std::tuple<int, int, int>;  // m, n, k
+
+class SgemmVsNaive
+    : public ::testing::TestWithParam<std::tuple<Shape, Trans, Trans>> {};
+
+TEST_P(SgemmVsNaive, MatchesReference) {
+  const auto [shape, ta, tb] = GetParam();
+  const auto [m, n, k] = shape;
+  const int lda = (ta == Trans::kNo) ? m : k;
+  const int ldb = (tb == Trans::kNo) ? k : n;
+  const auto A = random_matrix(lda, (ta == Trans::kNo) ? k : m, 1);
+  const auto B = random_matrix(ldb, (tb == Trans::kNo) ? n : k, 2);
+
+  std::vector<float> c1(static_cast<std::size_t>(m) * n, 0.5f);
+  std::vector<float> c2 = c1;
+  const float alpha = -2.0f, beta = 0.3f;
+  sgemm(ta, tb, m, n, k, alpha, A.data(), lda, B.data(), ldb, beta, c1.data(),
+        m);
+  sgemm_naive(ta, tb, m, n, k, alpha, A.data(), lda, B.data(), ldb, beta,
+              c2.data(), m);
+  expect_close(c1, c2, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SgemmVsNaive,
+    ::testing::Combine(
+        ::testing::Values(Shape{1, 1, 1}, Shape{16, 8, 16},  // one f32 tile
+                          Shape{17, 9, 5}, Shape{15, 7, 3},  // tile edges
+                          Shape{33, 29, 31}, Shape{128, 64, 256},
+                          Shape{100, 100, 1}, Shape{257, 129, 300}),
+        ::testing::Values(Trans::kNo, Trans::kYes),
+        ::testing::Values(Trans::kNo, Trans::kYes)));
+
+TEST(Sgemm, BetaZeroOverwritesGarbage) {
+  const int m = 24, n = 16, k = 20;
+  const auto A = random_matrix(m, k, 3);
+  const auto B = random_matrix(k, n, 4);
+  std::vector<float> c1(static_cast<std::size_t>(m) * n,
+                        std::numeric_limits<float>::quiet_NaN());
+  std::vector<float> c2(static_cast<std::size_t>(m) * n, 0.0f);
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, A.data(), m, B.data(), k, 0.0f,
+        c1.data(), m);
+  sgemm_naive(Trans::kNo, Trans::kNo, m, n, k, 1.0f, A.data(), m, B.data(), k,
+              0.0f, c2.data(), m);
+  expect_close(c1, c2, k);
+}
+
+TEST(Sgemm, KZeroActsAsScale) {
+  std::vector<float> c(16, 3.0f);
+  sgemm(Trans::kNo, Trans::kNo, 4, 4, 0, 1.0f, nullptr, 1, nullptr, 1, 2.0f,
+        c.data(), 4);
+  for (float v : c) EXPECT_FLOAT_EQ(v, 6.0f);
+}
+
+TEST(Sgemm, AgreesWithDgemmAtFloatPrecision) {
+  const int m = 32, n = 24, k = 40;
+  Xoshiro256 rng(9);
+  std::vector<double> Ad(static_cast<std::size_t>(m) * k);
+  std::vector<double> Bd(static_cast<std::size_t>(k) * n);
+  for (auto& v : Ad) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : Bd) v = rng.uniform(-1.0, 1.0);
+  std::vector<float> Af(Ad.begin(), Ad.end());
+  std::vector<float> Bf(Bd.begin(), Bd.end());
+
+  std::vector<double> cd(static_cast<std::size_t>(m) * n, 0.0);
+  std::vector<float> cf(static_cast<std::size_t>(m) * n, 0.0f);
+  dgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0, Ad.data(), m, Bd.data(), k, 0.0,
+        cd.data(), m);
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, Af.data(), m, Bf.data(), k,
+        0.0f, cf.data(), m);
+  for (std::size_t i = 0; i < cd.size(); ++i) {
+    EXPECT_NEAR(cf[i], static_cast<float>(cd[i]), 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace gsknn::blas

@@ -1,0 +1,102 @@
+#include "gsknn/common/aligned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace gsknn {
+namespace {
+
+TEST(AlignedBuffer, DefaultConstructedIsEmpty) {
+  AlignedBuffer<double> b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.capacity(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocationIsAligned) {
+  AlignedBuffer<double> b(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kVectorAlignBytes, 0u);
+  EXPECT_EQ(b.size(), 1000u);
+}
+
+TEST(AlignedBuffer, CustomAlignment) {
+  AlignedBuffer<double> b(10, 128);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 128, 0u);
+}
+
+TEST(AlignedBuffer, ResetGrowsCapacity) {
+  AlignedBuffer<int> b(10);
+  b.reset(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_GE(b.capacity(), 100u);
+}
+
+TEST(AlignedBuffer, ResetShrinkKeepsAllocation) {
+  AlignedBuffer<int> b(100);
+  const int* p = b.data();
+  b.reset(10);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(b.capacity(), 100u);
+  EXPECT_EQ(b.data(), p);  // arena reuse: no reallocation on shrink
+}
+
+TEST(AlignedBuffer, ElementsReadBackAfterWrite) {
+  AlignedBuffer<double> b(64);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<double>(i);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(b[i], static_cast<double>(i));
+  }
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<double> a(32);
+  a[0] = 42.0;
+  const double* p = a.data();
+  AlignedBuffer<double> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 42.0);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer<double> a(32);
+  AlignedBuffer<double> b(8);
+  a[0] = 7.0;
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 32u);
+  EXPECT_EQ(b[0], 7.0);
+}
+
+TEST(AlignedBuffer, ZeroSizeAllocation) {
+  AlignedBuffer<double> b(0);
+  EXPECT_TRUE(b.empty());
+  b.reset(5);
+  EXPECT_EQ(b.size(), 5u);
+}
+
+TEST(AlignedBuffer, IterationCoversRange) {
+  AlignedBuffer<int> b(16);
+  int v = 0;
+  for (int& x : b) x = v++;
+  int sum = 0;
+  for (const int& x : b) sum += x;
+  EXPECT_EQ(sum, 15 * 16 / 2);
+}
+
+TEST(AlignedAlloc, RoundUpHelpers) {
+  EXPECT_EQ(round_up(0, 8), 0u);
+  EXPECT_EQ(round_up(1, 8), 8u);
+  EXPECT_EQ(round_up(8, 8), 8u);
+  EXPECT_EQ(round_up(9, 8), 16u);
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+}  // namespace
+}  // namespace gsknn

@@ -1,0 +1,110 @@
+// Task-parallel batch driver (§2.5): batching must be an execution-order
+// detail, invisible in the results.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/generators.hpp"
+#include "test_util.hpp"
+
+namespace gsknn {
+namespace {
+
+TEST(KnnBatch, MatchesIndividualKernels) {
+  const int d = 10, N = 400, k = 5;
+  const PointTable X = make_uniform(d, N, 0x5EED);
+
+  // Four skewed tasks over disjoint query groups, shared global table.
+  struct Group {
+    std::vector<int> q, r;
+  };
+  std::vector<Group> groups(4);
+  for (int g = 0; g < 4; ++g) {
+    for (int i = g * 100; i < g * 100 + 30 + g * 20; ++i) {
+      (i % 3 == 0 ? groups[static_cast<std::size_t>(g)].q
+                  : groups[static_cast<std::size_t>(g)].r)
+          .push_back(i);
+    }
+  }
+
+  NeighborTable batched(N, k);
+  std::vector<KnnTask> tasks;
+  for (auto& g : groups) {
+    tasks.push_back(KnnTask{g.q, g.r, &batched, g.q});
+  }
+  knn_batch(X, tasks, k, {});
+
+  NeighborTable serial(N, k);
+  for (auto& g : groups) {
+    knn_kernel(X, g.q, g.r, serial, {}, g.q);
+  }
+
+  for (int i = 0; i < N; ++i) {
+    const auto a = batched.sorted_row(i);
+    const auto b = serial.sorted_row(i);
+    ASSERT_EQ(a.size(), b.size()) << "row " << i;
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j], b[j]) << "row " << i;
+    }
+  }
+}
+
+TEST(KnnBatch, EmptyBatchIsNoop) {
+  const PointTable X = make_uniform(4, 10, 1);
+  knn_batch(X, {}, 3, {});
+}
+
+TEST(KnnBatch, SingleTask) {
+  const PointTable X = make_uniform(6, 50, 2);
+  std::vector<int> q(20), r(30);
+  std::iota(q.begin(), q.end(), 0);
+  std::iota(r.begin(), r.end(), 20);
+  NeighborTable t(20, 4);
+  const KnnTask task{q, r, &t, {}};
+  knn_batch(X, std::span(&task, 1), 4, {});
+  const auto expect = test::brute_force_knn(X, q, r, 4);
+  for (int i = 0; i < 20; ++i) {
+    const auto row = t.sorted_row(i);
+    ASSERT_EQ(row.size(), 4u);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(row[j].first, expect[static_cast<std::size_t>(i)][j].first,
+                  1e-9);
+    }
+  }
+}
+
+TEST(KnnBatch, ManyTinyTasks) {
+  const int N = 300, k = 2;
+  const PointTable X = make_uniform(8, N, 3);
+  std::vector<std::vector<int>> qs, rs;
+  for (int g = 0; g < 30; ++g) {
+    std::vector<int> q = {g * 10, g * 10 + 1};
+    std::vector<int> r;
+    for (int i = 2; i < 10; ++i) r.push_back(g * 10 + i);
+    qs.push_back(q);
+    rs.push_back(r);
+  }
+  NeighborTable t(N, k);
+  std::vector<KnnTask> tasks;
+  for (int g = 0; g < 30; ++g) {
+    tasks.push_back(KnnTask{qs[static_cast<std::size_t>(g)],
+                            rs[static_cast<std::size_t>(g)], &t,
+                            qs[static_cast<std::size_t>(g)]});
+  }
+  knn_batch(X, tasks, k, {});
+  for (int g = 0; g < 30; ++g) {
+    const auto expect = test::brute_force_knn(
+        X, qs[static_cast<std::size_t>(g)], rs[static_cast<std::size_t>(g)], k);
+    for (std::size_t i = 0; i < 2; ++i) {
+      const auto row = t.sorted_row(qs[static_cast<std::size_t>(g)][i]);
+      ASSERT_EQ(row.size(), 2u);
+      EXPECT_NEAR(row[0].first, expect[i][0].first, 1e-9);
+      EXPECT_NEAR(row[1].first, expect[i][1].first, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsknn

@@ -1,0 +1,128 @@
+// The C API boundary: correct results, correct error reporting, no leaks
+// under the error paths (exercised under ASAN-less builds as plain logic).
+#include "gsknn/capi.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "gsknn/data/generators.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using gsknn::PointTable;
+
+struct CApiFixture : ::testing::Test {
+  void SetUp() override {
+    const PointTable t = gsknn::make_uniform(8, 100, 0xCAB1);
+    coords.assign(t.data(), t.data() + 8 * 100);
+    table = gsknn_table_create(8, 100, coords.data());
+    ASSERT_NE(table, nullptr);
+  }
+  void TearDown() override { gsknn_table_destroy(table); }
+
+  std::vector<double> coords;
+  gsknn_table* table = nullptr;
+};
+
+TEST_F(CApiFixture, TableAccessors) {
+  EXPECT_EQ(gsknn_table_dim(table), 8);
+  EXPECT_EQ(gsknn_table_size(table), 100);
+}
+
+TEST_F(CApiFixture, SearchMatchesOracle) {
+  std::vector<int> q(10), r(90);
+  std::iota(q.begin(), q.end(), 0);
+  std::iota(r.begin(), r.end(), 10);
+  gsknn_result* res = gsknn_result_create(10, 5);
+  ASSERT_NE(res, nullptr);
+  ASSERT_EQ(gsknn_search(table, q.data(), 10, r.data(), 90, GSKNN_NORM_L2SQ,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, res),
+            0);
+
+  PointTable t(8, 100);
+  std::copy(coords.begin(), coords.end(), t.data());
+  t.compute_norms();
+  const auto expect = gsknn::test::brute_force_knn(t, q, r, 5);
+
+  std::vector<int> ids(5);
+  std::vector<double> dists(5);
+  for (int i = 0; i < 10; ++i) {
+    const int count = gsknn_result_row(res, i, 5, ids.data(), dists.data());
+    ASSERT_EQ(count, 5);
+    for (int j = 0; j < count; ++j) {
+      EXPECT_NEAR(dists[static_cast<std::size_t>(j)],
+                  expect[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)].first, 1e-10);
+    }
+    // Rows come back ascending.
+    for (int j = 1; j < count; ++j) {
+      EXPECT_LE(dists[static_cast<std::size_t>(j - 1)],
+                dists[static_cast<std::size_t>(j)]);
+    }
+  }
+  gsknn_result_destroy(res);
+}
+
+TEST_F(CApiFixture, AllNormsRun) {
+  std::vector<int> q(5), r(50);
+  std::iota(q.begin(), q.end(), 0);
+  std::iota(r.begin(), r.end(), 5);
+  for (int norm : {GSKNN_NORM_L2SQ, GSKNN_NORM_L1, GSKNN_NORM_LINF,
+                   GSKNN_NORM_LP, GSKNN_NORM_COSINE}) {
+    gsknn_result* res = gsknn_result_create(5, 3);
+    EXPECT_EQ(gsknn_search(table, q.data(), 5, r.data(), 50, norm,
+                           GSKNN_VARIANT_AUTO, 3.0, 0, res),
+              0)
+        << "norm " << norm;
+    gsknn_result_destroy(res);
+  }
+}
+
+TEST_F(CApiFixture, ErrorsAreReported) {
+  gsknn_result* res = gsknn_result_create(5, 3);
+  // Null query pointer with nonzero count.
+  EXPECT_LT(gsknn_search(table, nullptr, 5, nullptr, 0, GSKNN_NORM_L2SQ,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, res),
+            0);
+  EXPECT_NE(std::string(gsknn_last_error()).find("null"), std::string::npos);
+  // Unknown norm code.
+  std::vector<int> q(5);
+  std::iota(q.begin(), q.end(), 0);
+  EXPECT_LT(gsknn_search(table, q.data(), 5, q.data(), 5, 99,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, res),
+            0);
+  gsknn_result_destroy(res);
+}
+
+TEST_F(CApiFixture, ResultRowBoundsChecked) {
+  gsknn_result* res = gsknn_result_create(4, 2);
+  EXPECT_LT(gsknn_result_row(res, -1, 2, nullptr, nullptr), 0);
+  EXPECT_LT(gsknn_result_row(res, 4, 2, nullptr, nullptr), 0);
+  // Valid but empty row: zero entries.
+  EXPECT_EQ(gsknn_result_row(res, 0, 2, nullptr, nullptr), 0);
+  gsknn_result_destroy(res);
+}
+
+TEST(CApi, CreateRejectsBadArguments) {
+  EXPECT_EQ(gsknn_table_create(0, 5, nullptr), nullptr);
+  EXPECT_EQ(gsknn_table_create(3, 5, nullptr), nullptr);
+  EXPECT_EQ(gsknn_result_create(-1, 3), nullptr);
+  EXPECT_EQ(gsknn_result_create(3, 0), nullptr);
+}
+
+TEST(CApi, LoadMissingFileFails) {
+  EXPECT_EQ(gsknn_table_load("/nonexistent/file.gsknn"), nullptr);
+  EXPECT_NE(std::string(gsknn_last_error()).size(), 0u);
+}
+
+TEST(CApi, ArchSummaryIsStable) {
+  const char* a = gsknn_arch_summary();
+  const char* b = gsknn_arch_summary();
+  EXPECT_EQ(a, b);  // static storage
+  EXPECT_GT(std::string(a).size(), 0u);
+}
+
+}  // namespace

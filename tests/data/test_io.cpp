@@ -1,0 +1,154 @@
+#include "gsknn/data/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/generators.hpp"
+
+namespace gsknn {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) {
+    return testing::TempDir() + "gsknn_io_" + name;
+  }
+  void TearDown() override {
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+  std::string track(const std::string& p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(IoTest, BinaryRoundTripIsLossless) {
+  const PointTable orig = make_uniform(7, 123, 42);
+  const std::string p = track(path("roundtrip.gsknn"));
+  save_table(orig, p);
+  const PointTable loaded = load_table(p);
+  ASSERT_EQ(loaded.dim(), orig.dim());
+  ASSERT_EQ(loaded.size(), orig.size());
+  for (int i = 0; i < orig.size(); ++i) {
+    for (int r = 0; r < orig.dim(); ++r) {
+      EXPECT_EQ(loaded.at(r, i), orig.at(r, i));
+    }
+    EXPECT_EQ(loaded.norms2()[i], orig.norms2()[i]);
+  }
+}
+
+TEST_F(IoTest, LoadTableRejectsGarbage) {
+  const std::string p = track(path("garbage.bin"));
+  std::ofstream(p) << "this is not a point table";
+  EXPECT_THROW(load_table(p), std::runtime_error);
+}
+
+TEST_F(IoTest, LoadTableRejectsTruncated) {
+  const PointTable orig = make_uniform(4, 50, 1);
+  const std::string full = track(path("full.gsknn"));
+  save_table(orig, full);
+  // Truncate mid-data.
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const std::string cut = track(path("cut.gsknn"));
+  std::ofstream(cut, std::ios::binary) << bytes.substr(0, bytes.size() / 2);
+  EXPECT_THROW(load_table(cut), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(load_table("/nonexistent/nowhere.gsknn"), std::runtime_error);
+  EXPECT_THROW(load_csv("/nonexistent/nowhere.csv"), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvRoundTripPreservesValues) {
+  const PointTable orig = make_uniform(5, 40, 3);
+  const std::string p = track(path("roundtrip.csv"));
+  save_csv(orig, p);
+  const PointTable loaded = load_csv(p);
+  ASSERT_EQ(loaded.dim(), 5);
+  ASSERT_EQ(loaded.size(), 40);
+  for (int i = 0; i < 40; ++i) {
+    for (int r = 0; r < 5; ++r) {
+      EXPECT_DOUBLE_EQ(loaded.at(r, i), orig.at(r, i));
+    }
+  }
+}
+
+TEST_F(IoTest, CsvAcceptsHeaderAndMixedSeparators) {
+  const std::string p = track(path("mixed.csv"));
+  std::ofstream(p) << "x,y,z\n"
+                      "1.0, 2.0,3.0\n"
+                      "\n"
+                      "4.0;5.0;6.0\n"
+                      "7.0\t8.0\t9.0\n";
+  const PointTable t = load_csv(p);
+  ASSERT_EQ(t.dim(), 3);
+  ASSERT_EQ(t.size(), 3);
+  EXPECT_EQ(t.at(0, 0), 1.0);
+  EXPECT_EQ(t.at(2, 1), 6.0);
+  EXPECT_EQ(t.at(1, 2), 8.0);
+}
+
+TEST_F(IoTest, CsvRejectsRaggedRows) {
+  const std::string p = track(path("ragged.csv"));
+  std::ofstream(p) << "1,2,3\n4,5\n";
+  EXPECT_THROW(load_csv(p), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvRejectsNonNumericData) {
+  const std::string p = track(path("words.csv"));
+  std::ofstream(p) << "1,2,3\n4,banana,6\n";
+  EXPECT_THROW(load_csv(p), std::runtime_error);
+}
+
+TEST_F(IoTest, CsvRejectsEmptyFile) {
+  const std::string p = track(path("empty.csv"));
+  std::ofstream(p) << "\n\n";
+  EXPECT_THROW(load_csv(p), std::runtime_error);
+}
+
+TEST_F(IoTest, NeighborsCsvMatchesTableContents) {
+  const PointTable X = make_uniform(4, 30, 9);
+  std::vector<int> ids(30);
+  std::iota(ids.begin(), ids.end(), 0);
+  NeighborTable nn(30, 3);
+  knn_kernel(X, ids, ids, nn);
+  const std::string p = track(path("nn.csv"));
+  save_neighbors_csv(nn, p);
+
+  std::ifstream in(p);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "query,rank,neighbor_id,distance");
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++lines;
+  }
+  EXPECT_EQ(lines, 30 * 3);
+}
+
+TEST_F(IoTest, LoadedTableIsSearchable) {
+  // End-to-end: save, load, search — norms must have been recomputed.
+  const PointTable orig = make_uniform(6, 100, 10);
+  const std::string p = track(path("searchable.gsknn"));
+  save_table(orig, p);
+  const PointTable loaded = load_table(p);
+  std::vector<int> ids(100);
+  std::iota(ids.begin(), ids.end(), 0);
+  NeighborTable a(100, 4), b(100, 4);
+  knn_kernel(orig, ids, ids, a);
+  knn_kernel(loaded, ids, ids, b);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.sorted_row(i), b.sorted_row(i));
+  }
+}
+
+}  // namespace
+}  // namespace gsknn

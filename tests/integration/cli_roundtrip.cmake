@@ -1,0 +1,41 @@
+# End-to-end exercise of the gsknn CLI. Any non-zero exit or missing output
+# fails the test.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run)
+  execute_process(COMMAND ${GSKNN_CLI} ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "gsknn ${ARGN} failed (${rc}): ${out}${err}")
+  endif()
+endfunction()
+
+run(generate --out ${WORK_DIR}/data.gsknn --d 8 --n 500 --dist mixture --clusters 4 --seed 7)
+run(info --data ${WORK_DIR}/data.gsknn)
+run(search --data ${WORK_DIR}/data.gsknn --k 3 --out ${WORK_DIR}/nn.csv)
+run(allnn --data ${WORK_DIR}/data.gsknn --k 3 --out ${WORK_DIR}/allnn.csv --trees 3 --leaf 64)
+run(generate --out ${WORK_DIR}/data.csv --d 4 --n 100 --csv)
+run(search --data ${WORK_DIR}/data.csv --k 2 --out ${WORK_DIR}/nn2.csv --norm cos)
+
+foreach(f nn.csv allnn.csv nn2.csv)
+  if(NOT EXISTS ${WORK_DIR}/${f})
+    message(FATAL_ERROR "expected output ${f} missing")
+  endif()
+  file(STRINGS ${WORK_DIR}/${f} lines)
+  list(LENGTH lines count)
+  if(count LESS 2)
+    message(FATAL_ERROR "${f} has no data rows")
+  endif()
+endforeach()
+
+# Error paths must fail cleanly (non-zero, no crash).
+execute_process(COMMAND ${GSKNN_CLI} search --data /nonexistent --k 3 --out ${WORK_DIR}/x.csv
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "search on missing file should fail")
+endif()
+execute_process(COMMAND ${GSKNN_CLI} bogus-subcommand
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown subcommand should fail")
+endif()

@@ -1,0 +1,93 @@
+// End-to-end pipeline: generate → persist → reload → approximate all-NN →
+// export — the full user journey, verifying each hand-off.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "gsknn/data/generators.hpp"
+#include "gsknn/data/io.hpp"
+#include "gsknn/tree/lsh.hpp"
+#include "gsknn/tree/rkd_forest.hpp"
+
+namespace gsknn {
+namespace {
+
+TEST(Pipeline, GenerateSaveLoadSolveExport) {
+  const std::string data_path = testing::TempDir() + "pipeline_data.gsknn";
+  const std::string nn_path = testing::TempDir() + "pipeline_nn.csv";
+
+  // Generate + persist.
+  const PointTable generated = make_gaussian_embedded(32, 1500, 5, 0xF1FE);
+  save_table(generated, data_path);
+
+  // Reload (fresh norms) and solve approximately.
+  const PointTable data = load_table(data_path);
+  tree::RkdConfig cfg;
+  cfg.leaf_size = 128;
+  cfg.num_trees = 6;
+  cfg.seed = 3;
+  const auto result = tree::all_nearest_neighbors(data, 8, cfg);
+  const double recall = tree::recall_at_k(data, result.table, 8, 100, 5);
+  EXPECT_GT(recall, 0.85);
+
+  // Export and sanity-check the file.
+  save_neighbors_csv(result.table, nn_path);
+  std::ifstream in(nn_path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "query,rank,neighbor_id,distance");
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) lines += !line.empty();
+  EXPECT_EQ(lines, 1500 * 8);
+
+  std::remove(data_path.c_str());
+  std::remove(nn_path.c_str());
+}
+
+TEST(Pipeline, SolversAgreeOnEasyData) {
+  // Well-separated clusters: both approximate solvers should reach ~perfect
+  // recall, and thus agree with each other almost everywhere.
+  const PointTable data = make_gaussian_mixture(16, 800, 8, 0.02, 7);
+
+  tree::RkdConfig rkd;
+  rkd.leaf_size = 128;
+  rkd.num_trees = 8;
+  const auto a = tree::all_nearest_neighbors(data, 5, rkd);
+
+  tree::LshConfig lsh;
+  lsh.tables = 8;
+  lsh.bucket_width = 2.0;
+  const auto b = tree::lsh_all_nearest_neighbors(data, 5, lsh);
+
+  EXPECT_GT(tree::recall_at_k(data, a.table, 5, 100, 1), 0.95);
+  EXPECT_GT(tree::recall_at_k(data, b.table, 5, 100, 1), 0.95);
+}
+
+TEST(Pipeline, IterativeRefinementMonotone) {
+  // Running more trees must never reduce any query's k-th distance — the
+  // neighbor table only improves (heap roots never grow).
+  const PointTable data = make_gaussian_embedded(24, 600, 4, 0x17E);
+  tree::RkdConfig cfg;
+  cfg.leaf_size = 64;
+  cfg.seed = 9;
+
+  std::vector<double> prev_roots(600, 1e300);
+  for (int trees = 1; trees <= 5; trees += 2) {
+    cfg.num_trees = trees;
+    const auto result = tree::all_nearest_neighbors(data, 6, cfg);
+    for (int i = 0; i < 600; ++i) {
+      const auto row = result.table.sorted_row(i);
+      const double kth = row.empty() ? 1e300 : row.back().first;
+      EXPECT_LE(kth, prev_roots[static_cast<std::size_t>(i)] + 1e-12)
+          << "query " << i << " trees " << trees;
+      prev_roots[static_cast<std::size_t>(i)] = kth;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsknn

@@ -1,0 +1,79 @@
+#include "gsknn/model/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gsknn/data/generators.hpp"
+#include "test_util.hpp"
+
+namespace gsknn::model {
+namespace {
+
+TuneOptions small_opts() {
+  TuneOptions o;
+  o.m = 256;
+  o.n = 256;
+  o.d = 32;
+  o.k = 8;
+  o.reps = 1;
+  o.max_candidates = 6;
+  return o;
+}
+
+TEST(Autotune, CandidatesAreValidAndBounded) {
+  const auto cands = tune_candidates(small_opts());
+  ASSERT_FALSE(cands.empty());
+  EXPECT_LE(cands.size(), 6u);
+  const CacheInfo& cache = cache_info();
+  for (const auto& b : cands) {
+    EXPECT_TRUE(b.valid());
+    EXPECT_LE(static_cast<std::size_t>(b.mr + b.nr) * b.dc * sizeof(double),
+              2 * cache.l1d);
+    EXPECT_LE(static_cast<std::size_t>(b.mc) * b.dc * sizeof(double),
+              2 * cache.l2);
+  }
+}
+
+TEST(Autotune, CandidatesMatchKernelTile) {
+  const BlockingParams base = default_blocking(cpu_features().best_level());
+  for (const auto& b : tune_candidates(small_opts())) {
+    EXPECT_EQ(b.mr, base.mr);
+    EXPECT_EQ(b.nr, base.nr);
+  }
+}
+
+TEST(Autotune, ReturnsMeasuredBest) {
+  const auto result = autotune(small_opts());
+  ASSERT_FALSE(result.trials.empty());
+  EXPECT_GT(result.best_seconds, 0.0);
+  // trials are sorted ascending; best must equal the head.
+  EXPECT_EQ(result.best_seconds, result.trials.front().second);
+  for (std::size_t i = 1; i < result.trials.size(); ++i) {
+    EXPECT_GE(result.trials[i].second, result.trials[i - 1].second);
+  }
+}
+
+TEST(Autotune, TunedBlockingProducesCorrectResults) {
+  const auto result = autotune(small_opts());
+  const PointTable X = make_uniform(16, 120, 5);
+  std::vector<int> q(40), r(80);
+  std::iota(q.begin(), q.end(), 0);
+  std::iota(r.begin(), r.end(), 40);
+  KnnConfig cfg;
+  cfg.blocking = result.best;
+  NeighborTable t(40, 6);
+  knn_kernel(X, q, r, t, cfg);
+  const auto expect = test::brute_force_knn(X, q, r, 6);
+  for (int i = 0; i < 40; ++i) {
+    const auto row = t.sorted_row(i);
+    ASSERT_EQ(row.size(), expect[static_cast<std::size_t>(i)].size());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      EXPECT_NEAR(row[j].first, expect[static_cast<std::size_t>(i)][j].first,
+                  1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsknn::model

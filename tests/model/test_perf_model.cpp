@@ -1,0 +1,184 @@
+#include "gsknn/model/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gsknn::model {
+namespace {
+
+const MachineParams kMp{};  // paper 1-core defaults
+const BlockingParams kBp{};
+
+TEST(PerfModel, FlopTimeMatchesFormula) {
+  const ProblemShape s{100, 200, 64, 16};
+  const double expect = (2.0 * 64 + 3.0) * 100 * 200 / kMp.peak_flops;
+  EXPECT_DOUBLE_EQ(time_flops(s, kMp), expect);
+}
+
+TEST(PerfModel, TimesArePositiveAndFinite) {
+  for (Method m : {Method::kVar1, Method::kVar6, Method::kGemmBaseline}) {
+    for (int k : {1, 16, 2048}) {
+      const ProblemShape s{8192, 8192, 64, k};
+      const double t = predicted_time(m, s, kMp, kBp);
+      EXPECT_GT(t, 0.0);
+      EXPECT_TRUE(std::isfinite(t));
+    }
+  }
+}
+
+TEST(PerfModel, TimeIncreasesWithEveryDimension) {
+  const ProblemShape base{1024, 1024, 64, 16};
+  for (Method m : {Method::kVar1, Method::kVar6, Method::kGemmBaseline}) {
+    const double t0 = predicted_time(m, base, kMp, kBp);
+    EXPECT_GT(predicted_time(m, {2048, 1024, 64, 16}, kMp, kBp), t0);
+    EXPECT_GT(predicted_time(m, {1024, 2048, 64, 16}, kMp, kBp), t0);
+    EXPECT_GT(predicted_time(m, {1024, 1024, 128, 16}, kMp, kBp), t0);
+    EXPECT_GT(predicted_time(m, {1024, 1024, 64, 64}, kMp, kBp), t0);
+  }
+}
+
+TEST(PerfModel, Var1BeatsGemmBaselineInLowD) {
+  // The paper's headline claim: in low d the baseline is memory bound on
+  // the 2·τb·mn C-matrix traffic that Var#1 never pays.
+  const ProblemShape s{8192, 8192, 16, 16};
+  EXPECT_LT(predicted_time(Method::kVar1, s, kMp, kBp),
+            predicted_time(Method::kGemmBaseline, s, kMp, kBp));
+  // And the margin is large: > 2×.
+  EXPECT_GT(predicted_time(Method::kGemmBaseline, s, kMp, kBp) /
+                predicted_time(Method::kVar1, s, kMp, kBp),
+            2.0);
+}
+
+TEST(PerfModel, GapClosesAtHighD) {
+  const ProblemShape lo{8192, 8192, 16, 16};
+  const ProblemShape hi{8192, 8192, 1024, 16};
+  const double ratio_lo = predicted_time(Method::kGemmBaseline, lo, kMp, kBp) /
+                          predicted_time(Method::kVar1, lo, kMp, kBp);
+  const double ratio_hi = predicted_time(Method::kGemmBaseline, hi, kMp, kBp) /
+                          predicted_time(Method::kVar1, hi, kMp, kBp);
+  EXPECT_GT(ratio_lo, ratio_hi);
+  EXPECT_LT(ratio_hi, 1.3);  // ≤ ~30% at d = 1024 (compute dominates)
+}
+
+TEST(PerfModel, VariantChoiceFollowsK) {
+  // Small k → Var#1; huge k → Var#6 (paper Fig. 5 behaviour).
+  EXPECT_EQ(choose_variant({8192, 8192, 64, 16}, kMp, kBp), Method::kVar1);
+  EXPECT_EQ(choose_variant({8192, 8192, 64, 8192}, kMp, kBp), Method::kVar6);
+}
+
+TEST(PerfModel, ThresholdIsInteriorAndOrdered) {
+  const int kmax = 8192;
+  const int thr = variant_threshold_k(8192, 8192, 64, kmax, kMp, kBp);
+  EXPECT_GT(thr, 16);
+  EXPECT_LE(thr, kmax + 1);
+  // All k below the threshold choose Var#1, all above choose Var#6.
+  for (int k : {1, thr - 1}) {
+    if (k >= 1 && k < thr) {
+      EXPECT_EQ(choose_variant({8192, 8192, 64, k}, kMp, kBp), Method::kVar1);
+    }
+  }
+  if (thr <= kmax) {
+    EXPECT_EQ(choose_variant({8192, 8192, 64, thr}, kMp, kBp), Method::kVar6);
+  }
+}
+
+TEST(PerfModel, GflopsBoundedByPeak) {
+  for (int d : {4, 64, 1024}) {
+    for (int k : {16, 512}) {
+      const ProblemShape s{8192, 8192, d, k};
+      const double g = predicted_gflops(Method::kVar1, s, kMp, kBp);
+      EXPECT_GT(g, 0.0);
+      EXPECT_LE(g, kMp.peak_flops / 1e9 * 1.0001);
+    }
+  }
+}
+
+TEST(PerfModel, EfficiencyImprovesWithD) {
+  const double g16 =
+      predicted_gflops(Method::kVar1, {8192, 8192, 16, 16}, kMp, kBp);
+  const double g512 =
+      predicted_gflops(Method::kVar1, {8192, 8192, 512, 16}, kMp, kBp);
+  EXPECT_GT(g512, g16);
+}
+
+TEST(PerfModel, PaperParamsMatchCaption) {
+  const MachineParams p1 = paper_params_1core();
+  EXPECT_DOUBLE_EQ(p1.peak_flops, 8.0 * 3.54e9);
+  EXPECT_DOUBLE_EQ(p1.tau_b, 2.2e-9);
+  const MachineParams p10 = paper_params_10core();
+  EXPECT_DOUBLE_EQ(p10.peak_flops, 10.0 * 8.0 * 3.10e9);
+  EXPECT_DOUBLE_EQ(p10.tau_b, 2.2e-9 / 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// LPT scheduler.
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, AssignsEveryTask) {
+  const std::vector<double> t = {5, 3, 8, 1, 9, 2, 7};
+  const auto a = schedule_lpt(t, 3);
+  ASSERT_EQ(a.size(), t.size());
+  for (int proc : a) {
+    EXPECT_GE(proc, 0);
+    EXPECT_LT(proc, 3);
+  }
+}
+
+TEST(Scheduler, SingleProcessorGetsEverything) {
+  const std::vector<double> t = {1, 2, 3};
+  const auto a = schedule_lpt(t, 1);
+  for (int proc : a) EXPECT_EQ(proc, 0);
+  EXPECT_DOUBLE_EQ(makespan(t, a, 1), 6.0);
+}
+
+TEST(Scheduler, PerfectSplitFound) {
+  // LPT solves this instance optimally: {4,3} / {4,3} on 2 procs → 7/7.
+  const std::vector<double> t = {4, 4, 3, 3};
+  const auto a = schedule_lpt(t, 2);
+  EXPECT_DOUBLE_EQ(makespan(t, a, 2), 7.0);
+}
+
+TEST(Scheduler, MakespanWithinGrahamBound) {
+  // Any list schedule satisfies makespan ≤ total/p + (1 − 1/p)·max_task
+  // (Graham 1966); LPT is a list schedule, so this must hold exactly.
+  std::vector<double> t;
+  for (int i = 0; i < 50; ++i) t.push_back(1.0 + (i * 37 % 97) / 10.0);
+  for (int p : {2, 3, 7}) {
+    const auto a = schedule_lpt(t, p);
+    double total = 0.0, mx = 0.0;
+    for (double x : t) {
+      total += x;
+      mx = std::max(mx, x);
+    }
+    EXPECT_GE(makespan(t, a, p), std::max(total / p, mx) - 1e-9) << "p=" << p;
+    EXPECT_LE(makespan(t, a, p), total / p + (1.0 - 1.0 / p) * mx + 1e-9)
+        << "p=" << p;
+  }
+}
+
+TEST(Scheduler, MoreProcessorsNeverWorse) {
+  std::vector<double> t;
+  for (int i = 0; i < 40; ++i) t.push_back((i * 13 % 29) + 1.0);
+  double prev = 1e300;
+  for (int p : {1, 2, 4, 8}) {
+    const auto a = schedule_lpt(t, p);
+    const double ms = makespan(t, a, p);
+    EXPECT_LE(ms, prev + 1e-12);
+    prev = ms;
+  }
+}
+
+TEST(Calibration, ProducesPlausibleParameters) {
+  const MachineParams mp = calibrate(1);
+  EXPECT_GT(mp.peak_flops, 1e8);    // > 0.1 GF — any working CPU
+  EXPECT_LT(mp.peak_flops, 1e13);   // < 10 TF — sanity ceiling
+  EXPECT_GT(mp.tau_b, 1e-12);
+  EXPECT_LT(mp.tau_b, 1e-6);
+  EXPECT_GT(mp.tau_l, mp.tau_b);    // random access slower than streaming
+}
+
+}  // namespace
+}  // namespace gsknn::model

@@ -1,0 +1,206 @@
+#include "gsknn/select/heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "gsknn/common/rng.hpp"
+
+namespace gsknn::heap {
+namespace {
+
+std::vector<double> random_values(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) x = rng.uniform();
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Binary heap.
+// ---------------------------------------------------------------------------
+
+TEST(BinaryHeap, InitFillsSentinels) {
+  std::vector<double> d(8);
+  std::vector<int> id(8);
+  binary_init(d.data(), id.data(), 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(std::isinf(d[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(id[static_cast<std::size_t>(i)], kNoId);
+  }
+  EXPECT_TRUE(binary_is_heap(d.data(), 8));
+}
+
+TEST(BinaryHeap, BuildEstablishesHeapProperty) {
+  auto vals = random_values(31, 1);
+  std::vector<int> ids(31);
+  for (int i = 0; i < 31; ++i) ids[static_cast<std::size_t>(i)] = i;
+  binary_build(vals.data(), ids.data(), 31);
+  EXPECT_TRUE(binary_is_heap(vals.data(), 31));
+}
+
+TEST(BinaryHeap, ReplaceRootKeepsHeap) {
+  auto vals = random_values(15, 2);
+  std::vector<int> ids(15, 0);
+  binary_build(vals.data(), ids.data(), 15);
+  for (int step = 0; step < 100; ++step) {
+    binary_replace_root(vals.data(), ids.data(), 15, vals[0] * 0.9, step);
+    ASSERT_TRUE(binary_is_heap(vals.data(), 15));
+  }
+}
+
+TEST(BinaryHeap, TryInsertRejectsLarger) {
+  std::vector<double> d = {5.0, 3.0, 4.0};
+  std::vector<int> id = {0, 1, 2};
+  binary_try_insert(d.data(), id.data(), 3, 6.0, 99);
+  EXPECT_EQ(d[0], 5.0);  // unchanged
+  binary_try_insert(d.data(), id.data(), 3, 1.0, 99);
+  EXPECT_LT(d[0], 5.0);  // root replaced and sifted
+  EXPECT_TRUE(binary_is_heap(d.data(), 3));
+}
+
+TEST(BinaryHeap, StreamingSelectionMatchesSort) {
+  for (int k : {1, 2, 3, 8, 16, 33}) {
+    auto stream = random_values(500, static_cast<std::uint64_t>(k));
+    std::vector<double> d(static_cast<std::size_t>(k));
+    std::vector<int> id(static_cast<std::size_t>(k));
+    binary_init(d.data(), id.data(), k);
+    for (std::size_t j = 0; j < stream.size(); ++j) {
+      binary_try_insert(d.data(), id.data(), k, stream[j],
+                        static_cast<int>(j));
+    }
+    auto expect = stream;
+    std::sort(expect.begin(), expect.end());
+    std::sort(d.begin(), d.end());
+    for (int j = 0; j < k; ++j) {
+      EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(j)],
+                       expect[static_cast<std::size_t>(j)])
+          << "k=" << k << " j=" << j;
+    }
+  }
+}
+
+TEST(BinaryHeap, SingleElementHeap) {
+  std::vector<double> d = {kInfDist};
+  std::vector<int> id = {kNoId};
+  binary_try_insert(d.data(), id.data(), 1, 2.0, 5);
+  EXPECT_EQ(d[0], 2.0);
+  EXPECT_EQ(id[0], 5);
+  binary_try_insert(d.data(), id.data(), 1, 3.0, 6);
+  EXPECT_EQ(d[0], 2.0);  // larger rejected
+  binary_try_insert(d.data(), id.data(), 1, 1.0, 7);
+  EXPECT_EQ(d[0], 1.0);
+  EXPECT_EQ(id[0], 7);
+}
+
+// ---------------------------------------------------------------------------
+// Padded 4-ary heap.
+// ---------------------------------------------------------------------------
+
+TEST(QuadHeap, PhysicalLayout) {
+  EXPECT_EQ(quad_physical_size(16), 19);
+  EXPECT_EQ(quad_phys(0), 0);
+  EXPECT_EQ(quad_phys(1), 4);
+  EXPECT_EQ(quad_phys(4), 7);
+  // Children of logical j occupy physical 4j+4 … 4j+7 (aligned quads).
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_EQ(quad_phys(4 * j + 1), 4 * j + 4);
+    EXPECT_EQ(quad_phys(4 * j + 4), 4 * j + 7);
+  }
+}
+
+TEST(QuadHeap, InitAndProperty) {
+  const int k = 21;
+  std::vector<double> d(static_cast<std::size_t>(quad_physical_size(k)));
+  std::vector<int> id(d.size());
+  quad_init(d.data(), id.data(), k);
+  EXPECT_TRUE(quad_is_heap(d.data(), k));
+}
+
+TEST(QuadHeap, ReplaceRootKeepsHeap) {
+  const int k = 33;
+  std::vector<double> d(static_cast<std::size_t>(quad_physical_size(k)));
+  std::vector<int> id(d.size());
+  quad_init(d.data(), id.data(), k);
+  Xoshiro256 rng(3);
+  for (int step = 0; step < 500; ++step) {
+    const double v = rng.uniform();
+    quad_try_insert(d.data(), id.data(), k, v, step);
+    ASSERT_TRUE(quad_is_heap(d.data(), k)) << "step " << step;
+  }
+}
+
+TEST(QuadHeap, StreamingSelectionMatchesSort) {
+  for (int k : {1, 2, 4, 5, 16, 64, 100}) {
+    auto stream = random_values(800, static_cast<std::uint64_t>(k) + 77);
+    std::vector<double> d(static_cast<std::size_t>(quad_physical_size(k)));
+    std::vector<int> id(d.size());
+    quad_init(d.data(), id.data(), k);
+    for (std::size_t j = 0; j < stream.size(); ++j) {
+      quad_try_insert(d.data(), id.data(), k, stream[j], static_cast<int>(j));
+    }
+    auto expect = stream;
+    std::sort(expect.begin(), expect.end());
+    std::vector<double> got;
+    for (int j = 0; j < k; ++j) {
+      got.push_back(d[static_cast<std::size_t>(quad_phys(j))]);
+    }
+    std::sort(got.begin(), got.end());
+    for (int j = 0; j < k; ++j) {
+      EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(j)],
+                       expect[static_cast<std::size_t>(j)])
+          << "k=" << k << " j=" << j;
+    }
+  }
+}
+
+TEST(QuadHeap, IdsTravelWithDistances) {
+  const int k = 8;
+  std::vector<double> d(static_cast<std::size_t>(quad_physical_size(k)));
+  std::vector<int> id(d.size());
+  quad_init(d.data(), id.data(), k);
+  // Insert values 100−i with id i; smallest k survive with matching ids.
+  for (int i = 0; i < 50; ++i) {
+    quad_try_insert(d.data(), id.data(), k, 100.0 - i, i);
+  }
+  for (int j = 0; j < k; ++j) {
+    const int p = quad_phys(j);
+    EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(p)],
+                     100.0 - id[static_cast<std::size_t>(p)]);
+  }
+}
+
+// Cross-arity property sweep: both heaps select the same k-smallest set.
+class HeapAritySweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HeapAritySweep, BothAritiesAgree) {
+  const auto [n, k] = GetParam();
+  auto stream = random_values(n, static_cast<std::uint64_t>(n * 31 + k));
+  std::vector<double> bd(static_cast<std::size_t>(k));
+  std::vector<int> bi(static_cast<std::size_t>(k));
+  binary_init(bd.data(), bi.data(), k);
+  std::vector<double> qd(static_cast<std::size_t>(quad_physical_size(k)));
+  std::vector<int> qi(qd.size());
+  quad_init(qd.data(), qi.data(), k);
+  for (std::size_t j = 0; j < stream.size(); ++j) {
+    binary_try_insert(bd.data(), bi.data(), k, stream[j], static_cast<int>(j));
+    quad_try_insert(qd.data(), qi.data(), k, stream[j], static_cast<int>(j));
+  }
+  std::vector<double> b(bd.begin(), bd.end());
+  std::vector<double> q;
+  for (int j = 0; j < k; ++j) q.push_back(qd[static_cast<std::size_t>(quad_phys(j))]);
+  std::sort(b.begin(), b.end());
+  std::sort(q.begin(), q.end());
+  EXPECT_EQ(b, q);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HeapAritySweep,
+    ::testing::Combine(::testing::Values(1, 2, 10, 100, 1000),
+                       ::testing::Values(1, 2, 5, 16, 64)));
+
+}  // namespace
+}  // namespace gsknn::heap

@@ -1,0 +1,197 @@
+// The four selection algorithms must produce identical k-smallest sets for
+// identical inputs — a direct check of the Table 3 implementations.
+#include "gsknn/select/select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "gsknn/common/rng.hpp"
+#include "gsknn/select/heap.hpp"
+
+namespace gsknn {
+namespace {
+
+struct Workload {
+  std::vector<double> cand;
+  std::vector<int> ids;
+};
+
+Workload make_workload(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Workload w;
+  w.cand.resize(static_cast<std::size_t>(n));
+  w.ids.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    w.cand[static_cast<std::size_t>(j)] = rng.uniform();
+    w.ids[static_cast<std::size_t>(j)] = 1000 + j;
+  }
+  return w;
+}
+
+std::vector<double> sorted_distances(const std::vector<double>& d) {
+  auto s = d;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+/// Run one algorithm against an empty row and return the sorted selected
+/// distances.
+template <typename Fn>
+std::vector<double> run(Fn&& fn, const Workload& w, int k) {
+  std::vector<double> rd(static_cast<std::size_t>(k));
+  std::vector<int> ri(static_cast<std::size_t>(k));
+  heap::binary_init(rd.data(), ri.data(), k);
+  fn(w.cand.data(), w.ids.data(), static_cast<int>(w.cand.size()), rd.data(),
+     ri.data(), k);
+  return sorted_distances(rd);
+}
+
+class SelectAgreement : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(SelectAgreement, AllAlgorithmsMatchSortOracle) {
+  const auto [n, k] = GetParam();
+  const Workload w = make_workload(n, static_cast<std::uint64_t>(n) * 7 + k);
+
+  // Oracle: k smallest (padded with +inf when n < k).
+  std::vector<double> expect = w.cand;
+  std::sort(expect.begin(), expect.end());
+  expect.resize(static_cast<std::size_t>(k),
+                std::numeric_limits<double>::infinity());
+
+  SelectScratch scratch;
+  const auto heap_bin = run(select_heap_binary, w, k);
+  const auto stl = run(
+      [&](const double* cd, const int* ci, int nn, double* rd, int* ri,
+          int kk) { select_stl(cd, ci, nn, rd, ri, kk, scratch); },
+      w, k);
+  const auto quick = run(
+      [&](const double* cd, const int* ci, int nn, double* rd, int* ri,
+          int kk) { select_quick(cd, ci, nn, rd, ri, kk, scratch); },
+      w, k);
+  const auto merge = run(
+      [&](const double* cd, const int* ci, int nn, double* rd, int* ri,
+          int kk) { select_merge(cd, ci, nn, rd, ri, kk, scratch); },
+      w, k);
+
+  for (int j = 0; j < k; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    EXPECT_EQ(heap_bin[ju], expect[ju]) << "heap n=" << n << " k=" << k;
+    EXPECT_EQ(stl[ju], expect[ju]) << "stl n=" << n << " k=" << k;
+    EXPECT_EQ(quick[ju], expect[ju]) << "quick n=" << n << " k=" << k;
+    EXPECT_EQ(merge[ju], expect[ju]) << "merge n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SelectAgreement,
+    ::testing::Combine(::testing::Values(1, 2, 8, 100, 1000, 4096),
+                       ::testing::Values(1, 2, 16, 128)));
+
+TEST(SelectUpdate, ExistingListIsMergedNotReplaced) {
+  // Pre-populate a row with three small distances; new candidates are all
+  // larger except one. Every algorithm must keep the preexisting winners.
+  const int k = 4;
+  const std::vector<double> seed_d = {0.1, 0.2, 0.3};
+  auto make_row = [&] {
+    std::vector<double> rd(k);
+    std::vector<int> ri(k);
+    heap::binary_init(rd.data(), ri.data(), k);
+    for (std::size_t j = 0; j < seed_d.size(); ++j) {
+      heap::binary_try_insert(rd.data(), ri.data(), k, seed_d[j],
+                              static_cast<int>(j));
+    }
+    return std::make_pair(rd, ri);
+  };
+  const std::vector<double> cand = {0.9, 0.15, 0.8, 0.7};
+  const std::vector<int> ids = {10, 11, 12, 13};
+  const std::vector<double> expect = {0.1, 0.15, 0.2, 0.3};
+
+  SelectScratch scratch;
+  {
+    auto [rd, ri] = make_row();
+    select_heap_binary(cand.data(), ids.data(), 4, rd.data(), ri.data(), k);
+    EXPECT_EQ(sorted_distances(rd), expect);
+  }
+  {
+    auto [rd, ri] = make_row();
+    select_quick(cand.data(), ids.data(), 4, rd.data(), ri.data(), k, scratch);
+    EXPECT_EQ(sorted_distances(rd), expect);
+  }
+  {
+    auto [rd, ri] = make_row();
+    select_merge(cand.data(), ids.data(), 4, rd.data(), ri.data(), k, scratch);
+    EXPECT_EQ(sorted_distances(rd), expect);
+  }
+  {
+    auto [rd, ri] = make_row();
+    select_stl(cand.data(), ids.data(), 4, rd.data(), ri.data(), k, scratch);
+    EXPECT_EQ(sorted_distances(rd), expect);
+  }
+}
+
+TEST(SelectUpdate, IdsFollowDistances) {
+  const int k = 3;
+  std::vector<double> rd(k);
+  std::vector<int> ri(k);
+  heap::binary_init(rd.data(), ri.data(), k);
+  const std::vector<double> cand = {0.5, 0.1, 0.9, 0.3, 0.7};
+  const std::vector<int> ids = {50, 10, 90, 30, 70};
+  SelectScratch scratch;
+  select_quick(cand.data(), ids.data(), 5, rd.data(), ri.data(), k, scratch);
+  std::vector<std::pair<double, int>> got;
+  for (int j = 0; j < k; ++j) got.emplace_back(rd[static_cast<std::size_t>(j)], ri[static_cast<std::size_t>(j)]);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got[0], std::make_pair(0.1, 10));
+  EXPECT_EQ(got[1], std::make_pair(0.3, 30));
+  EXPECT_EQ(got[2], std::make_pair(0.5, 50));
+}
+
+TEST(Quickselect, KthStatisticMatchesSort) {
+  Xoshiro256 rng(5);
+  for (int n : {1, 2, 3, 10, 101, 1000}) {
+    std::vector<std::pair<double, int>> a(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) a[static_cast<std::size_t>(i)] = {rng.uniform(), i};
+    auto sorted = a;
+    std::sort(sorted.begin(), sorted.end());
+    for (int kth : {0, n / 4, n / 2, n - 1}) {
+      auto work = a;
+      const auto got = quickselect_kth(work.data(), n, kth);
+      EXPECT_EQ(got.first, sorted[static_cast<std::size_t>(kth)].first)
+          << "n=" << n << " kth=" << kth;
+    }
+  }
+}
+
+TEST(Quickselect, HandlesDuplicates) {
+  std::vector<std::pair<double, int>> a = {
+      {1.0, 0}, {1.0, 1}, {1.0, 2}, {0.5, 3}, {2.0, 4}};
+  EXPECT_EQ(quickselect_kth(a.data(), 5, 0).first, 0.5);
+  a = {{1.0, 0}, {1.0, 1}, {1.0, 2}, {0.5, 3}, {2.0, 4}};
+  EXPECT_EQ(quickselect_kth(a.data(), 5, 2).first, 1.0);
+  a = {{1.0, 0}, {1.0, 1}, {1.0, 2}, {0.5, 3}, {2.0, 4}};
+  EXPECT_EQ(quickselect_kth(a.data(), 5, 4).first, 2.0);
+}
+
+TEST(Quickselect, AllEqualValues) {
+  std::vector<std::pair<double, int>> a(100, {3.0, 1});
+  EXPECT_EQ(quickselect_kth(a.data(), 100, 50).first, 3.0);
+}
+
+TEST(SelectEdge, InfiniteCandidatesNeverDisplace) {
+  const int k = 2;
+  std::vector<double> rd = {0.5, 0.2};
+  std::vector<int> ri = {5, 2};
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> cand = {inf, inf, inf};
+  const std::vector<int> ids = {1, 2, 3};
+  select_heap_binary(cand.data(), ids.data(), 3, rd.data(), ri.data(), k);
+  EXPECT_EQ(sorted_distances(rd), (std::vector<double>{0.2, 0.5}));
+}
+
+}  // namespace
+}  // namespace gsknn

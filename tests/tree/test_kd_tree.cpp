@@ -1,0 +1,149 @@
+#include "gsknn/tree/kd_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "gsknn/data/generators.hpp"
+#include "test_util.hpp"
+
+namespace gsknn::tree {
+namespace {
+
+std::vector<int> iota_ids(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+class KdTreeExactness : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(KdTreeExactness, MatchesBruteForce) {
+  const auto [d, k] = GetParam();
+  const int n = 500;
+  const PointTable X = make_uniform(d, n, 0xAD00u + d * 31 + k);
+  const KdTree t(X, 16);
+  const auto all = iota_ids(n);
+  const auto expect = test::brute_force_knn(X, all, all, k);
+  std::vector<std::pair<double, int>> got;
+  for (int i = 0; i < n; ++i) {
+    t.query(X.col(i), k, got);
+    ASSERT_EQ(got.size(), expect[static_cast<std::size_t>(i)].size());
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      EXPECT_NEAR(got[j].first, expect[static_cast<std::size_t>(i)][j].first,
+                  1e-12)
+          << "query " << i << " j " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KdTreeExactness,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                                            ::testing::Values(1, 4, 10)));
+
+TEST(KdTree, BatchMatchesSingleQueries) {
+  const PointTable X = make_uniform(4, 300, 7);
+  const KdTree t(X, 8);
+  const auto q = iota_ids(100);
+  NeighborTable batch(100, 5);
+  t.query_batch(q, batch);
+  std::vector<std::pair<double, int>> single;
+  for (int i = 0; i < 100; ++i) {
+    t.query(X.col(i), 5, single);
+    const auto row = batch.sorted_row(i);
+    ASSERT_EQ(row.size(), single.size());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      EXPECT_EQ(row[j], single[j]);
+    }
+  }
+}
+
+TEST(KdTree, PruningIsEffectiveInLowD) {
+  // In 2-D the search must evaluate far fewer distances than brute force.
+  const int n = 5000;
+  const PointTable X = make_uniform(2, n, 11);
+  const KdTree t(X, 16);
+  std::vector<std::pair<double, int>> out;
+  long evals = 0;
+  for (int i = 0; i < 100; ++i) evals += t.query(X.col(i), 5, out);
+  EXPECT_LT(evals, 100L * n / 10);  // < 10% of brute force
+}
+
+TEST(KdTree, PruningDegradesInHighD) {
+  // The curse of dimensionality: in d = 64 the same search visits a large
+  // fraction of the dataset — the paper's motivation for approximate
+  // methods.
+  const int n = 2000;
+  const PointTable lo = make_uniform(2, n, 12);
+  const PointTable hi = make_uniform(64, n, 13);
+  const KdTree tlo(lo, 16), thi(hi, 16);
+  std::vector<std::pair<double, int>> out;
+  long evals_lo = 0, evals_hi = 0;
+  for (int i = 0; i < 50; ++i) {
+    evals_lo += tlo.query(lo.col(i), 5, out);
+    evals_hi += thi.query(hi.col(i), 5, out);
+  }
+  EXPECT_GT(evals_hi, 10 * evals_lo);
+  EXPECT_GT(evals_hi, 50L * n / 2);  // visits most of the data
+}
+
+TEST(KdTree, SelfQueryFindsSelfFirst) {
+  const PointTable X = make_uniform(3, 200, 14);
+  const KdTree t(X, 8);
+  std::vector<std::pair<double, int>> out;
+  for (int i = 0; i < 200; ++i) {
+    t.query(X.col(i), 3, out);
+    ASSERT_GE(out.size(), 1u);
+    EXPECT_EQ(out[0].second, i);
+    EXPECT_EQ(out[0].first, 0.0);
+  }
+}
+
+TEST(KdTree, KLargerThanNReturnsAll) {
+  const PointTable X = make_uniform(3, 7, 15);
+  const KdTree t(X, 2);
+  std::vector<std::pair<double, int>> out;
+  t.query(X.col(0), 20, out);
+  EXPECT_EQ(out.size(), 7u);
+}
+
+TEST(KdTree, DuplicatePointsDoNotBreakConstruction) {
+  PointTable X(2, 50);
+  for (int i = 0; i < 50; ++i) {
+    X.at(0, i) = 0.5;  // all identical
+    X.at(1, i) = 0.5;
+  }
+  X.compute_norms();
+  const KdTree t(X, 4);
+  EXPECT_GT(t.leaf_count(), 0);
+  std::vector<std::pair<double, int>> out;
+  t.query(X.col(0), 3, out);
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& [dist, id] : out) EXPECT_EQ(dist, 0.0);
+}
+
+TEST(KdTree, StructureStatsAreConsistent) {
+  const int n = 1000;
+  const PointTable X = make_uniform(5, n, 16);
+  const KdTree t(X, 32);
+  EXPECT_EQ(t.size(), n);
+  EXPECT_GE(t.leaf_count(), n / 32);
+  EXPECT_LE(t.leaf_count(), n);
+  EXPECT_GE(t.depth(), 5);   // at least log2(1000/32)
+  EXPECT_LE(t.depth(), 30);  // median splits keep it balanced
+}
+
+TEST(KdTree, EmptyTreeQueriesReturnNothing) {
+  PointTable X(3, 0);
+  const KdTree t(X, 4);
+  std::vector<std::pair<double, int>> out;
+  const double q[3] = {0, 0, 0};
+  EXPECT_EQ(t.query(q, 5, out), 0);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace gsknn::tree

@@ -1,0 +1,103 @@
+#include "gsknn/tree/lsh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "gsknn/data/generators.hpp"
+
+namespace gsknn::tree {
+namespace {
+
+TEST(Lsh, RecallImprovesWithMoreTables) {
+  const PointTable X = make_gaussian_mixture(8, 500, 10, 0.05, 1);
+  LshConfig one;
+  one.tables = 1;
+  one.bucket_width = 2.0;
+  one.seed = 4;
+  LshConfig many = one;
+  many.tables = 12;
+  const auto r1 = lsh_all_nearest_neighbors(X, 6, one);
+  const auto r12 = lsh_all_nearest_neighbors(X, 6, many);
+  const double rec1 = recall_at_k(X, r1.table, 6, 80, 5);
+  const double rec12 = recall_at_k(X, r12.table, 6, 80, 5);
+  EXPECT_GE(rec12, rec1);
+  EXPECT_GT(rec12, 0.5);
+}
+
+TEST(Lsh, WideBucketsApproachExhaustive) {
+  // With an enormous bucket width and one projection, everything collides
+  // into one bucket → exact search (modulo chunking, disabled via max_group).
+  const PointTable X = make_uniform(6, 300, 2);
+  LshConfig cfg;
+  cfg.tables = 1;
+  cfg.hashes_per_table = 1;
+  cfg.bucket_width = 1e9;
+  cfg.max_group = 300;
+  const auto r = lsh_all_nearest_neighbors(X, 5, cfg);
+  EXPECT_DOUBLE_EQ(recall_at_k(X, r.table, 5, 60, 6), 1.0);
+}
+
+TEST(Lsh, DeterministicForSeed) {
+  const PointTable X = make_uniform(6, 200, 3);
+  LshConfig cfg;
+  cfg.tables = 3;
+  cfg.seed = 77;
+  const auto a = lsh_all_nearest_neighbors(X, 4, cfg);
+  const auto b = lsh_all_nearest_neighbors(X, 4, cfg);
+  for (int i = 0; i < X.size(); ++i) {
+    EXPECT_EQ(a.table.sorted_row(i), b.table.sorted_row(i));
+  }
+}
+
+TEST(Lsh, UniqueNeighborIds) {
+  const PointTable X = make_gaussian_mixture(6, 300, 5, 0.1, 8);
+  LshConfig cfg;
+  cfg.tables = 8;
+  cfg.bucket_width = 3.0;
+  const auto r = lsh_all_nearest_neighbors(X, 8, cfg);
+  for (int i = 0; i < X.size(); ++i) {
+    std::vector<int> ids;
+    for (const auto& [dist, id] : r.table.sorted_row(i)) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  }
+}
+
+TEST(Lsh, ChunkingBoundsKernelSize) {
+  const PointTable X = make_uniform(4, 400, 9);
+  LshConfig cfg;
+  cfg.tables = 1;
+  cfg.hashes_per_table = 1;
+  cfg.bucket_width = 1e9;  // one giant bucket
+  cfg.max_group = 64;      // forced chunking
+  const auto r = lsh_all_nearest_neighbors(X, 3, cfg);
+  EXPECT_GT(r.leaves_processed, 5);  // many chunks, not one kernel
+  // Still finds reasonable neighbors within chunks.
+  EXPECT_GT(recall_at_k(X, r.table, 3, 50, 10), 0.1);
+}
+
+TEST(Lsh, GemmBackendMatchesGsknnBackend) {
+  const PointTable X = make_uniform(10, 250, 11);
+  LshConfig a;
+  a.tables = 2;
+  a.bucket_width = 4.0;
+  a.seed = 21;
+  LshConfig b = a;
+  b.backend = KernelBackend::kGemmBaseline;
+  const auto ra = lsh_all_nearest_neighbors(X, 5, a);
+  const auto rb = lsh_all_nearest_neighbors(X, 5, b);
+  for (int i = 0; i < X.size(); ++i) {
+    const auto rowa = ra.table.sorted_row(i);
+    const auto rowb = rb.table.sorted_row(i);
+    ASSERT_EQ(rowa.size(), rowb.size());
+    for (std::size_t j = 0; j < rowa.size(); ++j) {
+      EXPECT_NEAR(rowa[j].first, rowb[j].first, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsknn::tree

@@ -1,0 +1,162 @@
+#include "gsknn/tree/rkd_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "gsknn/data/generators.hpp"
+
+namespace gsknn::tree {
+namespace {
+
+TEST(RkdPartition, LeavesPartitionAllPoints) {
+  const PointTable X = make_uniform(8, 500, 1);
+  const auto leaves = random_kd_partition(X, 64, 7);
+  std::vector<int> seen;
+  for (const auto& leaf : leaves) {
+    EXPECT_LE(leaf.size(), 64u);
+    EXPECT_GE(leaf.size(), 1u);
+    seen.insert(seen.end(), leaf.begin(), leaf.end());
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<int> expect(500);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(RkdPartition, LeafSizesAreBalanced) {
+  // Median splits guarantee leaves within a factor 2 of each other.
+  const PointTable X = make_uniform(4, 1000, 2);
+  const auto leaves = random_kd_partition(X, 100, 3);
+  std::size_t mn = 1u << 30, mx = 0;
+  for (const auto& leaf : leaves) {
+    mn = std::min(mn, leaf.size());
+    mx = std::max(mx, leaf.size());
+  }
+  EXPECT_LE(mx, 100u);
+  EXPECT_GE(mn, 50u);
+}
+
+TEST(RkdPartition, DeterministicForSeed) {
+  const PointTable X = make_uniform(6, 300, 3);
+  const auto a = random_kd_partition(X, 50, 11);
+  const auto b = random_kd_partition(X, 50, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(RkdPartition, DifferentSeedsDiffer) {
+  const PointTable X = make_uniform(6, 300, 3);
+  const auto a = random_kd_partition(X, 50, 11);
+  const auto b = random_kd_partition(X, 50, 12);
+  bool different = (a.size() != b.size());
+  for (std::size_t i = 0; !different && i < a.size(); ++i) {
+    different = (a[i] != b[i]);
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(RkdPartition, SmallDatasetSingleLeaf) {
+  const PointTable X = make_uniform(3, 10, 4);
+  const auto leaves = random_kd_partition(X, 64, 5);
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0].size(), 10u);
+}
+
+TEST(RkdForest, RecallImprovesWithMoreTrees) {
+  // Low intrinsic dimension: randomized trees converge quickly.
+  const PointTable X = make_gaussian_embedded(16, 600, 3, 42);
+  RkdConfig one;
+  one.leaf_size = 64;
+  one.num_trees = 1;
+  one.seed = 5;
+  RkdConfig many = one;
+  many.num_trees = 10;
+
+  const auto r1 = all_nearest_neighbors(X, 8, one);
+  const auto r10 = all_nearest_neighbors(X, 8, many);
+  const double rec1 = recall_at_k(X, r1.table, 8, 100, 9);
+  const double rec10 = recall_at_k(X, r10.table, 8, 100, 9);
+  EXPECT_GT(rec10, rec1);
+  EXPECT_GT(rec10, 0.85);
+}
+
+TEST(RkdForest, SingleLeafIsExact) {
+  // leaf_size ≥ N degenerates to one exhaustive kernel — recall 1.
+  const PointTable X = make_uniform(8, 200, 6);
+  RkdConfig cfg;
+  cfg.leaf_size = 200;
+  cfg.num_trees = 1;
+  const auto r = all_nearest_neighbors(X, 5, cfg);
+  EXPECT_DOUBLE_EQ(recall_at_k(X, r.table, 5, 50, 1), 1.0);
+  EXPECT_EQ(r.leaves_processed, 1);
+}
+
+TEST(RkdForest, BackendsProduceIdenticalTables) {
+  // Same seed → same leaves → the GEMM-ref and GSKNN columns of Table 1
+  // compute the same neighbor sets.
+  const PointTable X = make_uniform(12, 400, 7);
+  RkdConfig a;
+  a.leaf_size = 64;
+  a.num_trees = 3;
+  a.seed = 13;
+  RkdConfig b = a;
+  b.backend = KernelBackend::kGemmBaseline;
+  const auto ra = all_nearest_neighbors(X, 6, a);
+  const auto rb = all_nearest_neighbors(X, 6, b);
+  for (int i = 0; i < X.size(); ++i) {
+    const auto rowa = ra.table.sorted_row(i);
+    const auto rowb = rb.table.sorted_row(i);
+    ASSERT_EQ(rowa.size(), rowb.size()) << "row " << i;
+    for (std::size_t j = 0; j < rowa.size(); ++j) {
+      EXPECT_NEAR(rowa[j].first, rowb[j].first, 1e-9);
+      EXPECT_EQ(rowa[j].second, rowb[j].second);
+    }
+  }
+}
+
+TEST(RkdForest, NeighborListsHaveUniqueIds) {
+  const PointTable X = make_uniform(8, 300, 8);
+  RkdConfig cfg;
+  cfg.leaf_size = 50;
+  cfg.num_trees = 6;  // heavy leaf overlap across trees
+  const auto r = all_nearest_neighbors(X, 10, cfg);
+  for (int i = 0; i < X.size(); ++i) {
+    std::vector<int> ids;
+    for (const auto& [dist, id] : r.table.sorted_row(i)) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+        << "row " << i;
+  }
+}
+
+TEST(RkdForest, TimersAccumulate) {
+  const PointTable X = make_uniform(8, 256, 10);
+  RkdConfig cfg;
+  cfg.leaf_size = 32;
+  cfg.num_trees = 2;
+  const auto r = all_nearest_neighbors(X, 4, cfg);
+  EXPECT_GT(r.build_seconds, 0.0);
+  EXPECT_GT(r.kernel_seconds, 0.0);
+  EXPECT_GT(r.leaves_processed, 2);
+}
+
+TEST(Recall, PerfectTableScoresOne) {
+  const PointTable X = make_uniform(5, 100, 11);
+  std::vector<int> all(100);
+  std::iota(all.begin(), all.end(), 0);
+  NeighborTable exact(100, 4);
+  knn_kernel(X, all, all, exact, {});
+  EXPECT_DOUBLE_EQ(recall_at_k(X, exact, 4, 40, 2), 1.0);
+}
+
+TEST(Recall, EmptyTableScoresZero) {
+  const PointTable X = make_uniform(5, 100, 12);
+  NeighborTable empty(100, 4);
+  EXPECT_DOUBLE_EQ(recall_at_k(X, empty, 4, 40, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace gsknn::tree

@@ -1,0 +1,246 @@
+// gsknn — command-line front end for the library.
+//
+// Subcommands:
+//   generate  --out FILE --d D --n N [--dist uniform|gaussian|mixture]
+//             [--intrinsic I] [--clusters C] [--sigma S] [--seed S]
+//             [--csv]                     synthesize a dataset
+//   search    --data FILE --k K --out FILE [--queries FILE] [--norm l2|l1|
+//             linf|cos|lp] [--p P] [--variant auto|1|2|3|5|6]
+//             exact kNN of every query (default: all points, self included)
+//   allnn     --data FILE --k K --out FILE [--trees T] [--leaf L] [--seed S]
+//             approximate all-NN via the randomized KD-tree forest,
+//             reporting sampled exact recall
+//   info      --data FILE               print dataset statistics
+//
+// Data files: native .gsknn tables or .csv (one point per row); detected by
+// content, not extension. Results are CSV: query,rank,neighbor_id,distance.
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gsknn/common/timer.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/generators.hpp"
+#include "gsknn/data/io.hpp"
+#include "gsknn/tree/rkd_forest.hpp"
+
+namespace {
+
+using namespace gsknn;
+
+struct Args {
+  std::vector<std::pair<std::string, std::string>> kv;
+  bool has(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+  long get_long(const std::string& key, long fallback) const {
+    const std::string v = get(key);
+    return v.empty() ? fallback : std::stol(v);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const std::string v = get(key);
+    return v.empty() ? fallback : std::stod(v);
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::runtime_error("expected --option, got '" + key + "'");
+    }
+    key = key.substr(2);
+    std::string value = "1";  // bare flags read as true
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    a.kv.emplace_back(key, value);
+  }
+  return a;
+}
+
+/// Load a dataset, trying the native format first, then CSV.
+PointTable load_any(const std::string& path) {
+  try {
+    return load_table(path);
+  } catch (const std::exception&) {
+    return load_csv(path);
+  }
+}
+
+Norm parse_norm(const std::string& s) {
+  if (s == "l2" || s.empty()) return Norm::kL2Sq;
+  if (s == "l1") return Norm::kL1;
+  if (s == "linf") return Norm::kLInf;
+  if (s == "cos") return Norm::kCosine;
+  if (s == "lp") return Norm::kLp;
+  throw std::runtime_error("unknown norm '" + s + "'");
+}
+
+Variant parse_variant(const std::string& s) {
+  if (s == "auto" || s.empty()) return Variant::kAuto;
+  if (s == "1") return Variant::kVar1;
+  if (s == "2") return Variant::kVar2;
+  if (s == "3") return Variant::kVar3;
+  if (s == "5") return Variant::kVar5;
+  if (s == "6") return Variant::kVar6;
+  throw std::runtime_error("unknown variant '" + s + "' (auto/1/2/3/5/6)");
+}
+
+int cmd_generate(const Args& a) {
+  const int d = static_cast<int>(a.get_long("d", 16));
+  const int n = static_cast<int>(a.get_long("n", 10000));
+  const auto seed = static_cast<std::uint64_t>(a.get_long("seed", 0));
+  const std::string dist = a.get("dist", "uniform");
+  PointTable t;
+  if (dist == "uniform") {
+    t = make_uniform(d, n, seed);
+  } else if (dist == "gaussian") {
+    const int intrinsic = static_cast<int>(a.get_long("intrinsic", std::min(10, d)));
+    t = make_gaussian_embedded(d, n, intrinsic, seed);
+  } else if (dist == "mixture") {
+    t = make_gaussian_mixture(d, n, static_cast<int>(a.get_long("clusters", 16)),
+                              a.get_double("sigma", 0.05), seed);
+  } else {
+    throw std::runtime_error("unknown --dist '" + dist + "'");
+  }
+  const std::string out = a.get("out");
+  if (out.empty()) throw std::runtime_error("generate requires --out");
+  if (a.has("csv")) {
+    save_csv(t, out);
+  } else {
+    save_table(t, out);
+  }
+  std::printf("wrote %d points (d=%d, %s) to %s\n", n, d, dist.c_str(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_search(const Args& a) {
+  const PointTable data = load_any(a.get("data"));
+  const int k = static_cast<int>(a.get_long("k", 10));
+  KnnConfig cfg;
+  cfg.norm = parse_norm(a.get("norm"));
+  cfg.p = a.get_double("p", 3.0);
+  cfg.variant = parse_variant(a.get("variant"));
+
+  std::vector<int> refs(static_cast<std::size_t>(data.size()));
+  std::iota(refs.begin(), refs.end(), 0);
+
+  std::vector<int> queries;
+  PointTable qtable;
+  const std::string qpath = a.get("queries");
+  NeighborTable result(0, 1);
+  WallTimer timer;
+  if (qpath.empty()) {
+    // All-pairs over the dataset itself.
+    queries = refs;
+    result.resize(static_cast<int>(queries.size()), k);
+    timer.start();
+    knn_kernel(data, queries, refs, result, cfg);
+  } else {
+    // External query set: append its points to a combined table so the
+    // kernel's single-table interface applies.
+    qtable = load_any(qpath);
+    if (qtable.dim() != data.dim()) {
+      throw std::runtime_error("query/data dimension mismatch");
+    }
+    PointTable combined(data.dim(), data.size() + qtable.size());
+    std::memcpy(combined.data(), data.data(),
+                sizeof(double) * static_cast<std::size_t>(data.dim()) * data.size());
+    std::memcpy(combined.col(data.size()), qtable.data(),
+                sizeof(double) * static_cast<std::size_t>(qtable.dim()) * qtable.size());
+    combined.compute_norms();
+    queries.resize(static_cast<std::size_t>(qtable.size()));
+    std::iota(queries.begin(), queries.end(), data.size());
+    result.resize(static_cast<int>(queries.size()), k);
+    timer.start();
+    knn_kernel(combined, queries, refs, result, cfg);
+  }
+  const double secs = timer.seconds();
+
+  const std::string out = a.get("out");
+  if (out.empty()) throw std::runtime_error("search requires --out");
+  save_neighbors_csv(result, out);
+  std::printf("searched %zu queries x %d refs (d=%d, k=%d) in %.3fs -> %s\n",
+              queries.size(), data.size(), data.dim(), k, secs, out.c_str());
+  return 0;
+}
+
+int cmd_allnn(const Args& a) {
+  const PointTable data = load_any(a.get("data"));
+  const int k = static_cast<int>(a.get_long("k", 10));
+  tree::RkdConfig cfg;
+  cfg.num_trees = static_cast<int>(a.get_long("trees", 8));
+  cfg.leaf_size = static_cast<int>(a.get_long("leaf", 512));
+  cfg.seed = static_cast<std::uint64_t>(a.get_long("seed", 0));
+  const auto result = tree::all_nearest_neighbors(data, k, cfg);
+  const double recall = tree::recall_at_k(data, result.table, k,
+                                          std::min(200, data.size()), 1);
+  const std::string out = a.get("out");
+  if (out.empty()) throw std::runtime_error("allnn requires --out");
+  save_neighbors_csv(result.table, out);
+  std::printf("all-NN: %d points, %d trees, leaf %d: build %.3fs + kernels "
+              "%.3fs, recall@%d %.3f -> %s\n",
+              data.size(), cfg.num_trees, cfg.leaf_size, result.build_seconds,
+              result.kernel_seconds, k, recall, out.c_str());
+  return 0;
+}
+
+int cmd_info(const Args& a) {
+  const PointTable data = load_any(a.get("data"));
+  double min_norm = 1e300, max_norm = -1e300, mean_norm = 0.0;
+  for (int i = 0; i < data.size(); ++i) {
+    const double s = data.norms2()[i];
+    min_norm = std::min(min_norm, s);
+    max_norm = std::max(max_norm, s);
+    mean_norm += s;
+  }
+  if (data.size() > 0) mean_norm /= data.size();
+  std::printf("points: %d\ndim: %d\nsquared norms: min %.4f mean %.4f max %.4f\n",
+              data.size(), data.dim(), min_norm, mean_norm, max_norm);
+  return 0;
+}
+
+void usage() {
+  std::puts("usage: gsknn <generate|search|allnn|info> [--options]\n"
+            "  generate --out F --d D --n N [--dist uniform|gaussian|mixture] [--csv]\n"
+            "  search   --data F --k K --out F [--queries F] [--norm l2|l1|linf|cos|lp]\n"
+            "  allnn    --data F --k K --out F [--trees T] [--leaf L]\n"
+            "  info     --data F");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "search") return cmd_search(args);
+    if (cmd == "allnn") return cmd_allnn(args);
+    if (cmd == "info") return cmd_info(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gsknn %s: error: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
