@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exact_tree.dir/ablation_exact_tree.cpp.o"
+  "CMakeFiles/ablation_exact_tree.dir/ablation_exact_tree.cpp.o.d"
+  "ablation_exact_tree"
+  "ablation_exact_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exact_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

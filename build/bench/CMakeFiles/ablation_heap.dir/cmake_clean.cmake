@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heap.dir/ablation_heap.cpp.o"
+  "CMakeFiles/ablation_heap.dir/ablation_heap.cpp.o.d"
+  "ablation_heap"
+  "ablation_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_variant_threshold.dir/fig5_variant_threshold.cpp.o"
+  "CMakeFiles/fig5_variant_threshold.dir/fig5_variant_threshold.cpp.o.d"
+  "fig5_variant_threshold"
+  "fig5_variant_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_variant_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_efficiency_overview.dir/fig6_efficiency_overview.cpp.o"
+  "CMakeFiles/fig6_efficiency_overview.dir/fig6_efficiency_overview.cpp.o.d"
+  "fig6_efficiency_overview"
+  "fig6_efficiency_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_efficiency_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pack.dir/micro_pack.cpp.o"
+  "CMakeFiles/micro_pack.dir/micro_pack.cpp.o.d"
+  "micro_pack"
+  "micro_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_integrated.dir/table1_integrated.cpp.o"
+  "CMakeFiles/table1_integrated.dir/table1_integrated.cpp.o.d"
+  "table1_integrated"
+  "table1_integrated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_integrated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_breakdown.dir/table5_breakdown.cpp.o"
+  "CMakeFiles/table5_breakdown.dir/table5_breakdown.cpp.o.d"
+  "table5_breakdown"
+  "table5_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify.dir/classify.cpp.o"
+  "CMakeFiles/classify.dir/classify.cpp.o.d"
+  "classify"
+  "classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_graph.dir/knn_graph.cpp.o"
+  "CMakeFiles/knn_graph.dir/knn_graph.cpp.o.d"
+  "knn_graph"
+  "knn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsknn_shared.dir/empty.cpp.o"
+  "CMakeFiles/gsknn_shared.dir/empty.cpp.o.d"
+  "libgsknn.pdb"
+  "libgsknn.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsknn_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/gsknn_shared.dir/empty.cpp.o: /root/repo/src/empty.cpp \
+ /usr/include/stdc-predef.h

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/gemm.cpp" "src/blas/CMakeFiles/gsknn_blas.dir/gemm.cpp.o" "gcc" "src/blas/CMakeFiles/gsknn_blas.dir/gemm.cpp.o.d"
+  "/root/repo/src/blas/ukernel_avx2.cpp" "src/blas/CMakeFiles/gsknn_blas.dir/ukernel_avx2.cpp.o" "gcc" "src/blas/CMakeFiles/gsknn_blas.dir/ukernel_avx2.cpp.o.d"
+  "/root/repo/src/blas/ukernel_avx512.cpp" "src/blas/CMakeFiles/gsknn_blas.dir/ukernel_avx512.cpp.o" "gcc" "src/blas/CMakeFiles/gsknn_blas.dir/ukernel_avx512.cpp.o.d"
+  "/root/repo/src/blas/ukernel_scalar.cpp" "src/blas/CMakeFiles/gsknn_blas.dir/ukernel_scalar.cpp.o" "gcc" "src/blas/CMakeFiles/gsknn_blas.dir/ukernel_scalar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsknn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsknn_blas.dir/gemm.cpp.o"
+  "CMakeFiles/gsknn_blas.dir/gemm.cpp.o.d"
+  "CMakeFiles/gsknn_blas.dir/ukernel_avx2.cpp.o"
+  "CMakeFiles/gsknn_blas.dir/ukernel_avx2.cpp.o.d"
+  "CMakeFiles/gsknn_blas.dir/ukernel_avx512.cpp.o"
+  "CMakeFiles/gsknn_blas.dir/ukernel_avx512.cpp.o.d"
+  "CMakeFiles/gsknn_blas.dir/ukernel_scalar.cpp.o"
+  "CMakeFiles/gsknn_blas.dir/ukernel_scalar.cpp.o.d"
+  "libgsknn_blas.a"
+  "libgsknn_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsknn_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsknn_common.dir/arch.cpp.o"
+  "CMakeFiles/gsknn_common.dir/arch.cpp.o.d"
+  "libgsknn_common.a"
+  "libgsknn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsknn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/gsknn_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/gsknn_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/batch.cpp" "src/core/CMakeFiles/gsknn_core.dir/batch.cpp.o" "gcc" "src/core/CMakeFiles/gsknn_core.dir/batch.cpp.o.d"
+  "/root/repo/src/core/capi.cpp" "src/core/CMakeFiles/gsknn_core.dir/capi.cpp.o" "gcc" "src/core/CMakeFiles/gsknn_core.dir/capi.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "src/core/CMakeFiles/gsknn_core.dir/driver.cpp.o" "gcc" "src/core/CMakeFiles/gsknn_core.dir/driver.cpp.o.d"
+  "/root/repo/src/core/micro_avx2.cpp" "src/core/CMakeFiles/gsknn_core.dir/micro_avx2.cpp.o" "gcc" "src/core/CMakeFiles/gsknn_core.dir/micro_avx2.cpp.o.d"
+  "/root/repo/src/core/micro_avx512.cpp" "src/core/CMakeFiles/gsknn_core.dir/micro_avx512.cpp.o" "gcc" "src/core/CMakeFiles/gsknn_core.dir/micro_avx512.cpp.o.d"
+  "/root/repo/src/core/micro_scalar.cpp" "src/core/CMakeFiles/gsknn_core.dir/micro_scalar.cpp.o" "gcc" "src/core/CMakeFiles/gsknn_core.dir/micro_scalar.cpp.o.d"
+  "/root/repo/src/core/parallel_refs.cpp" "src/core/CMakeFiles/gsknn_core.dir/parallel_refs.cpp.o" "gcc" "src/core/CMakeFiles/gsknn_core.dir/parallel_refs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsknn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gsknn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/select/CMakeFiles/gsknn_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/gsknn_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/gsknn_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

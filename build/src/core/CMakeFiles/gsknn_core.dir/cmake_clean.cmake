@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsknn_core.dir/baseline.cpp.o"
+  "CMakeFiles/gsknn_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/gsknn_core.dir/batch.cpp.o"
+  "CMakeFiles/gsknn_core.dir/batch.cpp.o.d"
+  "CMakeFiles/gsknn_core.dir/capi.cpp.o"
+  "CMakeFiles/gsknn_core.dir/capi.cpp.o.d"
+  "CMakeFiles/gsknn_core.dir/driver.cpp.o"
+  "CMakeFiles/gsknn_core.dir/driver.cpp.o.d"
+  "CMakeFiles/gsknn_core.dir/micro_avx2.cpp.o"
+  "CMakeFiles/gsknn_core.dir/micro_avx2.cpp.o.d"
+  "CMakeFiles/gsknn_core.dir/micro_avx512.cpp.o"
+  "CMakeFiles/gsknn_core.dir/micro_avx512.cpp.o.d"
+  "CMakeFiles/gsknn_core.dir/micro_scalar.cpp.o"
+  "CMakeFiles/gsknn_core.dir/micro_scalar.cpp.o.d"
+  "CMakeFiles/gsknn_core.dir/parallel_refs.cpp.o"
+  "CMakeFiles/gsknn_core.dir/parallel_refs.cpp.o.d"
+  "libgsknn_core.a"
+  "libgsknn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsknn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

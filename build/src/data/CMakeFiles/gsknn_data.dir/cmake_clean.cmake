@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsknn_data.dir/generators.cpp.o"
+  "CMakeFiles/gsknn_data.dir/generators.cpp.o.d"
+  "CMakeFiles/gsknn_data.dir/io.cpp.o"
+  "CMakeFiles/gsknn_data.dir/io.cpp.o.d"
+  "libgsknn_data.a"
+  "libgsknn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsknn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgsknn_data.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsknn_model.dir/calibrate.cpp.o"
+  "CMakeFiles/gsknn_model.dir/calibrate.cpp.o.d"
+  "CMakeFiles/gsknn_model.dir/perf_model.cpp.o"
+  "CMakeFiles/gsknn_model.dir/perf_model.cpp.o.d"
+  "libgsknn_model.a"
+  "libgsknn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsknn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsknn_tune.dir/autotune.cpp.o"
+  "CMakeFiles/gsknn_tune.dir/autotune.cpp.o.d"
+  "libgsknn_tune.a"
+  "libgsknn_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsknn_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/select/neighbor_table.cpp" "src/select/CMakeFiles/gsknn_select.dir/neighbor_table.cpp.o" "gcc" "src/select/CMakeFiles/gsknn_select.dir/neighbor_table.cpp.o.d"
+  "/root/repo/src/select/select.cpp" "src/select/CMakeFiles/gsknn_select.dir/select.cpp.o" "gcc" "src/select/CMakeFiles/gsknn_select.dir/select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsknn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

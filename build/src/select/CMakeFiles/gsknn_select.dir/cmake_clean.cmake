@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsknn_select.dir/neighbor_table.cpp.o"
+  "CMakeFiles/gsknn_select.dir/neighbor_table.cpp.o.d"
+  "CMakeFiles/gsknn_select.dir/select.cpp.o"
+  "CMakeFiles/gsknn_select.dir/select.cpp.o.d"
+  "libgsknn_select.a"
+  "libgsknn_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsknn_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

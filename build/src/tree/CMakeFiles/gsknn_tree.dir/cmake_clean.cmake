@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsknn_tree.dir/kd_tree.cpp.o"
+  "CMakeFiles/gsknn_tree.dir/kd_tree.cpp.o.d"
+  "CMakeFiles/gsknn_tree.dir/lsh.cpp.o"
+  "CMakeFiles/gsknn_tree.dir/lsh.cpp.o.d"
+  "CMakeFiles/gsknn_tree.dir/rkd_forest.cpp.o"
+  "CMakeFiles/gsknn_tree.dir/rkd_forest.cpp.o.d"
+  "libgsknn_tree.a"
+  "libgsknn_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsknn_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aligned.dir/common/test_aligned.cpp.o"
+  "CMakeFiles/test_aligned.dir/common/test_aligned.cpp.o.d"
+  "test_aligned"
+  "test_aligned.pdb"
+  "test_aligned[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float.dir/core/test_float.cpp.o"
+  "CMakeFiles/test_float.dir/core/test_float.cpp.o.d"
+  "test_float"
+  "test_float.pdb"
+  "test_float[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float_avx2.dir/core/test_float.cpp.o"
+  "CMakeFiles/test_float_avx2.dir/core/test_float.cpp.o.d"
+  "test_float_avx2"
+  "test_float_avx2.pdb"
+  "test_float_avx2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float_avx2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float_scalar.dir/core/test_float.cpp.o"
+  "CMakeFiles/test_float_scalar.dir/core/test_float.cpp.o.d"
+  "test_float_scalar"
+  "test_float_scalar.pdb"
+  "test_float_scalar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

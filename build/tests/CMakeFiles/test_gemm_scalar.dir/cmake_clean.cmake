@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemm_scalar.dir/blas/test_gemm.cpp.o"
+  "CMakeFiles/test_gemm_scalar.dir/blas/test_gemm.cpp.o.d"
+  "test_gemm_scalar"
+  "test_gemm_scalar.pdb"
+  "test_gemm_scalar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemm_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knn_kernel.dir/core/test_knn_kernel.cpp.o"
+  "CMakeFiles/test_knn_kernel.dir/core/test_knn_kernel.cpp.o.d"
+  "test_knn_kernel"
+  "test_knn_kernel.pdb"
+  "test_knn_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knn_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

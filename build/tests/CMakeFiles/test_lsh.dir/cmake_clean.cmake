@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsh.dir/tree/test_lsh.cpp.o"
+  "CMakeFiles/test_lsh.dir/tree/test_lsh.cpp.o.d"
+  "test_lsh"
+  "test_lsh.pdb"
+  "test_lsh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_norms_avx2.dir/core/test_norms.cpp.o"
+  "CMakeFiles/test_norms_avx2.dir/core/test_norms.cpp.o.d"
+  "test_norms_avx2"
+  "test_norms_avx2.pdb"
+  "test_norms_avx2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_norms_avx2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_norms_scalar.dir/core/test_norms.cpp.o"
+  "CMakeFiles/test_norms_scalar.dir/core/test_norms.cpp.o.d"
+  "test_norms_scalar"
+  "test_norms_scalar.pdb"
+  "test_norms_scalar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_norms_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

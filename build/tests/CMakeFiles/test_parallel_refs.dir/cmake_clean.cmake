@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_refs.dir/core/test_parallel_refs.cpp.o"
+  "CMakeFiles/test_parallel_refs.dir/core/test_parallel_refs.cpp.o.d"
+  "test_parallel_refs"
+  "test_parallel_refs.pdb"
+  "test_parallel_refs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_refs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_pipeline.cpp" "tests/CMakeFiles/test_pipeline.dir/integration/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/integration/test_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/gsknn_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gsknn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gsknn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/select/CMakeFiles/gsknn_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/gsknn_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/gsknn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gsknn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rkd_forest.dir/tree/test_rkd_forest.cpp.o"
+  "CMakeFiles/test_rkd_forest.dir/tree/test_rkd_forest.cpp.o.d"
+  "test_rkd_forest"
+  "test_rkd_forest.pdb"
+  "test_rkd_forest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rkd_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

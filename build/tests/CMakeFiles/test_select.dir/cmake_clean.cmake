@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_select.dir/select/test_select.cpp.o"
+  "CMakeFiles/test_select.dir/select/test_select.cpp.o.d"
+  "test_select"
+  "test_select.pdb"
+  "test_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgemm_scalar.dir/blas/test_sgemm.cpp.o"
+  "CMakeFiles/test_sgemm_scalar.dir/blas/test_sgemm.cpp.o.d"
+  "test_sgemm_scalar"
+  "test_sgemm_scalar.pdb"
+  "test_sgemm_scalar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgemm_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

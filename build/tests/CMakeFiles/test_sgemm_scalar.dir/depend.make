@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sgemm_scalar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variants_avx2.dir/core/test_variants.cpp.o"
+  "CMakeFiles/test_variants_avx2.dir/core/test_variants.cpp.o.d"
+  "test_variants_avx2"
+  "test_variants_avx2.pdb"
+  "test_variants_avx2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variants_avx2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsknn_cli.dir/gsknn_cli.cpp.o"
+  "CMakeFiles/gsknn_cli.dir/gsknn_cli.cpp.o.d"
+  "gsknn"
+  "gsknn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsknn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
