@@ -56,4 +56,58 @@ inline std::vector<int> iota_ids(int n, int offset = 0) {
   return v;
 }
 
+// ---- structured output -----------------------------------------------------
+//
+// Alongside the human-readable tables, every bench can emit one JSON object
+// per measurement row (JSON-lines) so sweeps are machine-consumable without
+// scraping printf columns. Opt in with GSKNN_BENCH_JSON=<path> (append mode;
+// "-" streams to stdout). Rows carry the bench name, the machine summary and
+// whatever fields the bench supplies — typically a telemetry profile via
+// KernelProfile::to_json() plus the sweep coordinates.
+
+/// Destination for JSON-lines rows, or nullptr when not requested.
+inline std::FILE* json_sink() {
+  static std::FILE* sink = []() -> std::FILE* {
+    const char* e = std::getenv("GSKNN_BENCH_JSON");
+    if (e == nullptr || e[0] == '\0') return nullptr;
+    if (e[0] == '-' && e[1] == '\0') return stdout;
+    return std::fopen(e, "a");
+  }();
+  return sink;
+}
+
+/// Quote-escape for the tiny JSON fragments benches build by hand.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Emit one JSON-lines row. `fields` is the comma-separated interior of a
+/// JSON object (e.g. "\"m\":4096,\"gflops\":21.3" or a profile's to_json()
+/// with the braces stripped); bench/machine/mode envelope fields are added.
+inline void emit_json_row(const char* bench, const std::string& fields) {
+  std::FILE* f = json_sink();
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"bench\":\"%s\",\"machine\":\"%s\",\"quick\":%s%s%s}\n",
+               bench, json_escape(arch_summary()).c_str(),
+               quick_mode() ? "true" : "false", fields.empty() ? "" : ",",
+               fields.c_str());
+  std::fflush(f);
+}
+
+/// Convenience: strip the outer braces of KernelProfile::to_json() (or any
+/// one-object JSON string) so it can be spliced into a row's fields.
+inline std::string json_fields(const std::string& object_json) {
+  if (object_json.size() >= 2 && object_json.front() == '{' &&
+      object_json.back() == '}') {
+    return object_json.substr(1, object_json.size() - 2);
+  }
+  return object_json;
+}
+
 }  // namespace gsknn::bench

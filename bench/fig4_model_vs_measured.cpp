@@ -67,6 +67,15 @@ int main() {
       std::printf("%6d %12.1f %12.1f %12.1f %12.1f\n", d, predicted,
                   knn_gflops(m, n, d, secs), predicted_ref,
                   knn_gflops(m, n, d, secs_ref));
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "\"variant\":%d,\"m\":%d,\"k\":%d,\"d\":%d,"
+                    "\"model_gflops\":%.3f,\"measured_gflops\":%.3f,"
+                    "\"model_ref_gflops\":%.3f,\"measured_ref_gflops\":%.3f",
+                    p.variant == Variant::kVar1 ? 1 : 6, m, p.k, d, predicted,
+                    knn_gflops(m, n, d, secs), predicted_ref,
+                    knn_gflops(m, n, d, secs_ref));
+      emit_json_row("fig4_model_vs_measured", row);
     }
   }
   return 0;

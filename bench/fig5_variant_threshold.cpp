@@ -50,6 +50,14 @@ int main() {
       std::printf("%6d %12.1f %12.1f %9s\n", k, knn_gflops(m, n, d, secs[0]),
                   knn_gflops(m, n, d, secs[1]),
                   secs[0] <= secs[1] ? "Var#1" : "Var#6");
+      char row[192];
+      std::snprintf(row, sizeof(row),
+                    "\"m\":%d,\"d\":%d,\"k\":%d,\"var1_gflops\":%.3f,"
+                    "\"var6_gflops\":%.3f,\"faster\":\"var%d\"",
+                    m, d, k, knn_gflops(m, n, d, secs[0]),
+                    knn_gflops(m, n, d, secs[1]),
+                    secs[0] <= secs[1] ? 1 : 6);
+      emit_json_row("fig5_variant_threshold", row);
     }
     const int predicted =
         model::variant_threshold_k(m, n, d, 4096, mp, bp);

@@ -55,6 +55,15 @@ int main() {
 
         std::printf("%6d %12.1f %12.1f %8.2fx\n", d, knn_gflops(m, n, d, gs),
                     knn_gflops(m, n, d, ref), ref / gs);
+        char row[224];
+        std::snprintf(row, sizeof(row),
+                      "\"m\":%d,\"k\":%d,\"d\":%d,\"variant\":%d,"
+                      "\"gsknn_gflops\":%.3f,\"ref_gflops\":%.3f,"
+                      "\"speedup\":%.3f",
+                      m, k, d, variant == Variant::kVar1 ? 1 : 6,
+                      knn_gflops(m, n, d, gs), knn_gflops(m, n, d, ref),
+                      ref / gs);
+        emit_json_row("fig6_efficiency_overview", row);
       }
     }
   }

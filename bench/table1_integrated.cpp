@@ -54,6 +54,14 @@ int main() {
       ref_s[col] = ref.build_seconds + ref.kernel_seconds;
       gsknn_s[col] = gs.build_seconds + gs.kernel_seconds;
       recall[col] = tree::recall_at_k(X, gs.table, k, 64, 7);
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "\"n\":%d,\"leaf\":%d,\"d\":%d,\"k\":%d,"
+                    "\"ref_seconds\":%.6f,\"gsknn_seconds\":%.6f,"
+                    "\"speedup\":%.3f,\"recall\":%.4f",
+                    N, leaf, d, k, ref_s[col], gsknn_s[col],
+                    ref_s[col] / gsknn_s[col], recall[col]);
+      emit_json_row("table1_integrated", row);
       ++col;
     }
     std::printf("%6d %10s | %9.2f %9.2f %9.2f %9.2f\n", k, "ref", ref_s[0],

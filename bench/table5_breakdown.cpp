@@ -52,17 +52,31 @@ int main() {
 
     const double g1 = run_gsknn_ms(X, q, r, 1);  // Theap baseline for GSKNN
     for (int k : {16, 128, 512, 2048}) {
+      // The breakdown and the telemetry profile come from the same unified
+      // instrumentation inside knn_gemm_baseline; the profile (last rep) also
+      // feeds the structured JSON row below.
       BaselineBreakdown bd;
+      telemetry::KernelProfile ref_prof;
+      KnnConfig ref_cfg;
+      ref_cfg.profile = &ref_prof;
       NeighborTable ref(m, k);
       time_best(2, [&] {
         ref.reset();
-        knn_gemm_baseline(X, q, r, ref, {}, {}, &bd);
+        ref_prof.reset();
+        knn_gemm_baseline(X, q, r, ref, ref_cfg, {}, &bd);
       });
       const double gk = run_gsknn_ms(X, q, r, k);
       std::printf("%6d | %6.0f + %6.0f + %6.0f + %4.0f | %8.0f || %10.0f | %10.0f\n",
                   k, bd.t_collect * 1e3, bd.t_gemm * 1e3, bd.t_sq2d * 1e3,
                   bd.t_heap * 1e3, bd.total() * 1e3,
                   gk - g1 > 0 ? gk - g1 : 0.0, gk);
+      char head[128];
+      std::snprintf(head, sizeof(head),
+                    "\"gsknn_total_ms\":%.3f,\"gsknn_heap_est_ms\":%.3f,"
+                    "\"ref_profile\":{",
+                    gk, gk - g1 > 0 ? gk - g1 : 0.0);
+      emit_json_row("table5_breakdown",
+                    head + json_fields(ref_prof.to_json()) + "}");
     }
   }
   return 0;

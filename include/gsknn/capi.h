@@ -19,6 +19,7 @@ extern "C" {
 
 typedef struct gsknn_table gsknn_table;     /* PointTable handle */
 typedef struct gsknn_result gsknn_result;   /* NeighborTable handle */
+typedef struct gsknn_profile gsknn_profile; /* telemetry::KernelProfile handle */
 
 /* Norms (mirror gsknn::Norm). */
 enum {
@@ -68,6 +69,60 @@ int gsknn_search(const gsknn_table* table, const int* qidx, int mq,
  * the count actually written (may be < k when fewer candidates were seen). */
 int gsknn_result_row(const gsknn_result* r, int row, int cap, int* ids,
                      double* dists);
+
+/* ---- telemetry ------------------------------------------------------- */
+
+/* Phases of the kernel time breakdown (mirror gsknn::telemetry::Phase). */
+enum {
+  GSKNN_PHASE_PACK_Q = 0,
+  GSKNN_PHASE_PACK_R = 1,
+  GSKNN_PHASE_MICRO = 2,
+  GSKNN_PHASE_SELECT = 3,
+  GSKNN_PHASE_MERGE = 4,
+  GSKNN_PHASE_COLLECT = 5,
+  GSKNN_PHASE_SQ2D = 6,
+  GSKNN_PHASE_COUNT = 7
+};
+
+/* Work counters (mirror gsknn::telemetry::Counter). Exact tallies only when
+ * the kernel was built with -DGSKNN_PROFILE=ON; see
+ * gsknn_profile_counters_enabled(). */
+enum {
+  GSKNN_COUNTER_CANDIDATES = 0,
+  GSKNN_COUNTER_HEAP_PUSHES = 1,
+  GSKNN_COUNTER_ROOT_REJECTS = 2,
+  GSKNN_COUNTER_TILES = 3,
+  GSKNN_COUNTER_BYTES_PACKED_Q = 4,
+  GSKNN_COUNTER_BYTES_PACKED_R = 5,
+  GSKNN_COUNTER_COUNT = 6
+};
+
+/* Create an empty profile sink. Successive profiled searches accumulate
+ * into it; gsknn_profile_reset() clears it for reuse. */
+gsknn_profile* gsknn_profile_create(void);
+void gsknn_profile_destroy(gsknn_profile* p);
+void gsknn_profile_reset(gsknn_profile* p);
+
+/* gsknn_search with a per-phase/per-counter profile attached. `profile` may
+ * be NULL, which makes this identical to gsknn_search. A profile must not be
+ * shared across concurrently-running searches. */
+int gsknn_search_profiled(const gsknn_table* table, const int* qidx, int mq,
+                          const int* ridx, int nq, int norm, int variant,
+                          double lp, int threads, gsknn_result* result,
+                          gsknn_profile* profile);
+
+/* Accessors; negative / 0 on a NULL or out-of-range argument. */
+double gsknn_profile_wall_seconds(const gsknn_profile* p);
+double gsknn_profile_phase_seconds(const gsknn_profile* p, int phase);
+const char* gsknn_profile_phase_name(int phase); /* "pack_q", ... or NULL */
+uint64_t gsknn_profile_counter(const gsknn_profile* p, int counter);
+int gsknn_profile_counters_enabled(const gsknn_profile* p); /* 0 or 1 */
+double gsknn_profile_gflops(const gsknn_profile* p);
+
+/* One-line JSON rendering of the profile. The returned buffer is owned by
+ * the profile handle and valid until the next call on the same handle or its
+ * destruction. */
+const char* gsknn_profile_json(gsknn_profile* p);
 
 /* ---- misc ------------------------------------------------------------ */
 

@@ -1,0 +1,186 @@
+// Kernel telemetry: per-phase timers, work counters and structured profiles
+// for every GSKNN entry point.
+//
+// The paper's argument is a time-attribution argument (Table 5's
+// Tcoll/Tgemm/Tsq2d/Theap breakdown, Fig. 4's model-vs-measured curves), so
+// the kernel exposes the same attribution at runtime. Attach a KernelProfile
+// to KnnConfig::profile and every kernel invocation *accumulates* into it:
+//
+//   telemetry::KernelProfile prof;
+//   KnnConfig cfg;
+//   cfg.profile = &prof;
+//   knn_kernel(X, q, r, result, cfg);
+//   puts(prof.format_table().c_str());   // Table-5-style breakdown
+//   puts(prof.to_json().c_str());        // one-line structured profile
+//
+// Two instrumentation tiers:
+//   * Phase timers — always available, runtime-gated: with no profile sink
+//     attached the drivers skip every clock read, so the default path pays
+//     one branch per cache-block, not per candidate.
+//   * Work counters (candidates evaluated, heap pushes vs. root-rejects,
+//     tiles, bytes packed) — live in the selection hot loops, so they are
+//     compiled in only when the build defines GSKNN_PROFILE (CMake option
+//     -DGSKNN_PROFILE=ON). kCountersEnabled reports the build mode;
+//     KernelProfile::counters_enabled reports it per profile.
+//
+// Aggregation model: drivers record into per-thread, cache-line-padded
+// ThreadCounters slots (no sharing, no atomics). Recorder::aggregate() then
+// reduces them: phase_seconds[] takes the MAX across threads (a critical-path
+// estimate — for a balanced static schedule the per-thread busy time of a
+// parallel phase is the phase's wall time), phase_thread_seconds[] the SUM
+// (total CPU spent), and counters the SUM (they are exact work tallies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gsknn/common/arch.hpp"
+
+namespace gsknn::telemetry {
+
+#if defined(GSKNN_PROFILE)
+inline constexpr bool kCountersEnabled = true;
+#else
+inline constexpr bool kCountersEnabled = false;
+#endif
+
+/// Phases of the kNN kernel time breakdown. The fused kernel uses the first
+/// five; the Algorithm-2.1 GEMM baseline maps its Table-5 columns onto the
+/// same axis (Tcoll -> kCollect, Tgemm -> kMicro, Tsq2d -> kSq2d,
+/// Theap -> kSelect), so both algorithms report through one schema.
+enum class Phase : int {
+  kPackQ = 0,  ///< packing the Qc query panel (+ query norms)
+  kPackR,      ///< packing the Rc reference panel (+ reference norms)
+  kMicro,      ///< micro-kernel flops (baseline: the GEMM call)
+  kSelect,     ///< neighbor selection (zero for Var#1 — fused into kMicro)
+  kMerge,      ///< merging private per-thread tables (parallel_refs)
+  kCollect,    ///< baseline Tcoll: gathering Q/R into dense matrices
+  kSq2d,       ///< baseline Tsq2d: adding the squared-norm terms
+  kNumPhases,
+};
+
+inline constexpr int kPhaseCount = static_cast<int>(Phase::kNumPhases);
+
+/// Stable lowercase identifier ("pack_q", "micro", ...) used in JSON.
+const char* phase_name(Phase p);
+
+/// Work counters (exact tallies, GSKNN_PROFILE builds only).
+enum class Counter : int {
+  kCandidates = 0,  ///< candidate (query, reference) pairs seen by selection
+  kHeapPushes,      ///< accepted replace-root heap insertions
+  kRootRejects,     ///< candidates rejected (heap-root test or dedup)
+  kTiles,           ///< micro-kernel tile invocations
+  kBytesPackedQ,    ///< bytes written into packed Qc panels (+ norms)
+  kBytesPackedR,    ///< bytes written into packed Rc panels (+ norms)
+  kNumCounters,
+};
+
+inline constexpr int kCounterCount = static_cast<int>(Counter::kNumCounters);
+
+const char* counter_name(Counter c);
+
+/// One thread's private accumulator slot. Padded to (at least) a cache line
+/// so concurrently-recording threads never false-share.
+struct alignas(64) ThreadCounters {
+  double phase[kPhaseCount] = {};
+  std::uint64_t counter[kCounterCount] = {};
+
+  void add_phase(Phase p, double seconds) {
+    phase[static_cast<int>(p)] += seconds;
+  }
+  void add(Counter c, std::uint64_t v) { counter[static_cast<int>(c)] += v; }
+  void sub(Counter c, std::uint64_t v) { counter[static_cast<int>(c)] -= v; }
+};
+
+/// Aggregated profile of one or more kernel invocations. Kernels *accumulate*
+/// (phases, counters, wall time, invocations) so a sink can span a whole
+/// solver run (e.g. every leaf kernel of an RKD-forest iteration); metadata
+/// (shape, variant, blocking, ...) reflects the most recent invocation.
+struct KernelProfile {
+  // ---- metadata (last invocation) ----------------------------------------
+  const char* algorithm = "";  ///< "gsknn", "gemm_baseline", ...
+  const char* precision = "";  ///< "f64" or "f32"
+  int m = 0, n = 0, d = 0, k = 0;
+  int threads = 1;       ///< threads the kernel resolved to
+  int variant = 0;       ///< resolved selection variant (1/2/3/5/6; 0 = n/a)
+  int simd_level = 0;    ///< static_cast<int>(SimdLevel) the dispatch chose
+  BlockingParams blocking;
+  double model_gflops = 0.0;  ///< perf_model prediction for this shape (0 = n/a)
+
+  // ---- accumulated measurements ------------------------------------------
+  double wall_seconds = 0.0;                    ///< end-to-end kernel wall time
+  double phase_seconds[kPhaseCount] = {};       ///< critical-path per phase
+  double phase_thread_seconds[kPhaseCount] = {};///< total CPU per phase
+  std::uint64_t counters[kCounterCount] = {};
+  /// True once a counting (GSKNN_PROFILE) kernel build has recorded into
+  /// this profile. Deliberately NOT defaulted from kCountersEnabled: the
+  /// recording translation unit decides, so a profile constructed in a
+  /// non-profiled consumer still reports the producing kernel's mode.
+  bool counters_enabled = false;
+  std::uint64_t invocations = 0;
+
+  // ---- accessors and derived metrics -------------------------------------
+  double phase(Phase p) const { return phase_seconds[static_cast<int>(p)]; }
+  std::uint64_t counter(Counter c) const {
+    return counters[static_cast<int>(c)];
+  }
+  /// Sum of the attributed phase times (compare against wall_seconds; the
+  /// difference is unattributed overhead: buffer setup, OpenMP fork/join).
+  double phase_total() const;
+  /// Unattributed wall time, clamped at zero.
+  double other_seconds() const;
+  /// Useful-flop rate the paper plots: (2d+3)*m*n / wall / 1e9. Uses the
+  /// last invocation's shape, so it is meaningful for single-kernel sinks.
+  double gflops() const;
+  /// Fraction of the wall spent selecting (Var#1 reports 0 — fused).
+  double selection_fraction() const;
+  /// Packing bandwidth in GB/s (counters build only; 0 otherwise).
+  double pack_bandwidth_gbs() const;
+
+  /// Accumulate another profile (sums measurements; adopts `other`'s
+  /// metadata when this profile has not recorded an invocation yet).
+  void merge(const KernelProfile& other);
+  void reset() { *this = KernelProfile(); }
+
+  /// One-line JSON object with every field above plus the derived metrics.
+  std::string to_json() const;
+  /// Human-readable Table-5-style breakdown (phases, % of wall, counters).
+  std::string format_table() const;
+};
+
+/// Driver-side recording helper. Inactive (null sink) recorders make every
+/// operation a no-op so the hot paths stay branch-cheap:
+///
+///   Recorder rec(cfg.profile, threads);
+///   const bool prof = rec.active();
+///   ... if (prof) { t.start(); } ... if (prof) rec.slot(tid).add_phase(...);
+///   rec.aggregate(wall.seconds());
+class Recorder {
+ public:
+  /// `sink == nullptr` produces an inactive recorder (no allocation).
+  Recorder(KernelProfile* sink, int threads);
+  ~Recorder();
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  bool active() const { return sink_ != nullptr; }
+  int threads() const { return threads_; }
+
+  /// Thread tid's private slot; valid for tid in [0, threads).
+  ThreadCounters& slot(int tid) { return slots_[tid]; }
+
+  /// Reduce the slots into the sink (max-of-threads phase times, summed
+  /// thread-seconds and counters) and add `wall_seconds` and one invocation.
+  /// No-op when inactive.
+  void aggregate(double wall_seconds);
+
+ private:
+  KernelProfile* sink_ = nullptr;
+  ThreadCounters* slots_ = nullptr;
+  int threads_ = 0;
+};
+
+/// Name of a SimdLevel integer as stored in KernelProfile::simd_level.
+const char* simd_level_name(int level);
+
+}  // namespace gsknn::telemetry

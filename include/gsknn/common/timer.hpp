@@ -32,15 +32,35 @@ class WallTimer {
 /// Tcoll/Tgemm/Tsq2d/Theap columns of Table 5.
 class PhaseTimer {
  public:
-  void tic() { t_.start(); }
-  void toc() { total_ += t_.seconds(); }
+  void tic() {
+    running_ = true;
+    t_.start();
+  }
+
+  /// Adds the time since the matching tic(). A toc() without a preceding
+  /// tic() is a no-op — it must not add whatever has elapsed since the
+  /// constructor started the inner clock.
+  void toc() {
+    if (!running_) return;
+    running_ = false;
+    total_ += t_.seconds();
+  }
+
+  /// True between a tic() and its matching toc().
+  bool running() const { return running_; }
+
   double seconds() const { return total_; }
   double milliseconds() const { return total_ * 1e3; }
-  void reset() { total_ = 0.0; }
+
+  void reset() {
+    total_ = 0.0;
+    running_ = false;
+  }
 
  private:
   WallTimer t_;
   double total_ = 0.0;
+  bool running_ = false;
 };
 
 }  // namespace gsknn

@@ -20,6 +20,7 @@
 #include <span>
 
 #include "gsknn/common/arch.hpp"
+#include "gsknn/common/telemetry.hpp"
 #include "gsknn/data/point_table.hpp"
 #include "gsknn/select/neighbor_table.hpp"
 
@@ -59,6 +60,12 @@ struct KnnConfig {
   std::optional<BlockingParams> blocking;
   int threads = 0;     ///< 0 = OpenMP default; 1 = sequential
   bool dedup = false;  ///< refuse ids already present in a row (tree solvers)
+  /// Optional telemetry sink: every kernel invocation with this config
+  /// accumulates its phase times, work counters and resolved parameters into
+  /// the profile (see gsknn/common/telemetry.hpp). Null = no instrumentation
+  /// (the default path reads no clocks). The sink must outlive the call and
+  /// must not be shared across concurrent kernel invocations.
+  telemetry::KernelProfile* profile = nullptr;
 };
 
 /// The GSKNN kernel (Algorithm 2.2/2.3). Updates `result` with the n
@@ -86,12 +93,24 @@ void knn_kernel(const PointTableF& X, std::span<const int> qidx,
                 std::span<const int> result_rows = {});
 
 /// Phase breakdown of the GEMM baseline (Table 5's Tcoll/Tgemm/Tsq2d/Theap).
+/// Thin legacy shim over the unified telemetry: the baseline now times
+/// itself through telemetry::KernelProfile (phases kCollect/kMicro/kSq2d/
+/// kSelect) and this view is derived from that profile.
 struct BaselineBreakdown {
   double t_collect = 0.0;  ///< gathering Q, R (and norms) from X
   double t_gemm = 0.0;     ///< the −2·QᵀR GEMM call
   double t_sq2d = 0.0;     ///< adding ‖q‖² + ‖r‖² to C
   double t_heap = 0.0;     ///< neighbor selection over C rows
   double total() const { return t_collect + t_gemm + t_sq2d + t_heap; }
+
+  static BaselineBreakdown from_profile(const telemetry::KernelProfile& p) {
+    BaselineBreakdown bd;
+    bd.t_collect = p.phase(telemetry::Phase::kCollect);
+    bd.t_gemm = p.phase(telemetry::Phase::kMicro);
+    bd.t_sq2d = p.phase(telemetry::Phase::kSq2d);
+    bd.t_heap = p.phase(telemetry::Phase::kSelect);
+    return bd;
+  }
 };
 
 /// Algorithm 2.1: collect Q/R, C = −2·QᵀR via blas::dgemm, add norms, then

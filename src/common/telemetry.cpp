@@ -1,0 +1,281 @@
+// KernelProfile aggregation, JSON serialization and the Table-5-style
+// pretty printer (see include/gsknn/common/telemetry.hpp).
+#include "gsknn/common/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace gsknn::telemetry {
+
+namespace {
+
+const char* const kPhaseNames[kPhaseCount] = {
+    "pack_q", "pack_r", "micro", "select", "merge", "collect", "sq2d",
+};
+
+const char* const kPhaseLabels[kPhaseCount] = {
+    "pack-Qc", "pack-Rc", "micro-kernel", "selection",
+    "merge",   "collect", "sq2d",
+};
+
+const char* const kCounterNames[kCounterCount] = {
+    "candidates_evaluated", "heap_pushes",    "root_rejects",
+    "tiles",                "bytes_packed_q", "bytes_packed_r",
+};
+
+void append_kv(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.9g", key, v);
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, int v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%d", key, v);
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, const char* v) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += v;
+  out += '"';
+}
+
+}  // namespace
+
+const char* phase_name(Phase p) {
+  const int i = static_cast<int>(p);
+  return (i >= 0 && i < kPhaseCount) ? kPhaseNames[i] : "?";
+}
+
+const char* counter_name(Counter c) {
+  const int i = static_cast<int>(c);
+  return (i >= 0 && i < kCounterCount) ? kCounterNames[i] : "?";
+}
+
+const char* simd_level_name(int level) {
+  switch (static_cast<SimdLevel>(level)) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+double KernelProfile::phase_total() const {
+  double s = 0.0;
+  for (double t : phase_seconds) s += t;
+  return s;
+}
+
+double KernelProfile::other_seconds() const {
+  return std::max(0.0, wall_seconds - phase_total());
+}
+
+double KernelProfile::gflops() const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return (2.0 * d + 3.0) * static_cast<double>(m) * static_cast<double>(n) /
+         wall_seconds / 1e9;
+}
+
+double KernelProfile::selection_fraction() const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return phase(Phase::kSelect) / wall_seconds;
+}
+
+double KernelProfile::pack_bandwidth_gbs() const {
+  const double t = phase(Phase::kPackQ) + phase(Phase::kPackR);
+  if (t <= 0.0) return 0.0;
+  const double bytes = static_cast<double>(counter(Counter::kBytesPackedQ) +
+                                           counter(Counter::kBytesPackedR));
+  return bytes / t / 1e9;
+}
+
+void KernelProfile::merge(const KernelProfile& other) {
+  if (invocations == 0) {
+    // Adopt the first real invocation's metadata wholesale, then restore the
+    // accumulated measurements below.
+    const KernelProfile self = *this;
+    *this = other;
+    wall_seconds = self.wall_seconds;
+    std::memcpy(phase_seconds, self.phase_seconds, sizeof(phase_seconds));
+    std::memcpy(phase_thread_seconds, self.phase_thread_seconds,
+                sizeof(phase_thread_seconds));
+    std::memcpy(counters, self.counters, sizeof(counters));
+    invocations = self.invocations;
+  }
+  wall_seconds += other.wall_seconds;
+  for (int i = 0; i < kPhaseCount; ++i) {
+    phase_seconds[i] += other.phase_seconds[i];
+    phase_thread_seconds[i] += other.phase_thread_seconds[i];
+  }
+  for (int i = 0; i < kCounterCount; ++i) counters[i] += other.counters[i];
+  counters_enabled = counters_enabled || other.counters_enabled;
+  invocations += other.invocations;
+}
+
+std::string KernelProfile::to_json() const {
+  std::string j;
+  j.reserve(1024);
+  j += '{';
+  append_kv(j, "algorithm", algorithm);
+  j += ',';
+  append_kv(j, "precision", precision);
+  j += ',';
+  append_kv(j, "m", m);
+  j += ',';
+  append_kv(j, "n", n);
+  j += ',';
+  append_kv(j, "d", d);
+  j += ',';
+  append_kv(j, "k", k);
+  j += ',';
+  append_kv(j, "threads", threads);
+  j += ',';
+  append_kv(j, "variant", variant);
+  j += ',';
+  append_kv(j, "simd", simd_level_name(simd_level));
+  j += ",\"blocking\":{";
+  append_kv(j, "mr", blocking.mr);
+  j += ',';
+  append_kv(j, "nr", blocking.nr);
+  j += ',';
+  append_kv(j, "dc", blocking.dc);
+  j += ',';
+  append_kv(j, "mc", blocking.mc);
+  j += ',';
+  append_kv(j, "nc", blocking.nc);
+  j += "},";
+  append_kv(j, "invocations", invocations);
+  j += ',';
+  append_kv(j, "wall_seconds", wall_seconds);
+  j += ",\"phases\":{";
+  for (int i = 0; i < kPhaseCount; ++i) {
+    if (i > 0) j += ',';
+    append_kv(j, kPhaseNames[i], phase_seconds[i]);
+  }
+  j += "},";
+  append_kv(j, "phase_total", phase_total());
+  j += ',';
+  append_kv(j, "other_seconds", other_seconds());
+  j += ",\"phase_thread_seconds\":{";
+  for (int i = 0; i < kPhaseCount; ++i) {
+    if (i > 0) j += ',';
+    append_kv(j, kPhaseNames[i], phase_thread_seconds[i]);
+  }
+  j += "},";
+  j += "\"counters_enabled\":";
+  j += counters_enabled ? "true" : "false";
+  j += ",\"counters\":{";
+  for (int i = 0; i < kCounterCount; ++i) {
+    if (i > 0) j += ',';
+    append_kv(j, kCounterNames[i], counters[i]);
+  }
+  j += "},\"derived\":{";
+  append_kv(j, "gflops", gflops());
+  j += ',';
+  append_kv(j, "model_gflops", model_gflops);
+  j += ',';
+  append_kv(j, "selection_fraction", selection_fraction());
+  j += ',';
+  append_kv(j, "pack_gbs", pack_bandwidth_gbs());
+  j += "}}";
+  return j;
+}
+
+std::string KernelProfile::format_table() const {
+  char line[192];
+  std::string out;
+  out.reserve(1024);
+  std::snprintf(line, sizeof(line),
+                "profile: %s %s m=%d n=%d d=%d k=%d threads=%d variant=%d "
+                "simd=%s blocking=(%d,%d,%d,%d,%d) invocations=%llu\n",
+                algorithm, precision, m, n, d, k, threads, variant,
+                simd_level_name(simd_level), blocking.mr, blocking.nr,
+                blocking.dc, blocking.mc, blocking.nc,
+                static_cast<unsigned long long>(invocations));
+  out += line;
+  std::snprintf(line, sizeof(line), "  %-14s %12s %8s %14s\n", "phase",
+                "seconds", "% wall", "thread-secs");
+  out += line;
+  const double wall = wall_seconds > 0.0 ? wall_seconds : 1.0;
+  for (int i = 0; i < kPhaseCount; ++i) {
+    if (phase_seconds[i] == 0.0 && phase_thread_seconds[i] == 0.0) continue;
+    std::snprintf(line, sizeof(line), "  %-14s %12.6f %7.1f%% %14.6f\n",
+                  kPhaseLabels[i], phase_seconds[i],
+                  100.0 * phase_seconds[i] / wall, phase_thread_seconds[i]);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-14s %12.6f %7.1f%%\n", "(other)",
+                other_seconds(), 100.0 * other_seconds() / wall);
+  out += line;
+  std::snprintf(line, sizeof(line), "  %-14s %12.6f %7.1f%%\n", "total (wall)",
+                wall_seconds, 100.0);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  gflops=%.2f model_gflops=%.2f selection=%.1f%%\n", gflops(),
+                model_gflops, 100.0 * selection_fraction());
+  out += line;
+  if (counters_enabled) {
+    std::snprintf(
+        line, sizeof(line),
+        "  candidates=%llu heap_pushes=%llu root_rejects=%llu tiles=%llu\n",
+        static_cast<unsigned long long>(counter(Counter::kCandidates)),
+        static_cast<unsigned long long>(counter(Counter::kHeapPushes)),
+        static_cast<unsigned long long>(counter(Counter::kRootRejects)),
+        static_cast<unsigned long long>(counter(Counter::kTiles)));
+    out += line;
+    std::snprintf(
+        line, sizeof(line),
+        "  packed_q=%llu B packed_r=%llu B pack_bw=%.2f GB/s\n",
+        static_cast<unsigned long long>(counter(Counter::kBytesPackedQ)),
+        static_cast<unsigned long long>(counter(Counter::kBytesPackedR)),
+        pack_bandwidth_gbs());
+    out += line;
+  }
+  return out;
+}
+
+Recorder::Recorder(KernelProfile* sink, int threads)
+    : sink_(sink), threads_(threads < 1 ? 1 : threads) {
+  if (sink_ != nullptr) {
+    slots_ = new ThreadCounters[static_cast<std::size_t>(threads_)]();
+  }
+}
+
+Recorder::~Recorder() { delete[] slots_; }
+
+void Recorder::aggregate(double wall_seconds) {
+  if (sink_ == nullptr) return;
+  for (int p = 0; p < kPhaseCount; ++p) {
+    double mx = 0.0, sum = 0.0;
+    for (int t = 0; t < threads_; ++t) {
+      mx = std::max(mx, slots_[t].phase[p]);
+      sum += slots_[t].phase[p];
+    }
+    sink_->phase_seconds[p] += mx;
+    sink_->phase_thread_seconds[p] += sum;
+  }
+  for (int c = 0; c < kCounterCount; ++c) {
+    std::uint64_t sum = 0;
+    for (int t = 0; t < threads_; ++t) sum += slots_[t].counter[c];
+    sink_->counters[c] += sum;
+  }
+  sink_->wall_seconds += wall_seconds;
+  sink_->invocations += 1;
+}
+
+}  // namespace gsknn::telemetry

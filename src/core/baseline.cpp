@@ -18,6 +18,7 @@
 #include "gsknn/common/threads.hpp"
 #include "gsknn/common/timer.hpp"
 #include "gsknn/core/knn.hpp"
+#include "gsknn/model/perf_model.hpp"
 #include "gsknn/select/select.hpp"
 
 namespace gsknn {
@@ -45,8 +46,17 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
     return result_rows.empty() ? i : result_rows[static_cast<std::size_t>(i)];
   };
 
-  BaselineBreakdown bd;
+  // All four Table-5 phases are timed into the unified telemetry profile;
+  // the legacy BaselineBreakdown view is derived from it at the end. The
+  // phases run (or are orchestrated) from this thread, so master-side wall
+  // timing per phase is exact — no per-thread recorder needed.
+  telemetry::KernelProfile prof;
+  WallTimer wall_timer;
   WallTimer t;
+  const auto record = [&prof](telemetry::Phase ph, double secs) {
+    prof.phase_seconds[static_cast<int>(ph)] += secs;
+    prof.phase_thread_seconds[static_cast<int>(ph)] += secs;
+  };
 
   // Phase 1 — collect: gather Q (d×m), R (d×n) and the norms from X.
   t.start();
@@ -66,7 +76,7 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
     for (int p = 0; p < d; ++p) dst[p] = src[p];
     r2[static_cast<std::size_t>(j)] = X.norms2()[ridx[static_cast<std::size_t>(j)]];
   }
-  bd.t_collect = t.seconds();
+  record(telemetry::Phase::kCollect, t.seconds());
 
   // Phase 2 — GEMM: Cᵀ(n×m) = α·RᵀQ (α = −2 for ℓ2, 1 for cosine), so
   // query i's distances are the contiguous column C[:, i].
@@ -74,7 +84,7 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
   AlignedBuffer<double> c(static_cast<std::size_t>(n) * m);
   blas::dgemm(blas::Trans::kYes, blas::Trans::kNo, n, m, d,
               cosine ? 1.0 : -2.0, r.data(), d, q.data(), d, 0.0, c.data(), n);
-  bd.t_gemm = t.seconds();
+  record(telemetry::Phase::kMicro, t.seconds());
 
   // Phase 3 — finish the distances: ℓ2 adds ‖q_i‖² + ‖r_j‖²; cosine
   // normalizes by the norms.
@@ -97,7 +107,7 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
       }
     }
   }
-  bd.t_sq2d = t.seconds();
+  record(telemetry::Phase::kSq2d, t.seconds());
 
   // Phase 4 — selection: STL max-heap per query row.
   t.start();
@@ -125,9 +135,28 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
       }
     }
   }
-  bd.t_heap = t.seconds();
+  record(telemetry::Phase::kSelect, t.seconds());
 
-  if (breakdown != nullptr) *breakdown = bd;
+  prof.algorithm = "gemm_baseline";
+  prof.precision = "f64";
+  prof.m = m;
+  prof.n = n;
+  prof.d = d;
+  prof.k = k;
+  prof.threads = resolve_threads(cfg.threads);
+  prof.simd_level = static_cast<int>(cpu_features().best_level());
+  prof.blocking = default_blocking(cpu_features().best_level());
+  prof.wall_seconds = wall_timer.seconds();
+  prof.invocations = 1;
+  {
+    static const model::MachineParams mp{};
+    const model::ProblemShape shape{m, n, d, k};
+    prof.model_gflops = model::predicted_gflops(model::Method::kGemmBaseline,
+                                                shape, mp, prof.blocking);
+  }
+
+  if (cfg.profile != nullptr) cfg.profile->merge(prof);
+  if (breakdown != nullptr) *breakdown = BaselineBreakdown::from_profile(prof);
 }
 
 namespace {

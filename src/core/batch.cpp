@@ -7,7 +7,9 @@
 // least-loaded processor (first-termination / LPT list scheduling).
 #include <vector>
 
+#include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/threads.hpp"
+#include "gsknn/common/timer.hpp"
 #include "gsknn/core/knn.hpp"
 #include "gsknn/model/perf_model.hpp"
 
@@ -37,6 +39,13 @@ void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
 
   const std::vector<int> assignment = model::schedule_lpt(est, p);
 
+  // Telemetry: per-worker private profiles (workers run concurrently and
+  // must not share the caller's sink), merged after the region.
+  const bool prof = (cfg.profile != nullptr);
+  WallTimer wall_timer;
+  std::vector<telemetry::KernelProfile> wprof(
+      prof ? static_cast<std::size_t>(p) : 0);
+
   // Each worker executes its tasks sequentially; kernels run single-threaded.
   KnnConfig task_cfg = cfg;
   task_cfg.threads = 1;
@@ -45,12 +54,25 @@ void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
 #endif
   {
     const int tid = thread_id();
+    KnnConfig my_cfg = task_cfg;
+    my_cfg.profile = prof ? &wprof[static_cast<std::size_t>(tid)] : nullptr;
     for (int i = 0; i < t; ++i) {
       if (assignment[static_cast<std::size_t>(i)] != tid) continue;
       const auto& task = tasks[static_cast<std::size_t>(i)];
-      knn_kernel(X, task.qidx, task.ridx, *task.result, task_cfg,
+      knn_kernel(X, task.qidx, task.ridx, *task.result, my_cfg,
                  task.result_rows);
     }
+  }
+
+  if (prof) {
+    telemetry::KernelProfile combined;
+    for (const auto& wp : wprof) combined.merge(wp);
+    // As with parallel_refs: report the batch's real elapsed time; the
+    // summed phases are total busy time across all task kernels.
+    combined.wall_seconds = wall_timer.seconds();
+    combined.algorithm = "gsknn_batch";
+    combined.threads = p;
+    cfg.profile->merge(combined);
   }
 }
 

@@ -27,6 +27,11 @@ struct gsknn_result {
   gsknn::NeighborTable table;
 };
 
+struct gsknn_profile {
+  gsknn::telemetry::KernelProfile profile;
+  std::string json;  // owns the buffer gsknn_profile_json() returns
+};
+
 extern "C" {
 
 gsknn_table* gsknn_table_create(int d, int n, const double* coords) {
@@ -83,9 +88,10 @@ gsknn_result* gsknn_result_create(int m, int k) {
 
 void gsknn_result_destroy(gsknn_result* r) { delete r; }
 
-int gsknn_search(const gsknn_table* table, const int* qidx, int mq,
-                 const int* ridx, int nq, int norm, int variant, double lp,
-                 int threads, gsknn_result* result) {
+int gsknn_search_profiled(const gsknn_table* table, const int* qidx, int mq,
+                          const int* ridx, int nq, int norm, int variant,
+                          double lp, int threads, gsknn_result* result,
+                          gsknn_profile* profile) {
   if (table == nullptr || result == nullptr ||
       (mq > 0 && qidx == nullptr) || (nq > 0 && ridx == nullptr)) {
     set_error("gsknn_search: null argument");
@@ -138,6 +144,7 @@ int gsknn_search(const gsknn_table* table, const int* qidx, int mq,
     }
     cfg.p = lp;
     cfg.threads = threads;
+    cfg.profile = profile != nullptr ? &profile->profile : nullptr;
     gsknn::knn_kernel(table->table, {qidx, static_cast<std::size_t>(mq)},
                       {ridx, static_cast<std::size_t>(nq)}, result->table,
                       cfg);
@@ -146,6 +153,72 @@ int gsknn_search(const gsknn_table* table, const int* qidx, int mq,
     set_error(e.what());
     return -3;
   }
+}
+
+int gsknn_search(const gsknn_table* table, const int* qidx, int mq,
+                 const int* ridx, int nq, int norm, int variant, double lp,
+                 int threads, gsknn_result* result) {
+  return gsknn_search_profiled(table, qidx, mq, ridx, nq, norm, variant, lp,
+                               threads, result, nullptr);
+}
+
+gsknn_profile* gsknn_profile_create(void) {
+  try {
+    return new gsknn_profile;
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return nullptr;
+  }
+}
+
+void gsknn_profile_destroy(gsknn_profile* p) { delete p; }
+
+void gsknn_profile_reset(gsknn_profile* p) {
+  if (p != nullptr) p->profile.reset();
+}
+
+double gsknn_profile_wall_seconds(const gsknn_profile* p) {
+  return p != nullptr ? p->profile.wall_seconds : -1.0;
+}
+
+double gsknn_profile_phase_seconds(const gsknn_profile* p, int phase) {
+  if (p == nullptr || phase < 0 || phase >= gsknn::telemetry::kPhaseCount) {
+    return -1.0;
+  }
+  return p->profile.phase_seconds[phase];
+}
+
+const char* gsknn_profile_phase_name(int phase) {
+  if (phase < 0 || phase >= gsknn::telemetry::kPhaseCount) return nullptr;
+  return gsknn::telemetry::phase_name(
+      static_cast<gsknn::telemetry::Phase>(phase));
+}
+
+uint64_t gsknn_profile_counter(const gsknn_profile* p, int counter) {
+  if (p == nullptr || counter < 0 ||
+      counter >= gsknn::telemetry::kCounterCount) {
+    return 0;
+  }
+  return p->profile.counters[counter];
+}
+
+int gsknn_profile_counters_enabled(const gsknn_profile* p) {
+  return (p != nullptr && p->profile.counters_enabled) ? 1 : 0;
+}
+
+double gsknn_profile_gflops(const gsknn_profile* p) {
+  return p != nullptr ? p->profile.gflops() : -1.0;
+}
+
+const char* gsknn_profile_json(gsknn_profile* p) {
+  if (p == nullptr) return "{}";
+  try {
+    p->json = p->profile.to_json();
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return "{}";
+  }
+  return p->json.c_str();
 }
 
 int gsknn_result_row(const gsknn_result* r, int row, int cap, int* ids,

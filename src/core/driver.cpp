@@ -19,10 +19,13 @@
 // paper-faithful path, float the single-precision extension. Only the
 // micro-kernels and the blocking derivation differ per precision.
 #include <cassert>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
+#include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/threads.hpp"
+#include "gsknn/common/timer.hpp"
 #include "gsknn/core/knn.hpp"
 #include "gsknn/model/perf_model.hpp"
 #include "micro.hpp"
@@ -58,17 +61,27 @@ int kDummyIds[kMaxMr] = {-1, -1, -1, -1, -1, -1, -1, -1,
                          -1, -1, -1, -1, -1, -1, -1, -1};
 
 /// Scan `len` contiguous finished distances and update one heap row.
-/// Candidate j carries global id ids[j].
+/// Candidate j carries global id ids[j]. In GSKNN_PROFILE builds the
+/// candidate/push/reject tallies accumulate into `tc` (exact: every one of
+/// the `len` candidates lands in exactly one bucket).
 template <typename T>
 void row_select(const T* GSKNN_RESTRICT cand, const int* GSKNN_RESTRICT ids,
                 int len, T* hd, int* hi, RowIdSet* hset, int k, int stride,
-                HeapArity arity, bool dedup) {
+                HeapArity arity, bool dedup,
+                telemetry::ThreadCounters* tc = nullptr) {
+  [[maybe_unused]] std::uint64_t pushes = 0, rejects = 0;
   for (int j = 0; j < len; ++j) {
     const T dj = cand[j];
-    if (dj >= hd[0]) continue;
+    if (dj >= hd[0]) {
+      if constexpr (telemetry::kCountersEnabled) ++rejects;
+      continue;
+    }
     if (dedup) {
       if (hset != nullptr) {
-        if (!hset->insert_if_absent(ids[j])) continue;
+        if (!hset->insert_if_absent(ids[j])) {
+          if constexpr (telemetry::kCountersEnabled) ++rejects;
+          continue;
+        }
       } else {
         bool present = false;
         for (int t = 0; t < stride; ++t) {
@@ -77,13 +90,25 @@ void row_select(const T* GSKNN_RESTRICT cand, const int* GSKNN_RESTRICT ids,
             break;
           }
         }
-        if (present) continue;
+        if (present) {
+          if constexpr (telemetry::kCountersEnabled) ++rejects;
+          continue;
+        }
       }
     }
     if (arity == HeapArity::kQuad) {
       heap::quad_replace_root(hd, hi, k, dj, ids[j]);
     } else {
       heap::binary_replace_root(hd, hi, k, dj, ids[j]);
+    }
+    if constexpr (telemetry::kCountersEnabled) ++pushes;
+  }
+  if constexpr (telemetry::kCountersEnabled) {
+    if (tc != nullptr) {
+      tc->add(telemetry::Counter::kCandidates,
+              static_cast<std::uint64_t>(len));
+      tc->add(telemetry::Counter::kHeapPushes, pushes);
+      tc->add(telemetry::Counter::kRootRejects, rejects);
     }
   }
 }
@@ -103,10 +128,14 @@ int balanced_mc(int m, int mc, int mr, int threads) {
 /// Resolve (micro-kernel, blocking) consistently: explicit blocking pins the
 /// tile geometry and the dispatcher searches lower SIMD levels for a kernel
 /// matching it; otherwise blocking is derived from the best kernel's tile.
+/// `chosen` reports the SIMD level the kernel actually dispatched to
+/// (telemetry metadata — it can be below `level` on a blocking fallback).
 template <typename T>
 void resolve_kernel_and_blocking(SimdLevel level, const KnnConfig& cfg,
-                                 MicroKernelT<T>& mk, BlockingParams& bp) {
+                                 MicroKernelT<T>& mk, BlockingParams& bp,
+                                 SimdLevel& chosen) {
   mk = select_micro_t<T>(level, cfg.norm);
+  chosen = level;
   if (cfg.blocking.has_value()) {
     bp = *cfg.blocking;
     if (!bp.valid()) {
@@ -118,6 +147,7 @@ void resolve_kernel_and_blocking(SimdLevel level, const KnnConfig& cfg,
         const MicroKernelT<T> alt = select_micro_t<T>(lv, cfg.norm);
         if (alt.fn != nullptr && alt.mr == bp.mr && alt.nr == bp.nr) {
           mk = alt;
+          chosen = lv;
           return;
         }
       }
@@ -127,6 +157,25 @@ void resolve_kernel_and_blocking(SimdLevel level, const KnnConfig& cfg,
   } else {
     bp = derive_blocking(mk.mr, mk.nr, sizeof(T));
   }
+}
+
+/// The loop number a Variant names (telemetry metadata).
+int variant_number(Variant v) {
+  switch (v) {
+    case Variant::kVar1:
+      return 1;
+    case Variant::kVar2:
+      return 2;
+    case Variant::kVar3:
+      return 3;
+    case Variant::kVar5:
+      return 5;
+    case Variant::kVar6:
+      return 6;
+    case Variant::kAuto:
+      break;
+  }
+  return 0;
 }
 
 template <typename T>
@@ -152,7 +201,8 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
 
   MicroKernelT<T> mk;
   BlockingParams bp;
-  resolve_kernel_and_blocking<T>(level, cfg, mk, bp);
+  SimdLevel chosen = level;
+  resolve_kernel_and_blocking<T>(level, cfg, mk, bp, chosen);
   const MicroFnT<T> micro = mk.fn;
   const int tmr = mk.mr;  // register-tile rows of the selected kernel
   const int tnr = mk.nr;  // register-tile columns
@@ -160,6 +210,12 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
   const int mc = balanced_mc(m, bp.mc, tmr, threads);
   const int nc = bp.nc;
   const int dc = bp.dc;
+
+  // Telemetry: inactive (null sink) recorders cost one predictable branch
+  // per cache block; counters additionally require a GSKNN_PROFILE build.
+  telemetry::Recorder rec(cfg.profile, threads);
+  const bool prof = rec.active();
+  WallTimer wall_timer;
 
   const auto heap_row = [&](int i) {
     return result_rows.empty() ? i : result_rows[static_cast<std::size_t>(i)];
@@ -205,11 +261,24 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
       const bool first = (pc == 0);
       const bool last = (pc + db >= d);
 
+      WallTimer pack_r_timer;
+      if (prof) pack_r_timer.start();
       rc.reset(static_cast<std::size_t>(nbpad) * db);
       pack_points_rt(tnr, X, ridx.data(), jc, nb, pc, db, rc.data());
       if (last && needs_norms) {
         r2c.reset(static_cast<std::size_t>(nbpad));
         pack_norms_rt(tnr, X, ridx.data(), jc, nb, r2c.data());
+      }
+      if (prof) {
+        // pack-Rc runs outside the parallel region, on the master thread.
+        telemetry::ThreadCounters& s0 = rec.slot(0);
+        s0.add_phase(telemetry::Phase::kPackR, pack_r_timer.seconds());
+        if constexpr (telemetry::kCountersEnabled) {
+          std::uint64_t bytes =
+              static_cast<std::uint64_t>(nbpad) * db * sizeof(T);
+          if (last && needs_norms) bytes += static_cast<std::uint64_t>(nbpad) * sizeof(T);
+          s0.add(telemetry::Counter::kBytesPackedR, bytes);
+        }
       }
 
 #if defined(GSKNN_HAVE_OPENMP)
@@ -219,6 +288,12 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
         const int mb = (m - ic < mc) ? m - ic : mc;
         const int mbpad = static_cast<int>(round_up(
             static_cast<std::size_t>(mb), static_cast<std::size_t>(tmr)));
+        const int tid = thread_id();
+        telemetry::ThreadCounters* tc = prof ? &rec.slot(tid) : nullptr;
+        WallTimer block_timer;
+        double select_secs = 0.0;
+        [[maybe_unused]] std::uint64_t tiles_local = 0, cand_local = 0;
+        if (prof) block_timer.start();
         QueryArena<T>& ar = query_arena<T>();
         ar.qc.reset(static_cast<std::size_t>(mbpad) * db);
         pack_points_rt(tmr, X, qidx.data(), ic, mb, pc, db, ar.qc.data());
@@ -227,6 +302,16 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
           ar.q2c.reset(static_cast<std::size_t>(mbpad));
           pack_norms_rt(tmr, X, qidx.data(), ic, mb, ar.q2c.data());
           q2c = ar.q2c.data();
+        }
+        if (prof) {
+          tc->add_phase(telemetry::Phase::kPackQ, block_timer.seconds());
+          if constexpr (telemetry::kCountersEnabled) {
+            std::uint64_t bytes =
+                static_cast<std::uint64_t>(mbpad) * db * sizeof(T);
+            if (last && needs_norms) bytes += static_cast<std::uint64_t>(mbpad) * sizeof(T);
+            tc->add(telemetry::Counter::kBytesPackedQ, bytes);
+          }
+          block_timer.start();  // from here to the end of the 3rd loop: micro
         }
 
         for (int jr = 0; jr < nb; jr += tnr) {  // ---- 3rd loop ----
@@ -270,31 +355,56 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
               ctx.row_stride = stride;
               ctx.arity = arity;
               ctx.dedup = cfg.dedup;
+              ctx.tc = tc;
               sel = &ctx;
+              if constexpr (telemetry::kCountersEnabled) {
+                // Pre-count every live tile candidate as a root-reject;
+                // sel_insert reclassifies the accepted ones into pushes.
+                cand_local += static_cast<std::uint64_t>(rows) * cols;
+              }
             }
 
             micro(db, qs, rs, cin, ld, cout, ld, c_colmajor, q2s, r2s, last,
                   rows, cols, sel, cfg.p);
+            if constexpr (telemetry::kCountersEnabled) ++tiles_local;
           }  // 2nd loop
 
           if (variant == Variant::kVar2 && last) {
+            WallTimer sel_timer;
+            if (prof) sel_timer.start();
             for (int i = 0; i < mb; ++i) {
               const int row = heap_row(ic + i);
               row_select(cbuf.data() + static_cast<long>(ic + i) * ld + jr,
                          ridx.data() + jc + jr, cols, result.row_dists(row),
                          result.row_ids(row), result.row_idset(row), k,
-                         stride, arity, cfg.dedup);
+                         stride, arity, cfg.dedup, tc);
             }
+            if (prof) select_secs += sel_timer.seconds();
           }
         }  // 3rd loop
 
         if (variant == Variant::kVar3 && last) {
+          WallTimer sel_timer;
+          if (prof) sel_timer.start();
           for (int i = 0; i < mb; ++i) {
             const int row = heap_row(ic + i);
             row_select(cbuf.data() + static_cast<long>(ic + i) * ld,
                        ridx.data() + jc, nb, result.row_dists(row),
                        result.row_ids(row), result.row_idset(row), k, stride,
-                       arity, cfg.dedup);
+                       arity, cfg.dedup, tc);
+          }
+          if (prof) select_secs += sel_timer.seconds();
+        }
+        if (prof) {
+          // Everything in the 3rd loop that was not selection is micro-
+          // kernel time (for Var#1 that includes the fused selection).
+          tc->add_phase(telemetry::Phase::kMicro,
+                        block_timer.seconds() - select_secs);
+          tc->add_phase(telemetry::Phase::kSelect, select_secs);
+          if constexpr (telemetry::kCountersEnabled) {
+            tc->add(telemetry::Counter::kTiles, tiles_local);
+            tc->add(telemetry::Counter::kCandidates, cand_local);
+            tc->add(telemetry::Counter::kRootRejects, cand_local);
           }
         }
       }  // 4th loop
@@ -302,27 +412,70 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
 
     if (variant == Variant::kVar5) {
 #if defined(GSKNN_HAVE_OPENMP)
-#pragma omp parallel for schedule(static) num_threads(threads)
+#pragma omp parallel num_threads(threads)
 #endif
-      for (int i = 0; i < m; ++i) {
-        const int row = heap_row(i);
-        row_select(cbuf.data() + static_cast<long>(i) * ld, ridx.data() + jc,
-                   nb, result.row_dists(row), result.row_ids(row),
-                   result.row_idset(row), k, stride, arity, cfg.dedup);
+      {
+        const int tid = thread_id();
+        telemetry::ThreadCounters* tc = prof ? &rec.slot(tid) : nullptr;
+        WallTimer sel_timer;
+        if (prof) sel_timer.start();
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp for schedule(static) nowait
+#endif
+        for (int i = 0; i < m; ++i) {
+          const int row = heap_row(i);
+          row_select(cbuf.data() + static_cast<long>(i) * ld, ridx.data() + jc,
+                     nb, result.row_dists(row), result.row_ids(row),
+                     result.row_idset(row), k, stride, arity, cfg.dedup, tc);
+        }
+        if (prof) tc->add_phase(telemetry::Phase::kSelect, sel_timer.seconds());
       }
     }
   }  // 6th loop
 
   if (variant == Variant::kVar6) {
 #if defined(GSKNN_HAVE_OPENMP)
-#pragma omp parallel for schedule(static) num_threads(threads)
+#pragma omp parallel num_threads(threads)
 #endif
-    for (int i = 0; i < m; ++i) {
-      const int row = heap_row(i);
-      row_select(cbuf.data() + static_cast<long>(i) * ld, ridx.data(), n,
-                 result.row_dists(row), result.row_ids(row),
-                 result.row_idset(row), k, stride, arity, cfg.dedup);
+    {
+      const int tid = thread_id();
+      telemetry::ThreadCounters* tc = prof ? &rec.slot(tid) : nullptr;
+      WallTimer sel_timer;
+      if (prof) sel_timer.start();
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp for schedule(static) nowait
+#endif
+      for (int i = 0; i < m; ++i) {
+        const int row = heap_row(i);
+        row_select(cbuf.data() + static_cast<long>(i) * ld, ridx.data(), n,
+                   result.row_dists(row), result.row_ids(row),
+                   result.row_idset(row), k, stride, arity, cfg.dedup, tc);
+      }
+      if (prof) tc->add_phase(telemetry::Phase::kSelect, sel_timer.seconds());
     }
+  }
+
+  if (prof) {
+    telemetry::KernelProfile& P = *cfg.profile;
+    P.algorithm = "gsknn";
+    P.precision = sizeof(T) == 8 ? "f64" : "f32";
+    P.m = m;
+    P.n = n;
+    P.d = d;
+    P.k = k;
+    P.threads = threads;
+    P.variant = variant_number(variant);
+    P.simd_level = static_cast<int>(chosen);
+    P.blocking = bp;
+    static const model::MachineParams mp{};
+    const model::ProblemShape shape{m, n, d, k};
+    P.model_gflops = model::predicted_gflops(
+        variant == Variant::kVar1 ? model::Method::kVar1 : model::Method::kVar6,
+        shape, mp, bp);
+    // Evaluated in *this* translation unit so a profiled core build reports
+    // its counters even to consumers compiled without GSKNN_PROFILE.
+    P.counters_enabled = P.counters_enabled || telemetry::kCountersEnabled;
+    rec.aggregate(wall_timer.seconds());
   }
 }
 

@@ -48,6 +48,10 @@ struct SelectCtxT {
   int row_stride = 0;  ///< physical slots per row (fallback dedup scan bound)
   HeapArity arity = HeapArity::kBinary;
   bool dedup = false;
+  /// Telemetry slot of the owning thread (GSKNN_PROFILE builds only; the
+  /// driver pre-counts every tile candidate as a root-reject and sel_insert
+  /// reclassifies accepted ones, so pushes + rejects == candidates exactly).
+  telemetry::ThreadCounters* tc = nullptr;
 };
 
 using SelectCtx = SelectCtxT<double>;
@@ -71,6 +75,13 @@ GSKNN_ALWAYS_INLINE void sel_insert(const SelectCtxT<T>& s, int row, T d,
     heap::quad_replace_root(hd, hi, s.k, d, id);
   } else {
     heap::binary_replace_root(hd, hi, s.k, d, id);
+  }
+  if constexpr (telemetry::kCountersEnabled) {
+    if (s.tc != nullptr) {
+      // The driver pre-counted this candidate as a root-reject; it survived.
+      s.tc->add(telemetry::Counter::kHeapPushes, 1);
+      s.tc->sub(telemetry::Counter::kRootRejects, 1);
+    }
   }
 }
 

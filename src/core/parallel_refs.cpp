@@ -9,7 +9,9 @@
 // are merged (query-parallel, race-free) into the caller's result.
 #include <vector>
 
+#include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/threads.hpp"
+#include "gsknn/common/timer.hpp"
 #include "gsknn/core/knn.hpp"
 
 namespace gsknn {
@@ -40,6 +42,14 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
   std::vector<NeighborTable> priv(static_cast<std::size_t>(threads));
   const int chunk = (n + threads - 1) / threads;
 
+  // Telemetry: concurrent workers must not share one sink, so each records
+  // into a private profile; the privates are merged into cfg.profile below
+  // and the end-to-end wall time replaces the summed per-worker walls.
+  const bool prof = (cfg.profile != nullptr);
+  WallTimer wall_timer;
+  std::vector<telemetry::KernelProfile> wprof(
+      prof ? static_cast<std::size_t>(threads) : 0);
+
 #if defined(GSKNN_HAVE_OPENMP)
 #pragma omp parallel num_threads(threads)
 #endif
@@ -51,12 +61,16 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
       NeighborTable& mine = priv[static_cast<std::size_t>(t)];
       mine.resize(m, k, result.arity());
       if (cfg.dedup) mine.enable_dedup_index();
+      KnnConfig my_cfg = worker_cfg;
+      my_cfg.profile = prof ? &wprof[static_cast<std::size_t>(t)] : nullptr;
       knn_kernel(X, qidx, ridx.subspan(static_cast<std::size_t>(lo),
                                        static_cast<std::size_t>(hi - lo)),
-                 mine, worker_cfg);
+                 mine, my_cfg);
     }
   }
 
+  WallTimer merge_timer;
+  if (prof) merge_timer.start();
   // Parallel merge: each query row is owned by one iteration, so inserting
   // every private candidate into the caller's row is race-free.
 #if defined(GSKNN_HAVE_OPENMP)
@@ -78,6 +92,28 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
         }
       }
     }
+  }
+
+  if (prof) {
+    const double merge_secs = merge_timer.seconds();
+    telemetry::KernelProfile combined;
+    for (const auto& wp : wprof) combined.merge(wp);
+    // Workers ran concurrently: the summed worker walls overstate elapsed
+    // time, so report the region's actual wall and keep the summed phase
+    // attribution (phase_seconds becomes total busy time across workers —
+    // per-phase critical paths are not defined for task parallelism).
+    combined.wall_seconds = wall_timer.seconds();
+    combined.phase_seconds[static_cast<int>(telemetry::Phase::kMerge)] +=
+        merge_secs;
+    combined.phase_thread_seconds[static_cast<int>(telemetry::Phase::kMerge)] +=
+        merge_secs;
+    combined.algorithm = "gsknn_parallel_refs";
+    combined.m = m;
+    combined.n = n;
+    combined.threads = threads;
+    // The workers are parts of ONE logical kernel call, not separate ones.
+    combined.invocations = 1;
+    cfg.profile->merge(combined);
   }
 }
 

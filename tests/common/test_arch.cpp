@@ -13,8 +13,12 @@ TEST(Arch, FeatureDetectionIsStable) {
 
 TEST(Arch, FeatureImplications) {
   const CpuFeatures& f = cpu_features();
-  if (f.avx2) EXPECT_TRUE(f.avx);
-  if (f.avx512f) EXPECT_TRUE(f.avx2);
+  if (f.avx2) {
+    EXPECT_TRUE(f.avx);
+  }
+  if (f.avx512f) {
+    EXPECT_TRUE(f.avx2);
+  }
 }
 
 TEST(Arch, CacheSizesAreSane) {

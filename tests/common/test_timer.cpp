@@ -1,0 +1,64 @@
+// PhaseTimer contract: tic()/toc() pairs accumulate, and misuse (a toc()
+// with no matching tic()) is a no-op instead of silently adding whatever
+// elapsed since construction — the failure mode that corrupts breakdowns.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "gsknn/common/timer.hpp"
+
+namespace gsknn {
+namespace {
+
+TEST(PhaseTimer, StartsAtZero) {
+  PhaseTimer t;
+  EXPECT_EQ(t.seconds(), 0.0);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(PhaseTimer, TocWithoutTicIsNoop) {
+  PhaseTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.toc();  // no tic() yet: must not record the 5ms since construction
+  EXPECT_EQ(t.seconds(), 0.0);
+}
+
+TEST(PhaseTimer, DoubleTocAddsOnce) {
+  PhaseTimer t;
+  t.tic();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.toc();
+  const double once = t.seconds();
+  EXPECT_GT(once, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.toc();  // unmatched: must not add the 5ms gap
+  EXPECT_EQ(t.seconds(), once);
+}
+
+TEST(PhaseTimer, AccumulatesAcrossPairs) {
+  PhaseTimer t;
+  t.tic();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.toc();
+  const double first = t.seconds();
+  t.tic();
+  EXPECT_TRUE(t.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.toc();
+  EXPECT_GT(t.seconds(), first);
+}
+
+TEST(PhaseTimer, ResetClearsTotalAndRunningState) {
+  PhaseTimer t;
+  t.tic();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  t.reset();
+  EXPECT_EQ(t.seconds(), 0.0);
+  EXPECT_FALSE(t.running());
+  t.toc();  // the pre-reset tic() must not survive the reset
+  EXPECT_EQ(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace gsknn

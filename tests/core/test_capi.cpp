@@ -106,6 +106,63 @@ TEST_F(CApiFixture, ResultRowBoundsChecked) {
   gsknn_result_destroy(res);
 }
 
+TEST_F(CApiFixture, ProfiledSearchFillsProfile) {
+  std::vector<int> q(10), r(90);
+  std::iota(q.begin(), q.end(), 0);
+  std::iota(r.begin(), r.end(), 10);
+
+  gsknn_profile* prof = gsknn_profile_create();
+  ASSERT_NE(prof, nullptr);
+  EXPECT_DOUBLE_EQ(gsknn_profile_wall_seconds(prof), 0.0);
+
+  gsknn_result* res = gsknn_result_create(10, 5);
+  ASSERT_EQ(gsknn_search_profiled(table, q.data(), 10, r.data(), 90,
+                                  GSKNN_NORM_L2SQ, GSKNN_VARIANT_AUTO, 2.0, 1,
+                                  res, prof),
+            0);
+
+  EXPECT_GT(gsknn_profile_wall_seconds(prof), 0.0);
+  EXPECT_GT(gsknn_profile_phase_seconds(prof, GSKNN_PHASE_MICRO), 0.0);
+  EXPECT_GT(gsknn_profile_gflops(prof), 0.0);
+  double sum = 0.0;
+  for (int p = 0; p < GSKNN_PHASE_COUNT; ++p) {
+    const double s = gsknn_profile_phase_seconds(prof, p);
+    EXPECT_GE(s, 0.0);
+    sum += s;
+  }
+  EXPECT_LE(sum, gsknn_profile_wall_seconds(prof) * 1.0001 + 1e-6);
+
+  // Counters exist only in GSKNN_PROFILE builds; either way the accessors
+  // must be consistent with the reported mode.
+  if (gsknn_profile_counters_enabled(prof)) {
+    EXPECT_EQ(gsknn_profile_counter(prof, GSKNN_COUNTER_CANDIDATES), 900u);
+  } else {
+    EXPECT_EQ(gsknn_profile_counter(prof, GSKNN_COUNTER_CANDIDATES), 0u);
+  }
+
+  EXPECT_STREQ(gsknn_profile_phase_name(GSKNN_PHASE_PACK_Q), "pack_q");
+  EXPECT_STREQ(gsknn_profile_phase_name(GSKNN_PHASE_SELECT), "select");
+  EXPECT_EQ(gsknn_profile_phase_name(-1), nullptr);
+  EXPECT_EQ(gsknn_profile_phase_name(GSKNN_PHASE_COUNT), nullptr);
+
+  const std::string json = gsknn_profile_json(prof);
+  EXPECT_NE(json.find("\"algorithm\":\"gsknn\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\":"), std::string::npos);
+
+  gsknn_profile_reset(prof);
+  EXPECT_DOUBLE_EQ(gsknn_profile_wall_seconds(prof), 0.0);
+
+  // Null-handle accessors are safe.
+  EXPECT_LT(gsknn_profile_wall_seconds(nullptr), 0.0);
+  EXPECT_LT(gsknn_profile_phase_seconds(nullptr, 0), 0.0);
+  EXPECT_EQ(gsknn_profile_counters_enabled(nullptr), 0);
+  gsknn_profile_reset(nullptr);
+  gsknn_profile_destroy(nullptr);
+
+  gsknn_result_destroy(res);
+  gsknn_profile_destroy(prof);
+}
+
 TEST(CApi, CreateRejectsBadArguments) {
   EXPECT_EQ(gsknn_table_create(0, 5, nullptr), nullptr);
   EXPECT_EQ(gsknn_table_create(3, 5, nullptr), nullptr);

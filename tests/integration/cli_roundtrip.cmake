@@ -28,6 +28,49 @@ foreach(f nn.csv allnn.csv nn2.csv)
   endif()
 endforeach()
 
+# --profile: a sizeable single-threaded search must produce a Table-5-style
+# breakdown on stdout plus a parseable JSON profile whose attributed phases
+# account for (nearly) the whole kernel wall time.
+run(generate --out ${WORK_DIR}/prof_data.gsknn --d 32 --n 4000 --seed 11)
+run(search --data ${WORK_DIR}/prof_data.gsknn --k 16 --out ${WORK_DIR}/prof_nn.csv
+    --threads 1 --profile ${WORK_DIR}/prof.json)
+if(NOT EXISTS ${WORK_DIR}/prof.json)
+  message(FATAL_ERROR "search --profile did not write prof.json")
+endif()
+file(READ ${WORK_DIR}/prof.json profile_json)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  # string(JSON) both validates that the profile parses and extracts the
+  # accounting fields. phase_total + other == wall holds by construction
+  # (other is the clamped remainder), so the real check is the attributed
+  # share: unattributed time must be under 10% of the wall.
+  string(JSON algorithm GET "${profile_json}" algorithm)
+  string(JSON wall GET "${profile_json}" wall_seconds)
+  string(JSON phase_total GET "${profile_json}" phase_total)
+  string(JSON other GET "${profile_json}" other_seconds)
+  string(JSON micro GET "${profile_json}" phases micro)
+  string(JSON invocations GET "${profile_json}" invocations)
+  if(NOT algorithm STREQUAL "gsknn")
+    message(FATAL_ERROR "profile algorithm is '${algorithm}', expected gsknn")
+  endif()
+  if(NOT invocations EQUAL 1)
+    message(FATAL_ERROR "profile should record 1 invocation, got ${invocations}")
+  endif()
+  if(NOT wall GREATER 0 OR NOT micro GREATER 0)
+    message(FATAL_ERROR "profile has empty timings: wall=${wall} micro=${micro}")
+  endif()
+  # CMake's if() compares numbers as doubles, but math() is integer-only —
+  # get wall/10 by appending a decimal exponent instead of dividing. The wall
+  # for this problem size is milliseconds-to-seconds, so %.9g printed it in
+  # plain decimal form; guard on that so the suffix stays parseable.
+  if(wall MATCHES "^[0-9]+\\.?[0-9]*$")
+    if(other GREATER "${wall}e-1")
+      message(FATAL_ERROR "profile attributes < 90% of wall: wall=${wall}s "
+                          "phases=${phase_total}s other=${other}s")
+    endif()
+  endif()
+  message(STATUS "profile ok: wall=${wall}s phases=${phase_total}s other=${other}s")
+endif()
+
 # Error paths must fail cleanly (non-zero, no crash).
 execute_process(COMMAND ${GSKNN_CLI} search --data /nonexistent --k 3 --out ${WORK_DIR}/x.csv
                 RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)

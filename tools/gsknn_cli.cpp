@@ -5,11 +5,18 @@
 //             [--intrinsic I] [--clusters C] [--sigma S] [--seed S]
 //             [--csv]                     synthesize a dataset
 //   search    --data FILE --k K --out FILE [--queries FILE] [--norm l2|l1|
-//             linf|cos|lp] [--p P] [--variant auto|1|2|3|5|6]
+//             linf|cos|lp] [--p P] [--variant auto|1|2|3|5|6] [--threads N]
+//             [--profile [FILE]]
 //             exact kNN of every query (default: all points, self included)
 //   allnn     --data FILE --k K --out FILE [--trees T] [--leaf L] [--seed S]
+//             [--profile [FILE]]
 //             approximate all-NN via the randomized KD-tree forest,
 //             reporting sampled exact recall
+//
+// --profile prints a Table-5-style phase breakdown (pack/micro/select/...)
+// and writes the structured one-line JSON profile to FILE (default:
+// <out>.profile.json). Work counters appear when the library was built with
+// -DGSKNN_PROFILE=ON.
 //   info      --data FILE               print dataset statistics
 //
 // Data files: native .gsknn tables or .csv (one point per row); detected by
@@ -34,14 +41,14 @@ using namespace gsknn;
 struct Args {
   std::vector<std::pair<std::string, std::string>> kv;
   bool has(const std::string& key) const {
-    for (const auto& [k, v] : kv) {
-      if (k == key) return true;
+    for (const auto& opt : kv) {
+      if (opt.first == key) return true;
     }
     return false;
   }
   std::string get(const std::string& key, const std::string& fallback = "") const {
-    for (const auto& [k, v] : kv) {
-      if (k == key) return v;
+    for (const auto& opt : kv) {
+      if (opt.first == key) return opt.second;
     }
     return fallback;
   }
@@ -100,6 +107,29 @@ Variant parse_variant(const std::string& s) {
   throw std::runtime_error("unknown variant '" + s + "' (auto/1/2/3/5/6)");
 }
 
+/// Resolve `--profile [path]` into the JSON output path: an explicit path
+/// wins; the bare flag (parsed as "1") derives `<out>.profile.json`.
+std::string profile_json_path(const Args& a, const std::string& out) {
+  const std::string v = a.get("profile");
+  if (v != "1") return v;
+  return out + ".profile.json";
+}
+
+/// Print the Table-5-style breakdown and write the one-line JSON profile.
+void emit_profile(const telemetry::KernelProfile& prof,
+                  const std::string& json_path) {
+  std::fputs(prof.format_table().c_str(), stdout);
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot write profile json to " + json_path);
+  }
+  const std::string j = prof.to_json();
+  std::fwrite(j.data(), 1, j.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("profile json -> %s\n", json_path.c_str());
+}
+
 int cmd_generate(const Args& a) {
   const int d = static_cast<int>(a.get_long("d", 16));
   const int n = static_cast<int>(a.get_long("n", 10000));
@@ -136,6 +166,9 @@ int cmd_search(const Args& a) {
   cfg.norm = parse_norm(a.get("norm"));
   cfg.p = a.get_double("p", 3.0);
   cfg.variant = parse_variant(a.get("variant"));
+  cfg.threads = static_cast<int>(a.get_long("threads", 0));
+  telemetry::KernelProfile prof;
+  if (a.has("profile")) cfg.profile = &prof;
 
   std::vector<int> refs(static_cast<std::size_t>(data.size()));
   std::iota(refs.begin(), refs.end(), 0);
@@ -177,6 +210,7 @@ int cmd_search(const Args& a) {
   save_neighbors_csv(result, out);
   std::printf("searched %zu queries x %d refs (d=%d, k=%d) in %.3fs -> %s\n",
               queries.size(), data.size(), data.dim(), k, secs, out.c_str());
+  if (cfg.profile != nullptr) emit_profile(prof, profile_json_path(a, out));
   return 0;
 }
 
@@ -187,6 +221,10 @@ int cmd_allnn(const Args& a) {
   cfg.num_trees = static_cast<int>(a.get_long("trees", 8));
   cfg.leaf_size = static_cast<int>(a.get_long("leaf", 512));
   cfg.seed = static_cast<std::uint64_t>(a.get_long("seed", 0));
+  // Leaf kernels run sequentially inside the solver, so one shared sink
+  // accumulates every leaf invocation race-free.
+  telemetry::KernelProfile prof;
+  if (a.has("profile")) cfg.kernel.profile = &prof;
   const auto result = tree::all_nearest_neighbors(data, k, cfg);
   const double recall = tree::recall_at_k(data, result.table, k,
                                           std::min(200, data.size()), 1);
@@ -197,6 +235,9 @@ int cmd_allnn(const Args& a) {
               "%.3fs, recall@%d %.3f -> %s\n",
               data.size(), cfg.num_trees, cfg.leaf_size, result.build_seconds,
               result.kernel_seconds, k, recall, out.c_str());
+  if (cfg.kernel.profile != nullptr) {
+    emit_profile(prof, profile_json_path(a, out));
+  }
   return 0;
 }
 
@@ -219,7 +260,8 @@ void usage() {
   std::puts("usage: gsknn <generate|search|allnn|info> [--options]\n"
             "  generate --out F --d D --n N [--dist uniform|gaussian|mixture] [--csv]\n"
             "  search   --data F --k K --out F [--queries F] [--norm l2|l1|linf|cos|lp]\n"
-            "  allnn    --data F --k K --out F [--trees T] [--leaf L]\n"
+            "           [--variant auto|1|2|3|5|6] [--threads N] [--profile [F]]\n"
+            "  allnn    --data F --k K --out F [--trees T] [--leaf L] [--profile [F]]\n"
             "  info     --data F");
 }
 
