@@ -47,6 +47,17 @@ int main() {
                   d, k, def.dc, def.mc, def.nc, def_s, tuned.best.dc,
                   tuned.best.mc, tuned.best.nc, tuned.best_seconds,
                   (def_s / tuned.best_seconds - 1.0) * 100.0);
+      char row[224];
+      std::snprintf(row, sizeof(row),
+                    "\"m\":%d,\"d\":%d,\"k\":%d,"
+                    "\"default_dc\":%d,\"default_mc\":%d,\"default_nc\":%d,"
+                    "\"default_s\":%.6f,"
+                    "\"tuned_dc\":%d,\"tuned_mc\":%d,\"tuned_nc\":%d,"
+                    "\"tuned_s\":%.6f,\"gain_pct\":%.2f",
+                    m, d, k, def.dc, def.mc, def.nc, def_s, tuned.best.dc,
+                    tuned.best.mc, tuned.best.nc, tuned.best_seconds,
+                    (def_s / tuned.best_seconds - 1.0) * 100.0);
+      emit_json_row("ablation_autotune", row);
     }
   }
   std::printf("# small gains confirm the analytic rules sit near the optimum"

@@ -45,6 +45,14 @@ int main() {
     std::printf("%6d %13.1f%% %12.4f %12.4f %10s\n", d,
                 100.0 * static_cast<double>(evals) / nq / n, tree_s, kern_s,
                 tree_s < kern_s ? "kd-tree" : "GSKNN");
+    char row[192];
+    std::snprintf(row, sizeof(row),
+                  "\"n\":%d,\"nq\":%d,\"k\":%d,\"d\":%d,"
+                  "\"evals_pct\":%.2f,\"tree_s\":%.6f,\"kernel_s\":%.6f,"
+                  "\"winner\":\"%s\"",
+                  n, nq, k, d, 100.0 * static_cast<double>(evals) / nq / n,
+                  tree_s, kern_s, tree_s < kern_s ? "kd-tree" : "gsknn");
+    emit_json_row("ablation_exact_tree", row);
   }
   std::printf("# expected shape: evals%% tiny and kd-tree wins at d <= ~8;\n"
               "# evals%% -> 100 and the streaming kernel wins beyond.\n");

@@ -37,6 +37,13 @@ int main() {
     }
     std::printf("%6d %12.4f %12.4f %8.2f%%\n", k, secs[0], secs[1],
                 (secs[0] / secs[1] - 1.0) * 100.0);
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "\"m\":%d,\"d\":%d,\"k\":%d,\"binary_s\":%.6f,"
+                  "\"quad_s\":%.6f,\"quad_win_pct\":%.2f",
+                  m, d, k, secs[0], secs[1],
+                  (secs[0] / secs[1] - 1.0) * 100.0);
+    emit_json_row("ablation_heap", row);
   }
   return 0;
 }

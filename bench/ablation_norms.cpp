@@ -53,6 +53,12 @@ int main() {
       });
       std::printf("%8s | %6d | %12.3f %12.3f %8.1fx\n", nr.name, d, gs, bl,
                   bl / gs);
+      char row[160];
+      std::snprintf(row, sizeof(row),
+                    "\"norm\":\"%s\",\"m\":%d,\"d\":%d,\"k\":%d,"
+                    "\"gsknn_s\":%.6f,\"baseline_s\":%.6f,\"speedup\":%.3f",
+                    nr.name, m, d, k, gs, bl, bl / gs);
+      emit_json_row("ablation_norms", row);
     }
   }
   return 0;

@@ -46,6 +46,12 @@ int main() {
       }
     });
     std::printf("data-parallel (per-kernel OpenMP):  %.3f s\n", secs);
+    char row[128];
+    std::snprintf(row, sizeof(row),
+                  "\"scheme\":\"data_parallel\",\"n\":%d,\"d\":%d,\"k\":%d,"
+                  "\"kernels\":%zu,\"seconds\":%.6f",
+                  N, d, k, groups.size(), secs);
+    emit_json_row("ablation_parallel", row);
   }
 
   // Task-parallel: LPT-scheduled batch.
@@ -58,6 +64,12 @@ int main() {
       knn_batch(X, tasks, k, {});
     });
     std::printf("task-parallel (LPT batch):          %.3f s\n", secs);
+    char row[128];
+    std::snprintf(row, sizeof(row),
+                  "\"scheme\":\"task_parallel\",\"n\":%d,\"d\":%d,\"k\":%d,"
+                  "\"kernels\":%zu,\"seconds\":%.6f",
+                  N, d, k, groups.size(), secs);
+    emit_json_row("ablation_parallel", row);
   }
 
   // Scheduler quality: model-estimated makespan, LPT vs round-robin.
@@ -80,6 +92,13 @@ int main() {
                   p, model::makespan(est, lpt, p), model::makespan(est, rr, p),
                   (model::makespan(est, rr, p) / model::makespan(est, lpt, p) -
                    1.0) * 100.0);
+      char row[160];
+      std::snprintf(row, sizeof(row),
+                    "\"scheme\":\"makespan_model\",\"p\":%d,"
+                    "\"lpt_s\":%.6f,\"round_robin_s\":%.6f",
+                    p, model::makespan(est, lpt, p),
+                    model::makespan(est, rr, p));
+      emit_json_row("ablation_parallel", row);
     }
   }
   return 0;

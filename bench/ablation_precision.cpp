@@ -40,6 +40,13 @@ int main() {
     });
     std::printf("%6d %14.1f %14.1f %8.2fx\n", d, knn_gflops(m, n, d, sd),
                 knn_gflops(m, n, d, sf), sd / sf);
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "\"m\":%d,\"d\":%d,\"k\":%d,\"f64_gflops\":%.3f,"
+                  "\"f32_gflops\":%.3f,\"f32_gain\":%.3f",
+                  m, d, k, knn_gflops(m, n, d, sd), knn_gflops(m, n, d, sf),
+                  sd / sf);
+    emit_json_row("ablation_precision", row);
   }
   return 0;
 }

@@ -89,6 +89,13 @@ int main() {
                 int kk) { select_stl(cd, ci, nn, rd, ri, kk, scratch); });
         std::printf("%6d %6d | %10.2f %10.2f %10.2f %10.2f %10.2f\n", n, k,
                     h2, h4, qk, mg, st);
+        char row[224];
+        std::snprintf(row, sizeof(row),
+                      "\"regime\":\"%s\",\"n\":%d,\"k\":%d,"
+                      "\"heap2_ns\":%.3f,\"heap4_ns\":%.3f,\"quick_ns\":%.3f,"
+                      "\"merge_ns\":%.3f,\"stl_ns\":%.3f",
+                      regime, n, k, h2, h4, qk, mg, st);
+        emit_json_row("ablation_selection", row);
       }
     }
   }

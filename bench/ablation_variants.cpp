@@ -46,6 +46,14 @@ int main() {
       const char* names[] = {"Var#1", "Var#2", "Var#3", "Var#5", "Var#6"};
       std::printf("%6d %6d | %9.3f %9.3f %9.3f %9.3f %9.3f | %8s\n", d, k,
                   secs[0], secs[1], secs[2], secs[3], secs[4], names[best]);
+      char row[224];
+      std::snprintf(row, sizeof(row),
+                    "\"m\":%d,\"d\":%d,\"k\":%d,\"var1_s\":%.6f,"
+                    "\"var2_s\":%.6f,\"var3_s\":%.6f,\"var5_s\":%.6f,"
+                    "\"var6_s\":%.6f,\"best\":\"%s\"",
+                    m, d, k, secs[0], secs[1], secs[2], secs[3], secs[4],
+                    names[best]);
+      emit_json_row("ablation_variants", row);
     }
   }
   return 0;

@@ -47,6 +47,50 @@ void BM_PackQueriesScattered(benchmark::State& state) {
 }
 BENCHMARK(BM_PackQueriesScattered)->Arg(16)->Arg(64)->Arg(256);
 
+// The same gathers through the runtime dispatcher, which selects the SIMD
+// transpose-pack kernels (pack_avx2.cpp / pack_avx512.cpp) when the machine
+// has them — the scalar templates above are the packing baseline.
+template <int S>
+void BM_PackScatteredRt(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int count = 512;
+  const PointTable X = make_uniform(d, 65536, 2);
+  std::vector<int> idx(static_cast<std::size_t>(count));
+  Xoshiro256 rng(7);
+  for (auto& i : idx) i = static_cast<int>(rng.below(65536));
+  AlignedBuffer<double> dst(static_cast<std::size_t>(count + S) * d);
+  const SimdLevel level = cpu_features().best_level();
+  for (auto _ : state) {
+    core::pack_points_rt(S, level, X, idx.data(), 0, count, 0, d, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) * count * d *
+                          static_cast<long>(sizeof(double)));
+}
+BENCHMARK(BM_PackScatteredRt<4>)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_PackScatteredRt<8>)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_PackScatteredRt<16>)->Arg(16)->Arg(64)->Arg(256);
+
+template <int S>
+void BM_PackScatteredRtF32(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int count = 512;
+  const PointTableF X = to_float(make_uniform(d, 65536, 2));
+  std::vector<int> idx(static_cast<std::size_t>(count));
+  Xoshiro256 rng(7);
+  for (auto& i : idx) i = static_cast<int>(rng.below(65536));
+  AlignedBuffer<float> dst(static_cast<std::size_t>(count + S) * d);
+  const SimdLevel level = cpu_features().best_level();
+  for (auto _ : state) {
+    core::pack_points_rt(S, level, X, idx.data(), 0, count, 0, d, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) * count * d *
+                          static_cast<long>(sizeof(float)));
+}
+BENCHMARK(BM_PackScatteredRtF32<8>)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_PackScatteredRtF32<16>)->Arg(16)->Arg(64)->Arg(256);
+
 void BM_PackNorms(benchmark::State& state) {
   const int count = static_cast<int>(state.range(0));
   const PointTable X = make_uniform(16, count, 3);

@@ -13,6 +13,10 @@
 #define GSKNN_UNLIKELY(x) __builtin_expect(!!(x), 0)
 #define GSKNN_PREFETCH_R(addr) __builtin_prefetch((addr), 0, 3)
 #define GSKNN_PREFETCH_W(addr) __builtin_prefetch((addr), 1, 3)
+// Low-locality read prefetch for stream-through data (the pack gather reads
+// each source row once per depth block; keeping it out of the upper cache
+// ways protects the packed panels that ARE reused).
+#define GSKNN_PREFETCH_R_LOW(addr) __builtin_prefetch((addr), 0, 1)
 #else
 #define GSKNN_RESTRICT
 #define GSKNN_ALWAYS_INLINE inline
@@ -21,6 +25,7 @@
 #define GSKNN_UNLIKELY(x) (x)
 #define GSKNN_PREFETCH_R(addr) ((void)0)
 #define GSKNN_PREFETCH_W(addr) ((void)0)
+#define GSKNN_PREFETCH_R_LOW(addr) ((void)0)
 #endif
 
 namespace gsknn {

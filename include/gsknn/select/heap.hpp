@@ -91,6 +91,42 @@ GSKNN_ALWAYS_INLINE void binary_try_insert(T* GSKNN_RESTRICT dist,
   if (d < dist[0]) binary_replace_root(dist, id, k, d, x);
 }
 
+/// Small-k root replacement: overwrite the root (slot 0 of any valid
+/// max-heap holds the max) and restore order by insertion-sorting the row
+/// descending. A sorted-descending row *is* a valid binary max-heap, so
+/// this is safe to interleave with binary_replace_root in either direction:
+/// it accepts any heap-ordered input, and its output satisfies the heap
+/// property. When only this routine touches the row (the fused small-k
+/// path), the row stays sorted and each call costs a short, predictable
+/// shift instead of a data-dependent sift-down. Intended for k ≤ 8.
+/// Kept out of line: it is called from the fused micro-kernels' accept path
+/// (roughly one candidate in a hundred), and inlining the insertion pass
+/// into every sel_insert site measurably bloats the kernels (icache; see
+/// EXPERIMENTS.md "Hot-path tuning").
+template <typename T>
+GSKNN_NOINLINE inline void small_sorted_replace_root(T* GSKNN_RESTRICT dist,
+                                      int* GSKNN_RESTRICT id, int k, T d,
+                                      int x) {
+  dist[0] = d;
+  id[0] = x;
+  for (int i = 1; i < k; ++i) {
+    const T di = dist[i];
+    const int xi = id[i];
+    int j = i - 1;
+    while (j >= 0 && dist[j] < di) {
+      dist[j + 1] = dist[j];
+      id[j + 1] = id[j];
+      --j;
+    }
+    dist[j + 1] = di;
+    id[j + 1] = xi;
+  }
+}
+
+/// k below which the fused selection path uses small_sorted_replace_root
+/// instead of the binary sift (both are valid heaps; see above).
+inline constexpr int kSmallSortedK = 4;
+
 /// Validation helper (tests only).
 template <typename T>
 inline bool binary_is_heap(const T* dist, int k) {

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <string>
 
 #include "gsknn/common/arch.hpp"
@@ -54,13 +55,13 @@ gsknn_table* gsknn_table_create(int d, int n, const double* coords) {
 
 gsknn_table* gsknn_table_load(const char* path) {
   try {
-    auto* t = new gsknn_table;
+    auto t = std::make_unique<gsknn_table>();
     try {
       t->table = gsknn::load_table(path);
     } catch (const std::exception&) {
       t->table = gsknn::load_csv(path);
     }
-    return t;
+    return t.release();
   } catch (const std::exception& e) {
     set_error(e.what());
     return nullptr;

@@ -20,6 +20,7 @@
 // micro-kernels and the blocking derivation differ per precision.
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 
@@ -36,11 +37,16 @@ namespace gsknn {
 namespace core {
 namespace {
 
-/// Per-thread packing arena for the Qc panel (private L2 panel; §2.5).
+/// Per-thread packing arena for the Qc panel (private L2 panel; §2.5) plus
+/// the Var#1 deferred-selection candidate buffers (kCandBufLen slots per
+/// query row of the current mc-block; see SelectCtxT::buf_d).
 template <typename T>
 struct QueryArena {
   AlignedBuffer<T> qc;
   AlignedBuffer<T> q2c;
+  AlignedBuffer<T> cand_d;
+  AlignedBuffer<int> cand_id;
+  AlignedBuffer<int> cand_cnt;
 };
 
 template <typename T>
@@ -59,6 +65,17 @@ const T* neg_inf_row() {
 
 int kDummyIds[kMaxMr] = {-1, -1, -1, -1, -1, -1, -1, -1,
                          -1, -1, -1, -1, -1, -1, -1, -1};
+
+/// GSKNN_DEFER=0 disables the deferred candidate buffers (A/B knob; the
+/// vectorized kernels then sift accepted candidates immediately, as the
+/// scalar kernel always does).
+bool defer_enabled() {
+  static const bool on = [] {
+    const char* e = std::getenv("GSKNN_DEFER");
+    return e == nullptr || e[0] != '0';
+  }();
+  return on;
+}
 
 /// Scan `len` contiguous finished distances and update one heap row.
 /// Candidate j carries global id ids[j]. In GSKNN_PROFILE builds the
@@ -96,11 +113,7 @@ void row_select(const T* GSKNN_RESTRICT cand, const int* GSKNN_RESTRICT ids,
         }
       }
     }
-    if (arity == HeapArity::kQuad) {
-      heap::quad_replace_root(hd, hi, k, dj, ids[j]);
-    } else {
-      heap::binary_replace_root(hd, hi, k, dj, ids[j]);
-    }
+    sel_replace_root(hd, hi, k, arity, dj, ids[j]);
     if constexpr (telemetry::kCountersEnabled) ++pushes;
   }
   if constexpr (telemetry::kCountersEnabled) {
@@ -260,11 +273,20 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
       const int db = (d - pc < dc) ? d - pc : dc;
       const bool first = (pc == 0);
       const bool last = (pc + db >= d);
+      // Deferred batched selection applies to the fused path when the sift
+      // is deep enough to pay for the buffer bookkeeping: measured on the
+      // table5 shapes, deferral is ~10% faster at k = 512 but loses below
+      // k ≈ 256, where the sift is short and the stale prefilter roots admit
+      // more candidates than the batching saves (see EXPERIMENTS.md
+      // "Hot-path tuning"). The k == 1 non-dedup accept is already two
+      // stores (sel_insert_raw), so deferral has nothing to amortize there.
+      const bool defer_sel = (variant == Variant::kVar1) && last &&
+                             k >= kDeferMinK && defer_enabled();
 
       WallTimer pack_r_timer;
       if (prof) pack_r_timer.start();
       rc.reset(static_cast<std::size_t>(nbpad) * db);
-      pack_points_rt(tnr, X, ridx.data(), jc, nb, pc, db, rc.data());
+      pack_points_rt(tnr, chosen, X, ridx.data(), jc, nb, pc, db, rc.data());
       if (last && needs_norms) {
         r2c.reset(static_cast<std::size_t>(nbpad));
         pack_norms_rt(tnr, X, ridx.data(), jc, nb, r2c.data());
@@ -296,12 +318,19 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
         if (prof) block_timer.start();
         QueryArena<T>& ar = query_arena<T>();
         ar.qc.reset(static_cast<std::size_t>(mbpad) * db);
-        pack_points_rt(tmr, X, qidx.data(), ic, mb, pc, db, ar.qc.data());
+        pack_points_rt(tmr, chosen, X, qidx.data(), ic, mb, pc, db,
+                       ar.qc.data());
         const T* q2c = nullptr;
         if (last && needs_norms) {
           ar.q2c.reset(static_cast<std::size_t>(mbpad));
           pack_norms_rt(tmr, X, qidx.data(), ic, mb, ar.q2c.data());
           q2c = ar.q2c.data();
+        }
+        if (defer_sel) {
+          ar.cand_d.reset(static_cast<std::size_t>(mbpad) * kCandBufLen);
+          ar.cand_id.reset(static_cast<std::size_t>(mbpad) * kCandBufLen);
+          ar.cand_cnt.reset(static_cast<std::size_t>(mbpad));
+          for (int i = 0; i < mbpad; ++i) ar.cand_cnt.data()[i] = 0;
         }
         if (prof) {
           tc->add_phase(telemetry::Phase::kPackQ, block_timer.seconds());
@@ -356,6 +385,13 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
               ctx.arity = arity;
               ctx.dedup = cfg.dedup;
               ctx.tc = tc;
+              if (defer_sel) {
+                ctx.buf_d =
+                    ar.cand_d.data() + static_cast<long>(ir) * kCandBufLen;
+                ctx.buf_id =
+                    ar.cand_id.data() + static_cast<long>(ir) * kCandBufLen;
+                ctx.buf_cnt = ar.cand_cnt.data() + ir;
+              }
               sel = &ctx;
               if constexpr (telemetry::kCountersEnabled) {
                 // Pre-count every live tile candidate as a root-reject;
@@ -382,6 +418,19 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
             if (prof) select_secs += sel_timer.seconds();
           }
         }  // 3rd loop
+
+        if (defer_sel) {
+          // Drain the deferred candidate buffers once per mc-block. Part of
+          // the fused selection, so it stays inside the micro-phase timing.
+          for (int i = 0; i < mb; ++i) {
+            const int row = heap_row(ic + i);
+            sel_flush_raw(result.row_dists(row), result.row_ids(row),
+                          result.row_idset(row), k, stride, arity, cfg.dedup,
+                          tc, ar.cand_d.data() + static_cast<long>(i) * kCandBufLen,
+                          ar.cand_id.data() + static_cast<long>(i) * kCandBufLen,
+                          ar.cand_cnt.data() + i);
+          }
+        }
 
         if (variant == Variant::kVar3 && last) {
           WallTimer sel_timer;

@@ -36,6 +36,19 @@ inline constexpr int kNr = 4;
 inline constexpr int kMaxMr = 16;
 inline constexpr int kMaxNr = 8;
 
+/// Length of the per-query deferred candidate buffer (Var#1). Candidates
+/// that pass the vectorized root prefilter are compress-stored here instead
+/// of sifting into the heap inside the tile loop; the heap work happens in
+/// batches at flush, off the FMA pipe's critical path. 16 entries keep one
+/// row's buffer at two cache lines of distances plus one of ids.
+inline constexpr int kCandBufLen = 16;
+
+/// Smallest k for which the driver enables the deferred buffers. Below
+/// this the binary sift is only a few levels deep and immediate insertion
+/// wins; the measured crossover on the table5 shapes sits between k = 128
+/// (deferral ~8% slower) and k = 512 (~10% faster).
+inline constexpr int kDeferMinK = 256;
+
 /// Selection context for the fused (Var#1) path: per-valid-row heap
 /// pointers plus candidate metadata.
 template <typename T>
@@ -52,37 +65,130 @@ struct SelectCtxT {
   /// driver pre-counts every tile candidate as a root-reject and sel_insert
   /// reclassifies accepted ones, so pushes + rejects == candidates exactly).
   telemetry::ThreadCounters* tc = nullptr;
+  /// Deferred candidate buffers for this tile's rows (kCandBufLen entries
+  /// per row, counts alongside), or null for immediate insertion. The
+  /// driver points these at the per-block arena offset of tile row 0, so
+  /// buffers persist across the 3rd loop and flush at block end.
+  T* buf_d = nullptr;
+  int* buf_id = nullptr;
+  int* buf_cnt = nullptr;
 };
 
 using SelectCtx = SelectCtxT<double>;
+
+/// Root replacement dispatch: quad heap for Var#6-style rows, the sorted
+/// small-k fast path for k ≤ kSmallSortedK binary rows (a sorted row is a
+/// valid binary heap, so the two binary strategies can interleave), binary
+/// sift otherwise.
+template <typename T>
+GSKNN_ALWAYS_INLINE void sel_replace_root(T* GSKNN_RESTRICT hd,
+                                          int* GSKNN_RESTRICT hi, int k,
+                                          HeapArity arity, T d, int id) {
+  if (arity == HeapArity::kQuad) {
+    heap::quad_replace_root(hd, hi, k, d, id);
+  } else if (k <= heap::kSmallSortedK) {
+    heap::small_sorted_replace_root(hd, hi, k, d, id);
+  } else {
+    heap::binary_replace_root(hd, hi, k, d, id);
+  }
+}
+
+/// Insert one accepted candidate into a raw heap row (caller already
+/// verified d < root). Shared by the in-tile path and the driver's
+/// block-end flush of the deferred buffers.
+template <typename T>
+GSKNN_ALWAYS_INLINE void sel_insert_raw(T* GSKNN_RESTRICT hd,
+                                        int* GSKNN_RESTRICT hi, RowIdSet* hset,
+                                        int k, int stride, HeapArity arity,
+                                        bool dedup,
+                                        telemetry::ThreadCounters* tc, T d,
+                                        int id) {
+  if (k == 1 && !dedup) {
+    // k == 1 specialization: the heap is a single slot, so the accept is
+    // two stores — no dedup scan, no sift dispatch. (A register-argmin tile
+    // epilogue was also tried and measured slower: the prefilter already
+    // rejects whole tiles with two compares, so any unconditional per-tile
+    // reduction only adds work; see EXPERIMENTS.md "Hot-path tuning".)
+    hd[0] = d;
+    hi[0] = id;
+    if constexpr (telemetry::kCountersEnabled) {
+      if (tc != nullptr) {
+        tc->add(telemetry::Counter::kHeapPushes, 1);
+        tc->sub(telemetry::Counter::kRootRejects, 1);
+      }
+    }
+    return;
+  }
+  if (dedup) {
+    if (hset != nullptr) {
+      if (!hset->insert_if_absent(id)) return;
+    } else {
+      for (int t = 0; t < stride; ++t) {
+        if (hi[t] == id) return;
+      }
+    }
+  }
+  sel_replace_root(hd, hi, k, arity, d, id);
+  if constexpr (telemetry::kCountersEnabled) {
+    if (tc != nullptr) {
+      // The driver pre-counted this candidate as a root-reject; it survived.
+      tc->add(telemetry::Counter::kHeapPushes, 1);
+      tc->sub(telemetry::Counter::kRootRejects, 1);
+    }
+  }
+}
 
 /// Insert one accepted candidate (caller already verified d < root).
 template <typename T>
 GSKNN_ALWAYS_INLINE void sel_insert(const SelectCtxT<T>& s, int row, T d,
                                     int id) {
-  T* hd = s.hd[row];
-  int* hi = s.hi[row];
-  if (s.dedup) {
-    if (s.hset[row] != nullptr) {
-      if (!s.hset[row]->insert_if_absent(id)) return;
-    } else {
-      for (int t = 0; t < s.row_stride; ++t) {
-        if (hi[t] == id) return;
-      }
+  sel_insert_raw(s.hd[row], s.hi[row], s.hset[row], s.k, s.row_stride,
+                 s.arity, s.dedup, s.tc, d, id);
+}
+
+/// Drain one row's deferred buffer through its heap. Candidates are
+/// re-checked against the live root in arrival order, so the final neighbor
+/// set is identical to immediate insertion (the prefilter only ever admits
+/// a superset: roots shrink monotonically).
+/// Kept out of line: it embeds the full heap sift, and inlining it into the
+/// micro-kernels through sel_defer's flush-on-full branch bloats the tile
+/// loop for a path that runs once per kCandBufLen accepted candidates.
+template <typename T>
+GSKNN_NOINLINE inline void sel_flush_raw(T* GSKNN_RESTRICT hd,
+                                         int* GSKNN_RESTRICT hi, RowIdSet* hset,
+                                         int k, int stride, HeapArity arity,
+                                         bool dedup,
+                                         telemetry::ThreadCounters* tc,
+                                         T* GSKNN_RESTRICT bd,
+                                         int* GSKNN_RESTRICT bid,
+                                         int* GSKNN_RESTRICT cnt) {
+  const int n = *cnt;
+  for (int t = 0; t < n; ++t) {
+    const T d = bd[t];
+    if (d < hd[0]) {
+      sel_insert_raw(hd, hi, hset, k, stride, arity, dedup, tc, d, bid[t]);
     }
   }
-  if (s.arity == HeapArity::kQuad) {
-    heap::quad_replace_root(hd, hi, s.k, d, id);
-  } else {
-    heap::binary_replace_root(hd, hi, s.k, d, id);
-  }
-  if constexpr (telemetry::kCountersEnabled) {
-    if (s.tc != nullptr) {
-      // The driver pre-counted this candidate as a root-reject; it survived.
-      s.tc->add(telemetry::Counter::kHeapPushes, 1);
-      s.tc->sub(telemetry::Counter::kRootRejects, 1);
-    }
-  }
+  *cnt = 0;
+}
+
+template <typename T>
+GSKNN_ALWAYS_INLINE void sel_flush_row(const SelectCtxT<T>& s, int row) {
+  sel_flush_raw(s.hd[row], s.hi[row], s.hset[row], s.k, s.row_stride, s.arity,
+                s.dedup, s.tc, s.buf_d + static_cast<long>(row) * kCandBufLen,
+                s.buf_id + static_cast<long>(row) * kCandBufLen,
+                s.buf_cnt + row);
+}
+
+/// Append one prefiltered candidate to its row buffer, flushing on fill.
+template <typename T>
+GSKNN_ALWAYS_INLINE void sel_defer(const SelectCtxT<T>& s, int row, T d,
+                                   int id) {
+  const int c = s.buf_cnt[row];
+  s.buf_d[static_cast<long>(row) * kCandBufLen + c] = d;
+  s.buf_id[static_cast<long>(row) * kCandBufLen + c] = id;
+  s.buf_cnt[row] = c + 1;
+  if (GSKNN_UNLIKELY(c + 1 == kCandBufLen)) sel_flush_row(s, row);
 }
 
 /// The unified micro-kernel signature. `dcur` is the current depth-block

@@ -10,10 +10,24 @@
 //   dst[(g·db + p)·S + i] = X(p0 + p, idx[i0 + g·S + i]).
 // The final partial group is zero-padded so micro-kernels always execute a
 // full tile.
+//
+// Two implementations share that contract:
+//   * the scalar template below — the reference, and the fallback for
+//     partial tail groups and sliver widths without a vector kernel;
+//   * SIMD transpose kernels (pack_avx2.cpp / pack_avx512.cpp) that load a
+//     register block of source rows, transpose in registers, and store
+//     full slivers — turning the strided element-at-a-time scatter into
+//     contiguous vector stores, with a software prefetch of the next
+//     group's gathered rows (see PrefetchParams).
+// pack_points_rt dispatches on (sliver width, SimdLevel); the driver passes
+// the level the micro-kernel actually resolved to, so a blocking fallback
+// to a narrower kernel also selects the matching pack path.
 #pragma once
 
+#include <cassert>
 #include <cstring>
 
+#include "gsknn/common/arch.hpp"
 #include "gsknn/common/macros.hpp"
 #include "gsknn/data/point_table.hpp"
 
@@ -53,19 +67,88 @@ void pack_norms(const PointTableT<T>& X, const int* GSKNN_RESTRICT idx,
   for (; i < padded; ++i) dst[i] = T(0);
 }
 
-/// Runtime-sliver dispatchers (the driver's tile geometry comes from the
-/// selected micro-kernel; only these sliver widths exist).
-template <typename T>
-inline void pack_points_rt(int S, const PointTableT<T>& X, const int* idx,
-                           int i0, int count, int p0, int db, T* dst) {
+#if defined(GSKNN_BUILD_AVX2)
+/// AVX2 transpose-pack kernels (full groups vectorized, tail group scalar).
+void pack_points_avx2_s4(const PointTableT<double>& X, const int* idx, int i0,
+                         int count, int p0, int db, double* dst);
+void pack_points_avx2_s8(const PointTableT<double>& X, const int* idx, int i0,
+                         int count, int p0, int db, double* dst);
+void pack_points_avx2_s8f(const PointTableT<float>& X, const int* idx, int i0,
+                          int count, int p0, int db, float* dst);
+#endif
+
+#if defined(GSKNN_BUILD_AVX512)
+/// AVX-512 transpose-pack kernels for the 16-wide slivers.
+void pack_points_avx512_s16(const PointTableT<double>& X, const int* idx,
+                            int i0, int count, int p0, int db, double* dst);
+void pack_points_avx512_s16f(const PointTableT<float>& X, const int* idx,
+                             int i0, int count, int p0, int db, float* dst);
+#endif
+
+/// Runtime dispatch on (sliver width, SIMD level). `level` must be the
+/// level of the micro-kernel the driver resolved (not the machine maximum),
+/// so pack layout decisions and tile geometry always agree.
+inline void pack_points_rt(int S, SimdLevel level, const PointTableT<double>& X,
+                           const int* idx, int i0, int count, int p0, int db,
+                           double* dst) {
+  (void)level;
+  switch (S) {
+    case 4:
+#if defined(GSKNN_BUILD_AVX2)
+      if (level >= SimdLevel::kAvx2) {
+        pack_points_avx2_s4(X, idx, i0, count, p0, db, dst);
+        return;
+      }
+#endif
+      pack_points<4>(X, idx, i0, count, p0, db, dst);
+      return;
+    case 8:
+#if defined(GSKNN_BUILD_AVX2)
+      if (level >= SimdLevel::kAvx2) {
+        pack_points_avx2_s8(X, idx, i0, count, p0, db, dst);
+        return;
+      }
+#endif
+      pack_points<8>(X, idx, i0, count, p0, db, dst);
+      return;
+    case 16:
+#if defined(GSKNN_BUILD_AVX512)
+      if (level >= SimdLevel::kAvx512) {
+        pack_points_avx512_s16(X, idx, i0, count, p0, db, dst);
+        return;
+      }
+#endif
+      pack_points<16>(X, idx, i0, count, p0, db, dst);
+      return;
+    default:
+      assert(false && "unsupported sliver width");
+  }
+}
+
+inline void pack_points_rt(int S, SimdLevel level, const PointTableT<float>& X,
+                           const int* idx, int i0, int count, int p0, int db,
+                           float* dst) {
+  (void)level;
   switch (S) {
     case 4:
       pack_points<4>(X, idx, i0, count, p0, db, dst);
       return;
     case 8:
+#if defined(GSKNN_BUILD_AVX2)
+      if (level >= SimdLevel::kAvx2) {
+        pack_points_avx2_s8f(X, idx, i0, count, p0, db, dst);
+        return;
+      }
+#endif
       pack_points<8>(X, idx, i0, count, p0, db, dst);
       return;
     case 16:
+#if defined(GSKNN_BUILD_AVX512)
+      if (level >= SimdLevel::kAvx512) {
+        pack_points_avx512_s16f(X, idx, i0, count, p0, db, dst);
+        return;
+      }
+#endif
       pack_points<16>(X, idx, i0, count, p0, db, dst);
       return;
     default:

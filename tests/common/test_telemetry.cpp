@@ -310,6 +310,76 @@ TEST(Telemetry, ParallelRefsMergesWorkerProfiles) {
   }
 }
 
+// The hot-path specializations must keep the counting scheme exact: the
+// k == 1 accept shortcut, the sorted small-k row path (k <= kSmallSortedK)
+// and the deferred candidate buffers (Var#1, k >= kDeferMinK) all
+// reclassify accepted candidates out of the driver's pre-counted
+// root-rejects — including candidates that were buffered first and only
+// rejected (or accepted) at flush time.
+void run_and_audit(int m, int n, int d, int k, Variant variant) {
+  const PointTable X = make_uniform(d, m + n, 0xA0D17 + static_cast<unsigned>(k));
+  const auto q = iota_ids(m);
+  const auto r = iota_ids(n, m);
+
+  KernelProfile prof;
+  KnnConfig cfg;
+  cfg.variant = variant;
+  cfg.threads = 1;
+  cfg.profile = &prof;
+  NeighborTable t(m, k);
+  knn_kernel(X, q, r, t, cfg);
+  expect_exact_counters(prof, m, n);
+
+  // The packed-byte tallies must cover at least the logical panels (they
+  // count padded slivers, so >= is the exact lower bound).
+  EXPECT_GE(prof.counter(Counter::kBytesPackedQ),
+            static_cast<std::uint64_t>(m) * d * sizeof(double));
+  EXPECT_GE(prof.counter(Counter::kBytesPackedR),
+            static_cast<std::uint64_t>(n) * d * sizeof(double));
+
+  // Fast paths must not change the answer: compare with an unprofiled run.
+  KnnConfig plain = cfg;
+  plain.profile = nullptr;
+  NeighborTable t2(m, k);
+  knn_kernel(X, q, r, t2, plain);
+  for (int i = 0; i < m; ++i) {
+    const auto a = t.sorted_row(i);
+    const auto b = t2.sorted_row(i);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+}
+
+TEST(TelemetryHotPaths, KOneCountersExact) {
+  run_and_audit(96, 160, 24, 1, Variant::kVar1);
+}
+
+TEST(TelemetryHotPaths, SmallSortedKCountersExact) {
+  run_and_audit(96, 160, 24, 4, Variant::kVar1);  // k <= kSmallSortedK
+}
+
+TEST(TelemetryHotPaths, DeferredSelectionCountersExact) {
+  // k >= kDeferMinK with Var#1 and a binary heap routes every accepted
+  // candidate through the compress-store buffers and the block-end flush.
+  run_and_audit(48, 512, 16, 256, Variant::kVar1);
+}
+
+TEST(TelemetryHotPaths, DeferredSelectionCountersExactFloat) {
+  const int m = 48, n = 512, d = 16, k = 256;
+  const PointTableF X = to_float(make_uniform(d, m + n, 0xA0D20));
+  const auto q = iota_ids(m);
+  const auto r = iota_ids(n, m);
+
+  KernelProfile prof;
+  KnnConfig cfg;
+  cfg.variant = Variant::kVar1;
+  cfg.threads = 1;
+  cfg.profile = &prof;
+  NeighborTableF t(m, k);
+  knn_kernel(X, q, r, t, cfg);
+  expect_exact_counters(prof, m, n);
+}
+
 TEST(Telemetry, InactiveRecorderIsNoop) {
   telemetry::Recorder rec(nullptr, 8);
   EXPECT_FALSE(rec.active());

@@ -1,0 +1,29 @@
+# Perf-trajectory gate: re-run the quick table5/fig6 sweeps with JSON-lines
+# output and compare against the committed baseline via tools/check_perf.py.
+# Registered under the "perf" ctest label (opt-in: -DGSKNN_PERF_TESTS=ON).
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(FRESH ${WORK_DIR}/fresh.json)
+file(REMOVE ${FRESH})
+
+# Two appended runs per bench: check_perf.py keeps the best observation per
+# cell, which filters most scheduler noise out of the gate.
+foreach(rep RANGE 1 2)
+  foreach(bench ${GSKNN_BENCH_TABLE5} ${GSKNN_BENCH_FIG6})
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E env GSKNN_BENCH_QUICK=1 GSKNN_BENCH_JSON=${FRESH}
+              ${bench}
+      RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "${bench} failed (${rc}): ${err}")
+    endif()
+  endforeach()
+endforeach()
+
+find_program(PYTHON3 NAMES python3 python REQUIRED)
+execute_process(
+  COMMAND ${PYTHON3} ${CHECK_PERF} --fresh ${FRESH} --baseline ${BASELINE} --verbose
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+message(STATUS "${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "perf regression vs baseline (${rc}):\n${out}${err}")
+endif()
