@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gsknn/common/arch.hpp"
+#include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/timer.hpp"
 
 namespace gsknn::bench {
@@ -98,6 +99,28 @@ inline void emit_json_row(const char* bench, const std::string& fields) {
                quick_mode() ? "true" : "false", fields.empty() ? "" : ",",
                fields.c_str());
   std::fflush(f);
+}
+
+/// Optional hardware-counter columns for a bench row: real values when the
+/// profile carries a PMU attribution, JSON nulls otherwise — the schema is
+/// stable either way, so downstream parsers (tools/check_perf.py) need no
+/// awareness of whether the run had perf access. Miss rates are per retired
+/// instruction (MPKI / 1000).
+inline std::string pmu_json_cols(const telemetry::KernelProfile& prof) {
+  const double instr =
+      static_cast<double>(prof.pmu_total(telemetry::PmuEvent::kInstructions));
+  if (!prof.pmu_enabled || instr <= 0.0) {
+    return "\"ipc\":null,\"l1_miss_rate\":null,\"llc_miss_rate\":null";
+  }
+  char buf[128];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"ipc\":%.3f,\"l1_miss_rate\":%.6f,\"llc_miss_rate\":%.6f", prof.ipc(),
+      static_cast<double>(prof.pmu_total(telemetry::PmuEvent::kL1dMisses)) /
+          instr,
+      static_cast<double>(prof.pmu_total(telemetry::PmuEvent::kLlcMisses)) /
+          instr);
+  return buf;
 }
 
 /// Convenience: strip the outer braces of KernelProfile::to_json() (or any

@@ -11,6 +11,7 @@
 #ifndef GSKNN_CAPI_H
 #define GSKNN_CAPI_H
 
+#include <stddef.h>
 #include <stdint.h>
 
 #ifdef __cplusplus
@@ -20,6 +21,7 @@ extern "C" {
 typedef struct gsknn_table gsknn_table;     /* PointTable handle */
 typedef struct gsknn_result gsknn_result;   /* NeighborTable handle */
 typedef struct gsknn_profile gsknn_profile; /* telemetry::KernelProfile handle */
+typedef struct gsknn_trace gsknn_trace;     /* telemetry::TraceSink handle */
 
 /* Norms (mirror gsknn::Norm). */
 enum {
@@ -123,6 +125,56 @@ double gsknn_profile_gflops(const gsknn_profile* p);
  * the profile handle and valid until the next call on the same handle or its
  * destruction. */
 const char* gsknn_profile_json(gsknn_profile* p);
+
+/* ---- hardware counters ----------------------------------------------- */
+
+/* Per-phase hardware events (mirror gsknn::telemetry::PmuEvent). Collected
+ * via perf_event_open when available; see gsknn_pmu_available(). */
+enum {
+  GSKNN_PMU_CYCLES = 0,
+  GSKNN_PMU_INSTRUCTIONS = 1,
+  GSKNN_PMU_L1D_MISSES = 2,
+  GSKNN_PMU_LLC_MISSES = 3,
+  GSKNN_PMU_STALL_CYCLES = 4,
+  GSKNN_PMU_COUNT = 5
+};
+
+/* 1 when perf_event_open works on this host/process (paranoid level,
+ * seccomp and GSKNN_PMU=0 all make it 0). With 0, profiled searches still
+ * carry timers and counters — only the pmu section reads as disabled. */
+int gsknn_pmu_available(void);
+
+/* Aggregated event count for one phase; 0 on bad arguments or when the
+ * profile ran without PMU access (check gsknn_profile_pmu_enabled). */
+uint64_t gsknn_profile_pmu(const gsknn_profile* p, int phase, int event);
+int gsknn_profile_pmu_enabled(const gsknn_profile* p); /* 0 or 1 */
+
+/* ---- trace timelines -------------------------------------------------- */
+
+/* Create a trace sink: per-thread span rings serialized as Chrome/Perfetto
+ * trace_event JSON. ring_kb is the per-thread ring size (0 = the
+ * GSKNN_TRACE_RING_KB environment variable, default 1024); rings overflow by
+ * dropping the oldest spans. Unlike a profile, one sink MAY be shared by
+ * concurrently-running searches. */
+gsknn_trace* gsknn_trace_create(size_t ring_kb);
+void gsknn_trace_destroy(gsknn_trace* t);
+void gsknn_trace_reset(gsknn_trace* t);
+
+/* gsknn_search with optional profile AND trace sinks (either may be NULL). */
+int gsknn_search_traced(const gsknn_table* table, const int* qidx, int mq,
+                        const int* ridx, int nq, int norm, int variant,
+                        double lp, int threads, gsknn_result* result,
+                        gsknn_profile* profile, gsknn_trace* trace);
+
+/* Spans currently retained / evicted by ring overflow / thread tracks. */
+uint64_t gsknn_trace_span_count(const gsknn_trace* t);
+uint64_t gsknn_trace_dropped_spans(const gsknn_trace* t);
+int gsknn_trace_thread_tracks(const gsknn_trace* t);
+
+/* Serialize to a file (0 on success) or to a string owned by the handle
+ * (valid until the next call on the same handle or its destruction). */
+int gsknn_trace_write_json(const gsknn_trace* t, const char* path);
+const char* gsknn_trace_json(gsknn_trace* t);
 
 /* ---- misc ------------------------------------------------------------ */
 

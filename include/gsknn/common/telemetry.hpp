@@ -35,6 +35,7 @@
 #include <string>
 
 #include "gsknn/common/arch.hpp"
+#include "gsknn/common/pmu.hpp"
 
 namespace gsknn::telemetry {
 
@@ -84,12 +85,20 @@ const char* counter_name(Counter c);
 struct alignas(64) ThreadCounters {
   double phase[kPhaseCount] = {};
   std::uint64_t counter[kCounterCount] = {};
+  /// Per-phase hardware-counter deltas (cycles, instructions, misses, ...)
+  /// recorded by this thread's PmuGroup; all zero when perf is unavailable.
+  std::uint64_t pmu[kPhaseCount][kPmuEventCount] = {};
 
   void add_phase(Phase p, double seconds) {
     phase[static_cast<int>(p)] += seconds;
   }
   void add(Counter c, std::uint64_t v) { counter[static_cast<int>(c)] += v; }
   void sub(Counter c, std::uint64_t v) { counter[static_cast<int>(c)] -= v; }
+  void add_pmu(Phase p, const PmuCounts& delta) {
+    for (int i = 0; i < kPmuEventCount; ++i) {
+      pmu[static_cast<int>(p)][i] += delta.v[i];
+    }
+  }
 };
 
 /// Aggregated profile of one or more kernel invocations. Kernels *accumulate*
@@ -106,6 +115,10 @@ struct KernelProfile {
   int simd_level = 0;    ///< static_cast<int>(SimdLevel) the dispatch chose
   BlockingParams blocking;
   double model_gflops = 0.0;  ///< perf_model prediction for this shape (0 = n/a)
+  /// Machine peaks from the perf-model parameters (roofline axes for
+  /// tools/roofline_report.py); 0 when the recording driver has no model.
+  double peak_gflops = 0.0;  ///< compute roof: MachineParams::peak_flops/1e9
+  double peak_gbs = 0.0;     ///< streaming roof: 8 bytes / tau_b / 1e9
 
   // ---- accumulated measurements ------------------------------------------
   double wall_seconds = 0.0;                    ///< end-to-end kernel wall time
@@ -117,6 +130,12 @@ struct KernelProfile {
   /// recording translation unit decides, so a profile constructed in a
   /// non-profiled consumer still reports the producing kernel's mode.
   bool counters_enabled = false;
+  /// Per-phase hardware-counter totals (summed across threads) and whether
+  /// any were actually collected. False whenever perf_event_open is denied
+  /// (paranoid sysctl, seccomp, no PMU) or GSKNN_PMU=0 — the profile then
+  /// degrades to timers + work counters with zero added overhead.
+  std::uint64_t phase_pmu[kPhaseCount][kPmuEventCount] = {};
+  bool pmu_enabled = false;
   std::uint64_t invocations = 0;
 
   // ---- accessors and derived metrics -------------------------------------
@@ -136,6 +155,21 @@ struct KernelProfile {
   double selection_fraction() const;
   /// Packing bandwidth in GB/s (counters build only; 0 otherwise).
   double pack_bandwidth_gbs() const;
+
+  // ---- PMU-derived metrics (all 0 when pmu_enabled is false) -------------
+  std::uint64_t pmu(Phase p, PmuEvent e) const {
+    return phase_pmu[static_cast<int>(p)][static_cast<int>(e)];
+  }
+  std::uint64_t pmu_total(PmuEvent e) const;
+  /// Instructions retired per cycle, for one phase / over all phases.
+  double phase_ipc(Phase p) const;
+  double ipc() const;
+  /// Misses per 1000 retired instructions (the usual MPKI normalization).
+  double phase_mpki(Phase p, PmuEvent miss_event) const;
+  double mpki(PmuEvent miss_event) const;
+  /// LLC-miss traffic per cycle (64 B per missed line) — the memory-bound
+  /// signal the roofline reporter plots against the bandwidth roof.
+  double phase_bytes_per_cycle(Phase p) const;
 
   /// Accumulate another profile (sums measurements; adopts `other`'s
   /// metadata when this profile has not recorded an invocation yet).

@@ -26,6 +26,10 @@
 
 namespace gsknn {
 
+namespace telemetry {
+class TraceSink;  // gsknn/common/trace.hpp
+}
+
 /// Distance norms supported by the fused micro-kernels (§2.4). For kL2Sq
 /// the reported distances are *squared* Euclidean; for kLp they are the
 /// p-th power of the ℓp distance — monotone transforms that preserve
@@ -61,11 +65,19 @@ struct KnnConfig {
   int threads = 0;     ///< 0 = OpenMP default; 1 = sequential
   bool dedup = false;  ///< refuse ids already present in a row (tree solvers)
   /// Optional telemetry sink: every kernel invocation with this config
-  /// accumulates its phase times, work counters and resolved parameters into
-  /// the profile (see gsknn/common/telemetry.hpp). Null = no instrumentation
-  /// (the default path reads no clocks). The sink must outlive the call and
-  /// must not be shared across concurrent kernel invocations.
+  /// accumulates its phase times, work counters, per-phase hardware counters
+  /// (when perf_event_open is available; see gsknn/common/pmu.hpp) and
+  /// resolved parameters into the profile (see gsknn/common/telemetry.hpp).
+  /// Null = no instrumentation (the default path reads no clocks). The sink
+  /// must outlive the call and must not be shared across concurrent kernel
+  /// invocations.
   telemetry::KernelProfile* profile = nullptr;
+  /// Optional trace sink: drivers record per-thread pack/micro/select spans
+  /// into it for Chrome/Perfetto timeline export (gsknn/common/trace.hpp).
+  /// Null = no timestamps are read. Unlike `profile`, one TraceSink MAY be
+  /// shared across concurrent kernel invocations (per-thread rings), which
+  /// is how knn_batch and the tree solvers produce one unified timeline.
+  telemetry::TraceSink* trace = nullptr;
 };
 
 /// The GSKNN kernel (Algorithm 2.2/2.3). Updates `result` with the n
@@ -101,6 +113,13 @@ struct BaselineBreakdown {
   double t_gemm = 0.0;     ///< the −2·QᵀR GEMM call
   double t_sq2d = 0.0;     ///< adding ‖q‖² + ‖r‖² to C
   double t_heap = 0.0;     ///< neighbor selection over C rows
+  /// Whether the source profile carried exact work counters (GSKNN_PROFILE
+  /// build). The phase *times* above are always real — they are runtime-
+  /// gated, not compile-gated — but a consumer joining this view with
+  /// counter-derived stats (pushes, rejects, bytes) must check this flag:
+  /// without it a counter-free build reads as "zero heap pushes" instead of
+  /// "not measured".
+  bool counters_enabled = false;
   double total() const { return t_collect + t_gemm + t_sq2d + t_heap; }
 
   static BaselineBreakdown from_profile(const telemetry::KernelProfile& p) {
@@ -109,6 +128,7 @@ struct BaselineBreakdown {
     bd.t_gemm = p.phase(telemetry::Phase::kMicro);
     bd.t_sq2d = p.phase(telemetry::Phase::kSq2d);
     bd.t_heap = p.phase(telemetry::Phase::kSelect);
+    bd.counters_enabled = p.counters_enabled;
     return bd;
   }
 };

@@ -33,6 +33,11 @@ struct MachineParams {
 MachineParams paper_params_1core();
 MachineParams paper_params_10core();
 
+/// Streaming-bandwidth peak implied by tau_b, in GB/s (8 bytes per double
+/// every tau_b seconds). The roofline reporter uses this as the memory
+/// ceiling when joining measured traffic against the model.
+double peak_stream_gbs(const MachineParams& mp);
+
 /// Measure this machine's parameters with short micro-benchmarks:
 /// an FMA-saturating loop (peak_flops), a streaming reduction (tau_b) and a
 /// dependent pointer chase (tau_l). `threads` scales peak_flops only.

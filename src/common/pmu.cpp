@@ -1,0 +1,155 @@
+// perf_event_open counter groups (see include/gsknn/common/pmu.hpp).
+//
+// Linux-only by nature; every other platform compiles the fallback branch
+// where open always fails and the telemetry layer reports pmu_enabled =
+// false. That branch is also what a Linux host without perf access runs
+// (paranoid sysctl, seccomp, unvirtualized PMU), so it is exercised
+// unconditionally by tests/common/test_pmu.cpp.
+#include "gsknn/common/pmu.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define GSKNN_PMU_LINUX 1
+#endif
+
+namespace gsknn::telemetry {
+
+namespace {
+
+const char* const kEventNames[kPmuEventCount] = {
+    "cycles", "instructions", "l1d_misses", "llc_misses", "stall_cycles",
+};
+
+/// GSKNN_PMU=0 disables the syscall entirely (A/B switch and a way to make
+/// the fallback path deterministic for tests). Evaluated once.
+bool pmu_env_enabled() {
+  static const bool on = [] {
+    const char* e = std::getenv("GSKNN_PMU");
+    return e == nullptr || e[0] != '0';
+  }();
+  return on;
+}
+
+/// Remembers a failed group-leader open so later threads skip the syscall.
+std::atomic<bool> g_open_failed{false};
+
+#if defined(GSKNN_PMU_LINUX)
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+const EventSpec kEventSpecs[kPmuEventCount] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+int open_event(const EventSpec& spec, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 0;  // count from open; attribution works on deltas
+  attr.exclude_kernel = 1;  // user-space only: works at paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid = 0, cpu = -1: this thread, wherever it runs.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+#endif  // GSKNN_PMU_LINUX
+
+}  // namespace
+
+const char* pmu_event_name(PmuEvent e) {
+  const int i = static_cast<int>(e);
+  return (i >= 0 && i < kPmuEventCount) ? kEventNames[i] : "?";
+}
+
+PmuGroup::PmuGroup() {
+#if defined(GSKNN_PMU_LINUX)
+  if (!pmu_env_enabled() || g_open_failed.load(std::memory_order_relaxed)) {
+    return;
+  }
+  leader_fd_ = open_event(kEventSpecs[0], -1);
+  if (leader_fd_ < 0) {
+    g_open_failed.store(true, std::memory_order_relaxed);
+    return;
+  }
+  fds_[0] = leader_fd_;
+  n_open_ = 1;
+  for (int i = 1; i < kPmuEventCount; ++i) {
+    // Absent events (stalled-cycles on many hosts, cache events on some
+    // virtualized PMUs) simply stay out of the group: their slot reports
+    // zero and event_available() false, the rest keep counting.
+    fds_[i] = open_event(kEventSpecs[i], leader_fd_);
+    if (fds_[i] >= 0) ++n_open_;
+  }
+#endif
+}
+
+PmuGroup::~PmuGroup() {
+#if defined(GSKNN_PMU_LINUX)
+  for (int i = kPmuEventCount - 1; i >= 0; --i) {
+    if (fds_[i] >= 0) close(fds_[i]);
+  }
+#endif
+}
+
+bool PmuGroup::read(PmuCounts& out) const {
+  out = PmuCounts();
+#if defined(GSKNN_PMU_LINUX)
+  if (!ok()) return false;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+  std::uint64_t buf[3 + kPmuEventCount];
+  const long want =
+      static_cast<long>(sizeof(std::uint64_t)) * (3 + n_open_);
+  if (::read(leader_fd_, buf, static_cast<std::size_t>(want)) != want) {
+    return false;
+  }
+  const std::uint64_t enabled = buf[1], running = buf[2];
+  // Multiplex scaling: with more events than hardware counters the whole
+  // group rotates on/off together; enabled/running extrapolates the counts.
+  const double scale =
+      (running > 0 && running < enabled)
+          ? static_cast<double>(enabled) / static_cast<double>(running)
+          : 1.0;
+  int slot = 0;
+  for (int i = 0; i < kPmuEventCount; ++i) {
+    if (fds_[i] < 0) continue;  // absent events keep their zero
+    const double scaled = static_cast<double>(buf[3 + slot]) * scale;
+    out.v[i] = static_cast<std::uint64_t>(scaled);
+    ++slot;
+  }
+  return true;
+#else
+  return false;
+#endif
+}
+
+PmuGroup& PmuGroup::this_thread() {
+  thread_local PmuGroup group;
+  return group;
+}
+
+bool pmu_available() {
+  if (!pmu_env_enabled()) return false;
+  return PmuGroup::this_thread().ok();
+}
+
+}  // namespace gsknn::telemetry

@@ -104,6 +104,45 @@ double KernelProfile::pack_bandwidth_gbs() const {
   return bytes / t / 1e9;
 }
 
+std::uint64_t KernelProfile::pmu_total(PmuEvent e) const {
+  std::uint64_t s = 0;
+  for (int p = 0; p < kPhaseCount; ++p) {
+    s += phase_pmu[p][static_cast<int>(e)];
+  }
+  return s;
+}
+
+namespace {
+double safe_ratio(std::uint64_t num, std::uint64_t den, double scale = 1.0) {
+  return den > 0 ? scale * static_cast<double>(num) / static_cast<double>(den)
+                 : 0.0;
+}
+}  // namespace
+
+double KernelProfile::phase_ipc(Phase p) const {
+  return safe_ratio(pmu(p, PmuEvent::kInstructions), pmu(p, PmuEvent::kCycles));
+}
+
+double KernelProfile::ipc() const {
+  return safe_ratio(pmu_total(PmuEvent::kInstructions),
+                    pmu_total(PmuEvent::kCycles));
+}
+
+double KernelProfile::phase_mpki(Phase p, PmuEvent miss_event) const {
+  return safe_ratio(pmu(p, miss_event), pmu(p, PmuEvent::kInstructions),
+                    1000.0);
+}
+
+double KernelProfile::mpki(PmuEvent miss_event) const {
+  return safe_ratio(pmu_total(miss_event), pmu_total(PmuEvent::kInstructions),
+                    1000.0);
+}
+
+double KernelProfile::phase_bytes_per_cycle(Phase p) const {
+  return safe_ratio(pmu(p, PmuEvent::kLlcMisses) * 64,
+                    pmu(p, PmuEvent::kCycles));
+}
+
 void KernelProfile::merge(const KernelProfile& other) {
   if (invocations == 0) {
     // Adopt the first real invocation's metadata wholesale, then restore the
@@ -115,6 +154,7 @@ void KernelProfile::merge(const KernelProfile& other) {
     std::memcpy(phase_thread_seconds, self.phase_thread_seconds,
                 sizeof(phase_thread_seconds));
     std::memcpy(counters, self.counters, sizeof(counters));
+    std::memcpy(phase_pmu, self.phase_pmu, sizeof(phase_pmu));
     invocations = self.invocations;
   }
   wall_seconds += other.wall_seconds;
@@ -123,13 +163,19 @@ void KernelProfile::merge(const KernelProfile& other) {
     phase_thread_seconds[i] += other.phase_thread_seconds[i];
   }
   for (int i = 0; i < kCounterCount; ++i) counters[i] += other.counters[i];
+  for (int p = 0; p < kPhaseCount; ++p) {
+    for (int e = 0; e < kPmuEventCount; ++e) {
+      phase_pmu[p][e] += other.phase_pmu[p][e];
+    }
+  }
   counters_enabled = counters_enabled || other.counters_enabled;
+  pmu_enabled = pmu_enabled || other.pmu_enabled;
   invocations += other.invocations;
 }
 
 std::string KernelProfile::to_json() const {
   std::string j;
-  j.reserve(1024);
+  j.reserve(2048);
   j += '{';
   append_kv(j, "algorithm", algorithm);
   j += ',';
@@ -184,14 +230,38 @@ std::string KernelProfile::to_json() const {
     if (i > 0) j += ',';
     append_kv(j, kCounterNames[i], counters[i]);
   }
-  j += "},\"derived\":{";
+  j += "},\"pmu\":{\"enabled\":";
+  j += pmu_enabled ? "true" : "false";
+  j += ",\"phases\":{";
+  for (int p = 0; p < kPhaseCount; ++p) {
+    if (p > 0) j += ',';
+    j += '"';
+    j += kPhaseNames[p];
+    j += "\":{";
+    for (int e = 0; e < kPmuEventCount; ++e) {
+      if (e > 0) j += ',';
+      append_kv(j, pmu_event_name(static_cast<PmuEvent>(e)), phase_pmu[p][e]);
+    }
+    j += '}';
+  }
+  j += "}},\"derived\":{";
   append_kv(j, "gflops", gflops());
   j += ',';
   append_kv(j, "model_gflops", model_gflops);
   j += ',';
+  append_kv(j, "peak_gflops", peak_gflops);
+  j += ',';
+  append_kv(j, "peak_gbs", peak_gbs);
+  j += ',';
   append_kv(j, "selection_fraction", selection_fraction());
   j += ',';
   append_kv(j, "pack_gbs", pack_bandwidth_gbs());
+  j += ',';
+  append_kv(j, "ipc", ipc());
+  j += ',';
+  append_kv(j, "l1_mpki", mpki(PmuEvent::kL1dMisses));
+  j += ',';
+  append_kv(j, "llc_mpki", mpki(PmuEvent::kLlcMisses));
   j += "}}";
   return j;
 }
@@ -208,15 +278,33 @@ std::string KernelProfile::format_table() const {
                 blocking.dc, blocking.mc, blocking.nc,
                 static_cast<unsigned long long>(invocations));
   out += line;
-  std::snprintf(line, sizeof(line), "  %-14s %12s %8s %14s\n", "phase",
-                "seconds", "% wall", "thread-secs");
+  if (pmu_enabled) {
+    std::snprintf(line, sizeof(line),
+                  "  %-14s %12s %8s %14s %6s %8s %8s %6s\n", "phase",
+                  "seconds", "% wall", "thread-secs", "ipc", "l1-mpki",
+                  "llc-mpki", "B/cyc");
+  } else {
+    std::snprintf(line, sizeof(line), "  %-14s %12s %8s %14s\n", "phase",
+                  "seconds", "% wall", "thread-secs");
+  }
   out += line;
   const double wall = wall_seconds > 0.0 ? wall_seconds : 1.0;
   for (int i = 0; i < kPhaseCount; ++i) {
     if (phase_seconds[i] == 0.0 && phase_thread_seconds[i] == 0.0) continue;
-    std::snprintf(line, sizeof(line), "  %-14s %12.6f %7.1f%% %14.6f\n",
-                  kPhaseLabels[i], phase_seconds[i],
-                  100.0 * phase_seconds[i] / wall, phase_thread_seconds[i]);
+    const auto ph = static_cast<Phase>(i);
+    if (pmu_enabled) {
+      std::snprintf(line, sizeof(line),
+                    "  %-14s %12.6f %7.1f%% %14.6f %6.2f %8.2f %8.2f %6.2f\n",
+                    kPhaseLabels[i], phase_seconds[i],
+                    100.0 * phase_seconds[i] / wall, phase_thread_seconds[i],
+                    phase_ipc(ph), phase_mpki(ph, PmuEvent::kL1dMisses),
+                    phase_mpki(ph, PmuEvent::kLlcMisses),
+                    phase_bytes_per_cycle(ph));
+    } else {
+      std::snprintf(line, sizeof(line), "  %-14s %12.6f %7.1f%% %14.6f\n",
+                    kPhaseLabels[i], phase_seconds[i],
+                    100.0 * phase_seconds[i] / wall, phase_thread_seconds[i]);
+    }
     out += line;
   }
   std::snprintf(line, sizeof(line), "  %-14s %12.6f %7.1f%%\n", "(other)",
@@ -273,6 +361,16 @@ void Recorder::aggregate(double wall_seconds) {
     std::uint64_t sum = 0;
     for (int t = 0; t < threads_; ++t) sum += slots_[t].counter[c];
     sink_->counters[c] += sum;
+  }
+  // PMU counts are extensive quantities (work done), so per-phase totals
+  // sum across threads; IPC and miss rates derived from the sums are the
+  // whole-phase aggregates.
+  for (int p = 0; p < kPhaseCount; ++p) {
+    for (int e = 0; e < kPmuEventCount; ++e) {
+      std::uint64_t sum = 0;
+      for (int t = 0; t < threads_; ++t) sum += slots_[t].pmu[p][e];
+      sink_->phase_pmu[p][e] += sum;
+    }
   }
   sink_->wall_seconds += wall_seconds;
   sink_->invocations += 1;

@@ -15,8 +15,10 @@
 
 #include "gsknn/blas/gemm.hpp"
 #include "gsknn/common/aligned.hpp"
+#include "gsknn/common/pmu.hpp"
 #include "gsknn/common/threads.hpp"
 #include "gsknn/common/timer.hpp"
+#include "gsknn/common/trace.hpp"
 #include "gsknn/core/knn.hpp"
 #include "gsknn/model/perf_model.hpp"
 #include "gsknn/select/select.hpp"
@@ -57,9 +59,25 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
     prof.phase_seconds[static_cast<int>(ph)] += secs;
     prof.phase_thread_seconds[static_cast<int>(ph)] += secs;
   };
+  // PMU/trace instrumentation mirrors the fused driver: counter deltas are
+  // attributed at the same boundaries as the timers. Workers in the parallel
+  // phases read their own thread-pinned groups and merge under a critical
+  // (once per phase per thread — not hot).
+  const bool pmu_on = cfg.profile != nullptr && telemetry::pmu_available();
+  telemetry::TraceSink* const trace = cfg.trace;
+  const auto record_pmu = [&prof](telemetry::Phase ph,
+                                  const telemetry::PmuCounts& delta) {
+    for (int e = 0; e < telemetry::kPmuEventCount; ++e) {
+      prof.phase_pmu[static_cast<int>(ph)][e] += delta.v[e];
+    }
+  };
 
   // Phase 1 — collect: gather Q (d×m), R (d×n) and the norms from X.
   t.start();
+  telemetry::PmuCounts mc0;
+  std::uint64_t mt0 = 0;
+  if (pmu_on) telemetry::PmuGroup::this_thread().read(mc0);
+  if (trace != nullptr) mt0 = telemetry::trace_now();
   AlignedBuffer<double> q(static_cast<std::size_t>(d) * m);
   AlignedBuffer<double> r(static_cast<std::size_t>(d) * n);
   AlignedBuffer<double> q2(static_cast<std::size_t>(m));
@@ -77,6 +95,18 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
     r2[static_cast<std::size_t>(j)] = X.norms2()[ridx[static_cast<std::size_t>(j)]];
   }
   record(telemetry::Phase::kCollect, t.seconds());
+  if (trace != nullptr) {
+    const std::uint64_t now = telemetry::trace_now();
+    trace->record(telemetry::Phase::kCollect, mt0, now, m, n);
+    mt0 = now;
+  }
+  if (pmu_on) {
+    telemetry::PmuCounts mc1;
+    if (telemetry::PmuGroup::this_thread().read(mc1)) {
+      record_pmu(telemetry::Phase::kCollect, mc1.delta_since(mc0));
+      mc0 = mc1;
+    }
+  }
 
   // Phase 2 — GEMM: Cᵀ(n×m) = α·RᵀQ (α = −2 for ℓ2, 1 for cosine), so
   // query i's distances are the contiguous column C[:, i].
@@ -85,25 +115,60 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
   blas::dgemm(blas::Trans::kYes, blas::Trans::kNo, n, m, d,
               cosine ? 1.0 : -2.0, r.data(), d, q.data(), d, 0.0, c.data(), n);
   record(telemetry::Phase::kMicro, t.seconds());
+  if (trace != nullptr) {
+    trace->record(telemetry::Phase::kMicro, mt0, telemetry::trace_now(), m, n);
+  }
+  if (pmu_on) {
+    telemetry::PmuCounts mc1;
+    if (telemetry::PmuGroup::this_thread().read(mc1)) {
+      record_pmu(telemetry::Phase::kMicro, mc1.delta_since(mc0));
+    }
+  }
 
   // Phase 3 — finish the distances: ℓ2 adds ‖q_i‖² + ‖r_j‖²; cosine
-  // normalizes by the norms.
+  // normalizes by the norms. The worksharing loop is written as parallel +
+  // for-nowait so each worker can bracket its own chunk with PMU reads and a
+  // trace span (the nowait makes per-thread span ends reflect real finish
+  // times — 4th-phase load imbalance shows up on the timeline).
   t.start();
 #if defined(GSKNN_HAVE_OPENMP)
-#pragma omp parallel for schedule(static) num_threads(resolve_threads(cfg.threads))
+#pragma omp parallel num_threads(resolve_threads(cfg.threads))
 #endif
-  for (int i = 0; i < m; ++i) {
-    double* ci = c.data() + static_cast<long>(i) * n;
-    const double qi = q2[static_cast<std::size_t>(i)];
-    if (cosine) {
-      for (int j = 0; j < n; ++j) {
-        const double denom = std::sqrt(qi * r2[static_cast<std::size_t>(j)]);
-        ci[j] = denom > 0.0 ? 1.0 - ci[j] / denom : 1.0;
+  {
+    telemetry::PmuCounts w0;
+    std::uint64_t wt0 = 0;
+    if (pmu_on) telemetry::PmuGroup::this_thread().read(w0);
+    if (trace != nullptr) wt0 = telemetry::trace_now();
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp for schedule(static) nowait
+#endif
+    for (int i = 0; i < m; ++i) {
+      double* ci = c.data() + static_cast<long>(i) * n;
+      const double qi = q2[static_cast<std::size_t>(i)];
+      if (cosine) {
+        for (int j = 0; j < n; ++j) {
+          const double denom = std::sqrt(qi * r2[static_cast<std::size_t>(j)]);
+          ci[j] = denom > 0.0 ? 1.0 - ci[j] / denom : 1.0;
+        }
+      } else {
+        for (int j = 0; j < n; ++j) {
+          const double v = ci[j] + qi + r2[static_cast<std::size_t>(j)];
+          ci[j] = v > 0.0 ? v : 0.0;
+        }
       }
-    } else {
-      for (int j = 0; j < n; ++j) {
-        const double v = ci[j] + qi + r2[static_cast<std::size_t>(j)];
-        ci[j] = v > 0.0 ? v : 0.0;
+    }
+    if (trace != nullptr) {
+      trace->record(telemetry::Phase::kSq2d, wt0, telemetry::trace_now(), m,
+                    n);
+    }
+    if (pmu_on) {
+      telemetry::PmuCounts w1;
+      if (telemetry::PmuGroup::this_thread().read(w1)) {
+        const telemetry::PmuCounts delta = w1.delta_since(w0);
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp critical(gsknn_baseline_pmu)
+#endif
+        record_pmu(telemetry::Phase::kSq2d, delta);
       }
     }
   }
@@ -116,8 +181,12 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
 #endif
   {
     SelectScratch scratch;
+    telemetry::PmuCounts w0;
+    std::uint64_t wt0 = 0;
+    if (pmu_on) telemetry::PmuGroup::this_thread().read(w0);
+    if (trace != nullptr) wt0 = telemetry::trace_now();
 #if defined(GSKNN_HAVE_OPENMP)
-#pragma omp for schedule(static)
+#pragma omp for schedule(static) nowait
 #endif
     for (int i = 0; i < m; ++i) {
       const int row = heap_row(i);
@@ -132,6 +201,20 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
             result.try_insert_unique(row, ci[j], ridx[static_cast<std::size_t>(j)]);
           }
         }
+      }
+    }
+    if (trace != nullptr) {
+      trace->record(telemetry::Phase::kSelect, wt0, telemetry::trace_now(), m,
+                    n);
+    }
+    if (pmu_on) {
+      telemetry::PmuCounts w1;
+      if (telemetry::PmuGroup::this_thread().read(w1)) {
+        const telemetry::PmuCounts delta = w1.delta_since(w0);
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp critical(gsknn_baseline_pmu)
+#endif
+        record_pmu(telemetry::Phase::kSelect, delta);
       }
     }
   }
@@ -153,7 +236,10 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
     const model::ProblemShape shape{m, n, d, k};
     prof.model_gflops = model::predicted_gflops(model::Method::kGemmBaseline,
                                                 shape, mp, prof.blocking);
+    prof.peak_gflops = mp.peak_flops / 1e9;
+    prof.peak_gbs = model::peak_stream_gbs(mp);
   }
+  prof.pmu_enabled = pmu_on;
 
   if (cfg.profile != nullptr) cfg.profile->merge(prof);
   if (breakdown != nullptr) *breakdown = BaselineBreakdown::from_profile(prof);

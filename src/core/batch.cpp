@@ -47,6 +47,9 @@ void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
       prof ? static_cast<std::size_t>(p) : 0);
 
   // Each worker executes its tasks sequentially; kernels run single-threaded.
+  // task_cfg copies cfg wholesale, so a TraceSink on cfg.trace is shared by
+  // every task kernel (safe: per-thread rings) — the exported timeline shows
+  // the LPT schedule directly, one track per worker.
   KnnConfig task_cfg = cfg;
   task_cfg.threads = 1;
 #if defined(GSKNN_HAVE_OPENMP)

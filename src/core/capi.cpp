@@ -9,6 +9,8 @@
 #include <string>
 
 #include "gsknn/common/arch.hpp"
+#include "gsknn/common/pmu.hpp"
+#include "gsknn/common/trace.hpp"
 #include "gsknn/core/knn.hpp"
 #include "gsknn/data/io.hpp"
 
@@ -31,6 +33,13 @@ struct gsknn_result {
 struct gsknn_profile {
   gsknn::telemetry::KernelProfile profile;
   std::string json;  // owns the buffer gsknn_profile_json() returns
+};
+
+struct gsknn_trace {
+  gsknn::telemetry::TraceSink sink;
+  std::string json;  // owns the buffer gsknn_trace_json() returns
+
+  explicit gsknn_trace(std::size_t ring_kb) : sink(ring_kb) {}
 };
 
 extern "C" {
@@ -89,10 +98,10 @@ gsknn_result* gsknn_result_create(int m, int k) {
 
 void gsknn_result_destroy(gsknn_result* r) { delete r; }
 
-int gsknn_search_profiled(const gsknn_table* table, const int* qidx, int mq,
-                          const int* ridx, int nq, int norm, int variant,
-                          double lp, int threads, gsknn_result* result,
-                          gsknn_profile* profile) {
+int gsknn_search_traced(const gsknn_table* table, const int* qidx, int mq,
+                        const int* ridx, int nq, int norm, int variant,
+                        double lp, int threads, gsknn_result* result,
+                        gsknn_profile* profile, gsknn_trace* trace) {
   if (table == nullptr || result == nullptr ||
       (mq > 0 && qidx == nullptr) || (nq > 0 && ridx == nullptr)) {
     set_error("gsknn_search: null argument");
@@ -146,6 +155,7 @@ int gsknn_search_profiled(const gsknn_table* table, const int* qidx, int mq,
     cfg.p = lp;
     cfg.threads = threads;
     cfg.profile = profile != nullptr ? &profile->profile : nullptr;
+    cfg.trace = trace != nullptr ? &trace->sink : nullptr;
     gsknn::knn_kernel(table->table, {qidx, static_cast<std::size_t>(mq)},
                       {ridx, static_cast<std::size_t>(nq)}, result->table,
                       cfg);
@@ -156,11 +166,19 @@ int gsknn_search_profiled(const gsknn_table* table, const int* qidx, int mq,
   }
 }
 
+int gsknn_search_profiled(const gsknn_table* table, const int* qidx, int mq,
+                          const int* ridx, int nq, int norm, int variant,
+                          double lp, int threads, gsknn_result* result,
+                          gsknn_profile* profile) {
+  return gsknn_search_traced(table, qidx, mq, ridx, nq, norm, variant, lp,
+                             threads, result, profile, nullptr);
+}
+
 int gsknn_search(const gsknn_table* table, const int* qidx, int mq,
                  const int* ridx, int nq, int norm, int variant, double lp,
                  int threads, gsknn_result* result) {
-  return gsknn_search_profiled(table, qidx, mq, ridx, nq, norm, variant, lp,
-                               threads, result, nullptr);
+  return gsknn_search_traced(table, qidx, mq, ridx, nq, norm, variant, lp,
+                             threads, result, nullptr, nullptr);
 }
 
 gsknn_profile* gsknn_profile_create(void) {
@@ -236,6 +254,72 @@ int gsknn_result_row(const gsknn_result* r, int row, int cap, int* ids,
     if (dists != nullptr) dists[i] = sorted[static_cast<std::size_t>(i)].first;
   }
   return count;
+}
+
+int gsknn_pmu_available(void) {
+  return gsknn::telemetry::pmu_available() ? 1 : 0;
+}
+
+uint64_t gsknn_profile_pmu(const gsknn_profile* p, int phase, int event) {
+  if (p == nullptr || phase < 0 || phase >= gsknn::telemetry::kPhaseCount ||
+      event < 0 || event >= gsknn::telemetry::kPmuEventCount) {
+    return 0;
+  }
+  return p->profile.phase_pmu[phase][event];
+}
+
+int gsknn_profile_pmu_enabled(const gsknn_profile* p) {
+  return (p != nullptr && p->profile.pmu_enabled) ? 1 : 0;
+}
+
+gsknn_trace* gsknn_trace_create(size_t ring_kb) {
+  try {
+    return new gsknn_trace(ring_kb);
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return nullptr;
+  }
+}
+
+void gsknn_trace_destroy(gsknn_trace* t) { delete t; }
+
+void gsknn_trace_reset(gsknn_trace* t) {
+  if (t != nullptr) t->sink.reset();
+}
+
+uint64_t gsknn_trace_span_count(const gsknn_trace* t) {
+  return t != nullptr ? t->sink.span_count() : 0;
+}
+
+uint64_t gsknn_trace_dropped_spans(const gsknn_trace* t) {
+  return t != nullptr ? t->sink.dropped_spans() : 0;
+}
+
+int gsknn_trace_thread_tracks(const gsknn_trace* t) {
+  return t != nullptr ? t->sink.thread_tracks() : -1;
+}
+
+int gsknn_trace_write_json(const gsknn_trace* t, const char* path) {
+  if (t == nullptr || path == nullptr) {
+    set_error("gsknn_trace_write_json: null argument");
+    return -1;
+  }
+  if (!t->sink.write_json(path)) {
+    set_error("gsknn_trace_write_json: could not write file");
+    return -2;
+  }
+  return 0;
+}
+
+const char* gsknn_trace_json(gsknn_trace* t) {
+  if (t == nullptr) return "{}";
+  try {
+    t->json = t->sink.to_json();
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return "{}";
+  }
+  return t->json.c_str();
 }
 
 const char* gsknn_last_error(void) { return tl_error.c_str(); }

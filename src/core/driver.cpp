@@ -24,9 +24,11 @@
 #include <limits>
 #include <stdexcept>
 
+#include "gsknn/common/pmu.hpp"
 #include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/threads.hpp"
 #include "gsknn/common/timer.hpp"
+#include "gsknn/common/trace.hpp"
 #include "gsknn/core/knn.hpp"
 #include "gsknn/model/perf_model.hpp"
 #include "micro.hpp"
@@ -228,6 +230,10 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
   // per cache block; counters additionally require a GSKNN_PROFILE build.
   telemetry::Recorder rec(cfg.profile, threads);
   const bool prof = rec.active();
+  // Hardware-counter attribution piggybacks on the same snapshot points as
+  // the phase timers; trace spans read timestamps only with a sink attached.
+  const bool pmu_on = prof && telemetry::pmu_available();
+  telemetry::TraceSink* const trace = cfg.trace;
   WallTimer wall_timer;
 
   const auto heap_row = [&](int i) {
@@ -284,17 +290,31 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
                              k >= kDeferMinK && defer_enabled();
 
       WallTimer pack_r_timer;
+      telemetry::PmuCounts pr0;
+      std::uint64_t tr0 = 0;
       if (prof) pack_r_timer.start();
+      if (pmu_on) telemetry::PmuGroup::this_thread().read(pr0);
+      if (trace != nullptr) tr0 = telemetry::trace_now();
       rc.reset(static_cast<std::size_t>(nbpad) * db);
       pack_points_rt(tnr, chosen, X, ridx.data(), jc, nb, pc, db, rc.data());
       if (last && needs_norms) {
         r2c.reset(static_cast<std::size_t>(nbpad));
         pack_norms_rt(tnr, X, ridx.data(), jc, nb, r2c.data());
       }
+      if (trace != nullptr) {
+        trace->record(telemetry::Phase::kPackR, tr0, telemetry::trace_now(),
+                      jc, pc);
+      }
       if (prof) {
         // pack-Rc runs outside the parallel region, on the master thread.
         telemetry::ThreadCounters& s0 = rec.slot(0);
         s0.add_phase(telemetry::Phase::kPackR, pack_r_timer.seconds());
+        if (pmu_on) {
+          telemetry::PmuCounts pr1;
+          if (telemetry::PmuGroup::this_thread().read(pr1)) {
+            s0.add_pmu(telemetry::Phase::kPackR, pr1.delta_since(pr0));
+          }
+        }
         if constexpr (telemetry::kCountersEnabled) {
           std::uint64_t bytes =
               static_cast<std::uint64_t>(nbpad) * db * sizeof(T);
@@ -315,7 +335,14 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
         WallTimer block_timer;
         double select_secs = 0.0;
         [[maybe_unused]] std::uint64_t tiles_local = 0, cand_local = 0;
+        // PMU snapshots bracket the same regions as the timers: bc0→bc1 is
+        // pack-Qc, bc1→block-end minus the accumulated select deltas is the
+        // micro-kernel (mirroring the select_secs subtraction below).
+        telemetry::PmuCounts bc0, bc1, sel_pmu;
+        std::uint64_t tq0 = 0;
         if (prof) block_timer.start();
+        if (pmu_on) telemetry::PmuGroup::this_thread().read(bc0);
+        if (trace != nullptr) tq0 = telemetry::trace_now();
         QueryArena<T>& ar = query_arena<T>();
         ar.qc.reset(static_cast<std::size_t>(mbpad) * db);
         pack_points_rt(tmr, chosen, X, qidx.data(), ic, mb, pc, db,
@@ -332,8 +359,16 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
           ar.cand_cnt.reset(static_cast<std::size_t>(mbpad));
           for (int i = 0; i < mbpad; ++i) ar.cand_cnt.data()[i] = 0;
         }
+        std::uint64_t tm0 = 0;
+        if (trace != nullptr) {
+          tm0 = telemetry::trace_now();
+          trace->record(telemetry::Phase::kPackQ, tq0, tm0, ic, pc);
+        }
         if (prof) {
           tc->add_phase(telemetry::Phase::kPackQ, block_timer.seconds());
+          if (pmu_on && telemetry::PmuGroup::this_thread().read(bc1)) {
+            tc->add_pmu(telemetry::Phase::kPackQ, bc1.delta_since(bc0));
+          }
           if constexpr (telemetry::kCountersEnabled) {
             std::uint64_t bytes =
                 static_cast<std::uint64_t>(mbpad) * db * sizeof(T);
@@ -407,13 +442,27 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
 
           if (variant == Variant::kVar2 && last) {
             WallTimer sel_timer;
+            telemetry::PmuCounts sc0;
+            std::uint64_t ts0 = 0;
             if (prof) sel_timer.start();
+            if (pmu_on) telemetry::PmuGroup::this_thread().read(sc0);
+            if (trace != nullptr) ts0 = telemetry::trace_now();
             for (int i = 0; i < mb; ++i) {
               const int row = heap_row(ic + i);
               row_select(cbuf.data() + static_cast<long>(ic + i) * ld + jr,
                          ridx.data() + jc + jr, cols, result.row_dists(row),
                          result.row_ids(row), result.row_idset(row), k,
                          stride, arity, cfg.dedup, tc);
+            }
+            if (trace != nullptr) {
+              trace->record(telemetry::Phase::kSelect, ts0,
+                            telemetry::trace_now(), ic, jc + jr);
+            }
+            if (pmu_on) {
+              telemetry::PmuCounts sc1;
+              if (telemetry::PmuGroup::this_thread().read(sc1)) {
+                sel_pmu.accumulate(sc1.delta_since(sc0));
+              }
             }
             if (prof) select_secs += sel_timer.seconds();
           }
@@ -432,15 +481,37 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
           }
         }
 
+        // The micro span covers the whole 3rd loop plus the deferred drain;
+        // Var#2 select spans nest inside it on the timeline, matching how
+        // select_secs is carved out of the micro-phase *time* below.
+        if (trace != nullptr) {
+          trace->record(telemetry::Phase::kMicro, tm0, telemetry::trace_now(),
+                        ic, jc);
+        }
+
         if (variant == Variant::kVar3 && last) {
           WallTimer sel_timer;
+          telemetry::PmuCounts sc0;
+          std::uint64_t ts0 = 0;
           if (prof) sel_timer.start();
+          if (pmu_on) telemetry::PmuGroup::this_thread().read(sc0);
+          if (trace != nullptr) ts0 = telemetry::trace_now();
           for (int i = 0; i < mb; ++i) {
             const int row = heap_row(ic + i);
             row_select(cbuf.data() + static_cast<long>(ic + i) * ld,
                        ridx.data() + jc, nb, result.row_dists(row),
                        result.row_ids(row), result.row_idset(row), k, stride,
                        arity, cfg.dedup, tc);
+          }
+          if (trace != nullptr) {
+            trace->record(telemetry::Phase::kSelect, ts0,
+                          telemetry::trace_now(), ic, jc);
+          }
+          if (pmu_on) {
+            telemetry::PmuCounts sc1;
+            if (telemetry::PmuGroup::this_thread().read(sc1)) {
+              sel_pmu.accumulate(sc1.delta_since(sc0));
+            }
           }
           if (prof) select_secs += sel_timer.seconds();
         }
@@ -450,6 +521,14 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
           tc->add_phase(telemetry::Phase::kMicro,
                         block_timer.seconds() - select_secs);
           tc->add_phase(telemetry::Phase::kSelect, select_secs);
+          if (pmu_on) {
+            telemetry::PmuCounts bc2;
+            if (telemetry::PmuGroup::this_thread().read(bc2)) {
+              tc->add_pmu(telemetry::Phase::kMicro,
+                          bc2.delta_since(bc1).delta_since(sel_pmu));
+              tc->add_pmu(telemetry::Phase::kSelect, sel_pmu);
+            }
+          }
           if constexpr (telemetry::kCountersEnabled) {
             tc->add(telemetry::Counter::kTiles, tiles_local);
             tc->add(telemetry::Counter::kCandidates, cand_local);
@@ -467,7 +546,11 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
         const int tid = thread_id();
         telemetry::ThreadCounters* tc = prof ? &rec.slot(tid) : nullptr;
         WallTimer sel_timer;
+        telemetry::PmuCounts sc0;
+        std::uint64_t ts0 = 0;
         if (prof) sel_timer.start();
+        if (pmu_on) telemetry::PmuGroup::this_thread().read(sc0);
+        if (trace != nullptr) ts0 = telemetry::trace_now();
 #if defined(GSKNN_HAVE_OPENMP)
 #pragma omp for schedule(static) nowait
 #endif
@@ -476,6 +559,16 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
           row_select(cbuf.data() + static_cast<long>(i) * ld, ridx.data() + jc,
                      nb, result.row_dists(row), result.row_ids(row),
                      result.row_idset(row), k, stride, arity, cfg.dedup, tc);
+        }
+        if (trace != nullptr) {
+          trace->record(telemetry::Phase::kSelect, ts0, telemetry::trace_now(),
+                        -1, jc);
+        }
+        if (pmu_on) {
+          telemetry::PmuCounts sc1;
+          if (telemetry::PmuGroup::this_thread().read(sc1)) {
+            tc->add_pmu(telemetry::Phase::kSelect, sc1.delta_since(sc0));
+          }
         }
         if (prof) tc->add_phase(telemetry::Phase::kSelect, sel_timer.seconds());
       }
@@ -490,7 +583,11 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
       const int tid = thread_id();
       telemetry::ThreadCounters* tc = prof ? &rec.slot(tid) : nullptr;
       WallTimer sel_timer;
+      telemetry::PmuCounts sc0;
+      std::uint64_t ts0 = 0;
       if (prof) sel_timer.start();
+      if (pmu_on) telemetry::PmuGroup::this_thread().read(sc0);
+      if (trace != nullptr) ts0 = telemetry::trace_now();
 #if defined(GSKNN_HAVE_OPENMP)
 #pragma omp for schedule(static) nowait
 #endif
@@ -499,6 +596,16 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
         row_select(cbuf.data() + static_cast<long>(i) * ld, ridx.data(), n,
                    result.row_dists(row), result.row_ids(row),
                    result.row_idset(row), k, stride, arity, cfg.dedup, tc);
+      }
+      if (trace != nullptr) {
+        trace->record(telemetry::Phase::kSelect, ts0, telemetry::trace_now(),
+                      -1, -1);
+      }
+      if (pmu_on) {
+        telemetry::PmuCounts sc1;
+        if (telemetry::PmuGroup::this_thread().read(sc1)) {
+          tc->add_pmu(telemetry::Phase::kSelect, sc1.delta_since(sc0));
+        }
       }
       if (prof) tc->add_phase(telemetry::Phase::kSelect, sel_timer.seconds());
     }
@@ -521,9 +628,14 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
     P.model_gflops = model::predicted_gflops(
         variant == Variant::kVar1 ? model::Method::kVar1 : model::Method::kVar6,
         shape, mp, bp);
+    // Machine ceilings for the roofline reporter: the profile JSON carries
+    // everything tools/roofline_report.py needs in one file.
+    P.peak_gflops = mp.peak_flops / 1e9;
+    P.peak_gbs = model::peak_stream_gbs(mp);
     // Evaluated in *this* translation unit so a profiled core build reports
     // its counters even to consumers compiled without GSKNN_PROFILE.
     P.counters_enabled = P.counters_enabled || telemetry::kCountersEnabled;
+    P.pmu_enabled = P.pmu_enabled || pmu_on;
     rec.aggregate(wall_timer.seconds());
   }
 }

@@ -9,9 +9,11 @@
 // are merged (query-parallel, race-free) into the caller's result.
 #include <vector>
 
+#include "gsknn/common/pmu.hpp"
 #include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/threads.hpp"
 #include "gsknn/common/timer.hpp"
+#include "gsknn/common/trace.hpp"
 #include "gsknn/core/knn.hpp"
 
 namespace gsknn {
@@ -44,8 +46,13 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
 
   // Telemetry: concurrent workers must not share one sink, so each records
   // into a private profile; the privates are merged into cfg.profile below
-  // and the end-to-end wall time replaces the summed per-worker walls.
+  // and the end-to-end wall time replaces the summed per-worker walls. The
+  // trace sink (if any) IS shared — my_cfg copies it from cfg — because its
+  // per-thread rings make concurrent recording safe, giving one unified
+  // timeline across the worker kernels and the merge.
   const bool prof = (cfg.profile != nullptr);
+  const bool pmu_on = prof && telemetry::pmu_available();
+  telemetry::TraceSink* const trace = cfg.trace;
   WallTimer wall_timer;
   std::vector<telemetry::KernelProfile> wprof(
       prof ? static_cast<std::size_t>(threads) : 0);
@@ -71,25 +78,50 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
 
   WallTimer merge_timer;
   if (prof) merge_timer.start();
+  telemetry::PmuCounts merge_pmu;
   // Parallel merge: each query row is owned by one iteration, so inserting
-  // every private candidate into the caller's row is race-free.
+  // every private candidate into the caller's row is race-free. Written as
+  // parallel + for-nowait so each worker brackets its own chunk with PMU
+  // reads and a trace span.
 #if defined(GSKNN_HAVE_OPENMP)
-#pragma omp parallel for schedule(static) num_threads(threads)
+#pragma omp parallel num_threads(threads)
 #endif
-  for (int i = 0; i < m; ++i) {
-    const int row =
-        result_rows.empty() ? i : result_rows[static_cast<std::size_t>(i)];
-    for (const auto& table : priv) {
-      if (table.rows() == 0) continue;
-      const double* d = table.row_dists(i);
-      const int* ids = table.row_ids(i);
-      for (int s = 0; s < table.row_stride(); ++s) {
-        if (ids[s] == heap::kNoId) continue;
-        if (cfg.dedup) {
-          result.try_insert_unique(row, d[s], ids[s]);
-        } else {
-          result.try_insert(row, d[s], ids[s]);
+  {
+    telemetry::PmuCounts w0;
+    std::uint64_t wt0 = 0;
+    if (pmu_on) telemetry::PmuGroup::this_thread().read(w0);
+    if (trace != nullptr) wt0 = telemetry::trace_now();
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp for schedule(static) nowait
+#endif
+    for (int i = 0; i < m; ++i) {
+      const int row =
+          result_rows.empty() ? i : result_rows[static_cast<std::size_t>(i)];
+      for (const auto& table : priv) {
+        if (table.rows() == 0) continue;
+        const double* d = table.row_dists(i);
+        const int* ids = table.row_ids(i);
+        for (int s = 0; s < table.row_stride(); ++s) {
+          if (ids[s] == heap::kNoId) continue;
+          if (cfg.dedup) {
+            result.try_insert_unique(row, d[s], ids[s]);
+          } else {
+            result.try_insert(row, d[s], ids[s]);
+          }
         }
+      }
+    }
+    if (trace != nullptr) {
+      trace->record(telemetry::Phase::kMerge, wt0, telemetry::trace_now());
+    }
+    if (pmu_on) {
+      telemetry::PmuCounts w1;
+      if (telemetry::PmuGroup::this_thread().read(w1)) {
+        const telemetry::PmuCounts delta = w1.delta_since(w0);
+#if defined(GSKNN_HAVE_OPENMP)
+#pragma omp critical(gsknn_merge_pmu)
+#endif
+        merge_pmu.accumulate(delta);
       }
     }
   }
@@ -107,6 +139,13 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
         merge_secs;
     combined.phase_thread_seconds[static_cast<int>(telemetry::Phase::kMerge)] +=
         merge_secs;
+    if (pmu_on) {
+      for (int e = 0; e < telemetry::kPmuEventCount; ++e) {
+        combined.phase_pmu[static_cast<int>(telemetry::Phase::kMerge)][e] +=
+            merge_pmu.v[e];
+      }
+      combined.pmu_enabled = true;
+    }
     combined.algorithm = "gsknn_parallel_refs";
     combined.m = m;
     combined.n = n;

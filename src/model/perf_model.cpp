@@ -27,6 +27,10 @@ MachineParams paper_params_10core() {
   return {10.0 * 8.0 * 3.10e9, 2.2e-9 / 5.0, 13.91e-9 / 5.0, 0.5};
 }
 
+double peak_stream_gbs(const MachineParams& mp) {
+  return mp.tau_b > 0.0 ? 8.0 / mp.tau_b / 1e9 : 0.0;
+}
+
 double time_flops(const ProblemShape& s, const MachineParams& mp) {
   // 2d·mn for the rank-d update plus 3·mn to finish ‖q‖²+‖r‖²−2qᵀr.
   const double mn = static_cast<double>(s.m) * s.n;

@@ -1,0 +1,149 @@
+// Hardware-counter layer (gsknn/common/pmu.hpp).
+//
+// The degradation contract is the part every host must satisfy: on machines
+// where perf_event_open is denied (container seccomp, perf_event_paranoid,
+// no virtualized PMU) the group must behave as a cheap no-op and profiled
+// kernels must simply report pmu_enabled == false. The counter-sanity
+// assertions run only where the syscall works — instructions retired must
+// be positive over a non-trivial workload and cycles can't be implausibly
+// few relative to them (no real x86 retires more than ~8 instructions per
+// cycle).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gsknn/common/pmu.hpp"
+#include "gsknn/common/telemetry.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/generators.hpp"
+
+namespace gsknn {
+namespace {
+
+using telemetry::kPmuEventCount;
+using telemetry::PmuCounts;
+using telemetry::PmuEvent;
+using telemetry::PmuGroup;
+
+/// Enough data-dependent work that a working counter group cannot observe
+/// zero retired instructions across it.
+double burn_instructions() {
+  volatile double acc = 0.0;
+  for (int i = 1; i < 200000; ++i) acc = acc + 1.0 / i;
+  return acc;
+}
+
+TEST(PmuCountsTest, DeltaSinceClampsAtZero) {
+  PmuCounts a, b;
+  a.v[0] = 100;
+  a.v[1] = 5;
+  b.v[0] = 40;
+  b.v[1] = 9;  // multiplex-scaling jitter: later estimate below earlier
+  const PmuCounts d = a.delta_since(b);
+  EXPECT_EQ(d.v[0], 60u);
+  EXPECT_EQ(d.v[1], 0u);  // clamped, not wrapped to ~2^64
+}
+
+TEST(PmuCountsTest, AccumulateSums) {
+  PmuCounts total, d;
+  d.v[0] = 7;
+  total.accumulate(d);
+  total.accumulate(d);
+  EXPECT_EQ(total.v[0], 14u);
+  EXPECT_EQ(total[PmuEvent::kCycles], 14u);
+}
+
+TEST(PmuEventTest, EveryEventHasAName) {
+  for (int e = 0; e < kPmuEventCount; ++e) {
+    const char* name = telemetry::pmu_event_name(static_cast<PmuEvent>(e));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+// The fallback contract — must hold on EVERY host, including ones where
+// perf works (the assertions are conditioned accordingly).
+TEST(PmuGroupTest, FallbackIsGraceful) {
+  PmuGroup& g = PmuGroup::this_thread();
+  PmuCounts c;
+  c.v[0] = 123;  // read() must leave a failed read zeroed, not stale
+  if (!g.ok()) {
+    EXPECT_FALSE(g.read(c));
+    EXPECT_EQ(c.v[0], 0u);
+    for (int e = 0; e < kPmuEventCount; ++e) {
+      EXPECT_FALSE(g.event_available(static_cast<PmuEvent>(e)));
+    }
+    // A dead group implies the process-wide probe reports unavailable.
+    EXPECT_FALSE(telemetry::pmu_available());
+  } else {
+    EXPECT_TRUE(telemetry::pmu_available());
+    EXPECT_TRUE(g.read(c));
+  }
+}
+
+TEST(PmuGroupTest, ThisThreadIsStable) {
+  PmuGroup& a = PmuGroup::this_thread();
+  PmuGroup& b = PmuGroup::this_thread();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(PmuGroupTest, CounterSanityWhenAvailable) {
+  if (!telemetry::pmu_available()) {
+    GTEST_SKIP() << "perf_event_open unavailable on this host";
+  }
+  PmuGroup& g = PmuGroup::this_thread();
+  ASSERT_TRUE(g.ok());
+  PmuCounts before, after;
+  ASSERT_TRUE(g.read(before));
+  burn_instructions();
+  ASSERT_TRUE(g.read(after));
+  const PmuCounts d = after.delta_since(before);
+  // The burn loop retires well over 10^5 instructions; zero means the
+  // group silently stopped counting.
+  EXPECT_GT(d[PmuEvent::kInstructions], 0u);
+  // Cumulative counters are monotone per event slot.
+  for (int e = 0; e < kPmuEventCount; ++e) {
+    EXPECT_GE(after.v[e], before.v[e]);
+  }
+  // No x86 sustains > 8 retired instructions per cycle.
+  EXPECT_GE(d[PmuEvent::kCycles], d[PmuEvent::kInstructions] / 8);
+}
+
+// End-to-end: a profiled kernel either carries a live PMU attribution or
+// degrades to the exact PR-1 shape (pmu_enabled false, all counts zero).
+TEST(PmuKernelTest, ProfileCarriesPmuOrDegrades) {
+  const int m = 64, n = 256, d = 16, k = 8;
+  const PointTable X = make_uniform(d, m + n, 0xBEEF);
+  std::vector<int> q(m), r(n);
+  std::iota(q.begin(), q.end(), 0);
+  std::iota(r.begin(), r.end(), m);
+
+  telemetry::KernelProfile prof;
+  KnnConfig cfg;
+  cfg.threads = 1;
+  cfg.profile = &prof;
+  NeighborTable t(m, k);
+  knn_kernel(X, q, r, t, cfg);
+
+  ASSERT_EQ(prof.invocations, 1u);
+  if (telemetry::pmu_available()) {
+    EXPECT_TRUE(prof.pmu_enabled);
+    // The micro phase dominates this shape; its cycle count must be live.
+    EXPECT_GT(prof.pmu(telemetry::Phase::kMicro, PmuEvent::kCycles), 0u);
+    EXPECT_GT(prof.pmu_total(PmuEvent::kInstructions), 0u);
+    EXPECT_GT(prof.ipc(), 0.0);
+  } else {
+    EXPECT_FALSE(prof.pmu_enabled);
+    EXPECT_EQ(prof.pmu_total(PmuEvent::kCycles), 0u);
+    EXPECT_EQ(prof.ipc(), 0.0);
+    // Timers keep working regardless of PMU access.
+    EXPECT_GT(prof.wall_seconds, 0.0);
+  }
+  // JSON always carries the pmu section, enabled or not.
+  const std::string j = prof.to_json();
+  EXPECT_NE(j.find("\"pmu\":{\"enabled\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gsknn

@@ -6,17 +6,24 @@
 //             [--csv]                     synthesize a dataset
 //   search    --data FILE --k K --out FILE [--queries FILE] [--norm l2|l1|
 //             linf|cos|lp] [--p P] [--variant auto|1|2|3|5|6] [--threads N]
-//             [--profile [FILE]]
+//             [--profile [FILE]] [--trace [FILE]]
 //             exact kNN of every query (default: all points, self included)
 //   allnn     --data FILE --k K --out FILE [--trees T] [--leaf L] [--seed S]
-//             [--profile [FILE]]
+//             [--profile [FILE]] [--trace [FILE]]
 //             approximate all-NN via the randomized KD-tree forest,
 //             reporting sampled exact recall
 //
-// --profile prints a Table-5-style phase breakdown (pack/micro/select/...)
+// Options take either `--key value` or `--key=value` form.
+//
+// --profile prints a Table-5-style phase breakdown (pack/micro/select/...) —
+// with per-phase IPC and cache-miss columns when perf_event_open is usable —
 // and writes the structured one-line JSON profile to FILE (default:
 // <out>.profile.json). Work counters appear when the library was built with
-// -DGSKNN_PROFILE=ON.
+// -DGSKNN_PROFILE=ON; the breakdown warns when they are absent.
+//
+// --trace records per-thread phase spans and writes a Chrome/Perfetto
+// trace_event timeline to FILE (default: <out>.trace.json); open it in
+// https://ui.perfetto.dev. Ring size via GSKNN_TRACE_RING_KB.
 //   info      --data FILE               print dataset statistics
 //
 // Data files: native .gsknn tables or .csv (one point per row); detected by
@@ -29,6 +36,7 @@
 #include <vector>
 
 #include "gsknn/common/timer.hpp"
+#include "gsknn/common/trace.hpp"
 #include "gsknn/core/knn.hpp"
 #include "gsknn/data/generators.hpp"
 #include "gsknn/data/io.hpp"
@@ -71,7 +79,11 @@ Args parse_args(int argc, char** argv, int first) {
     }
     key = key.substr(2);
     std::string value = "1";  // bare flags read as true
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+    const std::size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);  // --key=value form
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       value = argv[++i];
     }
     a.kv.emplace_back(key, value);
@@ -115,10 +127,31 @@ std::string profile_json_path(const Args& a, const std::string& out) {
   return out + ".profile.json";
 }
 
+/// Same resolution for `--trace [path]` -> `<out>.trace.json`.
+std::string trace_json_path(const Args& a, const std::string& out) {
+  const std::string v = a.get("trace");
+  if (v != "1") return v;
+  return out + ".trace.json";
+}
+
 /// Print the Table-5-style breakdown and write the one-line JSON profile.
 void emit_profile(const telemetry::KernelProfile& prof,
                   const std::string& json_path) {
   std::fputs(prof.format_table().c_str(), stdout);
+  if (!prof.counters_enabled) {
+    // Without this note, a counter-free build reads as "zero heap pushes"
+    // instead of "not measured".
+    std::fputs(
+        "note: work counters not collected (library built without "
+        "-DGSKNN_PROFILE=ON); counter fields read as zero\n",
+        stdout);
+  }
+  if (!prof.pmu_enabled) {
+    std::fputs(
+        "note: hardware counters unavailable (perf_event_open denied or "
+        "GSKNN_PMU=0); pmu fields read as zero\n",
+        stdout);
+  }
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
     throw std::runtime_error("cannot write profile json to " + json_path);
@@ -128,6 +161,19 @@ void emit_profile(const telemetry::KernelProfile& prof,
   std::fputc('\n', f);
   std::fclose(f);
   std::printf("profile json -> %s\n", json_path.c_str());
+}
+
+/// Write the Chrome trace_event timeline and report retention.
+void emit_trace(const telemetry::TraceSink& trace,
+                const std::string& json_path) {
+  if (!trace.write_json(json_path.c_str())) {
+    throw std::runtime_error("cannot write trace json to " + json_path);
+  }
+  std::printf("trace json -> %s (%llu spans, %d threads, %llu dropped)\n",
+              json_path.c_str(),
+              static_cast<unsigned long long>(trace.span_count()),
+              trace.thread_tracks(),
+              static_cast<unsigned long long>(trace.dropped_spans()));
 }
 
 int cmd_generate(const Args& a) {
@@ -169,6 +215,8 @@ int cmd_search(const Args& a) {
   cfg.threads = static_cast<int>(a.get_long("threads", 0));
   telemetry::KernelProfile prof;
   if (a.has("profile")) cfg.profile = &prof;
+  telemetry::TraceSink trace;
+  if (a.has("trace")) cfg.trace = &trace;
 
   std::vector<int> refs(static_cast<std::size_t>(data.size()));
   std::iota(refs.begin(), refs.end(), 0);
@@ -211,6 +259,7 @@ int cmd_search(const Args& a) {
   std::printf("searched %zu queries x %d refs (d=%d, k=%d) in %.3fs -> %s\n",
               queries.size(), data.size(), data.dim(), k, secs, out.c_str());
   if (cfg.profile != nullptr) emit_profile(prof, profile_json_path(a, out));
+  if (cfg.trace != nullptr) emit_trace(trace, trace_json_path(a, out));
   return 0;
 }
 
@@ -225,6 +274,8 @@ int cmd_allnn(const Args& a) {
   // accumulates every leaf invocation race-free.
   telemetry::KernelProfile prof;
   if (a.has("profile")) cfg.kernel.profile = &prof;
+  telemetry::TraceSink trace;
+  if (a.has("trace")) cfg.kernel.trace = &trace;
   const auto result = tree::all_nearest_neighbors(data, k, cfg);
   const double recall = tree::recall_at_k(data, result.table, k,
                                           std::min(200, data.size()), 1);
@@ -238,6 +289,7 @@ int cmd_allnn(const Args& a) {
   if (cfg.kernel.profile != nullptr) {
     emit_profile(prof, profile_json_path(a, out));
   }
+  if (cfg.kernel.trace != nullptr) emit_trace(trace, trace_json_path(a, out));
   return 0;
 }
 
@@ -261,7 +313,9 @@ void usage() {
             "  generate --out F --d D --n N [--dist uniform|gaussian|mixture] [--csv]\n"
             "  search   --data F --k K --out F [--queries F] [--norm l2|l1|linf|cos|lp]\n"
             "           [--variant auto|1|2|3|5|6] [--threads N] [--profile [F]]\n"
+            "           [--trace [F]]\n"
             "  allnn    --data F --k K --out F [--trees T] [--leaf L] [--profile [F]]\n"
+            "           [--trace [F]]\n"
             "  info     --data F");
 }
 
