@@ -4,9 +4,14 @@
  *
  * Conventions:
  *   - points are column-major double arrays (point i = d consecutive values);
- *   - all functions return 0 on success, negative on error;
+ *   - all functions return GSKNN_OK (0) on success and a negative
+ *     gsknn_status code on error — never crash or assert on malformed input;
  *   - gsknn_last_error() returns a thread-local message for the last failure;
  *   - handles must be released with the matching destroy function.
+ *
+ * Error codes, degenerate-input semantics (NaN/Inf coordinates, k > n,
+ * duplicate ids, empty index lists, d == 0) and the deterministic
+ * tie-breaking rule are specified in docs/CONTRACT.md.
  */
 #ifndef GSKNN_CAPI_H
 #define GSKNN_CAPI_H
@@ -17,6 +22,22 @@
 #ifdef __cplusplus
 extern "C" {
 #endif
+
+/* Status codes returned by every int-returning entry point (mirror
+ * gsknn::Status; see docs/CONTRACT.md for the full table). */
+enum {
+  GSKNN_OK = 0,
+  GSKNN_ERR_INVALID_ARGUMENT = -1, /* malformed sizes / null pointers */
+  GSKNN_ERR_BAD_INDEX = -2,        /* qidx/ridx/result_rows out of range */
+  GSKNN_ERR_BAD_CONFIG = -3,       /* unknown norm/variant, bad lp/blocking */
+  GSKNN_ERR_NONFINITE = -4,        /* opt-in finite-coordinate check failed */
+  GSKNN_ERR_UNSUPPORTED = -5,      /* valid config, no implementation */
+  GSKNN_ERR_INTERNAL = -6          /* unexpected failure (allocation, ...) */
+};
+
+/* Short stable name for a status code ("ok", "bad_index", ...); "unknown"
+ * for values outside the enum. Static storage. */
+const char* gsknn_status_name(int status);
 
 typedef struct gsknn_table gsknn_table;     /* PointTable handle */
 typedef struct gsknn_result gsknn_result;   /* NeighborTable handle */
@@ -62,7 +83,9 @@ void gsknn_result_destroy(gsknn_result* r);
 
 /* Exact kNN kernel: update `result` rows 0..mq with the nq reference
  * candidates. qidx/ridx are indices into `table`. norm/variant use the enums
- * above; lp is the exponent for GSKNN_NORM_LP; threads 0 = default. */
+ * above; lp is the exponent for GSKNN_NORM_LP; threads 0 = default.
+ * Returns GSKNN_OK or a negative gsknn_status code; on error the result
+ * table is unchanged and gsknn_last_error() describes the failure. */
 int gsknn_search(const gsknn_table* table, const int* qidx, int mq,
                  const int* ridx, int nq, int norm, int variant, double lp,
                  int threads, gsknn_result* result);

@@ -18,6 +18,8 @@
 
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 
 #include "gsknn/common/arch.hpp"
 #include "gsknn/common/telemetry.hpp"
@@ -29,6 +31,36 @@ namespace gsknn {
 namespace telemetry {
 class TraceSink;  // gsknn/common/trace.hpp
 }
+
+/// Outcome of argument validation on every kernel entry point (see
+/// docs/CONTRACT.md for the full table and the C-API mapping in
+/// include/gsknn/capi.h). The C++ drivers report violations by throwing
+/// StatusError; the C API catches it at the boundary and returns the
+/// corresponding negative gsknn_status code.
+enum class Status {
+  kOk = 0,
+  kInvalidArgument,  ///< null/size mismatches, duplicate result rows
+  kBadIndex,         ///< qidx/ridx/result_rows entry out of range
+  kBadConfig,        ///< invalid KnnConfig (ℓp exponent, threads, blocking)
+  kNonFinite,        ///< non-finite coordinates (opt-in KnnConfig::validate)
+  kUnsupported,      ///< entry point does not support the requested mode
+  kInternal,         ///< unexpected failure behind the C boundary
+};
+
+/// Stable lowercase name of a status ("ok", "invalid_argument", ...).
+const char* status_name(Status s);
+
+/// Exception carrying a Status. Derives from std::invalid_argument so code
+/// written against the pre-Status throwing contract keeps catching it.
+class StatusError : public std::invalid_argument {
+ public:
+  StatusError(Status s, const std::string& what)
+      : std::invalid_argument(what), status_(s) {}
+  Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
 
 /// Distance norms supported by the fused micro-kernels (§2.4). For kL2Sq
 /// the reported distances are *squared* Euclidean; for kLp they are the
@@ -64,6 +96,13 @@ struct KnnConfig {
   std::optional<BlockingParams> blocking;
   int threads = 0;     ///< 0 = OpenMP default; 1 = sequential
   bool dedup = false;  ///< refuse ids already present in a row (tree solvers)
+  /// Opt-in finite-coordinate check: scan every referenced query/reference
+  /// point (O((m+n)·d)) and fail with Status::kNonFinite when any coordinate
+  /// is NaN or ±inf. Off by default — the always-on validation (index
+  /// bounds, sizes, config sanity) stays O(m+n), and non-finite inputs
+  /// degrade gracefully anyway (non-finite distances never enter a neighbor
+  /// list; see docs/CONTRACT.md).
+  bool validate = false;
   /// Optional telemetry sink: every kernel invocation with this config
   /// accumulates its phase times, work counters, per-phase hardware counters
   /// (when perf_event_open is available; see gsknn/common/pmu.hpp) and
@@ -178,5 +217,25 @@ void knn_kernel_parallel_refs(const PointTable& X, std::span<const int> qidx,
 
 /// Resolve kAuto for a given shape (exposed for tests and benches).
 Variant resolve_variant(int m, int n, int d, int k, const KnnConfig& cfg);
+
+/// Validate kernel arguments without throwing: index bounds for qidx/ridx
+/// (kBadIndex), result_rows size/range/uniqueness (kInvalidArgument /
+/// kBadIndex), config sanity (kBadConfig) and — only when cfg.validate —
+/// finite coordinates of every referenced point (kNonFinite). Returns the
+/// first violation found; `msg`, when non-null, receives a human-readable
+/// description. Called by every kernel entry point via check_knn_args.
+template <typename T>
+Status validate_knn_args(const PointTableT<T>& X, std::span<const int> qidx,
+                         std::span<const int> ridx,
+                         const NeighborTableT<T>& result, const KnnConfig& cfg,
+                         std::span<const int> result_rows,
+                         std::string* msg = nullptr);
+
+/// Throwing wrapper over validate_knn_args: raises StatusError on the first
+/// violation. The common path (valid input) costs one O(m+n) bounds scan.
+template <typename T>
+void check_knn_args(const PointTableT<T>& X, std::span<const int> qidx,
+                    std::span<const int> ridx, const NeighborTableT<T>& result,
+                    const KnnConfig& cfg, std::span<const int> result_rows);
 
 }  // namespace gsknn

@@ -28,7 +28,9 @@ class PointTableT {
   PointTableT(int dim, int n) { resize(dim, n); }
 
   void resize(int dim, int n) {
-    assert(dim > 0 && n >= 0);
+    // dim == 0 is a legal degenerate table: every point is the empty tuple,
+    // all pairwise distances are 0 (cosine: 1). See docs/CONTRACT.md.
+    assert(dim >= 0 && n >= 0);
     d_ = dim;
     n_ = n;
     x_.reset(static_cast<std::size_t>(dim) * static_cast<std::size_t>(n));

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 #include "gsknn/common/macros.hpp"
@@ -32,6 +33,29 @@ inline constexpr int kNoId = -1;
 /// All operations are templated on the distance scalar (double for the
 /// paper-faithful path, float for the single-precision extension); explicit
 /// double/float arguments deduce T with zero call-site churn.
+
+/// The total order behind the deterministic-results contract
+/// (docs/CONTRACT.md): neighbor entries compare by (distance, id)
+/// lexicographically, so equal-distance candidates are kept lowest-id-first
+/// and every variant/thread count/arity produces the same k-smallest
+/// multiset regardless of candidate arrival order. NaN never compares true
+/// on either side (callers reject non-finite candidates before insertion;
+/// see pair_accepts).
+template <typename T>
+GSKNN_ALWAYS_INLINE bool pair_less(T d1, int i1, T d2, int i2) {
+  return d1 < d2 || (d1 == d2 && i1 < i2);
+}
+
+/// Accept predicate for offering candidate (d, x) to a heap whose root is
+/// (root_d, root_x): strictly smaller in the (distance, id) order AND
+/// finite. The finiteness check is what keeps NaN (unordered — it would
+/// otherwise fall through equal-distance id compares) and −inf (cosine with
+/// inf coordinates) out of neighbor lists; +inf candidates are already
+/// rejected by the id compare against the (+inf, −1) sentinels.
+template <typename T>
+GSKNN_ALWAYS_INLINE bool pair_accepts(T d, int x, T root_d, int root_x) {
+  return pair_less(d, x, root_d, root_x) && std::isfinite(d);
+}
 
 // ---------------------------------------------------------------------------
 // Binary max-heap.
@@ -47,7 +71,8 @@ inline void binary_init(T* GSKNN_RESTRICT dist, int* GSKNN_RESTRICT id,
   }
 }
 
-/// Sift the element at `pos` down to restore the max-heap property.
+/// Sift the element at `pos` down to restore the max-heap property. The
+/// heap orders by (distance, id) lexicographically — see pair_less.
 template <typename T>
 inline void binary_sift_down(T* GSKNN_RESTRICT dist,
                              int* GSKNN_RESTRICT id, int k, int pos) {
@@ -56,8 +81,11 @@ inline void binary_sift_down(T* GSKNN_RESTRICT dist,
   for (;;) {
     int child = 2 * pos + 1;
     if (child >= k) break;
-    if (child + 1 < k && dist[child + 1] > dist[child]) ++child;
-    if (dist[child] <= d) break;
+    if (child + 1 < k &&
+        pair_less(dist[child], id[child], dist[child + 1], id[child + 1])) {
+      ++child;
+    }
+    if (!pair_less(d, x, dist[child], id[child])) break;
     dist[pos] = dist[child];
     id[pos] = id[child];
     pos = child;
@@ -73,7 +101,7 @@ inline void binary_build(T* dist, int* id, int k) {
 }
 
 /// Replace the root (largest element) with (d, x) and restore heap order.
-/// Caller must have already established d < dist[0].
+/// Caller must have already established (d, x) < (dist[0], id[0]).
 template <typename T>
 inline void binary_replace_root(T* GSKNN_RESTRICT dist,
                                 int* GSKNN_RESTRICT id, int k, T d,
@@ -83,12 +111,15 @@ inline void binary_replace_root(T* GSKNN_RESTRICT dist,
   binary_sift_down(dist, id, k, 0);
 }
 
-/// Candidate insertion: O(1) reject, O(log k) accept.
+/// Candidate insertion: O(1) reject, O(log k) accept. Non-finite distances
+/// are rejected (pair_accepts), so NaN/±inf candidates never enter a row.
 template <typename T>
 GSKNN_ALWAYS_INLINE void binary_try_insert(T* GSKNN_RESTRICT dist,
                                            int* GSKNN_RESTRICT id, int k,
                                            T d, int x) {
-  if (d < dist[0]) binary_replace_root(dist, id, k, d, x);
+  if (pair_accepts(d, x, dist[0], id[0])) {
+    binary_replace_root(dist, id, k, d, x);
+  }
 }
 
 /// Small-k root replacement: overwrite the root (slot 0 of any valid
@@ -113,7 +144,7 @@ GSKNN_NOINLINE inline void small_sorted_replace_root(T* GSKNN_RESTRICT dist,
     const T di = dist[i];
     const int xi = id[i];
     int j = i - 1;
-    while (j >= 0 && dist[j] < di) {
+    while (j >= 0 && pair_less(dist[j], id[j], di, xi)) {
       dist[j + 1] = dist[j];
       id[j + 1] = id[j];
       --j;
@@ -174,16 +205,19 @@ inline void quad_sift_down(T* GSKNN_RESTRICT dist, int* GSKNN_RESTRICT id,
     // contiguous, so this is a single cache line touch.
     int best = first;
     T bestd = dist[quad_phys(first)];
+    int bestx = id[quad_phys(first)];
     for (int c = first + 1; c <= last; ++c) {
       const T cd = dist[quad_phys(c)];
-      if (cd > bestd) {
+      const int cx = id[quad_phys(c)];
+      if (pair_less(bestd, bestx, cd, cx)) {
         bestd = cd;
+        bestx = cx;
         best = c;
       }
     }
-    if (bestd <= d) break;
+    if (!pair_less(d, x, bestd, bestx)) break;
     dist[quad_phys(pos)] = bestd;
-    id[quad_phys(pos)] = id[quad_phys(best)];
+    id[quad_phys(pos)] = bestx;
     pos = best;
   }
   dist[quad_phys(pos)] = d;
@@ -207,7 +241,9 @@ template <typename T>
 GSKNN_ALWAYS_INLINE void quad_try_insert(T* GSKNN_RESTRICT dist,
                                          int* GSKNN_RESTRICT id, int k,
                                          T d, int x) {
-  if (d < dist[0]) quad_replace_root(dist, id, k, d, x);
+  if (pair_accepts(d, x, dist[0], id[0])) {
+    quad_replace_root(dist, id, k, d, x);
+  }
 }
 
 template <typename T>

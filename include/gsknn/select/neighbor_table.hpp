@@ -176,7 +176,9 @@ class NeighborTableT {
   /// O(1) either way; with enable_dedup_index() the accepted case is O(1)
   /// too (instead of an O(k) row scan).
   void try_insert_unique(int row, T d, int x) {
-    if (d >= row_root(row)) return;
+    // Same accept rule as try_insert (lexicographic (d, id), finite only —
+    // `!(d < root)` alone would let NaN through to the dedup bookkeeping).
+    if (!heap::pair_accepts(d, x, row_dists(row)[0], row_ids(row)[0])) return;
     if (!idsets_.empty()) {
       if (!idsets_[static_cast<std::size_t>(row)].insert_if_absent(x)) return;
     } else {
@@ -202,8 +204,11 @@ class NeighborTableT {
     return idsets_.empty() ? nullptr : &idsets_[static_cast<std::size_t>(i)];
   }
 
-  /// Row contents in ascending distance order, +inf sentinels dropped.
-  /// For inspection/tests — O(k log k).
+  /// Row contents in ascending (distance, id) order, non-finite slots
+  /// dropped — with fewer than k candidates seen (k > n), the (+inf, −1)
+  /// sentinels sort after every real entry and are omitted, so the returned
+  /// vector's size is the number of real neighbors. For inspection/tests —
+  /// O(k log k).
   std::vector<std::pair<T, int>> sorted_row(int i) const {
     std::vector<std::pair<T, int>> out;
     out.reserve(static_cast<std::size_t>(k_));

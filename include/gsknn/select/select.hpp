@@ -14,8 +14,11 @@
 //   * select_stl    — std::make_heap/pop_heap reference (the paper's
 //     "MKL + STL" baseline selection).
 //
-// Candidates with non-finite distances are permitted (they simply never
-// displace anything, because rows start at +inf and only shrink).
+// All four implement the selection contract (docs/CONTRACT.md): entries
+// compare by (distance, id) lexicographically — equal distances keep the
+// lowest id — and candidates with non-finite distances are rejected, so
+// NaN/±inf never enter a row and every algorithm returns the same
+// k-smallest multiset for the same candidates.
 #pragma once
 
 #include <utility>

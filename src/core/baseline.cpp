@@ -11,6 +11,7 @@
 // distance loop per (query, reference) pair, no blocking, no packing.
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "gsknn/blas/gemm.hpp"
@@ -33,17 +34,19 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
   const int n = static_cast<int>(ridx.size());
   const int d = X.dim();
   const int k = result.k();
-  if (m == 0 || n == 0) return;
+  check_knn_args(X, qidx, ridx, result, cfg, result_rows);
   if (cfg.norm != Norm::kL2Sq && cfg.norm != Norm::kCosine) {
     // The GEMM decomposition exists only for the Euclidean and cosine
     // distances — the baseline limitation §1 highlights.
-    throw std::invalid_argument(
-        "gemm baseline supports the l2 and cosine norms only");
+    throw StatusError(Status::kUnsupported,
+                      "gemm baseline supports the l2 and cosine norms only");
   }
-  const bool cosine = (cfg.norm == Norm::kCosine);
   if (result.arity() != HeapArity::kBinary) {
-    throw std::invalid_argument("gemm baseline requires a binary-arity table");
+    throw StatusError(Status::kUnsupported,
+                      "gemm baseline requires a binary-arity table");
   }
+  if (m == 0 || n == 0) return;
+  const bool cosine = (cfg.norm == Norm::kCosine);
   const auto heap_row = [&](int i) {
     return result_rows.empty() ? i : result_rows[static_cast<std::size_t>(i)];
   };
@@ -146,14 +149,19 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
       double* ci = c.data() + static_cast<long>(i) * n;
       const double qi = q2[static_cast<std::size_t>(i)];
       if (cosine) {
+        // Guard on denom <= 0 (not > 0) so a NaN denominator — non-finite
+        // coordinates — reaches the NaN-producing division instead of being
+        // laundered into the well-defined zero-norm answer of 1.
         for (int j = 0; j < n; ++j) {
           const double denom = std::sqrt(qi * r2[static_cast<std::size_t>(j)]);
-          ci[j] = denom > 0.0 ? 1.0 - ci[j] / denom : 1.0;
+          ci[j] = (denom <= 0.0) ? 1.0 : 1.0 - ci[j] / denom;
         }
       } else {
+        // Clamp written so NaN survives: (0 > NaN) is false, so a NaN
+        // expansion stays NaN and the selection contract rejects it.
         for (int j = 0; j < n; ++j) {
           const double v = ci[j] + qi + r2[static_cast<std::size_t>(j)];
-          ci[j] = v > 0.0 ? v : 0.0;
+          ci[j] = (0.0 > v) ? 0.0 : v;
         }
       }
     }
@@ -196,10 +204,12 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
                    result.row_ids(row), k, scratch);
       } else {
         // Dedup-aware path for solver integration (Table 1 "ref").
+        // try_insert_unique applies the full accept predicate (lexicographic
+        // tie-break + non-finite reject); a distance-only prefilter here
+        // would drop equal-distance candidates with lower ids.
         for (int j = 0; j < n; ++j) {
-          if (ci[j] < result.row_root(row)) {
-            result.try_insert_unique(row, ci[j], ridx[static_cast<std::size_t>(j)]);
-          }
+          result.try_insert_unique(row, ci[j],
+                                   ridx[static_cast<std::size_t>(j)]);
         }
       }
     }
@@ -265,13 +275,22 @@ double scalar_distance(const double* a, const double* b, int d, double lp) {
       bb += b[p] * b[p];
     }
     const double denom = std::sqrt(aa * bb);
-    return denom > 0.0 ? 1.0 - dot / denom : 1.0;
+    // denom <= 0 (not > 0) so a NaN denominator stays NaN; see the GEMM
+    // baseline finish step.
+    return (denom <= 0.0) ? 1.0 : 1.0 - dot / denom;
   } else if constexpr (N == Norm::kL1) {
     (void)lp;
     for (int p = 0; p < d; ++p) acc += std::abs(a[p] - b[p]);
   } else if constexpr (N == Norm::kLInf) {
     (void)lp;
-    for (int p = 0; p < d; ++p) acc = std::max(acc, std::abs(a[p] - b[p]));
+    // max cannot propagate NaN (std::max and vmaxpd both drop it), so a
+    // non-finite term poisons the distance explicitly — mirroring the fused
+    // driver, which NaN-poisons the packed panels of non-finite points.
+    for (int p = 0; p < d; ++p) {
+      const double t = std::abs(a[p] - b[p]);
+      if (!std::isfinite(t)) return std::numeric_limits<double>::quiet_NaN();
+      acc = (acc > t) ? acc : t;
+    }
   } else {
     for (int p = 0; p < d; ++p) acc += std::pow(std::abs(a[p] - b[p]), lp);
   }
@@ -309,6 +328,7 @@ void knn_single_loop_baseline(const PointTable& X, std::span<const int> qidx,
                               std::span<const int> ridx,
                               NeighborTable& result, const KnnConfig& cfg,
                               std::span<const int> result_rows) {
+  check_knn_args(X, qidx, ridx, result, cfg, result_rows);
   switch (cfg.norm) {
     case Norm::kL2Sq:
       single_loop_impl<Norm::kL2Sq>(X, qidx, ridx, result, cfg, result_rows);

@@ -21,6 +21,19 @@ void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
   if (t == 0) return;
   const int p = resolve_threads(cfg.threads);
 
+  // Validate every task before the OpenMP region (a worker-side StatusError
+  // could not propagate out of #pragma omp parallel). One bad task fails the
+  // whole batch up front, before any task has run.
+  for (int i = 0; i < t; ++i) {
+    const auto& task = tasks[static_cast<std::size_t>(i)];
+    if (task.result == nullptr) {
+      throw StatusError(Status::kInvalidArgument,
+                        "gsknn: batch task has a null result table");
+    }
+    check_knn_args(X, task.qidx, task.ridx, *task.result, cfg,
+                   task.result_rows);
+  }
+
   // Estimate per-task runtimes with the performance model.
   static const model::MachineParams mp{};
   const BlockingParams bp =
@@ -52,6 +65,8 @@ void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
   // the LPT schedule directly, one track per worker.
   KnnConfig task_cfg = cfg;
   task_cfg.threads = 1;
+  // Tasks were validated above; skip re-validation inside the workers.
+  task_cfg.validate = false;
 #if defined(GSKNN_HAVE_OPENMP)
 #pragma omp parallel num_threads(p)
 #endif

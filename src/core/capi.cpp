@@ -20,6 +20,27 @@ thread_local std::string tl_error = "ok";
 
 void set_error(const char* what) { tl_error = what; }
 
+/// Map the C++ Status enum onto the C status codes (kOk → GSKNN_OK, ...).
+int status_code(gsknn::Status s) {
+  switch (s) {
+    case gsknn::Status::kOk:
+      return GSKNN_OK;
+    case gsknn::Status::kInvalidArgument:
+      return GSKNN_ERR_INVALID_ARGUMENT;
+    case gsknn::Status::kBadIndex:
+      return GSKNN_ERR_BAD_INDEX;
+    case gsknn::Status::kBadConfig:
+      return GSKNN_ERR_BAD_CONFIG;
+    case gsknn::Status::kNonFinite:
+      return GSKNN_ERR_NONFINITE;
+    case gsknn::Status::kUnsupported:
+      return GSKNN_ERR_UNSUPPORTED;
+    case gsknn::Status::kInternal:
+      return GSKNN_ERR_INTERNAL;
+  }
+  return GSKNN_ERR_INTERNAL;
+}
+
 }  // namespace
 
 struct gsknn_table {
@@ -102,10 +123,10 @@ int gsknn_search_traced(const gsknn_table* table, const int* qidx, int mq,
                         const int* ridx, int nq, int norm, int variant,
                         double lp, int threads, gsknn_result* result,
                         gsknn_profile* profile, gsknn_trace* trace) {
-  if (table == nullptr || result == nullptr ||
+  if (table == nullptr || result == nullptr || mq < 0 || nq < 0 ||
       (mq > 0 && qidx == nullptr) || (nq > 0 && ridx == nullptr)) {
-    set_error("gsknn_search: null argument");
-    return -1;
+    set_error("gsknn_search: null argument or negative count");
+    return GSKNN_ERR_INVALID_ARGUMENT;
   }
   try {
     gsknn::KnnConfig cfg;
@@ -127,7 +148,7 @@ int gsknn_search_traced(const gsknn_table* table, const int* qidx, int mq,
         break;
       default:
         set_error("gsknn_search: unknown norm");
-        return -2;
+        return GSKNN_ERR_BAD_CONFIG;
     }
     switch (variant) {
       case GSKNN_VARIANT_AUTO:
@@ -150,7 +171,7 @@ int gsknn_search_traced(const gsknn_table* table, const int* qidx, int mq,
         break;
       default:
         set_error("gsknn_search: unknown variant");
-        return -2;
+        return GSKNN_ERR_BAD_CONFIG;
     }
     cfg.p = lp;
     cfg.threads = threads;
@@ -159,11 +180,34 @@ int gsknn_search_traced(const gsknn_table* table, const int* qidx, int mq,
     gsknn::knn_kernel(table->table, {qidx, static_cast<std::size_t>(mq)},
                       {ridx, static_cast<std::size_t>(nq)}, result->table,
                       cfg);
-    return 0;
+    return GSKNN_OK;
+  } catch (const gsknn::StatusError& e) {
+    set_error(e.what());
+    return status_code(e.status());
   } catch (const std::exception& e) {
     set_error(e.what());
-    return -3;
+    return GSKNN_ERR_INTERNAL;
   }
+}
+
+const char* gsknn_status_name(int status) {
+  switch (status) {
+    case GSKNN_OK:
+      return "ok";
+    case GSKNN_ERR_INVALID_ARGUMENT:
+      return "invalid_argument";
+    case GSKNN_ERR_BAD_INDEX:
+      return "bad_index";
+    case GSKNN_ERR_BAD_CONFIG:
+      return "bad_config";
+    case GSKNN_ERR_NONFINITE:
+      return "non_finite";
+    case GSKNN_ERR_UNSUPPORTED:
+      return "unsupported";
+    case GSKNN_ERR_INTERNAL:
+      return "internal";
+  }
+  return "unknown";
 }
 
 int gsknn_search_profiled(const gsknn_table* table, const int* qidx, int mq,

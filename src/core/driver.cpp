@@ -19,10 +19,12 @@
 // paper-faithful path, float the single-precision extension. Only the
 // micro-kernels and the blocking derivation differ per precision.
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "gsknn/common/pmu.hpp"
 #include "gsknn/common/telemetry.hpp"
@@ -91,7 +93,10 @@ void row_select(const T* GSKNN_RESTRICT cand, const int* GSKNN_RESTRICT ids,
   [[maybe_unused]] std::uint64_t pushes = 0, rejects = 0;
   for (int j = 0; j < len; ++j) {
     const T dj = cand[j];
-    if (dj >= hd[0]) {
+    // sel_accepts implements the selection contract: NaN distances and
+    // lexicographic (distance, id) ties are rejected identically to the
+    // fused micro-kernel paths, so every variant yields the same rows.
+    if (!sel_accepts(dj, ids[j], hd, hi)) {
       if constexpr (telemetry::kCountersEnabled) ++rejects;
       continue;
     }
@@ -131,6 +136,7 @@ void row_select(const T* GSKNN_RESTRICT cand, const int* GSKNN_RESTRICT ids,
 /// Balance mc so the 4th loop's block count divides evenly over `threads`
 /// (the paper's "dynamically deciding mc", §2.5).
 int balanced_mc(int m, int mc, int mr, int threads) {
+  assert(m >= 0 && mc > 0 && mr > 0 && threads >= 1);
   if (threads <= 1) return mc;
   const int blocks = static_cast<int>(ceil_div(m, mc));
   const int target = static_cast<int>(round_up(blocks, threads));
@@ -138,6 +144,55 @@ int balanced_mc(int m, int mc, int mr, int threads) {
       round_up(ceil_div(static_cast<std::size_t>(m), static_cast<std::size_t>(target)),
                static_cast<std::size_t>(mr)));
   return out < mr ? mr : out;
+}
+
+/// Flag every selected point that has at least one non-finite coordinate.
+/// `bad[i]` corresponds to position i of the index list (not the global id,
+/// which may repeat). O(count·d) worst case, but early-exits per point and is
+/// only run for ℓ∞ (see poison_packed below).
+template <typename T>
+void scan_nonfinite(const PointTableT<T>& X, const int* idx, int count,
+                    std::vector<unsigned char>& bad, bool& any) {
+  bad.assign(static_cast<std::size_t>(count), 0);
+  any = false;
+  const int d = X.dim();
+  for (int i = 0; i < count; ++i) {
+    const T* p = X.col(idx[i]);
+    for (int r = 0; r < d; ++r) {
+      if (!std::isfinite(p[r])) {
+        bad[static_cast<std::size_t>(i)] = 1;
+        any = true;
+        break;
+      }
+    }
+  }
+}
+
+/// Overwrite the packed columns of flagged points with quiet NaN.
+///
+/// Every additive norm (ℓ1, ℓ2, ℓp, cosine) propagates a NaN coordinate to
+/// the final distance through the accumulation itself. ℓ∞ cannot: its
+/// max-style combine (vmaxpd and the scalar mirror alike) returns the second
+/// source when either operand is NaN, so a NaN term — or a NaN partial
+/// carried across depth blocks — is silently dropped the moment a finite
+/// term follows it. Poisoning the *entire* packed column of a non-finite
+/// point in every depth block makes all of its |q−r| terms NaN, so the max
+/// chain ends NaN in every SIMD path and every blocking, and the selection
+/// contract then excludes the point. `count` may include the zero-padded
+/// tail lanes (their flags are never set). Layout matches pack_points_rt:
+/// tile-major groups of `tile` lanes, depth-major within a group.
+template <typename T>
+void poison_packed(T* panel, const unsigned char* bad, int i0, int count,
+                   int tile, int db) {
+  const T qnan = std::numeric_limits<T>::quiet_NaN();
+  for (int g = 0; g < count; g += tile) {
+    const int pts = (count - g < tile) ? count - g : tile;
+    T* blk = panel + static_cast<long>(g) * db;
+    for (int l = 0; l < pts; ++l) {
+      if (!bad[static_cast<std::size_t>(i0 + g + l)]) continue;
+      for (int p = 0; p < db; ++p) blk[static_cast<long>(p) * tile + l] = qnan;
+    }
+  }
 }
 
 /// Resolve (micro-kernel, blocking) consistently: explicit blocking pins the
@@ -154,7 +209,8 @@ void resolve_kernel_and_blocking(SimdLevel level, const KnnConfig& cfg,
   if (cfg.blocking.has_value()) {
     bp = *cfg.blocking;
     if (!bp.valid()) {
-      throw std::invalid_argument("gsknn: invalid blocking parameters");
+      throw StatusError(Status::kBadConfig,
+                        "gsknn: invalid blocking parameters");
     }
     if (bp.mr != mk.mr || bp.nr != mk.nr) {
       for (SimdLevel lv : {SimdLevel::kAvx2, SimdLevel::kScalar}) {
@@ -166,7 +222,8 @@ void resolve_kernel_and_blocking(SimdLevel level, const KnnConfig& cfg,
           return;
         }
       }
-      throw std::invalid_argument(
+      throw StatusError(
+          Status::kBadConfig,
           "gsknn: blocking mr/nr do not match any available micro-kernel");
     }
   } else {
@@ -201,12 +258,39 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
   const int n = static_cast<int>(ridx.size());
   const int d = X.dim();
   const int k = result.k();
+  // Full contract validation (docs/CONTRACT.md): throws StatusError before
+  // any parallel region or allocation so malformed calls fail cleanly.
+  check_knn_args(X, qidx, ridx, result, cfg, result_rows);
   if (m == 0 || n == 0) return;
-  if (!result_rows.empty() && static_cast<int>(result_rows.size()) != m) {
-    throw std::invalid_argument("gsknn: result_rows size must equal qidx size");
+
+  if (d == 0) {
+    // Zero-dimensional geometry: every point is the empty tuple and every
+    // pairwise distance is identically 0 (cosine: 1, the zero-norm rule).
+    // Selection still honors dedup and the lowest-id tie contract, so route
+    // a constant candidate row through the ordinary row scan.
+    const T dist0 = (cfg.norm == Norm::kCosine) ? T(1) : T(0);
+    AlignedBuffer<T> cand(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) cand.data()[j] = dist0;
+    const int stride0 = result.row_stride();
+    const HeapArity arity0 = result.arity();
+    for (int i = 0; i < m; ++i) {
+      const int row =
+          result_rows.empty() ? i : result_rows[static_cast<std::size_t>(i)];
+      row_select(cand.data(), ridx.data(), n, result.row_dists(row),
+                 result.row_ids(row), result.row_idset(row), result.k(),
+                 stride0, arity0, cfg.dedup);
+    }
+    return;
   }
-  if (result_rows.empty() && result.rows() < m) {
-    throw std::invalid_argument("gsknn: result table has fewer rows than queries");
+
+  // ℓ∞'s max-based accumulation cannot propagate NaN on its own (see
+  // poison_packed); pre-scan both index lists once so the per-block poison
+  // pass is skipped entirely on clean data.
+  std::vector<unsigned char> qbad, rbad;
+  bool any_bad_q = false, any_bad_r = false;
+  if (cfg.norm == Norm::kLInf) {
+    scan_nonfinite(X, qidx.data(), m, qbad, any_bad_q);
+    scan_nonfinite(X, ridx.data(), n, rbad, any_bad_r);
   }
 
   const Variant variant = resolve_variant(m, n, d, k, cfg);
@@ -261,8 +345,13 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
   const int ld = (c_colmajor ? mpad : wpad) + static_cast<int>(64 / sizeof(T));
   AlignedBuffer<T> cbuf;
   if (needs_cbuf) {
-    cbuf.reset(static_cast<std::size_t>(ld) *
-               static_cast<std::size_t>(c_colmajor ? wpad : mpad));
+    // Var#6 materializes the full padded m × n panel: keep the size math in
+    // 64 bits and assert the byte count fits before handing it to the
+    // allocator (the int block geometry alone cannot prove this).
+    const std::uint64_t celems = static_cast<std::uint64_t>(ld) *
+                                 static_cast<std::uint64_t>(c_colmajor ? wpad : mpad);
+    assert(celems <= std::numeric_limits<std::size_t>::max() / sizeof(T));
+    cbuf.reset(static_cast<std::size_t>(celems));
   }
 
   // Shared packed reference panel (lives in L3; §2.5).
@@ -297,6 +386,7 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
       if (trace != nullptr) tr0 = telemetry::trace_now();
       rc.reset(static_cast<std::size_t>(nbpad) * db);
       pack_points_rt(tnr, chosen, X, ridx.data(), jc, nb, pc, db, rc.data());
+      if (any_bad_r) poison_packed(rc.data(), rbad.data(), jc, nb, tnr, db);
       if (last && needs_norms) {
         r2c.reset(static_cast<std::size_t>(nbpad));
         pack_norms_rt(tnr, X, ridx.data(), jc, nb, r2c.data());
@@ -347,6 +437,9 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
         ar.qc.reset(static_cast<std::size_t>(mbpad) * db);
         pack_points_rt(tmr, chosen, X, qidx.data(), ic, mb, pc, db,
                        ar.qc.data());
+        if (any_bad_q) {
+          poison_packed(ar.qc.data(), qbad.data(), ic, mb, tmr, db);
+        }
         const T* q2c = nullptr;
         if (last && needs_norms) {
           ar.q2c.reset(static_cast<std::size_t>(mbpad));

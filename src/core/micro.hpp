@@ -76,6 +76,22 @@ struct SelectCtxT {
 
 using SelectCtx = SelectCtxT<double>;
 
+/// The selection accept predicate, shared by every path that offers a
+/// candidate to a heap row (scalar micro-kernel accept loops, the AVX
+/// prefilter re-checks, the driver's row_select and the deferred-buffer
+/// flush). Fast reject first — `!(d <= root)` is one compare that throws
+/// out both d > root and NaN, matching the vectorized `_CMP_LE_OQ`
+/// prefilters exactly — then the full lexicographic-and-finite rule
+/// (heap::pair_accepts) on the rare survivor. Keeping one definition is
+/// what makes all variants and SIMD levels agree bitwise on ties, NaN and
+/// ±inf (docs/CONTRACT.md).
+template <typename T>
+GSKNN_ALWAYS_INLINE bool sel_accepts(T d, int id, const T* GSKNN_RESTRICT hd,
+                                     const int* GSKNN_RESTRICT hi) {
+  if (GSKNN_LIKELY(!(d <= hd[0]))) return false;
+  return heap::pair_accepts(d, id, hd[0], hi[0]);
+}
+
 /// Root replacement dispatch: quad heap for Var#6-style rows, the sorted
 /// small-k fast path for k ≤ kSmallSortedK binary rows (a sorted row is a
 /// valid binary heap, so the two binary strategies can interleave), binary
@@ -94,7 +110,7 @@ GSKNN_ALWAYS_INLINE void sel_replace_root(T* GSKNN_RESTRICT hd,
 }
 
 /// Insert one accepted candidate into a raw heap row (caller already
-/// verified d < root). Shared by the in-tile path and the driver's
+/// verified sel_accepts). Shared by the in-tile path and the driver's
 /// block-end flush of the deferred buffers.
 template <typename T>
 GSKNN_ALWAYS_INLINE void sel_insert_raw(T* GSKNN_RESTRICT hd,
@@ -138,7 +154,7 @@ GSKNN_ALWAYS_INLINE void sel_insert_raw(T* GSKNN_RESTRICT hd,
   }
 }
 
-/// Insert one accepted candidate (caller already verified d < root).
+/// Insert one accepted candidate (caller already verified sel_accepts).
 template <typename T>
 GSKNN_ALWAYS_INLINE void sel_insert(const SelectCtxT<T>& s, int row, T d,
                                     int id) {
@@ -165,7 +181,7 @@ GSKNN_NOINLINE inline void sel_flush_raw(T* GSKNN_RESTRICT hd,
   const int n = *cnt;
   for (int t = 0; t < n; ++t) {
     const T d = bd[t];
-    if (d < hd[0]) {
+    if (sel_accepts(d, bid[t], hd, hi)) {
       sel_insert_raw(hd, hi, hset, k, stride, arity, dedup, tc, d, bid[t]);
     }
   }

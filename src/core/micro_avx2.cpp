@@ -142,14 +142,17 @@ GSKNN_ALWAYS_INLINE void defer_half_pd(const SelectCtx& sel, unsigned m,
 }
 
 /// Deferred selection for one finished column. Padded tile rows carry -inf
-/// sentinel roots, so they can never pass the prefilter.
+/// sentinel roots, so they can never pass the prefilter. The prefilter is
+/// `<=` (ordered, so NaN distances never pass): a candidate tying the root
+/// must reach the flush re-check, which applies the full lexicographic
+/// (distance, id) rule — `<` would drop ties the contract keeps.
 GSKNN_ALWAYS_INLINE void defer_col(const SelectCtx& sel, int j, __m256d colLo,
                                    __m256d colHi, __m256d rootsLo,
                                    __m256d rootsHi) {
   const unsigned mlo = static_cast<unsigned>(
-      _mm256_movemask_pd(_mm256_cmp_pd(colLo, rootsLo, _CMP_LT_OQ)));
+      _mm256_movemask_pd(_mm256_cmp_pd(colLo, rootsLo, _CMP_LE_OQ)));
   const unsigned mhi = static_cast<unsigned>(
-      _mm256_movemask_pd(_mm256_cmp_pd(colHi, rootsHi, _CMP_LT_OQ)));
+      _mm256_movemask_pd(_mm256_cmp_pd(colHi, rootsHi, _CMP_LE_OQ)));
   if (GSKNN_LIKELY((mlo | mhi) == 0)) return;
   const int id = sel.cand_ids[j];
   if (mlo != 0) defer_half_pd(sel, mlo, colLo, 0, id);
@@ -182,9 +185,9 @@ GSKNN_ALWAYS_INLINE void select_col(const SelectCtx& sel, int j, __m256d colLo,
                                     __m256d colHi, __m256d rootsLo,
                                     __m256d rootsHi, int rows) {
   const int mlo =
-      _mm256_movemask_pd(_mm256_cmp_pd(colLo, rootsLo, _CMP_LT_OQ));
+      _mm256_movemask_pd(_mm256_cmp_pd(colLo, rootsLo, _CMP_LE_OQ));
   const int mhi =
-      _mm256_movemask_pd(_mm256_cmp_pd(colHi, rootsHi, _CMP_LT_OQ));
+      _mm256_movemask_pd(_mm256_cmp_pd(colHi, rootsHi, _CMP_LE_OQ));
   unsigned mask =
       static_cast<unsigned>(mlo) | (static_cast<unsigned>(mhi) << 4);
   if (GSKNN_LIKELY(mask == 0)) return;
@@ -196,8 +199,9 @@ GSKNN_ALWAYS_INLINE void select_col(const SelectCtx& sel, int j, __m256d colLo,
     const int i = __builtin_ctz(mask);
     mask &= mask - 1;
     // Re-check against the live root: earlier inserts (including in this
-    // tile) may have shrunk it since the vector compare.
-    if (i < rows && col[i] < sel.hd[i][0]) {
+    // tile) may have shrunk it since the vector compare, and the `<=`
+    // prefilter admits root ties the lexicographic rule must arbitrate.
+    if (i < rows && sel_accepts(col[i], id, sel.hd[i], sel.hi[i])) {
       sel_insert(sel, i, col[i], id);
     }
   }
@@ -439,7 +443,7 @@ GSKNN_ALWAYS_INLINE __m256 finish1f(__m256 acc, __m256 q2v, float r2j) {
 GSKNN_ALWAYS_INLINE void defer_colf(const SelectCtxT<float>& sel, int j,
                                     __m256 col, __m256 roots) {
   const unsigned m = static_cast<unsigned>(
-      _mm256_movemask_ps(_mm256_cmp_ps(col, roots, _CMP_LT_OQ)));
+      _mm256_movemask_ps(_mm256_cmp_ps(col, roots, _CMP_LE_OQ)));
   if (GSKNN_LIKELY(m == 0)) return;
   alignas(32) float sf[kMrF];
   const __m256i perm =
@@ -455,7 +459,7 @@ GSKNN_ALWAYS_INLINE void defer_colf(const SelectCtxT<float>& sel, int j,
 GSKNN_ALWAYS_INLINE void select_colf(const SelectCtxT<float>& sel, int j,
                                      __m256 col, __m256 roots, int rows) {
   unsigned mask = static_cast<unsigned>(
-      _mm256_movemask_ps(_mm256_cmp_ps(col, roots, _CMP_LT_OQ)));
+      _mm256_movemask_ps(_mm256_cmp_ps(col, roots, _CMP_LE_OQ)));
   if (GSKNN_LIKELY(mask == 0)) return;
   alignas(32) float vals[kMrF];
   _mm256_store_ps(vals, col);
@@ -463,7 +467,7 @@ GSKNN_ALWAYS_INLINE void select_colf(const SelectCtxT<float>& sel, int j,
   while (mask != 0) {
     const int i = __builtin_ctz(mask);
     mask &= mask - 1;
-    if (i < rows && vals[i] < sel.hd[i][0]) {
+    if (i < rows && sel_accepts(vals[i], id, sel.hd[i], sel.hi[i])) {
       sel_insert(sel, i, vals[i], id);
     }
   }

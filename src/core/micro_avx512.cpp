@@ -75,8 +75,11 @@ GSKNN_ALWAYS_INLINE void select_col512(const SelectCtx& sel, int j,
                                        __m512d colA, __m512d colB,
                                        __m512d rootsA, __m512d rootsB,
                                        int rows) {
-  const __mmask8 ma = _mm512_cmp_pd_mask(colA, rootsA, _CMP_LT_OQ);
-  const __mmask8 mb = _mm512_cmp_pd_mask(colB, rootsB, _CMP_LT_OQ);
+  // `<=` (ordered) prefilter: root ties survive to the scalar re-check,
+  // which applies the full lexicographic (distance, id) accept; NaN
+  // distances never pass. Mirrors the AVX2 and scalar paths exactly.
+  const __mmask8 ma = _mm512_cmp_pd_mask(colA, rootsA, _CMP_LE_OQ);
+  const __mmask8 mb = _mm512_cmp_pd_mask(colB, rootsB, _CMP_LE_OQ);
   unsigned mask = static_cast<unsigned>(ma) | (static_cast<unsigned>(mb) << 8);
   if (GSKNN_LIKELY(mask == 0)) return;
   alignas(64) double col[kMr512];
@@ -86,7 +89,7 @@ GSKNN_ALWAYS_INLINE void select_col512(const SelectCtx& sel, int j,
   while (mask != 0) {
     const int i = __builtin_ctz(mask);
     mask &= mask - 1;
-    if (i < rows && col[i] < sel.hd[i][0]) {
+    if (i < rows && sel_accepts(col[i], id, sel.hd[i], sel.hi[i])) {
       sel_insert(sel, i, col[i], id);
     }
   }
@@ -100,8 +103,8 @@ GSKNN_ALWAYS_INLINE void select_col512(const SelectCtx& sel, int j,
 GSKNN_ALWAYS_INLINE void defer_col512(const SelectCtx& sel, int j,
                                       __m512d colA, __m512d colB,
                                       __m512d rootsA, __m512d rootsB) {
-  const __mmask8 ma = _mm512_cmp_pd_mask(colA, rootsA, _CMP_LT_OQ);
-  const __mmask8 mb = _mm512_cmp_pd_mask(colB, rootsB, _CMP_LT_OQ);
+  const __mmask8 ma = _mm512_cmp_pd_mask(colA, rootsA, _CMP_LE_OQ);
+  const __mmask8 mb = _mm512_cmp_pd_mask(colB, rootsB, _CMP_LE_OQ);
   const unsigned m16 =
       static_cast<unsigned>(ma) | (static_cast<unsigned>(mb) << 8);
   if (GSKNN_LIKELY(m16 == 0)) return;
@@ -353,7 +356,7 @@ GSKNN_ALWAYS_INLINE __m512 finish1f512(__m512 acc, __m512 q2v, float r2j) {
 
 GSKNN_ALWAYS_INLINE void select_colf512(const SelectCtxT<float>& sel, int j,
                                         __m512 col, __m512 roots, int rows) {
-  unsigned mask = _mm512_cmp_ps_mask(col, roots, _CMP_LT_OQ);
+  unsigned mask = _mm512_cmp_ps_mask(col, roots, _CMP_LE_OQ);
   if (GSKNN_LIKELY(mask == 0)) return;
   alignas(64) float vals[kMrF512];
   _mm512_store_ps(vals, col);
@@ -361,7 +364,7 @@ GSKNN_ALWAYS_INLINE void select_colf512(const SelectCtxT<float>& sel, int j,
   while (mask != 0) {
     const int i = __builtin_ctz(mask);
     mask &= mask - 1;
-    if (i < rows && vals[i] < sel.hd[i][0]) {
+    if (i < rows && sel_accepts(vals[i], id, sel.hd[i], sel.hi[i])) {
       sel_insert(sel, i, vals[i], id);
     }
   }
@@ -371,7 +374,7 @@ GSKNN_ALWAYS_INLINE void select_colf512(const SelectCtxT<float>& sel, int j,
 /// plus the row-index vector.
 GSKNN_ALWAYS_INLINE void defer_colf512(const SelectCtxT<float>& sel, int j,
                                        __m512 col, __m512 roots) {
-  const __mmask16 m = _mm512_cmp_ps_mask(col, roots, _CMP_LT_OQ);
+  const __mmask16 m = _mm512_cmp_ps_mask(col, roots, _CMP_LE_OQ);
   if (GSKNN_LIKELY(m == 0)) return;
   alignas(64) float sf[kMrF512];
   alignas(64) int sr[kMrF512];

@@ -21,7 +21,14 @@ GSKNN_ALWAYS_INLINE T combine(T acc, T q, T r, double lp) {
     return acc + std::abs(q - r);
   } else if constexpr (N == Norm::kLInf) {
     (void)lp;
-    return std::max(acc, std::abs(q - r));
+    // Mirror vmaxpd/vmaxps exactly (acc = src1, |q−r| = src2): on equality
+    // or any NaN operand the *second* source is returned. std::max would
+    // silently drop a NaN in the new term, making scalar and AVX runs
+    // disagree on poisoned inputs; with this form (plus the driver's
+    // panel poisoning of non-finite points) all SIMD levels produce the
+    // same NaN distances, which the selection contract then rejects.
+    const T t = std::abs(q - r);
+    return (acc > t) ? acc : t;
   } else {
     return acc + static_cast<T>(std::pow(std::abs(static_cast<double>(q - r)), lp));
   }
@@ -65,19 +72,25 @@ void micro_impl(int dcur, const T* GSKNN_RESTRICT Qp,
 
   if (finish && N == Norm::kL2Sq) {
     // ‖q−r‖² = ‖q‖² + ‖r‖² − 2·qᵀr, clamped at zero against cancellation.
+    // The clamp is written as the exact scalar equivalent of
+    // _mm256_max_pd(zero, v) (src2 returned on NaN): a NaN expansion —
+    // non-finite coordinates — must stay NaN, not turn into 0.
     for (int i = 0; i < kMr; ++i) {
       for (int j = 0; j < kNr; ++j) {
-        acc[i][j] = std::max(T(0), static_cast<T>(q2[i] + r2[j] - T(2) * acc[i][j]));
+        const T v = static_cast<T>(q2[i] + r2[j] - T(2) * acc[i][j]);
+        acc[i][j] = (T(0) > v) ? T(0) : v;
       }
     }
   }
   if (finish && N == Norm::kCosine) {
     // 1 − qᵀr/(‖q‖·‖r‖); zero-norm points (and zero-padded lanes) get
-    // distance 1 via the guarded denominator.
+    // distance 1 via the guarded denominator. The guard tests denom <= 0
+    // (not > 0) so a NaN denominator — non-finite coordinates — falls into
+    // the NaN-producing division branch, matching the AVX _CMP_LE_OQ blend.
     for (int i = 0; i < kMr; ++i) {
       for (int j = 0; j < kNr; ++j) {
         const T denom = std::sqrt(q2[i] * r2[j]);
-        acc[i][j] = (denom > T(0)) ? T(1) - acc[i][j] / denom : T(1);
+        acc[i][j] = (denom <= T(0)) ? T(1) : T(1) - acc[i][j] / denom;
       }
     }
   }
@@ -86,7 +99,9 @@ void micro_impl(int dcur, const T* GSKNN_RESTRICT Qp,
     for (int j = 0; j < cols; ++j) {
       const int id = sel->cand_ids[j];
       for (int i = 0; i < rows; ++i) {
-        if (acc[i][j] < sel->hd[i][0]) sel_insert(*sel, i, acc[i][j], id);
+        if (sel_accepts(acc[i][j], id, sel->hd[i], sel->hi[i])) {
+          sel_insert(*sel, i, acc[i][j], id);
+        }
       }
     }
   }

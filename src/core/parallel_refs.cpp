@@ -25,6 +25,9 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
                               std::span<const int> result_rows) {
   const int m = static_cast<int>(qidx.size());
   const int n = static_cast<int>(ridx.size());
+  // Validate before the OpenMP region: a StatusError thrown by a worker
+  // inside #pragma omp parallel could not propagate and would terminate.
+  check_knn_args(X, qidx, ridx, result, cfg, result_rows);
   if (m == 0 || n == 0) return;
   const int threads = resolve_threads(cfg.threads);
   const int k = result.k();
@@ -41,6 +44,9 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
   // handles through the caller's table.
   KnnConfig worker_cfg = cfg;
   worker_cfg.threads = 1;
+  // Arguments were validated above; don't repeat the opt-in O((m+n)·d)
+  // finite scan once per worker.
+  worker_cfg.validate = false;
   std::vector<NeighborTable> priv(static_cast<std::size_t>(threads));
   const int chunk = (n + threads - 1) / threads;
 

@@ -26,13 +26,17 @@ namespace {
 
 using Pair = std::pair<double, int>;
 
+// std::pair's operator< is the lexicographic (distance, id) order of the
+// tie-breaking contract; all comparisons below use full pairs so equal
+// distances resolve deterministically by lowest id.
+
 /// Median-of-three pivot selection: places the median of a[lo], a[mid],
 /// a[hi] at a[lo].
 void median_of_three(Pair* a, int lo, int hi) {
   const int mid = lo + (hi - lo) / 2;
-  if (a[mid].first < a[lo].first) std::swap(a[mid], a[lo]);
-  if (a[hi].first < a[lo].first) std::swap(a[hi], a[lo]);
-  if (a[mid].first < a[hi].first) std::swap(a[mid], a[hi]);
+  if (a[mid] < a[lo]) std::swap(a[mid], a[lo]);
+  if (a[hi] < a[lo]) std::swap(a[hi], a[lo]);
+  if (a[mid] < a[hi]) std::swap(a[mid], a[hi]);
   std::swap(a[lo], a[hi]);
 }
 
@@ -44,10 +48,10 @@ int partition(Pair* a, int lo, int hi) {
   for (;;) {
     do {
       ++i;
-    } while (i <= hi && a[i].first < pivot.first);
+    } while (i <= hi && a[i] < pivot);
     do {
       --j;
-    } while (a[j].first > pivot.first);
+    } while (pivot < a[j]);
     if (i >= j) break;
     std::swap(a[i], a[j]);
   }
@@ -83,7 +87,12 @@ void select_quick(const double* cand_dist, const int* cand_id, int n,
   buf.clear();
   buf.reserve(static_cast<std::size_t>(n + k));
   for (int j = 0; j < k; ++j) buf.emplace_back(row_dist[j], row_id[j]);
-  for (int j = 0; j < n; ++j) buf.emplace_back(cand_dist[j], cand_id[j]);
+  // Non-finite candidates are rejected up front: NaN is unordered and would
+  // corrupt the partition invariants, and the contract keeps them out of
+  // neighbor rows anyway.
+  for (int j = 0; j < n; ++j) {
+    if (std::isfinite(cand_dist[j])) buf.emplace_back(cand_dist[j], cand_id[j]);
+  }
 
   quickselect_kth(buf.data(), static_cast<int>(buf.size()), k - 1);
   // buf[0..k) now holds the k smallest in arbitrary order: rebuild the heap.
@@ -105,7 +114,7 @@ void merge_sort_pairs(Pair* a, int n, Pair* tmp) {
       const int hi = std::min(lo + 2 * width, n);
       int i = lo, j = mid, o = lo;
       while (i < mid && j < hi) {
-        tmp[o++] = (a[j].first < a[i].first) ? a[j++] : a[i++];
+        tmp[o++] = (a[j] < a[i]) ? a[j++] : a[i++];
       }
       while (i < mid) tmp[o++] = a[i++];
       while (j < hi) tmp[o++] = a[j++];
@@ -133,15 +142,19 @@ void select_merge(const double* cand_dist, const int* cand_id, int n,
   // Process candidates in chunks of k: sort the chunk, then a single
   // truncated merge with `best` keeps the k smallest of both.
   for (int base = 0; base < n; base += k) {
-    const int len = std::min(k, n - base);
-    for (int j = 0; j < len; ++j) {
-      chunk[j] = {cand_dist[base + j], cand_id[base + j]};
+    const int take = std::min(k, n - base);
+    // Non-finite candidates are skipped (contract: they never enter a row).
+    int len = 0;
+    for (int j = 0; j < take; ++j) {
+      if (std::isfinite(cand_dist[base + j])) {
+        chunk[len++] = {cand_dist[base + j], cand_id[base + j]};
+      }
     }
     merge_sort_pairs(chunk, len, tmp);
     // Truncated merge into tmp (first k survivors only).
     int i = 0, c = 0;
     for (int o = 0; o < k; ++o) {
-      if (c < len && (i >= k || chunk[c].first < best[i].first)) {
+      if (c < len && (i >= k || chunk[c] < best[i])) {
         tmp[o] = chunk[c++];
       } else {
         tmp[o] = best[i++];
@@ -166,9 +179,13 @@ void select_stl(const double* cand_dist, const int* cand_id, int n,
   for (int j = 0; j < k; ++j) h[static_cast<std::size_t>(j)] = {row_dist[j], row_id[j]};
   std::make_heap(h.begin(), h.end());
   for (int j = 0; j < n; ++j) {
-    if (cand_dist[j] < h.front().first) {
+    // Accept = strictly smaller in (distance, id) order and finite — the
+    // same rule as heap::pair_accepts, so this baseline selection agrees
+    // bitwise with the fused kernel on ties and non-finite candidates.
+    const Pair c{cand_dist[j], cand_id[j]};
+    if (c < h.front() && std::isfinite(c.first)) {
       std::pop_heap(h.begin(), h.end());
-      h.back() = {cand_dist[j], cand_id[j]};
+      h.back() = c;
       std::push_heap(h.begin(), h.end());
     }
   }

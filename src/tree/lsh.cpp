@@ -35,6 +35,15 @@ std::uint64_t hash_point(const PointTable& X, int id, const double* w,
 
 AllNnResult lsh_all_nearest_neighbors(const PointTable& X, int k,
                                       const LshConfig& cfg) {
+  if (k < 1) {
+    throw StatusError(Status::kBadConfig, "gsknn: lsh solver requires k >= 1");
+  }
+  if (cfg.tables < 1 || cfg.max_group < 2 ||
+      !(std::isfinite(cfg.bucket_width) && cfg.bucket_width > 0.0)) {
+    throw StatusError(Status::kBadConfig,
+                      "gsknn: lsh solver requires tables >= 1, max_group >= 2 "
+                      "and a finite bucket_width > 0");
+  }
   AllNnResult out;
   const int n = X.size();
   const int d = X.dim();

@@ -101,6 +101,14 @@ std::vector<std::vector<int>> random_kd_partition(const PointTable& X,
 
 AllNnResult all_nearest_neighbors(const PointTable& X, int k,
                                   const RkdConfig& cfg) {
+  if (k < 1) {
+    throw StatusError(Status::kBadConfig, "gsknn: rkd solver requires k >= 1");
+  }
+  if (cfg.leaf_size < 1 || cfg.num_trees < 1) {
+    throw StatusError(Status::kBadConfig,
+                      "gsknn: rkd solver requires leaf_size >= 1 and "
+                      "num_trees >= 1");
+  }
   AllNnResult out;
   const int n = X.size();
   // Large k pairs with the 4-ary heap (paper §2.4 / §3 parameters).

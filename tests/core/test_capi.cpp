@@ -84,17 +84,81 @@ TEST_F(CApiFixture, AllNormsRun) {
 TEST_F(CApiFixture, ErrorsAreReported) {
   gsknn_result* res = gsknn_result_create(5, 3);
   // Null query pointer with nonzero count.
-  EXPECT_LT(gsknn_search(table, nullptr, 5, nullptr, 0, GSKNN_NORM_L2SQ,
+  EXPECT_EQ(gsknn_search(table, nullptr, 5, nullptr, 0, GSKNN_NORM_L2SQ,
                          GSKNN_VARIANT_AUTO, 2.0, 0, res),
-            0);
+            GSKNN_ERR_INVALID_ARGUMENT);
   EXPECT_NE(std::string(gsknn_last_error()).find("null"), std::string::npos);
   // Unknown norm code.
   std::vector<int> q(5);
   std::iota(q.begin(), q.end(), 0);
-  EXPECT_LT(gsknn_search(table, q.data(), 5, q.data(), 5, 99,
+  EXPECT_EQ(gsknn_search(table, q.data(), 5, q.data(), 5, 99,
                          GSKNN_VARIANT_AUTO, 2.0, 0, res),
-            0);
+            GSKNN_ERR_BAD_CONFIG);
   gsknn_result_destroy(res);
+}
+
+TEST_F(CApiFixture, StatusCodesForMalformedCalls) {
+  gsknn_result* res = gsknn_result_create(5, 3);
+  std::vector<int> q(5);
+  std::iota(q.begin(), q.end(), 0);
+
+  // Null handles and negative counts.
+  EXPECT_EQ(gsknn_search(nullptr, q.data(), 5, q.data(), 5, GSKNN_NORM_L2SQ,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, res),
+            GSKNN_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(gsknn_search(table, q.data(), 5, q.data(), 5, GSKNN_NORM_L2SQ,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, nullptr),
+            GSKNN_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(gsknn_search(table, q.data(), -3, q.data(), 5, GSKNN_NORM_L2SQ,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, res),
+            GSKNN_ERR_INVALID_ARGUMENT);
+
+  // Unknown variant code.
+  EXPECT_EQ(gsknn_search(table, q.data(), 5, q.data(), 5, GSKNN_NORM_L2SQ, 4,
+                         2.0, 0, res),
+            GSKNN_ERR_BAD_CONFIG);
+
+  // Out-of-range reference index (table has 100 points).
+  std::vector<int> bad = {0, 1, 100};
+  EXPECT_EQ(gsknn_search(table, q.data(), 5, bad.data(), 3, GSKNN_NORM_L2SQ,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, res),
+            GSKNN_ERR_BAD_INDEX);
+  EXPECT_NE(std::string(gsknn_last_error()).find("out of range"),
+            std::string::npos);
+  bad = {-7};
+  EXPECT_EQ(gsknn_search(table, bad.data(), 1, q.data(), 5, GSKNN_NORM_L2SQ,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, res),
+            GSKNN_ERR_BAD_INDEX);
+
+  // Non-positive lp exponent.
+  EXPECT_EQ(gsknn_search(table, q.data(), 5, q.data(), 5, GSKNN_NORM_LP,
+                         GSKNN_VARIANT_AUTO, -1.0, 0, res),
+            GSKNN_ERR_BAD_CONFIG);
+
+  // Result table smaller than the query count.
+  gsknn_result* small = gsknn_result_create(2, 3);
+  EXPECT_EQ(gsknn_search(table, q.data(), 5, q.data(), 5, GSKNN_NORM_L2SQ,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, small),
+            GSKNN_ERR_INVALID_ARGUMENT);
+  gsknn_result_destroy(small);
+
+  // A valid call after all those failures still succeeds.
+  EXPECT_EQ(gsknn_search(table, q.data(), 5, q.data(), 5, GSKNN_NORM_L2SQ,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, res),
+            GSKNN_OK);
+  gsknn_result_destroy(res);
+}
+
+TEST(CApi, StatusNamesAreStable) {
+  EXPECT_STREQ(gsknn_status_name(GSKNN_OK), "ok");
+  EXPECT_STREQ(gsknn_status_name(GSKNN_ERR_INVALID_ARGUMENT),
+               "invalid_argument");
+  EXPECT_STREQ(gsknn_status_name(GSKNN_ERR_BAD_INDEX), "bad_index");
+  EXPECT_STREQ(gsknn_status_name(GSKNN_ERR_BAD_CONFIG), "bad_config");
+  EXPECT_STREQ(gsknn_status_name(GSKNN_ERR_NONFINITE), "non_finite");
+  EXPECT_STREQ(gsknn_status_name(GSKNN_ERR_UNSUPPORTED), "unsupported");
+  EXPECT_STREQ(gsknn_status_name(GSKNN_ERR_INTERNAL), "internal");
+  EXPECT_STREQ(gsknn_status_name(42), "unknown");
 }
 
 TEST_F(CApiFixture, ResultRowBoundsChecked) {

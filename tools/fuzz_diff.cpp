@@ -1,0 +1,574 @@
+// Differential fuzz harness for the kernel contract (docs/CONTRACT.md).
+//
+// Random-walks problem shapes (m, n, d, k), norms, variants, thread counts,
+// heap arities and dedup modes over adversarial inputs — NaN/Inf coordinates,
+// exact ties, duplicate ids, zero points, empty index lists, k > n, d == 0 —
+// and checks, per trial:
+//
+//   1. every variant × thread count × arity returns BITWISE-identical rows
+//      (the anchor is Var#1 single-threaded), in f64 and again in f32;
+//   2. the parallel-refs merge driver and the single-loop baseline agree
+//      with the anchor (exactly for the merge driver, to tolerance for the
+//      baseline, whose distance formula differs);
+//   3. the anchor matches a scalar oracle implementing the written contract:
+//      per-slot distances to tolerance, every returned id's distance
+//      plausible, non-finite points never present, dedup rows duplicate-free;
+//   4. the GEMM baseline (ℓ2/cosine) agrees with the oracle to tolerance;
+//   5. malformed calls (bad indices, duplicate result rows, bad lp/blocking,
+//      undersized tables) throw StatusError with the documented code.
+//
+// Runs for --seconds wall time (default 20) from --seed; on failure prints
+// the trial's full repro parameters and exits nonzero.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gsknn/common/rng.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/point_table.hpp"
+
+namespace {
+
+using gsknn::HeapArity;
+using gsknn::KnnConfig;
+using gsknn::NeighborTable;
+using gsknn::Norm;
+using gsknn::PointTable;
+using gsknn::Status;
+using gsknn::StatusError;
+using gsknn::Variant;
+
+enum class Mode {
+  kClean = 0,
+  kNaN,        // sprinkle NaN coordinates
+  kInf,        // sprinkle ±Inf coordinates
+  kTies,       // small-integer coordinates: many exact distance ties
+  kZeros,      // some all-zero points (cosine zero-norm rule)
+  kDupRefs,    // duplicate ids inside ridx
+  kMixed,      // NaN + ties + duplicates together
+  kModeCount
+};
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kClean:   return "clean";
+    case Mode::kNaN:     return "nan";
+    case Mode::kInf:     return "inf";
+    case Mode::kTies:    return "ties";
+    case Mode::kZeros:   return "zeros";
+    case Mode::kDupRefs: return "dup_refs";
+    case Mode::kMixed:   return "mixed";
+    default:             return "?";
+  }
+}
+
+struct Trial {
+  std::uint64_t seed = 0;
+  long index = 0;
+  Mode mode = Mode::kClean;
+  Norm norm = Norm::kL2Sq;
+  double p = 3.0;
+  int m = 0, n = 0, d = 0, k = 1;
+  bool dedup = false;
+  double scale = 1.0;
+};
+
+void print_repro(const Trial& t) {
+  std::fprintf(stderr,
+               "fuzz_diff FAILURE: repro with --seed=%llu at trial %ld\n"
+               "  mode=%s norm=%d p=%g m=%d n=%d d=%d k=%d dedup=%d scale=%g\n",
+               static_cast<unsigned long long>(t.seed), t.index,
+               mode_name(t.mode), static_cast<int>(t.norm), t.p, t.m, t.n,
+               t.d, t.k, t.dedup ? 1 : 0, t.scale);
+}
+
+bool point_finite(const PointTable& X, int id) {
+  const double* p = X.col(id);
+  for (int r = 0; r < X.dim(); ++r) {
+    if (!std::isfinite(p[r])) return false;
+  }
+  return true;
+}
+
+/// Contract-reference distance (the written semantics, computed the naive
+/// way). Returns NaN whenever either point has a non-finite coordinate —
+/// such points are excluded from neighbor lists under every norm.
+double oracle_distance(const PointTable& X, int qi, int ri, Norm norm,
+                       double p) {
+  if (!point_finite(X, qi) || !point_finite(X, ri)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double* a = X.col(qi);
+  const double* b = X.col(ri);
+  const int d = X.dim();
+  double acc = 0.0;
+  switch (norm) {
+    case Norm::kL2Sq:
+      for (int r = 0; r < d; ++r) {
+        const double t = a[r] - b[r];
+        acc += t * t;
+      }
+      return acc;
+    case Norm::kL1:
+      for (int r = 0; r < d; ++r) acc += std::abs(a[r] - b[r]);
+      return acc;
+    case Norm::kLInf:
+      for (int r = 0; r < d; ++r) {
+        const double t = std::abs(a[r] - b[r]);
+        acc = (acc > t) ? acc : t;
+      }
+      return acc;
+    case Norm::kLp:
+      for (int r = 0; r < d; ++r) acc += std::pow(std::abs(a[r] - b[r]), p);
+      return acc;
+    case Norm::kCosine: {
+      double dot = 0.0, aa = 0.0, bb = 0.0;
+      for (int r = 0; r < d; ++r) {
+        dot += a[r] * b[r];
+        aa += a[r] * a[r];
+        bb += b[r] * b[r];
+      }
+      const double denom = std::sqrt(aa * bb);
+      return (denom <= 0.0) ? 1.0 : 1.0 - dot / denom;
+    }
+  }
+  return acc;
+}
+
+/// The oracle's neighbor list: k smallest finite (distance, id) pairs in
+/// lexicographic order; with dedup each id contributes once.
+std::vector<std::pair<double, int>> oracle_row(const PointTable& X, int qi,
+                                               const std::vector<int>& ridx,
+                                               int k, Norm norm, double p,
+                                               bool dedup) {
+  std::vector<std::pair<double, int>> cand;
+  cand.reserve(ridx.size());
+  for (int id : ridx) {
+    const double dist = oracle_distance(X, qi, id, norm, p);
+    if (std::isfinite(dist)) cand.emplace_back(dist, id);
+  }
+  std::sort(cand.begin(), cand.end());
+  if (dedup) {
+    std::vector<std::pair<double, int>> unique;
+    std::vector<int> seen;
+    for (const auto& c : cand) {
+      if (std::find(seen.begin(), seen.end(), c.second) == seen.end()) {
+        unique.push_back(c);
+        seen.push_back(c.second);
+      }
+    }
+    cand.swap(unique);
+  }
+  if (static_cast<int>(cand.size()) > k) cand.resize(static_cast<std::size_t>(k));
+  return cand;
+}
+
+/// Absolute comparison tolerance for one trial: covers the GEMM-expansion
+/// cancellation error (∝ scale² for ℓ2) and accumulation-order differences.
+double trial_tol(const Trial& t) {
+  const double d = std::max(1, t.d);
+  switch (t.norm) {
+    case Norm::kL2Sq:
+      return 1e-9 * std::max(1.0, t.scale * t.scale * d);
+    case Norm::kL1:
+      return 1e-10 * std::max(1.0, t.scale * d);
+    case Norm::kLInf:
+      return 1e-11 * std::max(1.0, t.scale);
+    case Norm::kLp:
+      return 1e-8 * std::max(1.0, std::pow(t.scale, t.p) * d);
+    case Norm::kCosine:
+      return 1e-9;
+  }
+  return 1e-9;
+}
+
+template <typename T>
+std::vector<std::vector<std::pair<T, int>>> collect_rows(
+    const gsknn::NeighborTableT<T>& res, int m) {
+  std::vector<std::vector<std::pair<T, int>>> rows;
+  rows.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) rows.push_back(res.sorted_row(i));
+  return rows;
+}
+
+template <typename T>
+std::vector<std::vector<std::pair<T, int>>> run_kernel(
+    const gsknn::PointTableT<T>& X, const std::vector<int>& q,
+    const std::vector<int>& r, const Trial& t, Variant v, int threads,
+    HeapArity arity) {
+  gsknn::NeighborTableT<T> res(t.m, t.k, arity);
+  if (t.dedup) res.enable_dedup_index();
+  KnnConfig cfg;
+  cfg.norm = t.norm;
+  cfg.p = t.p;
+  cfg.variant = v;
+  cfg.threads = threads;
+  cfg.dedup = t.dedup;
+  knn_kernel(X, q, r, res, cfg);
+  return collect_rows(res, t.m);
+}
+
+bool check_against_oracle(
+    const std::vector<std::vector<std::pair<double, int>>>& rows,
+    const PointTable& X, const std::vector<int>& q, const std::vector<int>& r,
+    const Trial& t, const char* what) {
+  const double tol = trial_tol(t);
+  for (int i = 0; i < t.m; ++i) {
+    const auto expect = oracle_row(X, q[static_cast<std::size_t>(i)], r, t.k,
+                                   t.norm, t.p, t.dedup);
+    const auto& got = rows[static_cast<std::size_t>(i)];
+    if (got.size() != expect.size()) {
+      std::fprintf(stderr, "%s: row %d has %zu entries, oracle %zu\n", what,
+                   i, got.size(), expect.size());
+      return false;
+    }
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      if (!std::isfinite(got[j].first)) {
+        std::fprintf(stderr, "%s: row %d slot %zu non-finite distance\n",
+                     what, i, j);
+        return false;
+      }
+      if (std::abs(got[j].first - expect[j].first) > tol) {
+        std::fprintf(stderr,
+                     "%s: row %d slot %zu dist %.17g vs oracle %.17g "
+                     "(tol %.3g)\n",
+                     what, i, j, got[j].first, expect[j].first, tol);
+        return false;
+      }
+      // Id plausibility: the reported id's true distance must match the
+      // reported distance (robust to near-tie reorderings).
+      const double truth = oracle_distance(
+          X, q[static_cast<std::size_t>(i)], got[j].second, t.norm, t.p);
+      if (!std::isfinite(truth) ||
+          std::abs(got[j].first - truth) > tol) {
+        std::fprintf(stderr,
+                     "%s: row %d id %d reported dist %.17g, true %.17g\n",
+                     what, i, got[j].second, got[j].first, truth);
+        return false;
+      }
+      if (t.dedup) {
+        for (std::size_t l = j + 1; l < got.size(); ++l) {
+          if (got[l].second == got[j].second) {
+            std::fprintf(stderr, "%s: row %d repeats id %d under dedup\n",
+                         what, i, got[j].second);
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Probe the documented error paths; any mismatch aborts the run.
+bool probe_malformed(const PointTable& X) {
+  const std::vector<int> q = {0, 1};
+  const std::vector<int> r = {2, 3, 4};
+  NeighborTable res(2, 2);
+  struct Case {
+    const char* name;
+    Status expect;
+    bool (*run)(const PointTable&, const std::vector<int>&,
+                const std::vector<int>&, NeighborTable&);
+  };
+  const Case cases[] = {
+      {"bad ridx", Status::kBadIndex,
+       [](const PointTable& px, const std::vector<int>& pq,
+          const std::vector<int>&, NeighborTable& pres) {
+         const std::vector<int> bad = {0, px.size()};
+         knn_kernel(px, pq, bad, pres, {});
+         return false;
+       }},
+      {"negative qidx", Status::kBadIndex,
+       [](const PointTable& px, const std::vector<int>&,
+          const std::vector<int>& pr, NeighborTable& pres) {
+         const std::vector<int> bad = {-1, 0};
+         knn_kernel(px, bad, pr, pres, {});
+         return false;
+       }},
+      {"duplicate result rows", Status::kInvalidArgument,
+       [](const PointTable& px, const std::vector<int>& pq,
+          const std::vector<int>& pr, NeighborTable& pres) {
+         const std::vector<int> rows = {0, 0};
+         knn_kernel(px, pq, pr, pres, {}, rows);
+         return false;
+       }},
+      {"bad lp exponent", Status::kBadConfig,
+       [](const PointTable& px, const std::vector<int>& pq,
+          const std::vector<int>& pr, NeighborTable& pres) {
+         KnnConfig cfg;
+         cfg.norm = Norm::kLp;
+         cfg.p = -2.0;
+         knn_kernel(px, pq, pr, pres, cfg);
+         return false;
+       }},
+      {"undersized result", Status::kInvalidArgument,
+       [](const PointTable& px, const std::vector<int>&,
+          const std::vector<int>& pr, NeighborTable&) {
+         const std::vector<int> many = {0, 1, 2, 3};
+         NeighborTable small(2, 2);
+         knn_kernel(px, many, pr, small, {});
+         return false;
+       }},
+      {"mismatched blocking", Status::kBadConfig,
+       [](const PointTable& px, const std::vector<int>& pq,
+          const std::vector<int>& pr, NeighborTable& pres) {
+         KnnConfig cfg;
+         cfg.blocking = gsknn::BlockingParams{};
+         cfg.blocking->mr = 3;
+         cfg.blocking->nr = 5;
+         knn_kernel(px, pq, pr, pres, cfg);
+         return false;
+       }},
+  };
+  for (const Case& c : cases) {
+    try {
+      c.run(X, q, r, res);
+      std::fprintf(stderr, "malformed probe '%s': no exception\n", c.name);
+      return false;
+    } catch (const StatusError& e) {
+      if (e.status() != c.expect) {
+        std::fprintf(stderr,
+                     "malformed probe '%s': status %s, expected %s (%s)\n",
+                     c.name, gsknn::status_name(e.status()),
+                     gsknn::status_name(c.expect), e.what());
+        return false;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "malformed probe '%s': wrong exception type: %s\n",
+                   c.name, e.what());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool run_trial(const Trial& t, gsknn::Xoshiro256& rng) {
+  // Build the point pool. The coordinate magnitude is capped so that
+  // squared norms stay far from the f64 overflow edge and (since the same
+  // trial re-runs in f32) the f32 run sees representable values.
+  const int npts = t.m + t.n + 8;
+  PointTable X(t.d, npts);
+  for (int i = 0; i < npts; ++i) {
+    double* col = t.d > 0 ? X.col(i) : nullptr;
+    for (int r = 0; r < t.d; ++r) {
+      if (t.mode == Mode::kTies || t.mode == Mode::kMixed) {
+        col[r] = static_cast<double>(rng.below(3)) * t.scale;
+      } else {
+        col[r] = rng.uniform(-t.scale, t.scale);
+      }
+    }
+  }
+  if (t.mode == Mode::kZeros || t.mode == Mode::kMixed) {
+    for (int i = 0; i < npts; i += 5) {
+      for (int r = 0; r < t.d; ++r) X.col(i)[r] = 0.0;
+    }
+  }
+  if (t.mode == Mode::kNaN || t.mode == Mode::kMixed) {
+    for (int i = 2; i < npts; i += 7) {
+      if (t.d > 0) {
+        X.col(i)[static_cast<int>(rng.below(static_cast<std::uint64_t>(t.d)))] =
+            std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+  }
+  if (t.mode == Mode::kInf) {
+    for (int i = 3; i < npts; i += 6) {
+      if (t.d > 0) {
+        X.col(i)[static_cast<int>(rng.below(static_cast<std::uint64_t>(t.d)))] =
+            (rng.below(2) != 0u) ? std::numeric_limits<double>::infinity()
+                                 : -std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+  X.compute_norms();
+
+  std::vector<int> q(static_cast<std::size_t>(t.m));
+  for (auto& v : q) v = static_cast<int>(rng.below(static_cast<std::uint64_t>(npts)));
+  std::vector<int> r(static_cast<std::size_t>(t.n));
+  for (auto& v : r) v = static_cast<int>(rng.below(static_cast<std::uint64_t>(npts)));
+  if ((t.mode == Mode::kDupRefs || t.mode == Mode::kMixed) && t.n > 1) {
+    for (int j = 1; j < t.n; j += 3) {
+      r[static_cast<std::size_t>(j)] = r[static_cast<std::size_t>(j - 1)];
+    }
+  }
+
+  constexpr Variant kVariants[] = {Variant::kVar1, Variant::kVar2,
+                                   Variant::kVar3, Variant::kVar5,
+                                   Variant::kVar6};
+
+  // f64: bitwise identity of every variant × thread count × arity.
+  const auto anchor =
+      run_kernel(X, q, r, t, Variant::kVar1, 1, HeapArity::kBinary);
+  for (Variant v : kVariants) {
+    for (int threads : {1, 3}) {
+      for (HeapArity arity : {HeapArity::kBinary, HeapArity::kQuad}) {
+        const auto rows = run_kernel(X, q, r, t, v, threads, arity);
+        if (rows != anchor) {
+          std::fprintf(stderr,
+                       "f64 divergence: variant %d threads %d arity %d\n",
+                       static_cast<int>(v), threads, static_cast<int>(arity));
+          return false;
+        }
+      }
+    }
+  }
+
+  // The reference-parallel merge driver must agree exactly as well.
+  {
+    NeighborTable res(t.m, t.k);
+    if (t.dedup) res.enable_dedup_index();
+    KnnConfig cfg;
+    cfg.norm = t.norm;
+    cfg.p = t.p;
+    cfg.threads = 4;
+    cfg.dedup = t.dedup;
+    knn_kernel_parallel_refs(X, q, r, res, cfg);
+    if (collect_rows(res, t.m) != anchor) {
+      std::fprintf(stderr, "f64 divergence: parallel_refs\n");
+      return false;
+    }
+  }
+
+  // f32: independent bitwise identity across the same matrix.
+  {
+    const gsknn::PointTableF Xf = gsknn::to_float(X);
+    const auto anchor_f =
+        run_kernel(Xf, q, r, t, Variant::kVar1, 1, HeapArity::kBinary);
+    for (Variant v : kVariants) {
+      for (int threads : {1, 3}) {
+        const auto rows =
+            run_kernel(Xf, q, r, t, v, threads, HeapArity::kBinary);
+        if (rows != anchor_f) {
+          std::fprintf(stderr, "f32 divergence: variant %d threads %d\n",
+                       static_cast<int>(v), threads);
+          return false;
+        }
+      }
+    }
+  }
+
+  // Anchor vs the contract oracle.
+  if (!check_against_oracle(anchor, X, q, r, t, "kernel")) return false;
+
+  // Single-loop baseline: same contract, different formula -> to tolerance.
+  {
+    NeighborTable res(t.m, t.k);
+    if (t.dedup) res.enable_dedup_index();
+    KnnConfig cfg;
+    cfg.norm = t.norm;
+    cfg.p = t.p;
+    cfg.threads = 1;
+    cfg.dedup = t.dedup;
+    knn_single_loop_baseline(X, q, r, res, cfg);
+    if (!check_against_oracle(collect_rows(res, t.m), X, q, r, t,
+                              "single_loop")) {
+      return false;
+    }
+  }
+
+  // GEMM baseline where its decomposition exists.
+  if (t.norm == Norm::kL2Sq || t.norm == Norm::kCosine) {
+    NeighborTable res(t.m, t.k);
+    if (t.dedup) res.enable_dedup_index();
+    KnnConfig cfg;
+    cfg.norm = t.norm;
+    cfg.threads = 1;
+    cfg.dedup = t.dedup;
+    knn_gemm_baseline(X, q, r, res, cfg);
+    if (!check_against_oracle(collect_rows(res, t.m), X, q, r, t, "gemm")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 20.0;
+  std::uint64_t seed = 0x5EEDFACEull;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--seconds=", 10) == 0) {
+      seconds = std::atof(argv[a] + 10);
+    } else if (std::strncmp(argv[a], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[a] + 7, nullptr, 0);
+    } else {
+      std::fprintf(stderr,
+                   "usage: fuzz_diff [--seconds=S] [--seed=N]\n");
+      return 2;
+    }
+  }
+
+  gsknn::Xoshiro256 rng(seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  long trials = 0;
+  long mode_counts[static_cast<int>(Mode::kModeCount)] = {};
+
+  while (true) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (elapsed >= seconds) break;
+
+    Trial t;
+    t.seed = seed;
+    t.index = trials;
+    t.mode = static_cast<Mode>(
+        rng.below(static_cast<std::uint64_t>(Mode::kModeCount)));
+    const Norm norms[] = {Norm::kL2Sq, Norm::kL1, Norm::kLInf, Norm::kLp,
+                          Norm::kCosine};
+    t.norm = norms[rng.below(5)];
+    t.p = (rng.below(2) != 0u) ? 2.5 : 1.3;
+    t.m = static_cast<int>(rng.below(36));           // 0..35 (empty included)
+    t.n = static_cast<int>(rng.below(70));           // 0..69
+    t.d = static_cast<int>(rng.below(34));           // 0..33 (d == 0 included)
+    t.k = 1 + static_cast<int>(rng.below(
+                  static_cast<std::uint64_t>(t.n + 6)));  // k > n included
+    t.dedup = (rng.below(2) != 0u);
+    const double scales[] = {1e-3, 1.0, 1e3, 1e6};
+    t.scale = scales[rng.below(4)];
+    if (t.norm == Norm::kLp) t.scale = std::min(t.scale, 1e3);
+
+    ++mode_counts[static_cast<int>(t.mode)];
+    try {
+      if (!run_trial(t, rng)) {
+        print_repro(t);
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "unexpected exception: %s\n", e.what());
+      print_repro(t);
+      return 1;
+    }
+
+    // Error-path probes interleave with the differential trials.
+    if (trials % 64 == 0) {
+      PointTable probe(4, 8);
+      for (int i = 0; i < 8; ++i) {
+        for (int r = 0; r < 4; ++r) probe.col(i)[r] = rng.uniform(-1.0, 1.0);
+      }
+      probe.compute_norms();
+      if (!probe_malformed(probe)) {
+        std::fprintf(stderr, "fuzz_diff FAILURE in malformed-input probes\n");
+        return 1;
+      }
+    }
+    ++trials;
+  }
+
+  std::printf("fuzz_diff: %ld trials OK in %.1fs (seed=0x%llx)\n", trials,
+              seconds, static_cast<unsigned long long>(seed));
+  for (int i = 0; i < static_cast<int>(Mode::kModeCount); ++i) {
+    std::printf("  %-8s %ld\n", mode_name(static_cast<Mode>(i)),
+                mode_counts[i]);
+  }
+  return 0;
+}
