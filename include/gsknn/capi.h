@@ -11,7 +11,9 @@
  *
  * Error codes, degenerate-input semantics (NaN/Inf coordinates, k > n,
  * duplicate ids, empty index lists, d == 0) and the deterministic
- * tie-breaking rule are specified in docs/CONTRACT.md.
+ * tie-breaking rule are specified in docs/CONTRACT.md. Resource governance
+ * (workspace caps, deadlines, cancellation, partial-result semantics) is
+ * specified in docs/ROBUSTNESS.md.
  */
 #ifndef GSKNN_CAPI_H
 #define GSKNN_CAPI_H
@@ -32,7 +34,10 @@ enum {
   GSKNN_ERR_BAD_CONFIG = -3,       /* unknown norm/variant, bad lp/blocking */
   GSKNN_ERR_NONFINITE = -4,        /* opt-in finite-coordinate check failed */
   GSKNN_ERR_UNSUPPORTED = -5,      /* valid config, no implementation */
-  GSKNN_ERR_INTERNAL = -6          /* unexpected failure (allocation, ...) */
+  GSKNN_ERR_INTERNAL = -6,         /* unexpected failure */
+  GSKNN_ERR_RESOURCE_EXHAUSTED = -7, /* workspace cap / allocation failure */
+  GSKNN_ERR_DEADLINE_EXCEEDED = -8,  /* deadline expired mid-search */
+  GSKNN_ERR_CANCELLED = -9           /* cancel token fired mid-search */
 };
 
 /* Short stable name for a status code ("ok", "bad_index", ...); "unknown"
@@ -43,6 +48,7 @@ typedef struct gsknn_table gsknn_table;     /* PointTable handle */
 typedef struct gsknn_result gsknn_result;   /* NeighborTable handle */
 typedef struct gsknn_profile gsknn_profile; /* telemetry::KernelProfile handle */
 typedef struct gsknn_trace gsknn_trace;     /* telemetry::TraceSink handle */
+typedef struct gsknn_cancel_token gsknn_cancel_token; /* CancelToken handle */
 
 /* Norms (mirror gsknn::Norm). */
 enum {
@@ -94,6 +100,43 @@ int gsknn_search(const gsknn_table* table, const int* qidx, int mq,
  * the count actually written (may be < k when fewer candidates were seen). */
 int gsknn_result_row(const gsknn_result* r, int row, int cap, int* ids,
                      double* dists);
+
+/* After a search returned GSKNN_ERR_DEADLINE_EXCEEDED / GSKNN_ERR_CANCELLED
+ * (or -7 mid-flight): 1 when row `row` saw every reference candidate, 0 when
+ * the stop cut it short (the row still holds a valid partial heap), -1 on bad
+ * arguments. Always 1 after GSKNN_OK. See docs/ROBUSTNESS.md. */
+int gsknn_result_row_complete(const gsknn_result* r, int row);
+
+/* ---- governance: deadlines, cancellation, workspace caps -------------- */
+
+/* Shareable cancellation token (wraps one atomic flag). Thread-safe: any
+ * thread may cancel while searches on other threads poll it at block
+ * boundaries. Reusable after gsknn_cancel_token_reset(). */
+gsknn_cancel_token* gsknn_cancel_token_create(void);
+void gsknn_cancel_token_destroy(gsknn_cancel_token* c);
+void gsknn_cancel_token_cancel(gsknn_cancel_token* c);
+int gsknn_cancel_token_cancelled(const gsknn_cancel_token* c); /* 0 or 1 */
+void gsknn_cancel_token_reset(gsknn_cancel_token* c);
+
+/* gsknn_search with resource governance:
+ *   - deadline_ms > 0 arms a deadline that many milliseconds from the call
+ *     (monotonic clock); expiry returns GSKNN_ERR_DEADLINE_EXCEEDED with the
+ *     finished rows intact and unfinished rows flagged (see
+ *     gsknn_result_row_complete). deadline_ms <= 0 means no deadline.
+ *   - token (may be NULL) is polled at block boundaries; cancellation
+ *     returns GSKNN_ERR_CANCELLED with the same partial-result semantics.
+ *   - max_workspace_bytes > 0 caps the kernel's packed-panel workspace; the
+ *     kernel retiles its blocking downward to fit (bitwise-identical
+ *     results), or returns GSKNN_ERR_RESOURCE_EXHAUSTED with the result
+ *     untouched when even the minimum tiling does not fit. 0 defers to the
+ *     GSKNN_MAX_WORKSPACE environment variable (unset = uncapped).
+ * Full semantics in docs/ROBUSTNESS.md. */
+int gsknn_search_deadline_ms(const gsknn_table* table, const int* qidx,
+                             int mq, const int* ridx, int nq, int norm,
+                             int variant, double lp, int threads,
+                             int64_t deadline_ms, gsknn_cancel_token* token,
+                             size_t max_workspace_bytes,
+                             gsknn_result* result);
 
 /* ---- telemetry ------------------------------------------------------- */
 

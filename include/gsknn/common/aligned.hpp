@@ -7,20 +7,35 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <type_traits>
 #include <utility>
 
+#include "gsknn/common/fault.hpp"
 #include "gsknn/common/macros.hpp"
 
 namespace gsknn {
 
 /// Allocate `bytes` bytes aligned to `alignment` (power of two). Throws
 /// std::bad_alloc on failure. Pair with aligned_free().
+///
+/// Every aligned allocation in the library funnels through here, which makes
+/// it the single choke point for two robustness concerns:
+///   * overflow — round_up(bytes, alignment) on a near-SIZE_MAX request
+///     would wrap to a tiny allocation; that is a failure, not a wrap;
+///   * fault injection — GSKNN_FAULT / fault::configure() can force this
+///     call to fail deterministically, exercising the same std::bad_alloc
+///     path a genuinely exhausted machine would take (docs/ROBUSTNESS.md).
 inline void* aligned_alloc_bytes(std::size_t bytes,
                                  std::size_t alignment = kVectorAlignBytes) {
   if (bytes == 0) return nullptr;
+  if (bytes > std::numeric_limits<std::size_t>::max() - (alignment - 1)) {
+    throw std::bad_alloc();
+  }
+  if (fault::inject_alloc_failure()) throw std::bad_alloc();
   void* p = std::aligned_alloc(alignment, round_up(bytes, alignment));
   if (p == nullptr) throw std::bad_alloc();
   return p;
@@ -73,9 +88,22 @@ class AlignedBuffer {
 
   /// Destructive resize: grows the allocation if needed, never preserves
   /// contents, never shrinks the allocation.
+  ///
+  /// Overflow-hardened: a count whose byte size exceeds SIZE_MAX fails with
+  /// std::bad_alloc instead of wrapping `count * sizeof(T)` into a tiny
+  /// allocation that every later element access would overrun. The buffer
+  /// is emptied *before* the allocation attempt, so a throw (overflow,
+  /// exhaustion, injected fault) leaves a valid zero-capacity buffer —
+  /// never a dangling pointer the destructor would double-free.
   void reset(std::size_t count) {
     if (count > capacity_) {
       aligned_free(data_);
+      data_ = nullptr;
+      capacity_ = 0;
+      size_ = 0;
+      if (count > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+        throw std::bad_alloc();
+      }
       data_ = static_cast<T*>(aligned_alloc_bytes(count * sizeof(T), alignment_));
       capacity_ = count;
     }

@@ -1,0 +1,59 @@
+// Cooperative cancellation for long-running kernels (docs/ROBUSTNESS.md).
+//
+// A CancelToken is a shareable one-way latch: any thread may cancel() it at
+// any time, and every driver polls it at block boundaries (the 6th/5th-loop
+// tops and each 4th-loop mc-block of the six-loop nest — natural points
+// where no neighbor table is ever half-merged). Cancellation is therefore
+// *cooperative and block-granular*: in-flight blocks finish, not-yet-started
+// blocks are skipped, and the call returns Status::kCancelled with every
+// partially-updated query row flagged incomplete (NeighborTable::
+// row_complete) but still a valid heap.
+//
+// Deadlines ride the same poll points: KnnConfig::deadline is an absolute
+// steady_clock time checked wherever the token is, yielding
+// Status::kDeadlineExceeded with identical partial-result semantics.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace gsknn {
+
+/// Shareable cancellation latch. One token may govern many concurrent
+/// kernel calls (e.g. every leaf kernel of a tree-solver run); cancel() is
+/// sticky until reset(). All operations are lock-free and safe to call from
+/// any thread, including signal-handler-adjacent contexts (no allocation).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_acquire);
+  }
+  /// Re-arm a token for reuse. Only call between kernel invocations — a
+  /// reset concurrent with a running kernel may let that kernel finish.
+  void reset() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Absolute deadline type carried by KnnConfig::deadline.
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// Convenience: a deadline `ms` milliseconds from now (ms <= 0 produces an
+/// already-expired deadline, making the first block-boundary poll fail —
+/// useful for tests and for the C API's timeout-style interface).
+inline Deadline deadline_after_ms(long long ms) {
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+/// True once `dl` has passed.
+inline bool deadline_expired(const Deadline& dl) {
+  return std::chrono::steady_clock::now() >= dl;
+}
+
+}  // namespace gsknn

@@ -1,0 +1,65 @@
+// Fault-injection hooks for the resource-governance layer (docs/ROBUSTNESS.md).
+//
+// The harness answers one question: when an allocation fails or a
+// cancellation lands mid-kernel, does every driver unwind to a clean Status
+// with an untouched-or-consistent result table? Real allocation failures and
+// races are too rare to test; these hooks make them deterministic.
+//
+// Two ways to arm the faults:
+//   * programmatically — fault::configure({...}) from a test or fuzzer;
+//   * environment — GSKNN_FAULT="alloc_nth=5,cancel_at=3,slow_us=200"
+//     (comma-separated key=value list, parsed once at first use).
+//
+// Knobs:
+//   alloc_nth=N    fail the Nth aligned allocation after arming (1-based),
+//                  once; the counter keeps running so a replay is exact.
+//   alloc_every=N  fail every Nth aligned allocation (combinable with
+//                  alloc_nth; either trigger fails the call).
+//   cancel_at=N    force Status::kCancelled at the Nth governance poll
+//                  (block-boundary poll points in the drivers), once.
+//   slow_us=N      sleep N microseconds at every governance poll — makes a
+//                  "slow kernel" so real deadlines can land mid-run.
+//
+// Disarmed (the default), the only cost on the hot paths is one relaxed
+// load of a global flag per allocation / per block-boundary poll.
+#pragma once
+
+#include <cstdint>
+
+namespace gsknn::fault {
+
+struct FaultConfig {
+  std::int64_t alloc_nth = 0;    ///< 0 = off
+  std::int64_t alloc_every = 0;  ///< 0 = off
+  std::int64_t cancel_at = 0;    ///< 0 = off
+  std::int64_t slow_us = 0;      ///< 0 = off
+};
+
+/// Arm the hooks with `cfg` and reset all counters. Overrides GSKNN_FAULT.
+void configure(const FaultConfig& cfg);
+
+/// Disarm every hook and reset counters (tests call this in teardown).
+void reset();
+
+/// True when any knob is armed (via configure() or GSKNN_FAULT). The
+/// per-call hooks below are no-ops returning false when disarmed.
+bool active() noexcept;
+
+/// Allocation hook, called by aligned_alloc_bytes for every non-zero
+/// request. Returns true when this allocation must fail (the caller then
+/// throws std::bad_alloc exactly as a genuine failure would).
+bool inject_alloc_failure() noexcept;
+
+/// Governance-poll hook, called by the drivers at block boundaries. Applies
+/// the slow_us delay, then returns true when this poll must report
+/// Status::kCancelled (the cancel_at trigger).
+bool inject_cancel() noexcept;
+
+/// Aligned allocations observed since the last configure()/reset() — lets a
+/// fuzzer size alloc_nth to the kernel it is attacking.
+std::uint64_t alloc_count() noexcept;
+
+/// Governance polls observed since the last configure()/reset().
+std::uint64_t poll_count() noexcept;
+
+}  // namespace gsknn::fault

@@ -31,6 +31,7 @@
 // (total CPU spent), and counters the SUM (they are exact work tallies).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -114,6 +115,12 @@ struct KernelProfile {
   int variant = 0;       ///< resolved selection variant (1/2/3/5/6; 0 = n/a)
   int simd_level = 0;    ///< static_cast<int>(SimdLevel) the dispatch chose
   BlockingParams blocking;
+  /// Workspace governance of the last invocation (docs/ROBUSTNESS.md):
+  /// planned footprint, the cap it honored (0 = uncapped) and how many
+  /// degradation-ladder steps the planner took to fit under it.
+  std::size_t workspace_bytes = 0;
+  std::size_t workspace_cap = 0;
+  int workspace_retiles = 0;
   double model_gflops = 0.0;  ///< perf_model prediction for this shape (0 = n/a)
   /// Machine peaks from the perf-model parameters (roofline axes for
   /// tools/roofline_report.py); 0 when the recording driver has no model.

@@ -1,0 +1,84 @@
+// WorkspaceArena — a bump allocator over one AlignedBuffer, used by the
+// drivers for every packed-panel / distance-buffer / candidate-buffer byte
+// they touch (docs/ROBUSTNESS.md).
+//
+// The point is governance, not speed: the kernel's workspace need is a
+// closed-form function of the blocking parameters (see
+// gsknn/core/workspace.hpp), so a driver reserves the whole footprint in ONE
+// allocation up front — before any result row is written — and then carves
+// chunks with pointer arithmetic only. A genuine std::bad_alloc therefore
+// surfaces at exactly one place, early, and maps to Status::kResourceExhausted
+// with the result table untouched; nothing allocates mid-loop-nest.
+//
+// reserve() is grow-only (like AlignedBuffer::reset), so the thread-local
+// per-thread arenas stabilize after the first call, same as the packing
+// arenas they replaced.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "gsknn/common/aligned.hpp"
+#include "gsknn/common/macros.hpp"
+
+namespace gsknn {
+
+class WorkspaceArena {
+ public:
+  /// Ensure at least `bytes` of capacity (one aligned allocation; grow-only;
+  /// contents are not preserved across growth). Throws std::bad_alloc on
+  /// genuine failure — callers map it to Status::kResourceExhausted. Resets
+  /// the bump cursor.
+  void reserve(std::size_t bytes) {
+    buf_.reset(bytes);
+    used_ = 0;
+  }
+
+  /// Carve `count` elements of T, aligned to kVectorAlignBytes. MUST fit in
+  /// the reserved capacity: the plan precomputed every chunk, so running out
+  /// here is a plan bug, not an input condition — hence assert, not throw.
+  /// Returns nullptr for count == 0 (mirrors aligned_alloc_bytes).
+  template <typename T>
+  T* alloc(std::size_t count) {
+    if (count == 0) return nullptr;
+    assert(count <= (SIZE_MAX / sizeof(T)));
+    const std::size_t bytes = round_up(count * sizeof(T), kVectorAlignBytes);
+    assert(used_ + bytes <= buf_.size() && "workspace plan underestimated");
+    T* p = reinterpret_cast<T*>(buf_.data() + used_);
+    used_ += bytes;
+    return p;
+  }
+
+  /// Whether a further alloc of `bytes` would fit (drivers use this to fall
+  /// back to kResourceExhausted instead of tripping the assert in release).
+  bool fits(std::size_t bytes) const {
+    return used_ + round_up(bytes, kVectorAlignBytes) <= buf_.size();
+  }
+
+  /// Restart carving from the beginning (per-block reuse). Pointer
+  /// arithmetic only; outstanding chunks from the previous round are
+  /// invalidated by convention, never by deallocation.
+  void rewind() { used_ = 0; }
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t used() const { return used_; }
+
+  /// Per-element footprint contribution of one chunk, including the
+  /// alignment padding alloc() will add — the plan sums these.
+  static constexpr std::size_t chunk_bytes(std::size_t count,
+                                           std::size_t elem_size) {
+    return round_up(count * elem_size, kVectorAlignBytes);
+  }
+
+ private:
+  AlignedBuffer<unsigned char> buf_;
+  std::size_t used_ = 0;
+};
+
+/// The process-wide workspace cap from GSKNN_MAX_WORKSPACE (bytes, with an
+/// optional K/M/G suffix), parsed once. 0 = no env cap. KnnConfig::
+/// max_workspace_bytes, when non-zero, overrides this per call.
+std::size_t max_workspace_env();
+
+}  // namespace gsknn

@@ -16,12 +16,14 @@
 //   auto best = nn.sorted_row(0);                // (dist², id) ascending
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
 
 #include "gsknn/common/arch.hpp"
+#include "gsknn/common/cancel.hpp"
 #include "gsknn/common/telemetry.hpp"
 #include "gsknn/data/point_table.hpp"
 #include "gsknn/select/neighbor_table.hpp"
@@ -45,6 +47,14 @@ enum class Status {
   kNonFinite,        ///< non-finite coordinates (opt-in KnnConfig::validate)
   kUnsupported,      ///< entry point does not support the requested mode
   kInternal,         ///< unexpected failure behind the C boundary
+  // Resource-governance outcomes (docs/ROBUSTNESS.md). Unlike the argument
+  // errors above, the latter two are *partial-result* statuses: the result
+  // table holds valid heaps, with the rows that missed candidates flagged
+  // via NeighborTable::row_complete().
+  kResourceExhausted,  ///< workspace cap unreachable or allocation failed;
+                       ///< the result table is untouched
+  kDeadlineExceeded,   ///< KnnConfig::deadline passed at a block boundary
+  kCancelled,          ///< KnnConfig::cancel token fired at a block boundary
 };
 
 /// Stable lowercase name of a status ("ok", "invalid_argument", ...).
@@ -117,6 +127,22 @@ struct KnnConfig {
   /// shared across concurrent kernel invocations (per-thread rings), which
   /// is how knn_batch and the tree solvers produce one unified timeline.
   telemetry::TraceSink* trace = nullptr;
+  /// Workspace cap in bytes for this call's packed panels, distance buffers
+  /// and per-thread arenas (docs/ROBUSTNESS.md). 0 = the GSKNN_MAX_WORKSPACE
+  /// environment cap, or unlimited when that is unset too. A cap below the
+  /// natural footprint retiles nc/mc/dc downward (and demotes Var#6 to
+  /// Var#5) — results stay bitwise-identical, only slower; a cap below the
+  /// documented retile floor fails with Status::kResourceExhausted before
+  /// any result row is written.
+  std::size_t max_workspace_bytes = 0;
+  /// Absolute steady-clock deadline polled at block boundaries. Expiry
+  /// yields Status::kDeadlineExceeded with incomplete rows flagged on the
+  /// result (see gsknn/common/cancel.hpp for the semantics).
+  std::optional<Deadline> deadline;
+  /// Shareable cancellation token polled at the same block boundaries;
+  /// fires Status::kCancelled. The token must outlive the call; one token
+  /// may govern many concurrent calls.
+  const CancelToken* cancel = nullptr;
 };
 
 /// The GSKNN kernel (Algorithm 2.2/2.3). Updates `result` with the n
@@ -142,6 +168,20 @@ void knn_kernel(const PointTableF& X, std::span<const int> qidx,
                 std::span<const int> ridx, NeighborTableF& result,
                 const KnnConfig& cfg = {},
                 std::span<const int> result_rows = {});
+
+/// Status-returning kernel: identical semantics to knn_kernel, but runtime-
+/// pressure outcomes (kCancelled, kDeadlineExceeded, kResourceExhausted) and
+/// argument errors come back as a Status instead of a throw — the natural
+/// form for servers that treat cancellation as a normal result. The void
+/// overloads above throw StatusError for every non-kOk outcome.
+Status knn_kernel_status(const PointTable& X, std::span<const int> qidx,
+                         std::span<const int> ridx, NeighborTable& result,
+                         const KnnConfig& cfg = {},
+                         std::span<const int> result_rows = {});
+Status knn_kernel_status(const PointTableF& X, std::span<const int> qidx,
+                         std::span<const int> ridx, NeighborTableF& result,
+                         const KnnConfig& cfg = {},
+                         std::span<const int> result_rows = {});
 
 /// Phase breakdown of the GEMM baseline (Table 5's Tcoll/Tgemm/Tsq2d/Theap).
 /// Thin legacy shim over the unified telemetry: the baseline now times
@@ -204,6 +244,14 @@ struct KnnTask {
 void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
                const KnnConfig& cfg = {});
 
+/// Status-returning batch: under cancellation/deadline, in-flight tasks
+/// finish, not-yet-started tasks are skipped with their result rows flagged
+/// incomplete, and the first pressure status is returned. Tasks sharing one
+/// NeighborTable must target disjoint result rows — overlapping rows fail
+/// validation with kInvalidArgument (a silent data race otherwise).
+Status knn_batch_status(const PointTable& X, std::span<const KnnTask> tasks,
+                        int k, const KnnConfig& cfg = {});
+
 /// Reference-side data parallelism (§2.5, footnote 5: the Xeon Phi scheme).
 /// The query-side 4th-loop parallelization of knn_kernel needs m ≥ mc·p to
 /// occupy p threads; when m is small and n is large, this variant splits
@@ -214,6 +262,16 @@ void knn_kernel_parallel_refs(const PointTable& X, std::span<const int> qidx,
                               std::span<const int> ridx,
                               NeighborTable& result, const KnnConfig& cfg = {},
                               std::span<const int> result_rows = {});
+
+/// Status-returning parallel_refs: on cancellation/deadline/exhaustion the
+/// private-table merge is skipped entirely, so the caller's result is
+/// untouched and the status tells the whole story.
+Status knn_kernel_parallel_refs_status(const PointTable& X,
+                                       std::span<const int> qidx,
+                                       std::span<const int> ridx,
+                                       NeighborTable& result,
+                                       const KnnConfig& cfg = {},
+                                       std::span<const int> result_rows = {});
 
 /// Resolve kAuto for a given shape (exposed for tests and benches).
 Variant resolve_variant(int m, int n, int d, int k, const KnnConfig& cfg);

@@ -116,6 +116,10 @@ class NeighborTableT {
     dist_.reset(static_cast<std::size_t>(m) * stride_);
     id_.reset(static_cast<std::size_t>(m) * stride_);
     idsets_.clear();  // re-enable after resize if wanted
+    // Preallocated here (not lazily) so concurrent workers marking disjoint
+    // rows under cancellation touch distinct bytes of a fixed-size vector —
+    // no allocation, no race.
+    incomplete_.assign(static_cast<std::size_t>(m), 0);
     reset();
   }
 
@@ -132,6 +136,10 @@ class NeighborTableT {
       }
     }
     for (auto& s : idsets_) s.init(k_);
+    if (!incomplete_.empty()) {
+      std::fill(incomplete_.begin(), incomplete_.end(),
+                static_cast<unsigned char>(0));
+    }
   }
 
   int rows() const { return m_; }
@@ -228,6 +236,35 @@ class NeighborTableT {
     return out;
   }
 
+  /// Per-query completion state under deadlines/cancellation
+  /// (docs/ROBUSTNESS.md). A row is complete when every reference candidate
+  /// of the interrupted call was offered to it; an incomplete row still
+  /// holds a valid heap of the candidates it did see. Kernels returning
+  /// kDeadlineExceeded/kCancelled flag the rows they could not finish; a
+  /// later kOk call over the same rows re-marks them complete (tables — and
+  /// cancel tokens — are reusable after an interrupted call).
+  bool row_complete(int i) const {
+    assert(i >= 0 && i < m_);
+    return incomplete_[static_cast<std::size_t>(i)] == 0;
+  }
+
+  void mark_row_incomplete(int i) {
+    assert(i >= 0 && i < m_);
+    incomplete_[static_cast<std::size_t>(i)] = 1;
+  }
+
+  void mark_row_complete(int i) {
+    assert(i >= 0 && i < m_);
+    incomplete_[static_cast<std::size_t>(i)] = 0;
+  }
+
+  bool all_rows_complete() const {
+    for (unsigned char f : incomplete_) {
+      if (f != 0) return false;
+    }
+    return true;
+  }
+
   /// True iff every row satisfies its heap invariant (tests).
   bool all_rows_are_heaps() const {
     for (int i = 0; i < m_; ++i) {
@@ -247,6 +284,9 @@ class NeighborTableT {
   AlignedBuffer<T> dist_;
   AlignedBuffer<int> id_;
   std::vector<RowIdSet> idsets_;  ///< empty unless enable_dedup_index()
+  std::vector<unsigned char> incomplete_;  ///< sized m by resize(); 1 = row
+                                           ///< missed candidates (see
+                                           ///< row_complete)
 };
 
 /// The paper-faithful double-precision table and its float sibling.

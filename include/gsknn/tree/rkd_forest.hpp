@@ -45,6 +45,13 @@ struct AllNnResult {
   double build_seconds = 0.0;    ///< tree construction (all iterations)
   double kernel_seconds = 0.0;   ///< time inside the per-leaf kNN kernels
   int leaves_processed = 0;
+  /// kOk, or the pressure status (kCancelled / kDeadlineExceeded /
+  /// kResourceExhausted) that cut the solve short. The table then holds the
+  /// candidates accumulated so far — still a valid approximate answer, just
+  /// from fewer leaves; the leaf interrupted mid-kernel has its rows flagged
+  /// via NeighborTable::row_complete(). Deadline/cancel ride in on
+  /// RkdConfig::kernel (KnnConfig::deadline / ::cancel).
+  Status status = Status::kOk;
 };
 
 /// Approximate all-kNN of every point of X among all points of X.

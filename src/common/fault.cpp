@@ -1,0 +1,134 @@
+// Fault-injection hook state (see gsknn/common/fault.hpp).
+//
+// All counters are relaxed atomics: the hooks are called concurrently from
+// OpenMP regions, and the only guarantee the harness needs is that exactly
+// one call observes each one-shot trigger (fetch_add provides that).
+#include "gsknn/common/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace gsknn::fault {
+
+namespace {
+
+struct State {
+  std::atomic<bool> armed{false};
+  std::atomic<std::int64_t> alloc_nth{0};
+  std::atomic<std::int64_t> alloc_every{0};
+  std::atomic<std::int64_t> cancel_at{0};
+  std::atomic<std::int64_t> slow_us{0};
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> polls{0};
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// Parse "key=value,key=value" from GSKNN_FAULT. Unknown keys are ignored
+/// (forward compatibility); malformed values read as 0 (off).
+void parse_env(const char* e) {
+  FaultConfig cfg;
+  const char* p = e;
+  while (*p != '\0') {
+    const char* eq = std::strchr(p, '=');
+    if (eq == nullptr) break;
+    const char* end = std::strchr(eq, ',');
+    const std::int64_t v = std::atoll(eq + 1);
+    const std::size_t klen = static_cast<std::size_t>(eq - p);
+    if (klen == 9 && std::strncmp(p, "alloc_nth", 9) == 0) cfg.alloc_nth = v;
+    if (klen == 11 && std::strncmp(p, "alloc_every", 11) == 0) {
+      cfg.alloc_every = v;
+    }
+    if (klen == 9 && std::strncmp(p, "cancel_at", 9) == 0) cfg.cancel_at = v;
+    if (klen == 7 && std::strncmp(p, "slow_us", 7) == 0) cfg.slow_us = v;
+    if (end == nullptr) break;
+    p = end + 1;
+  }
+  configure(cfg);
+}
+
+/// One-time GSKNN_FAULT pickup. configure() also claims the flag so a
+/// programmatic config is never clobbered by a later env parse. An atomic
+/// claim, NOT std::call_once: parse_env ends in configure(), and re-entering
+/// an active call_once on the same flag deadlocks.
+std::atomic<bool> g_env_consumed{false};
+
+void ensure_env_parsed() {
+  bool expected = false;
+  if (!g_env_consumed.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+    return;
+  }
+  const char* e = std::getenv("GSKNN_FAULT");
+  if (e != nullptr && e[0] != '\0') parse_env(e);
+}
+
+}  // namespace
+
+void configure(const FaultConfig& cfg) {
+  State& s = state();
+  s.alloc_nth.store(cfg.alloc_nth, std::memory_order_relaxed);
+  s.alloc_every.store(cfg.alloc_every, std::memory_order_relaxed);
+  s.cancel_at.store(cfg.cancel_at, std::memory_order_relaxed);
+  s.slow_us.store(cfg.slow_us, std::memory_order_relaxed);
+  s.allocs.store(0, std::memory_order_relaxed);
+  s.polls.store(0, std::memory_order_relaxed);
+  const bool any = cfg.alloc_nth > 0 || cfg.alloc_every > 0 ||
+                   cfg.cancel_at > 0 || cfg.slow_us > 0;
+  s.armed.store(any, std::memory_order_release);
+  // Mark the env as consumed even if nobody set it: a programmatic
+  // configure() must win over a GSKNN_FAULT picked up later.
+  g_env_consumed.store(true, std::memory_order_release);
+}
+
+void reset() { configure(FaultConfig{}); }
+
+bool active() noexcept {
+  State& s = state();
+  if (s.armed.load(std::memory_order_acquire)) return true;
+  ensure_env_parsed();
+  return s.armed.load(std::memory_order_acquire);
+}
+
+bool inject_alloc_failure() noexcept {
+  if (!active()) return false;
+  State& s = state();
+  // fetch_add makes the sequence number unique per call, so each one-shot
+  // trigger fires in exactly one thread.
+  const auto seq = static_cast<std::int64_t>(
+      s.allocs.fetch_add(1, std::memory_order_relaxed) + 1);
+  const std::int64_t nth = s.alloc_nth.load(std::memory_order_relaxed);
+  if (nth > 0 && seq == nth) return true;
+  const std::int64_t every = s.alloc_every.load(std::memory_order_relaxed);
+  if (every > 0 && seq % every == 0) return true;
+  return false;
+}
+
+bool inject_cancel() noexcept {
+  if (!active()) return false;
+  State& s = state();
+  const std::int64_t slow = s.slow_us.load(std::memory_order_relaxed);
+  if (slow > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(slow));
+  }
+  const auto seq = static_cast<std::int64_t>(
+      s.polls.fetch_add(1, std::memory_order_relaxed) + 1);
+  const std::int64_t at = s.cancel_at.load(std::memory_order_relaxed);
+  return at > 0 && seq == at;
+}
+
+std::uint64_t alloc_count() noexcept {
+  return state().allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t poll_count() noexcept {
+  return state().polls.load(std::memory_order_relaxed);
+}
+
+}  // namespace gsknn::fault

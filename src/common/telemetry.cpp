@@ -204,6 +204,12 @@ std::string KernelProfile::to_json() const {
   append_kv(j, "mc", blocking.mc);
   j += ',';
   append_kv(j, "nc", blocking.nc);
+  j += "},\"workspace\":{";
+  append_kv(j, "bytes", static_cast<std::uint64_t>(workspace_bytes));
+  j += ',';
+  append_kv(j, "cap", static_cast<std::uint64_t>(workspace_cap));
+  j += ',';
+  append_kv(j, "retiles", workspace_retiles);
   j += "},";
   append_kv(j, "invocations", invocations);
   j += ',';

@@ -1,0 +1,43 @@
+// GSKNN_MAX_WORKSPACE parsing (see gsknn/common/workspace.hpp).
+#include "gsknn/common/workspace.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gsknn {
+
+namespace {
+
+std::size_t parse_bytes(const char* e) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(e, &end, 10);
+  if (end == e) return 0;  // malformed -> no cap
+  unsigned long long mult = 1;
+  switch (std::toupper(static_cast<unsigned char>(*end))) {
+    case 'K':
+      mult = 1024ull;
+      break;
+    case 'M':
+      mult = 1024ull * 1024;
+      break;
+    case 'G':
+      mult = 1024ull * 1024 * 1024;
+      break;
+    default:
+      break;
+  }
+  if (mult != 1 && v > SIZE_MAX / mult) return SIZE_MAX;
+  return static_cast<std::size_t>(v * mult);
+}
+
+}  // namespace
+
+std::size_t max_workspace_env() {
+  static const std::size_t cap = [] {
+    const char* e = std::getenv("GSKNN_MAX_WORKSPACE");
+    return (e != nullptr && e[0] != '\0') ? parse_bytes(e) : std::size_t{0};
+  }();
+  return cap;
+}
+
+}  // namespace gsknn

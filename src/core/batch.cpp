@@ -5,8 +5,18 @@
 // schedules whole kernels across cores instead: estimate each kernel's
 // runtime with the §2.6 model, sort descending, and greedily assign to the
 // least-loaded processor (first-termination / LPT list scheduling).
+//
+// Governance: cancellation/deadline is polled between tasks (and inside
+// each task kernel, at its block boundaries); on a stop, not-yet-started
+// tasks are skipped with their result rows flagged incomplete. Tasks that
+// share one NeighborTable must target disjoint rows — overlap is rejected
+// up front (it would be a silent data race between workers).
+#include <atomic>
+#include <new>
+#include <unordered_map>
 #include <vector>
 
+#include "gsknn/common/fault.hpp"
 #include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/threads.hpp"
 #include "gsknn/common/timer.hpp"
@@ -15,10 +25,24 @@
 
 namespace gsknn {
 
-void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
-               const KnnConfig& cfg) {
+namespace {
+
+/// Flag every result row a task owns as incomplete (skipped/starved tasks).
+/// Disjointness of rows across tasks sharing a table (validated below) makes
+/// concurrent marking from several workers race-free — distinct bytes.
+void mark_task_incomplete(const KnnTask& task) {
+  if (!task.result_rows.empty()) {
+    for (const int r : task.result_rows) task.result->mark_row_incomplete(r);
+  } else {
+    const int mq = static_cast<int>(task.qidx.size());
+    for (int i = 0; i < mq; ++i) task.result->mark_row_incomplete(i);
+  }
+}
+
+Status knn_batch_impl(const PointTable& X, std::span<const KnnTask> tasks,
+                      int k, const KnnConfig& cfg) {
   const int t = static_cast<int>(tasks.size());
-  if (t == 0) return;
+  if (t == 0) return Status::kOk;
   const int p = resolve_threads(cfg.threads);
 
   // Validate every task before the OpenMP region (a worker-side StatusError
@@ -32,6 +56,33 @@ void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
     }
     check_knn_args(X, task.qidx, task.ridx, *task.result, cfg,
                    task.result_rows);
+  }
+
+  // Tasks may share a NeighborTable only on disjoint rows (the tree solvers'
+  // global-table pattern). Overlap would let two concurrent workers sift the
+  // same heap — a silent race — so reject it here, where check_knn_args has
+  // already bounds-checked every row list. A task without result_rows owns
+  // rows [0, m) of its table.
+  std::unordered_map<const NeighborTable*, std::vector<unsigned char>> used;
+  for (int i = 0; i < t; ++i) {
+    const auto& task = tasks[static_cast<std::size_t>(i)];
+    auto& rows_used = used[task.result];
+    if (rows_used.empty()) {
+      rows_used.assign(static_cast<std::size_t>(task.result->rows()), 0);
+    }
+    const int mq = static_cast<int>(task.qidx.size());
+    for (int qi = 0; qi < mq; ++qi) {
+      const int r = task.result_rows.empty()
+                        ? qi
+                        : task.result_rows[static_cast<std::size_t>(qi)];
+      if (rows_used[static_cast<std::size_t>(r)] != 0) {
+        throw StatusError(
+            Status::kInvalidArgument,
+            "gsknn: batch tasks write overlapping rows of a shared result "
+            "table");
+      }
+      rows_used[static_cast<std::size_t>(r)] = 1;
+    }
   }
 
   // Estimate per-task runtimes with the performance model.
@@ -59,10 +110,29 @@ void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
   std::vector<telemetry::KernelProfile> wprof(
       prof ? static_cast<std::size_t>(p) : 0);
 
+  // Batch-level stop: first pressure status wins; once set, every worker
+  // skips its remaining tasks (flagging their rows). The task kernels poll
+  // the same token/deadline at their own block boundaries, so an in-flight
+  // task stops at block granularity, not task granularity.
+  std::atomic<int> stop{0};
+  const bool governed =
+      cfg.cancel != nullptr || cfg.deadline.has_value() || fault::active();
+  const auto poll_status = [&cfg]() {
+    if (fault::active() && fault::inject_cancel()) return Status::kCancelled;
+    if (cfg.cancel != nullptr && cfg.cancel->cancelled()) {
+      return Status::kCancelled;
+    }
+    if (cfg.deadline.has_value() && deadline_expired(*cfg.deadline)) {
+      return Status::kDeadlineExceeded;
+    }
+    return Status::kOk;
+  };
+
   // Each worker executes its tasks sequentially; kernels run single-threaded.
   // task_cfg copies cfg wholesale, so a TraceSink on cfg.trace is shared by
   // every task kernel (safe: per-thread rings) — the exported timeline shows
-  // the LPT schedule directly, one track per worker.
+  // the LPT schedule directly, one track per worker — and the deadline/cancel
+  // token rides into every task kernel the same way.
   KnnConfig task_cfg = cfg;
   task_cfg.threads = 1;
   // Tasks were validated above; skip re-validation inside the workers.
@@ -77,8 +147,34 @@ void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
     for (int i = 0; i < t; ++i) {
       if (assignment[static_cast<std::size_t>(i)] != tid) continue;
       const auto& task = tasks[static_cast<std::size_t>(i)];
-      knn_kernel(X, task.qidx, task.ridx, *task.result, my_cfg,
-                 task.result_rows);
+      if (stop.load(std::memory_order_relaxed) != 0) {
+        mark_task_incomplete(task);
+        continue;
+      }
+      if (governed) {
+        const Status ps = poll_status();
+        if (ps != Status::kOk) {
+          int expected = 0;
+          stop.compare_exchange_strong(expected, static_cast<int>(ps),
+                                       std::memory_order_relaxed);
+          mark_task_incomplete(task);
+          continue;
+        }
+      }
+      const Status s = knn_kernel_status(X, task.qidx, task.ridx,
+                                         *task.result, my_cfg,
+                                         task.result_rows);
+      if (s != Status::kOk) {
+        // kCancelled/kDeadlineExceeded already flagged the rows the kernel
+        // could not finish; exhaustion/internal left rows untouched and
+        // unflagged, so flag the whole task.
+        if (s != Status::kCancelled && s != Status::kDeadlineExceeded) {
+          mark_task_incomplete(task);
+        }
+        int expected = 0;
+        stop.compare_exchange_strong(expected, static_cast<int>(s),
+                                     std::memory_order_relaxed);
+      }
     }
   }
 
@@ -91,6 +187,29 @@ void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
     combined.algorithm = "gsknn_batch";
     combined.threads = p;
     cfg.profile->merge(combined);
+  }
+  return static_cast<Status>(stop.load(std::memory_order_acquire));
+}
+
+}  // namespace
+
+void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
+               const KnnConfig& cfg) {
+  const Status s = knn_batch_impl(X, tasks, k, cfg);
+  if (s != Status::kOk) {
+    throw StatusError(s, std::string("gsknn: batch stopped: ") +
+                             status_name(s));
+  }
+}
+
+Status knn_batch_status(const PointTable& X, std::span<const KnnTask> tasks,
+                        int k, const KnnConfig& cfg) {
+  try {
+    return knn_batch_impl(X, tasks, k, cfg);
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return Status::kResourceExhausted;
   }
 }
 

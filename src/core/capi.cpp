@@ -9,6 +9,7 @@
 #include <string>
 
 #include "gsknn/common/arch.hpp"
+#include "gsknn/common/cancel.hpp"
 #include "gsknn/common/pmu.hpp"
 #include "gsknn/common/trace.hpp"
 #include "gsknn/core/knn.hpp"
@@ -37,8 +38,66 @@ int status_code(gsknn::Status s) {
       return GSKNN_ERR_UNSUPPORTED;
     case gsknn::Status::kInternal:
       return GSKNN_ERR_INTERNAL;
+    case gsknn::Status::kResourceExhausted:
+      return GSKNN_ERR_RESOURCE_EXHAUSTED;
+    case gsknn::Status::kDeadlineExceeded:
+      return GSKNN_ERR_DEADLINE_EXCEEDED;
+    case gsknn::Status::kCancelled:
+      return GSKNN_ERR_CANCELLED;
   }
   return GSKNN_ERR_INTERNAL;
+}
+
+/// Translate the C norm/variant/lp/threads quadruple into a KnnConfig.
+/// Returns GSKNN_OK or the status code to hand back (error already set).
+int parse_search_config(int norm, int variant, double lp, int threads,
+                        gsknn::KnnConfig& cfg) {
+  switch (norm) {
+    case GSKNN_NORM_L2SQ:
+      cfg.norm = gsknn::Norm::kL2Sq;
+      break;
+    case GSKNN_NORM_L1:
+      cfg.norm = gsknn::Norm::kL1;
+      break;
+    case GSKNN_NORM_LINF:
+      cfg.norm = gsknn::Norm::kLInf;
+      break;
+    case GSKNN_NORM_LP:
+      cfg.norm = gsknn::Norm::kLp;
+      break;
+    case GSKNN_NORM_COSINE:
+      cfg.norm = gsknn::Norm::kCosine;
+      break;
+    default:
+      set_error("gsknn_search: unknown norm");
+      return GSKNN_ERR_BAD_CONFIG;
+  }
+  switch (variant) {
+    case GSKNN_VARIANT_AUTO:
+      cfg.variant = gsknn::Variant::kAuto;
+      break;
+    case GSKNN_VARIANT_1:
+      cfg.variant = gsknn::Variant::kVar1;
+      break;
+    case GSKNN_VARIANT_2:
+      cfg.variant = gsknn::Variant::kVar2;
+      break;
+    case GSKNN_VARIANT_3:
+      cfg.variant = gsknn::Variant::kVar3;
+      break;
+    case GSKNN_VARIANT_5:
+      cfg.variant = gsknn::Variant::kVar5;
+      break;
+    case GSKNN_VARIANT_6:
+      cfg.variant = gsknn::Variant::kVar6;
+      break;
+    default:
+      set_error("gsknn_search: unknown variant");
+      return GSKNN_ERR_BAD_CONFIG;
+  }
+  cfg.p = lp;
+  cfg.threads = threads;
+  return GSKNN_OK;
 }
 
 }  // namespace
@@ -61,6 +120,10 @@ struct gsknn_trace {
   std::string json;  // owns the buffer gsknn_trace_json() returns
 
   explicit gsknn_trace(std::size_t ring_kb) : sink(ring_kb) {}
+};
+
+struct gsknn_cancel_token {
+  gsknn::CancelToken token;
 };
 
 extern "C" {
@@ -130,51 +193,8 @@ int gsknn_search_traced(const gsknn_table* table, const int* qidx, int mq,
   }
   try {
     gsknn::KnnConfig cfg;
-    switch (norm) {
-      case GSKNN_NORM_L2SQ:
-        cfg.norm = gsknn::Norm::kL2Sq;
-        break;
-      case GSKNN_NORM_L1:
-        cfg.norm = gsknn::Norm::kL1;
-        break;
-      case GSKNN_NORM_LINF:
-        cfg.norm = gsknn::Norm::kLInf;
-        break;
-      case GSKNN_NORM_LP:
-        cfg.norm = gsknn::Norm::kLp;
-        break;
-      case GSKNN_NORM_COSINE:
-        cfg.norm = gsknn::Norm::kCosine;
-        break;
-      default:
-        set_error("gsknn_search: unknown norm");
-        return GSKNN_ERR_BAD_CONFIG;
-    }
-    switch (variant) {
-      case GSKNN_VARIANT_AUTO:
-        cfg.variant = gsknn::Variant::kAuto;
-        break;
-      case GSKNN_VARIANT_1:
-        cfg.variant = gsknn::Variant::kVar1;
-        break;
-      case GSKNN_VARIANT_2:
-        cfg.variant = gsknn::Variant::kVar2;
-        break;
-      case GSKNN_VARIANT_3:
-        cfg.variant = gsknn::Variant::kVar3;
-        break;
-      case GSKNN_VARIANT_5:
-        cfg.variant = gsknn::Variant::kVar5;
-        break;
-      case GSKNN_VARIANT_6:
-        cfg.variant = gsknn::Variant::kVar6;
-        break;
-      default:
-        set_error("gsknn_search: unknown variant");
-        return GSKNN_ERR_BAD_CONFIG;
-    }
-    cfg.p = lp;
-    cfg.threads = threads;
+    const int rc = parse_search_config(norm, variant, lp, threads, cfg);
+    if (rc != GSKNN_OK) return rc;
     cfg.profile = profile != nullptr ? &profile->profile : nullptr;
     cfg.trace = trace != nullptr ? &trace->sink : nullptr;
     gsknn::knn_kernel(table->table, {qidx, static_cast<std::size_t>(mq)},
@@ -206,6 +226,12 @@ const char* gsknn_status_name(int status) {
       return "unsupported";
     case GSKNN_ERR_INTERNAL:
       return "internal";
+    case GSKNN_ERR_RESOURCE_EXHAUSTED:
+      return "resource_exhausted";
+    case GSKNN_ERR_DEADLINE_EXCEEDED:
+      return "deadline_exceeded";
+    case GSKNN_ERR_CANCELLED:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -298,6 +324,72 @@ int gsknn_result_row(const gsknn_result* r, int row, int cap, int* ids,
     if (dists != nullptr) dists[i] = sorted[static_cast<std::size_t>(i)].first;
   }
   return count;
+}
+
+int gsknn_result_row_complete(const gsknn_result* r, int row) {
+  if (r == nullptr || row < 0 || row >= r->table.rows()) {
+    set_error("gsknn_result_row_complete: bad arguments");
+    return -1;
+  }
+  return r->table.row_complete(row) ? 1 : 0;
+}
+
+gsknn_cancel_token* gsknn_cancel_token_create(void) {
+  try {
+    return new gsknn_cancel_token;
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return nullptr;
+  }
+}
+
+void gsknn_cancel_token_destroy(gsknn_cancel_token* c) { delete c; }
+
+void gsknn_cancel_token_cancel(gsknn_cancel_token* c) {
+  if (c != nullptr) c->token.cancel();
+}
+
+int gsknn_cancel_token_cancelled(const gsknn_cancel_token* c) {
+  return (c != nullptr && c->token.cancelled()) ? 1 : 0;
+}
+
+void gsknn_cancel_token_reset(gsknn_cancel_token* c) {
+  if (c != nullptr) c->token.reset();
+}
+
+int gsknn_search_deadline_ms(const gsknn_table* table, const int* qidx,
+                             int mq, const int* ridx, int nq, int norm,
+                             int variant, double lp, int threads,
+                             int64_t deadline_ms, gsknn_cancel_token* token,
+                             size_t max_workspace_bytes,
+                             gsknn_result* result) {
+  if (table == nullptr || result == nullptr || mq < 0 || nq < 0 ||
+      (mq > 0 && qidx == nullptr) || (nq > 0 && ridx == nullptr)) {
+    set_error("gsknn_search_deadline_ms: null argument or negative count");
+    return GSKNN_ERR_INVALID_ARGUMENT;
+  }
+  try {
+    gsknn::KnnConfig cfg;
+    const int rc = parse_search_config(norm, variant, lp, threads, cfg);
+    if (rc != GSKNN_OK) return rc;
+    if (deadline_ms > 0) cfg.deadline = gsknn::deadline_after_ms(deadline_ms);
+    if (token != nullptr) cfg.cancel = &token->token;
+    cfg.max_workspace_bytes = max_workspace_bytes;
+    const gsknn::Status s = gsknn::knn_kernel_status(
+        table->table, {qidx, static_cast<std::size_t>(mq)},
+        {ridx, static_cast<std::size_t>(nq)}, result->table, cfg);
+    if (s != gsknn::Status::kOk) {
+      set_error(gsknn::status_name(s));
+      return status_code(s);
+    }
+    return GSKNN_OK;
+  } catch (const gsknn::StatusError& e) {
+    set_error(e.what());
+    return status_code(e.status());
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return GSKNN_ERR_INTERNAL;
+  }
 }
 
 int gsknn_pmu_available(void) {

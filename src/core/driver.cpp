@@ -15,23 +15,35 @@
 // incomplete after the 4th loop — the paper eliminates it, and the Variant
 // enum does not offer it).
 //
+// Resource governance (docs/ROBUSTNESS.md): every byte of workspace is
+// planned up front (gsknn/core/workspace.hpp) and carved from per-call
+// arenas, so allocation can only fail before the first result row is
+// written; deadlines and cancellation are polled at block boundaries
+// (5th-loop top and 4th-loop body entry), and an early stop flags the rows
+// that missed candidates via NeighborTable::mark_row_incomplete.
+//
 // The whole driver is a template over the distance scalar: double is the
 // paper-faithful path, float the single-precision extension. Only the
 // micro-kernels and the blocking derivation differ per precision.
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
+#include <new>
 #include <stdexcept>
 #include <vector>
 
+#include "gsknn/common/fault.hpp"
 #include "gsknn/common/pmu.hpp"
 #include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/threads.hpp"
 #include "gsknn/common/timer.hpp"
 #include "gsknn/common/trace.hpp"
+#include "gsknn/common/workspace.hpp"
 #include "gsknn/core/knn.hpp"
+#include "gsknn/core/workspace.hpp"
 #include "gsknn/model/perf_model.hpp"
 #include "micro.hpp"
 #include "pack.hpp"
@@ -41,21 +53,20 @@ namespace gsknn {
 namespace core {
 namespace {
 
-/// Per-thread packing arena for the Qc panel (private L2 panel; §2.5) plus
-/// the Var#1 deferred-selection candidate buffers (kCandBufLen slots per
-/// query row of the current mc-block; see SelectCtxT::buf_d).
-template <typename T>
-struct QueryArena {
-  AlignedBuffer<T> qc;
-  AlignedBuffer<T> q2c;
-  AlignedBuffer<T> cand_d;
-  AlignedBuffer<int> cand_id;
-  AlignedBuffer<int> cand_cnt;
-};
+/// Per-call workspace arenas (docs/ROBUSTNESS.md). The calling thread's
+/// shared arena holds the packed Rc panel, reference norms and the distance
+/// buffer; each OpenMP team thread's arena holds its private Qc panel, query
+/// norms and deferred-selection candidate buffers. thread_local for the same
+/// reason the old packing arenas were: the grow-only reservations stabilize
+/// after the first call, and concurrent single-threaded kernel invocations
+/// (knn_batch workers) get disjoint arenas for free.
+WorkspaceArena& shared_arena() {
+  thread_local WorkspaceArena arena;
+  return arena;
+}
 
-template <typename T>
-QueryArena<T>& query_arena() {
-  thread_local QueryArena<T> arena;
+WorkspaceArena& thread_arena() {
+  thread_local WorkspaceArena arena;
   return arena;
 }
 
@@ -69,17 +80,6 @@ const T* neg_inf_row() {
 
 int kDummyIds[kMaxMr] = {-1, -1, -1, -1, -1, -1, -1, -1,
                          -1, -1, -1, -1, -1, -1, -1, -1};
-
-/// GSKNN_DEFER=0 disables the deferred candidate buffers (A/B knob; the
-/// vectorized kernels then sift accepted candidates immediately, as the
-/// scalar kernel always does).
-bool defer_enabled() {
-  static const bool on = [] {
-    const char* e = std::getenv("GSKNN_DEFER");
-    return e == nullptr || e[0] != '0';
-  }();
-  return on;
-}
 
 /// Scan `len` contiguous finished distances and update one heap row.
 /// Candidate j carries global id ids[j]. In GSKNN_PROFILE builds the
@@ -133,19 +133,6 @@ void row_select(const T* GSKNN_RESTRICT cand, const int* GSKNN_RESTRICT ids,
   }
 }
 
-/// Balance mc so the 4th loop's block count divides evenly over `threads`
-/// (the paper's "dynamically deciding mc", §2.5).
-int balanced_mc(int m, int mc, int mr, int threads) {
-  assert(m >= 0 && mc > 0 && mr > 0 && threads >= 1);
-  if (threads <= 1) return mc;
-  const int blocks = static_cast<int>(ceil_div(m, mc));
-  const int target = static_cast<int>(round_up(blocks, threads));
-  int out = static_cast<int>(
-      round_up(ceil_div(static_cast<std::size_t>(m), static_cast<std::size_t>(target)),
-               static_cast<std::size_t>(mr)));
-  return out < mr ? mr : out;
-}
-
 /// Flag every selected point that has at least one non-finite coordinate.
 /// `bad[i]` corresponds to position i of the index list (not the global id,
 /// which may repeat). O(count·d) worst case, but early-exits per point and is
@@ -195,42 +182,6 @@ void poison_packed(T* panel, const unsigned char* bad, int i0, int count,
   }
 }
 
-/// Resolve (micro-kernel, blocking) consistently: explicit blocking pins the
-/// tile geometry and the dispatcher searches lower SIMD levels for a kernel
-/// matching it; otherwise blocking is derived from the best kernel's tile.
-/// `chosen` reports the SIMD level the kernel actually dispatched to
-/// (telemetry metadata — it can be below `level` on a blocking fallback).
-template <typename T>
-void resolve_kernel_and_blocking(SimdLevel level, const KnnConfig& cfg,
-                                 MicroKernelT<T>& mk, BlockingParams& bp,
-                                 SimdLevel& chosen) {
-  mk = select_micro_t<T>(level, cfg.norm);
-  chosen = level;
-  if (cfg.blocking.has_value()) {
-    bp = *cfg.blocking;
-    if (!bp.valid()) {
-      throw StatusError(Status::kBadConfig,
-                        "gsknn: invalid blocking parameters");
-    }
-    if (bp.mr != mk.mr || bp.nr != mk.nr) {
-      for (SimdLevel lv : {SimdLevel::kAvx2, SimdLevel::kScalar}) {
-        if (lv > level) continue;
-        const MicroKernelT<T> alt = select_micro_t<T>(lv, cfg.norm);
-        if (alt.fn != nullptr && alt.mr == bp.mr && alt.nr == bp.nr) {
-          mk = alt;
-          chosen = lv;
-          return;
-        }
-      }
-      throw StatusError(
-          Status::kBadConfig,
-          "gsknn: blocking mr/nr do not match any available micro-kernel");
-    }
-  } else {
-    bp = derive_blocking(mk.mr, mk.nr, sizeof(T));
-  }
-}
-
 /// The loop number a Variant names (telemetry metadata).
 int variant_number(Variant v) {
   switch (v) {
@@ -251,9 +202,10 @@ int variant_number(Variant v) {
 }
 
 template <typename T>
-void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
-                     std::span<const int> ridx, NeighborTableT<T>& result,
-                     const KnnConfig& cfg, std::span<const int> result_rows) {
+Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
+                       std::span<const int> ridx, NeighborTableT<T>& result,
+                       const KnnConfig& cfg,
+                       std::span<const int> result_rows) {
   const int m = static_cast<int>(qidx.size());
   const int n = static_cast<int>(ridx.size());
   const int d = X.dim();
@@ -261,7 +213,7 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
   // Full contract validation (docs/CONTRACT.md): throws StatusError before
   // any parallel region or allocation so malformed calls fail cleanly.
   check_knn_args(X, qidx, ridx, result, cfg, result_rows);
-  if (m == 0 || n == 0) return;
+  if (m == 0 || n == 0) return Status::kOk;
 
   if (d == 0) {
     // Zero-dimensional geometry: every point is the empty tuple and every
@@ -280,7 +232,7 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
                  result.row_ids(row), result.row_idset(row), result.k(),
                  stride0, arity0, cfg.dedup);
     }
-    return;
+    return Status::kOk;
   }
 
   // ℓ∞'s max-based accumulation cannot propagate NaN on its own (see
@@ -293,7 +245,7 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
     scan_nonfinite(X, ridx.data(), n, rbad, any_bad_r);
   }
 
-  const Variant variant = resolve_variant(m, n, d, k, cfg);
+  const Variant req_variant = resolve_variant(m, n, d, k, cfg);
   const SimdLevel level = cpu_features().best_level();
   const bool needs_norms =
       (cfg.norm == Norm::kL2Sq || cfg.norm == Norm::kCosine);
@@ -306,9 +258,62 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
   const int tmr = mk.mr;  // register-tile rows of the selected kernel
   const int tnr = mk.nr;  // register-tile columns
   const int threads = resolve_threads(cfg.threads);
-  const int mc = balanced_mc(m, bp.mc, tmr, threads);
+  bp.mc = balanced_mc(m, bp.mc, tmr, threads);
+
+  // Workspace governance: the plan is byte-exact for the carving below, and
+  // under a cap it may have demoted Var#6 to Var#5 and/or retiled nc/mc/dc
+  // downward — both bitwise-result-preserving (gsknn/core/workspace.hpp).
+  const bool defer_possible = k >= kDeferMinK && defer_enabled();
+  const std::size_t cap = cfg.max_workspace_bytes != 0
+                              ? cfg.max_workspace_bytes
+                              : max_workspace_env();
+  const WorkspacePlan plan =
+      plan_workspace(m, n, d, req_variant, bp, tmr, tnr, threads, needs_norms,
+                     defer_possible, sizeof(T), cap);
+  if (!plan.fits) return Status::kResourceExhausted;
+  const Variant variant = plan.variant;
+  bp = plan.blocking;
+  const int mc = bp.mc;
   const int nc = bp.nc;
   const int dc = bp.dc;
+
+  // Reserve every byte the call will touch before any result row can be
+  // written: a genuine allocation failure (or an injected one;
+  // gsknn/common/fault.hpp) surfaces here as kResourceExhausted with the
+  // result untouched. nothing allocates inside the loop nest.
+  std::atomic<int> stop{0};  // 0 = running; else the Status ending the call
+  try {
+    shared_arena().reserve(plan.shared_bytes);
+  } catch (const std::bad_alloc&) {
+    return Status::kResourceExhausted;
+  }
+#if defined(GSKNN_HAVE_OPENMP)
+  if (threads > 1) {
+    // libgomp serves subsequent same-size regions from the same thread
+    // pool, so reserving the per-thread arenas in this preamble region
+    // covers the 4th-loop teams below (the body re-checks as insurance —
+    // pool reuse is an implementation behavior, not a guarantee).
+#pragma omp parallel num_threads(threads)
+    {
+      try {
+        thread_arena().reserve(plan.per_thread_bytes);
+      } catch (const std::bad_alloc&) {
+        stop.store(static_cast<int>(Status::kResourceExhausted),
+                   std::memory_order_relaxed);
+      }
+    }
+    if (stop.load(std::memory_order_relaxed) != 0) {
+      return Status::kResourceExhausted;
+    }
+  } else
+#endif
+  {
+    try {
+      thread_arena().reserve(plan.per_thread_bytes);
+    } catch (const std::bad_alloc&) {
+      return Status::kResourceExhausted;
+    }
+  }
 
   // Telemetry: inactive (null sink) recorders cost one predictable branch
   // per cache block; counters additionally require a GSKNN_PROFILE build.
@@ -326,9 +331,46 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
   const int stride = result.row_stride();
   const HeapArity arity = result.arity();
 
-  // Distance buffer. Var#1 needs it only to carry rank-dc accumulation when
-  // d > dc; Var#2/3/5 hold the current nc-wide panel; Var#6 holds the full
-  // m × n matrix.
+  // Deadline/cancellation polling (block boundaries only; the hot loops are
+  // never touched). One relaxed atomic load when fault injection is disarmed
+  // and no token/deadline is set — `governed` keeps even that off the
+  // common path.
+  const bool governed =
+      cfg.cancel != nullptr || cfg.deadline.has_value() || fault::active();
+  const auto poll_stop = [&]() {
+    Status s = Status::kOk;
+    if (fault::active() && fault::inject_cancel()) {
+      s = Status::kCancelled;
+    } else if (cfg.cancel != nullptr && cfg.cancel->cancelled()) {
+      s = Status::kCancelled;
+    } else if (cfg.deadline.has_value() && deadline_expired(*cfg.deadline)) {
+      s = Status::kDeadlineExceeded;
+    }
+    if (s != Status::kOk) {
+      int expected = 0;
+      stop.compare_exchange_strong(expected, static_cast<int>(s),
+                                   std::memory_order_relaxed);
+    }
+  };
+
+  // Per-query completion tracking for early stops. Var#1/2/3 select inside
+  // the 4th-loop body, so an mc-block's rows are complete iff the block's
+  // last-depth body ran for every jc panel; block_pass counts those. Each
+  // entry is written by the one thread owning that ic iteration and read
+  // only after the region's barrier — no atomics needed. Var#5/6 select in
+  // dedicated regions that are skipped wholesale on a stop, so completion
+  // there is all-or-nothing.
+  const int num_jc_blocks = static_cast<int>(ceil_div(n, nc));
+  std::vector<int> block_pass(
+      static_cast<std::size_t>(ceil_div(m, mc)), 0);
+
+  // Shared-arena carving, byte-for-byte the plan's footprint. The distance
+  // buffer: Var#1 needs it only to carry rank-dc accumulation when d > dc;
+  // Var#2/3/5 hold the current nc-wide panel; Var#6 holds the full m × n
+  // matrix.
+  const int db_max = (d < dc) ? d : dc;
+  const int nbpad_max = static_cast<int>(round_up(
+      static_cast<std::size_t>(n < nc ? n : nc), static_cast<std::size_t>(tnr)));
   const bool needs_cbuf = (variant != Variant::kVar1) || (d > dc);
   const int width = (variant == Variant::kVar6) ? n : (n < nc ? n : nc);
   const int wpad = static_cast<int>(round_up(static_cast<std::size_t>(width),
@@ -343,20 +385,22 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
   // a single cache set (pure conflict misses otherwise).
   const bool c_colmajor = (variant == Variant::kVar1);
   const int ld = (c_colmajor ? mpad : wpad) + static_cast<int>(64 / sizeof(T));
-  AlignedBuffer<T> cbuf;
+  WorkspaceArena& sws = shared_arena();
+  T* const rc = sws.alloc<T>(static_cast<std::size_t>(nbpad_max) * db_max);
+  T* const r2c = needs_norms
+                     ? sws.alloc<T>(static_cast<std::size_t>(nbpad_max))
+                     : nullptr;
+  T* cbuf = nullptr;
   if (needs_cbuf) {
     // Var#6 materializes the full padded m × n panel: keep the size math in
-    // 64 bits and assert the byte count fits before handing it to the
-    // allocator (the int block geometry alone cannot prove this).
-    const std::uint64_t celems = static_cast<std::uint64_t>(ld) *
-                                 static_cast<std::uint64_t>(c_colmajor ? wpad : mpad);
+    // 64 bits and assert the byte count fits before carving it (the int
+    // block geometry alone cannot prove this).
+    const std::uint64_t celems =
+        static_cast<std::uint64_t>(ld) *
+        static_cast<std::uint64_t>(c_colmajor ? wpad : mpad);
     assert(celems <= std::numeric_limits<std::size_t>::max() / sizeof(T));
-    cbuf.reset(static_cast<std::size_t>(celems));
+    cbuf = sws.alloc<T>(static_cast<std::size_t>(celems));
   }
-
-  // Shared packed reference panel (lives in L3; §2.5).
-  AlignedBuffer<T> rc;
-  AlignedBuffer<T> r2c;
 
   for (int jc = 0; jc < n; jc += nc) {  // ---- 6th loop ----
     const int nb = (n - jc < nc) ? n - jc : nc;
@@ -365,6 +409,11 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
     const int colbase = (variant == Variant::kVar6) ? jc : 0;
 
     for (int pc = 0; pc < d; pc += dc) {  // ---- 5th loop ----
+      if (stop.load(std::memory_order_relaxed) != 0) break;
+      if (governed) {
+        poll_stop();
+        if (stop.load(std::memory_order_relaxed) != 0) break;
+      }
       const int db = (d - pc < dc) ? d - pc : dc;
       const bool first = (pc == 0);
       const bool last = (pc + db >= d);
@@ -375,8 +424,8 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
       // more candidates than the batching saves (see EXPERIMENTS.md
       // "Hot-path tuning"). The k == 1 non-dedup accept is already two
       // stores (sel_insert_raw), so deferral has nothing to amortize there.
-      const bool defer_sel = (variant == Variant::kVar1) && last &&
-                             k >= kDeferMinK && defer_enabled();
+      const bool defer_sel =
+          (variant == Variant::kVar1) && last && defer_possible;
 
       WallTimer pack_r_timer;
       telemetry::PmuCounts pr0;
@@ -384,12 +433,10 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
       if (prof) pack_r_timer.start();
       if (pmu_on) telemetry::PmuGroup::this_thread().read(pr0);
       if (trace != nullptr) tr0 = telemetry::trace_now();
-      rc.reset(static_cast<std::size_t>(nbpad) * db);
-      pack_points_rt(tnr, chosen, X, ridx.data(), jc, nb, pc, db, rc.data());
-      if (any_bad_r) poison_packed(rc.data(), rbad.data(), jc, nb, tnr, db);
+      pack_points_rt(tnr, chosen, X, ridx.data(), jc, nb, pc, db, rc);
+      if (any_bad_r) poison_packed(rc, rbad.data(), jc, nb, tnr, db);
       if (last && needs_norms) {
-        r2c.reset(static_cast<std::size_t>(nbpad));
-        pack_norms_rt(tnr, X, ridx.data(), jc, nb, r2c.data());
+        pack_norms_rt(tnr, X, ridx.data(), jc, nb, r2c);
       }
       if (trace != nullptr) {
         trace->record(telemetry::Phase::kPackR, tr0, telemetry::trace_now(),
@@ -417,6 +464,19 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
 #pragma omp parallel for schedule(static) num_threads(threads)
 #endif
       for (int ic = 0; ic < m; ic += mc) {  // ---- 4th loop ----
+        // Block-boundary cancellation point: a stop set while this body is
+        // in flight lets it finish its whole block (per-row heap updates
+        // are atomic w.r.t. their rows, so no torn rows either way).
+        if (stop.load(std::memory_order_relaxed) != 0) continue;
+        if (governed) {
+          poll_stop();
+          if (stop.load(std::memory_order_relaxed) != 0) continue;
+        }
+        // Exceptions must not escape the parallel region (that would
+        // terminate the process). The only allocation reachable from here
+        // is RowIdSet::grow under cfg.dedup — plus the insurance reserve
+        // below — so the catch is a backstop, not a code path.
+        try {
         const int mb = (m - ic < mc) ? m - ic : mc;
         const int mbpad = static_cast<int>(round_up(
             static_cast<std::size_t>(mb), static_cast<std::size_t>(tmr)));
@@ -433,24 +493,31 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
         if (prof) block_timer.start();
         if (pmu_on) telemetry::PmuGroup::this_thread().read(bc0);
         if (trace != nullptr) tq0 = telemetry::trace_now();
-        QueryArena<T>& ar = query_arena<T>();
-        ar.qc.reset(static_cast<std::size_t>(mbpad) * db);
-        pack_points_rt(tmr, chosen, X, qidx.data(), ic, mb, pc, db,
-                       ar.qc.data());
+        WorkspaceArena& ws = thread_arena();
+        if (ws.capacity() < plan.per_thread_bytes) {
+          ws.reserve(plan.per_thread_bytes);  // preamble insurance (above)
+        }
+        ws.rewind();
+        T* const qc = ws.alloc<T>(static_cast<std::size_t>(mbpad) * db);
+        pack_points_rt(tmr, chosen, X, qidx.data(), ic, mb, pc, db, qc);
         if (any_bad_q) {
-          poison_packed(ar.qc.data(), qbad.data(), ic, mb, tmr, db);
+          poison_packed(qc, qbad.data(), ic, mb, tmr, db);
         }
         const T* q2c = nullptr;
         if (last && needs_norms) {
-          ar.q2c.reset(static_cast<std::size_t>(mbpad));
-          pack_norms_rt(tmr, X, qidx.data(), ic, mb, ar.q2c.data());
-          q2c = ar.q2c.data();
+          T* const q2 = ws.alloc<T>(static_cast<std::size_t>(mbpad));
+          pack_norms_rt(tmr, X, qidx.data(), ic, mb, q2);
+          q2c = q2;
         }
+        T* cand_d = nullptr;
+        int* cand_id = nullptr;
+        int* cand_cnt = nullptr;
         if (defer_sel) {
-          ar.cand_d.reset(static_cast<std::size_t>(mbpad) * kCandBufLen);
-          ar.cand_id.reset(static_cast<std::size_t>(mbpad) * kCandBufLen);
-          ar.cand_cnt.reset(static_cast<std::size_t>(mbpad));
-          for (int i = 0; i < mbpad; ++i) ar.cand_cnt.data()[i] = 0;
+          cand_d = ws.alloc<T>(static_cast<std::size_t>(mbpad) * kCandBufLen);
+          cand_id =
+              ws.alloc<int>(static_cast<std::size_t>(mbpad) * kCandBufLen);
+          cand_cnt = ws.alloc<int>(static_cast<std::size_t>(mbpad));
+          for (int i = 0; i < mbpad; ++i) cand_cnt[i] = 0;
         }
         std::uint64_t tm0 = 0;
         if (trace != nullptr) {
@@ -473,20 +540,20 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
 
         for (int jr = 0; jr < nb; jr += tnr) {  // ---- 3rd loop ----
           const int cols = (nb - jr < tnr) ? nb - jr : tnr;
-          const T* rs = rc.data() + static_cast<long>(jr) * db;
-          const T* r2s = (last && needs_norms) ? r2c.data() + jr : nullptr;
+          const T* rs = rc + static_cast<long>(jr) * db;
+          const T* r2s = (last && needs_norms) ? r2c + jr : nullptr;
 
           for (int ir = 0; ir < mb; ir += tmr) {  // ---- 2nd loop ----
             const int rows = (mb - ir < tmr) ? mb - ir : tmr;
-            const T* qs = ar.qc.data() + static_cast<long>(ir) * db;
+            const T* qs = qc + static_cast<long>(ir) * db;
             const T* q2s = (last && needs_norms) ? q2c + ir : nullptr;
 
             T* ctile = nullptr;
             if (needs_cbuf) {
               ctile = c_colmajor
-                          ? cbuf.data() + (ic + ir) +
+                          ? cbuf + (ic + ir) +
                                 static_cast<long>(colbase + jr) * ld
-                          : cbuf.data() + static_cast<long>(ic + ir) * ld +
+                          : cbuf + static_cast<long>(ic + ir) * ld +
                                 colbase + jr;
             }
             const T* cin = (!first && needs_cbuf) ? ctile : nullptr;
@@ -514,11 +581,9 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
               ctx.dedup = cfg.dedup;
               ctx.tc = tc;
               if (defer_sel) {
-                ctx.buf_d =
-                    ar.cand_d.data() + static_cast<long>(ir) * kCandBufLen;
-                ctx.buf_id =
-                    ar.cand_id.data() + static_cast<long>(ir) * kCandBufLen;
-                ctx.buf_cnt = ar.cand_cnt.data() + ir;
+                ctx.buf_d = cand_d + static_cast<long>(ir) * kCandBufLen;
+                ctx.buf_id = cand_id + static_cast<long>(ir) * kCandBufLen;
+                ctx.buf_cnt = cand_cnt + ir;
               }
               sel = &ctx;
               if constexpr (telemetry::kCountersEnabled) {
@@ -542,7 +607,7 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
             if (trace != nullptr) ts0 = telemetry::trace_now();
             for (int i = 0; i < mb; ++i) {
               const int row = heap_row(ic + i);
-              row_select(cbuf.data() + static_cast<long>(ic + i) * ld + jr,
+              row_select(cbuf + static_cast<long>(ic + i) * ld + jr,
                          ridx.data() + jc + jr, cols, result.row_dists(row),
                          result.row_ids(row), result.row_idset(row), k,
                          stride, arity, cfg.dedup, tc);
@@ -568,9 +633,9 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
             const int row = heap_row(ic + i);
             sel_flush_raw(result.row_dists(row), result.row_ids(row),
                           result.row_idset(row), k, stride, arity, cfg.dedup,
-                          tc, ar.cand_d.data() + static_cast<long>(i) * kCandBufLen,
-                          ar.cand_id.data() + static_cast<long>(i) * kCandBufLen,
-                          ar.cand_cnt.data() + i);
+                          tc, cand_d + static_cast<long>(i) * kCandBufLen,
+                          cand_id + static_cast<long>(i) * kCandBufLen,
+                          cand_cnt + i);
           }
         }
 
@@ -591,7 +656,7 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
           if (trace != nullptr) ts0 = telemetry::trace_now();
           for (int i = 0; i < mb; ++i) {
             const int row = heap_row(ic + i);
-            row_select(cbuf.data() + static_cast<long>(ic + i) * ld,
+            row_select(cbuf + static_cast<long>(ic + i) * ld,
                        ridx.data() + jc, nb, result.row_dists(row),
                        result.row_ids(row), result.row_idset(row), k, stride,
                        arity, cfg.dedup, tc);
@@ -628,10 +693,26 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
             tc->add(telemetry::Counter::kRootRejects, cand_local);
           }
         }
+        if (last) ++block_pass[static_cast<std::size_t>(ic / mc)];
+        } catch (const std::bad_alloc&) {
+          int expected = 0;
+          stop.compare_exchange_strong(
+              expected, static_cast<int>(Status::kResourceExhausted),
+              std::memory_order_relaxed);
+        } catch (...) {
+          int expected = 0;
+          stop.compare_exchange_strong(expected,
+                                       static_cast<int>(Status::kInternal),
+                                       std::memory_order_relaxed);
+        }
       }  // 4th loop
     }  // 5th loop
 
     if (variant == Variant::kVar5) {
+      // Selection over the finished m × nc panel is all-or-nothing: poll
+      // once before the region, never inside it, so a stop can't tear it.
+      if (governed && stop.load(std::memory_order_relaxed) == 0) poll_stop();
+      if (stop.load(std::memory_order_relaxed) == 0) {
 #if defined(GSKNN_HAVE_OPENMP)
 #pragma omp parallel num_threads(threads)
 #endif
@@ -649,7 +730,7 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
 #endif
         for (int i = 0; i < m; ++i) {
           const int row = heap_row(i);
-          row_select(cbuf.data() + static_cast<long>(i) * ld, ridx.data() + jc,
+          row_select(cbuf + static_cast<long>(i) * ld, ridx.data() + jc,
                      nb, result.row_dists(row), result.row_ids(row),
                      result.row_idset(row), k, stride, arity, cfg.dedup, tc);
         }
@@ -665,10 +746,14 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
         }
         if (prof) tc->add_phase(telemetry::Phase::kSelect, sel_timer.seconds());
       }
+      }
     }
+    if (stop.load(std::memory_order_relaxed) != 0) break;
   }  // 6th loop
 
-  if (variant == Variant::kVar6) {
+  if (variant == Variant::kVar6 && stop.load(std::memory_order_relaxed) == 0) {
+    if (governed) poll_stop();
+    if (stop.load(std::memory_order_relaxed) == 0) {
 #if defined(GSKNN_HAVE_OPENMP)
 #pragma omp parallel num_threads(threads)
 #endif
@@ -686,7 +771,7 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
 #endif
       for (int i = 0; i < m; ++i) {
         const int row = heap_row(i);
-        row_select(cbuf.data() + static_cast<long>(i) * ld, ridx.data(), n,
+        row_select(cbuf + static_cast<long>(i) * ld, ridx.data(), n,
                    result.row_dists(row), result.row_ids(row),
                    result.row_idset(row), k, stride, arity, cfg.dedup, tc);
       }
@@ -702,6 +787,34 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
       }
       if (prof) tc->add_phase(telemetry::Phase::kSelect, sel_timer.seconds());
     }
+    }
+  }
+
+  const Status outcome =
+      static_cast<Status>(stop.load(std::memory_order_acquire));
+  if (outcome == Status::kOk) {
+    // A finished run re-arms its rows: completion flags left over from an
+    // earlier interrupted call on this table must not outlive a later call
+    // that did offer every candidate to them.
+    for (int i = 0; i < m; ++i) result.mark_row_complete(heap_row(i));
+  } else {
+    // Flag the rows that missed candidates. Var#1/2/3: per mc-block, rows
+    // are complete iff every jc panel's last-depth body finished. Var#5/6:
+    // a skipped selection region (or an unfinished accumulation) starves
+    // every row uniformly.
+    if (variant == Variant::kVar5 || variant == Variant::kVar6) {
+      for (int i = 0; i < m; ++i) result.mark_row_incomplete(heap_row(i));
+    } else {
+      for (int ic = 0; ic < m; ic += mc) {
+        if (block_pass[static_cast<std::size_t>(ic / mc)] >= num_jc_blocks) {
+          continue;
+        }
+        const int mb = (m - ic < mc) ? m - ic : mc;
+        for (int i = 0; i < mb; ++i) {
+          result.mark_row_incomplete(heap_row(ic + i));
+        }
+      }
+    }
   }
 
   if (prof) {
@@ -716,6 +829,9 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
     P.variant = variant_number(variant);
     P.simd_level = static_cast<int>(chosen);
     P.blocking = bp;
+    P.workspace_bytes = plan.total_bytes();
+    P.workspace_cap = plan.cap_bytes;
+    P.workspace_retiles = plan.retile_steps;
     static const model::MachineParams mp{};
     const model::ProblemShape shape{m, n, d, k};
     P.model_gflops = model::predicted_gflops(
@@ -731,6 +847,7 @@ void knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
     P.pmu_enabled = P.pmu_enabled || pmu_on;
     rec.aggregate(wall_timer.seconds());
   }
+  return outcome;
 }
 
 }  // namespace
@@ -757,13 +874,51 @@ Variant resolve_variant(int m, int n, int d, int k, const KnnConfig& cfg) {
 void knn_kernel(const PointTable& X, std::span<const int> qidx,
                 std::span<const int> ridx, NeighborTable& result,
                 const KnnConfig& cfg, std::span<const int> result_rows) {
-  core::knn_kernel_impl<double>(X, qidx, ridx, result, cfg, result_rows);
+  const Status s =
+      core::knn_kernel_impl<double>(X, qidx, ridx, result, cfg, result_rows);
+  if (s != Status::kOk) {
+    throw StatusError(s, std::string("gsknn: kernel stopped: ") +
+                             status_name(s));
+  }
 }
 
 void knn_kernel(const PointTableF& X, std::span<const int> qidx,
                 std::span<const int> ridx, NeighborTableF& result,
                 const KnnConfig& cfg, std::span<const int> result_rows) {
-  core::knn_kernel_impl<float>(X, qidx, ridx, result, cfg, result_rows);
+  const Status s =
+      core::knn_kernel_impl<float>(X, qidx, ridx, result, cfg, result_rows);
+  if (s != Status::kOk) {
+    throw StatusError(s, std::string("gsknn: kernel stopped: ") +
+                             status_name(s));
+  }
+}
+
+Status knn_kernel_status(const PointTable& X, std::span<const int> qidx,
+                         std::span<const int> ridx, NeighborTable& result,
+                         const KnnConfig& cfg,
+                         std::span<const int> result_rows) {
+  try {
+    return core::knn_kernel_impl<double>(X, qidx, ridx, result, cfg,
+                                         result_rows);
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return Status::kResourceExhausted;
+  }
+}
+
+Status knn_kernel_status(const PointTableF& X, std::span<const int> qidx,
+                         std::span<const int> ridx, NeighborTableF& result,
+                         const KnnConfig& cfg,
+                         std::span<const int> result_rows) {
+  try {
+    return core::knn_kernel_impl<float>(X, qidx, ridx, result, cfg,
+                                        result_rows);
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return Status::kResourceExhausted;
+  }
 }
 
 }  // namespace gsknn

@@ -269,4 +269,21 @@ inline MicroKernelT<float> select_micro_t<float>(SimdLevel level, Norm norm) {
   return select_micro_f32(level, norm);
 }
 
+/// Resolve (micro-kernel, blocking) consistently: explicit blocking pins the
+/// tile geometry and the dispatcher searches lower SIMD levels for a kernel
+/// matching it; otherwise blocking is derived from the best kernel's tile.
+/// `chosen` reports the SIMD level the kernel actually dispatched to. Defined
+/// in workspace.cpp and shared by the driver and the workspace planner so the
+/// two can never disagree about the footprint.
+template <typename T>
+void resolve_kernel_and_blocking(SimdLevel level, const KnnConfig& cfg,
+                                 MicroKernelT<T>& mk, BlockingParams& bp,
+                                 SimdLevel& chosen);
+
+/// GSKNN_DEFER=0 disables the deferred candidate buffers (A/B knob; the
+/// vectorized kernels then sift accepted candidates immediately, as the
+/// scalar kernel always does). Shared by the driver and the planner: the
+/// knob changes the per-thread footprint.
+bool defer_enabled();
+
 }  // namespace gsknn::core

@@ -7,6 +7,13 @@
 // This is that scheme: each thread runs the sequential kernel over a
 // contiguous slice of the references into a private table, then the tables
 // are merged (query-parallel, race-free) into the caller's result.
+//
+// Governance: the private tables are allocated *before* the parallel region
+// (an allocation failure maps to kResourceExhausted with the caller's result
+// untouched), workers inherit the call's deadline/cancel token, and when any
+// worker stops early the merge is skipped entirely — a partial merge would
+// blend complete and incomplete slices into rows no flag could describe.
+#include <new>
 #include <vector>
 
 #include "gsknn/common/pmu.hpp"
@@ -18,37 +25,48 @@
 
 namespace gsknn {
 
-void knn_kernel_parallel_refs(const PointTableT<double>& X,
-                              std::span<const int> qidx,
-                              std::span<const int> ridx,
-                              NeighborTable& result, const KnnConfig& cfg,
-                              std::span<const int> result_rows) {
+namespace {
+
+Status parallel_refs_impl(const PointTableT<double>& X,
+                          std::span<const int> qidx, std::span<const int> ridx,
+                          NeighborTable& result, const KnnConfig& cfg,
+                          std::span<const int> result_rows) {
   const int m = static_cast<int>(qidx.size());
   const int n = static_cast<int>(ridx.size());
   // Validate before the OpenMP region: a StatusError thrown by a worker
   // inside #pragma omp parallel could not propagate and would terminate.
   check_knn_args(X, qidx, ridx, result, cfg, result_rows);
-  if (m == 0 || n == 0) return;
+  if (m == 0 || n == 0) return Status::kOk;
   const int threads = resolve_threads(cfg.threads);
   const int k = result.k();
 
   // Not enough reference work to split: run the plain kernel.
   if (threads <= 1 || n < 2 * threads) {
-    knn_kernel(X, qidx, ridx, result, cfg, result_rows);
-    return;
+    return knn_kernel_status(X, qidx, ridx, result, cfg, result_rows);
   }
 
   // Private per-thread tables over identity rows. Dedup (if requested)
   // must only act within a slice here — across slices the same id cannot
   // appear twice unless it appeared twice in ridx, which the merge below
-  // handles through the caller's table.
+  // handles through the caller's table. Allocated here, not in the region:
+  // a std::bad_alloc past this point could not escape the parallel region.
   KnnConfig worker_cfg = cfg;
   worker_cfg.threads = 1;
   // Arguments were validated above; don't repeat the opt-in O((m+n)·d)
   // finite scan once per worker.
   worker_cfg.validate = false;
-  std::vector<NeighborTable> priv(static_cast<std::size_t>(threads));
+  std::vector<NeighborTable> priv;
   const int chunk = (n + threads - 1) / threads;
+  try {
+    priv.resize(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      if (t * chunk >= n) break;  // empty slice: table stays 0-row
+      priv[static_cast<std::size_t>(t)].resize(m, k, result.arity());
+      if (cfg.dedup) priv[static_cast<std::size_t>(t)].enable_dedup_index();
+    }
+  } catch (const std::bad_alloc&) {
+    return Status::kResourceExhausted;
+  }
 
   // Telemetry: concurrent workers must not share one sink, so each records
   // into a private profile; the privates are merged into cfg.profile below
@@ -62,6 +80,7 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
   WallTimer wall_timer;
   std::vector<telemetry::KernelProfile> wprof(
       prof ? static_cast<std::size_t>(threads) : 0);
+  std::vector<Status> wstat(static_cast<std::size_t>(threads), Status::kOk);
 
 #if defined(GSKNN_HAVE_OPENMP)
 #pragma omp parallel num_threads(threads)
@@ -72,14 +91,21 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
     const int hi = (lo + chunk < n) ? lo + chunk : n;
     if (lo < hi) {
       NeighborTable& mine = priv[static_cast<std::size_t>(t)];
-      mine.resize(m, k, result.arity());
-      if (cfg.dedup) mine.enable_dedup_index();
       KnnConfig my_cfg = worker_cfg;
       my_cfg.profile = prof ? &wprof[static_cast<std::size_t>(t)] : nullptr;
-      knn_kernel(X, qidx, ridx.subspan(static_cast<std::size_t>(lo),
-                                       static_cast<std::size_t>(hi - lo)),
-                 mine, my_cfg);
+      // knn_kernel_status never throws: pressure outcomes (cancellation,
+      // deadline, exhaustion — the token/deadline ride in via worker_cfg)
+      // come back as a Status this region can carry out safely.
+      wstat[static_cast<std::size_t>(t)] = knn_kernel_status(
+          X, qidx,
+          ridx.subspan(static_cast<std::size_t>(lo),
+                       static_cast<std::size_t>(hi - lo)),
+          mine, my_cfg);
     }
+  }
+
+  for (const Status s : wstat) {
+    if (s != Status::kOk) return s;  // merge skipped; result untouched
   }
 
   WallTimer merge_timer;
@@ -116,6 +142,9 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
           }
         }
       }
+      // Every worker finished, so this row saw every candidate — re-arm any
+      // completion flag left by an earlier interrupted call on this table.
+      result.mark_row_complete(row);
     }
     if (trace != nullptr) {
       trace->record(telemetry::Phase::kMerge, wt0, telemetry::trace_now());
@@ -159,6 +188,37 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
     // The workers are parts of ONE logical kernel call, not separate ones.
     combined.invocations = 1;
     cfg.profile->merge(combined);
+  }
+  return Status::kOk;
+}
+
+}  // namespace
+
+void knn_kernel_parallel_refs(const PointTableT<double>& X,
+                              std::span<const int> qidx,
+                              std::span<const int> ridx,
+                              NeighborTable& result, const KnnConfig& cfg,
+                              std::span<const int> result_rows) {
+  const Status s =
+      parallel_refs_impl(X, qidx, ridx, result, cfg, result_rows);
+  if (s != Status::kOk) {
+    throw StatusError(s, std::string("gsknn: parallel_refs stopped: ") +
+                             status_name(s));
+  }
+}
+
+Status knn_kernel_parallel_refs_status(const PointTableT<double>& X,
+                                       std::span<const int> qidx,
+                                       std::span<const int> ridx,
+                                       NeighborTable& result,
+                                       const KnnConfig& cfg,
+                                       std::span<const int> result_rows) {
+  try {
+    return parallel_refs_impl(X, qidx, ridx, result, cfg, result_rows);
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return Status::kResourceExhausted;
   }
 }
 

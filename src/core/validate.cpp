@@ -29,6 +29,12 @@ const char* status_name(Status s) {
       return "unsupported";
     case Status::kInternal:
       return "internal";
+    case Status::kResourceExhausted:
+      return "resource_exhausted";
+    case Status::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -89,15 +89,30 @@ AllNnResult lsh_all_nearest_neighbors(const PointTable& X, int k,
         const std::span<const int> group(bucket.data() + lo,
                                          static_cast<std::size_t>(hi - lo));
         if (cfg.backend == KernelBackend::kGemmBaseline) {
+          // Baseline has no internal polling; govern at group granularity.
+          if (kcfg.cancel != nullptr && kcfg.cancel->cancelled()) {
+            out.status = Status::kCancelled;
+          } else if (kcfg.deadline.has_value() &&
+                     deadline_expired(*kcfg.deadline)) {
+            out.status = Status::kDeadlineExceeded;
+          }
+          if (out.status != Status::kOk) break;
           knn_gemm_baseline(X, group, group, out.table, kcfg, group);
         } else {
-          knn_kernel(X, group, group, out.table, kcfg, group);
+          const Status s = knn_kernel_status(X, group, group, out.table, kcfg,
+                                             group);
+          if (s != Status::kOk) {
+            out.status = s;
+            break;
+          }
         }
         ++out.leaves_processed;
         if (hi == bs) break;
       }
+      if (out.status != Status::kOk) break;
     }
     out.kernel_seconds += timer.seconds();
+    if (out.status != Status::kOk) break;
   }
   return out;
 }

@@ -136,13 +136,28 @@ AllNnResult all_nearest_neighbors(const PointTable& X, int k,
     for (const auto& leaf : leaves) {
       if (leaf.size() < 2) continue;
       if (cfg.backend == KernelBackend::kGemmBaseline) {
+        // The baseline has no internal polling; govern it at leaf
+        // granularity here so a deadline still unwinds the solve cleanly.
+        if (kcfg.cancel != nullptr && kcfg.cancel->cancelled()) {
+          out.status = Status::kCancelled;
+        } else if (kcfg.deadline.has_value() &&
+                   deadline_expired(*kcfg.deadline)) {
+          out.status = Status::kDeadlineExceeded;
+        }
+        if (out.status != Status::kOk) break;
         knn_gemm_baseline(X, leaf, leaf, out.table, kcfg, leaf);
       } else {
-        knn_kernel(X, leaf, leaf, out.table, kcfg, leaf);
+        const Status s = knn_kernel_status(X, leaf, leaf, out.table, kcfg,
+                                           leaf);
+        if (s != Status::kOk) {
+          out.status = s;
+          break;
+        }
       }
       ++out.leaves_processed;
     }
     out.kernel_seconds += timer.seconds();
+    if (out.status != Status::kOk) break;
   }
   return out;
 }

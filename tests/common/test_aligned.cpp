@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
+#include <new>
 #include <utility>
 
 namespace gsknn {
@@ -85,6 +87,30 @@ TEST(AlignedBuffer, IterationCoversRange) {
   int sum = 0;
   for (const int& x : b) sum += x;
   EXPECT_EQ(sum, 15 * 16 / 2);
+}
+
+// A byte count whose alignment round-up would wrap past SIZE_MAX must fail
+// as an allocation error, never wrap into a tiny allocation.
+TEST(AlignedAlloc, NearMaxByteCountThrowsInsteadOfWrapping) {
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  EXPECT_THROW(aligned_alloc_bytes(kMax), std::bad_alloc);
+  EXPECT_THROW(aligned_alloc_bytes(kMax - 1, 64), std::bad_alloc);
+}
+
+// Same guard one level up: a reset() whose count * sizeof(T) overflows must
+// throw (not allocate a wrapped-around sliver every later access overruns),
+// and the throw must leave the buffer valid and reusable.
+TEST(AlignedBuffer, ResetCountOverflowThrowsAndStaysValid) {
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  AlignedBuffer<double> b(8);
+  b[0] = 1.0;
+  EXPECT_THROW(b.reset(kMax / sizeof(double) + 1), std::bad_alloc);
+  EXPECT_THROW(b.reset(kMax), std::bad_alloc);
+  EXPECT_EQ(b.size(), 0u);  // emptied before the attempt — never dangling
+  b.reset(4);
+  EXPECT_EQ(b.size(), 4u);
+  b[3] = 2.0;
+  EXPECT_EQ(b[3], 2.0);
 }
 
 TEST(AlignedAlloc, RoundUpHelpers) {

@@ -1,0 +1,131 @@
+// Fault-injection hooks (gsknn/common/fault.hpp): the governance fuzzer and
+// the cancellation tests both stand on these semantics, so they get their
+// own unit coverage — arming, one-shot triggers, periodic triggers, counter
+// behavior, and the disarmed fast path.
+#include "gsknn/common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "gsknn/common/aligned.hpp"
+
+namespace gsknn {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::reset(); }
+};
+
+// Defined first: GSKNN_FAULT is consumed at the first active() call in the
+// process, and every other test's configure()/reset() marks it consumed —
+// so this is the one test that can exercise the env path in a whole-binary
+// run. Regression: the parse used to deadlock (parse_env ends in
+// configure(), which re-entered the same std::call_once).
+TEST_F(FaultTest, EnvConfigArmsWithoutDeadlock) {
+  ::setenv("GSKNN_FAULT", "cancel_at=2,slow_us=1", 1);
+  EXPECT_TRUE(fault::active());
+  EXPECT_FALSE(fault::inject_cancel());  // poll 1
+  EXPECT_TRUE(fault::inject_cancel());   // poll 2: the trigger
+  EXPECT_FALSE(fault::inject_cancel());  // one-shot
+  ::unsetenv("GSKNN_FAULT");
+}
+
+TEST_F(FaultTest, DisarmedByDefault) {
+  fault::reset();
+  EXPECT_FALSE(fault::active());
+  EXPECT_FALSE(fault::inject_alloc_failure());
+  EXPECT_FALSE(fault::inject_cancel());
+  // Disarmed hooks do not count — the counters are fault-session-relative.
+  EXPECT_EQ(fault::alloc_count(), 0u);
+  EXPECT_EQ(fault::poll_count(), 0u);
+}
+
+TEST_F(FaultTest, AllocNthFiresExactlyOnce) {
+  fault::configure({.alloc_nth = 3});
+  EXPECT_TRUE(fault::active());
+  EXPECT_FALSE(fault::inject_alloc_failure());  // 1st
+  EXPECT_FALSE(fault::inject_alloc_failure());  // 2nd
+  EXPECT_TRUE(fault::inject_alloc_failure());   // 3rd: the trigger
+  EXPECT_FALSE(fault::inject_alloc_failure());  // 4th: one-shot
+  EXPECT_EQ(fault::alloc_count(), 4u);
+}
+
+TEST_F(FaultTest, AllocEveryFiresPeriodically) {
+  fault::configure({.alloc_every = 2});
+  int fired = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (fault::inject_alloc_failure()) ++fired;
+  }
+  EXPECT_EQ(fired, 4);  // every 2nd of 8
+}
+
+TEST_F(FaultTest, NthAndEveryCombine) {
+  fault::configure({.alloc_nth = 3, .alloc_every = 5});
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fault::inject_alloc_failure()) ++fired;
+  }
+  EXPECT_EQ(fired, 3);  // #3 (nth), #5 and #10 (every)
+}
+
+TEST_F(FaultTest, CancelAtFiresOnce) {
+  fault::configure({.cancel_at = 2});
+  EXPECT_FALSE(fault::inject_cancel());
+  EXPECT_TRUE(fault::inject_cancel());
+  EXPECT_FALSE(fault::inject_cancel());
+  EXPECT_EQ(fault::poll_count(), 3u);
+}
+
+TEST_F(FaultTest, ConfigureResetsCounters) {
+  fault::configure({.alloc_nth = 100});
+  (void)fault::inject_alloc_failure();
+  (void)fault::inject_cancel();
+  EXPECT_EQ(fault::alloc_count(), 1u);
+  fault::configure({.alloc_nth = 100});
+  EXPECT_EQ(fault::alloc_count(), 0u);
+  EXPECT_EQ(fault::poll_count(), 0u);
+}
+
+TEST_F(FaultTest, ResetDisarms) {
+  fault::configure({.cancel_at = 1});
+  fault::reset();
+  EXPECT_FALSE(fault::active());
+  EXPECT_FALSE(fault::inject_cancel());
+}
+
+// The hook is wired into the allocation choke point: an armed alloc_nth
+// makes aligned_alloc_bytes throw the same std::bad_alloc a genuinely
+// exhausted machine would.
+TEST_F(FaultTest, InjectedFailureReachesAlignedAlloc) {
+  fault::configure({.alloc_nth = 1});
+  EXPECT_THROW(
+      {
+        void* p = aligned_alloc_bytes(64);
+        aligned_free(p);  // unreachable; silences unused warnings
+      },
+      std::bad_alloc);
+  // One-shot: the next allocation succeeds.
+  void* p = aligned_alloc_bytes(64);
+  EXPECT_NE(p, nullptr);
+  aligned_free(p);
+}
+
+TEST_F(FaultTest, InjectedFailureLeavesBufferReusable) {
+  AlignedBuffer<double> b(8);
+  fault::configure({.alloc_nth = 1});
+  EXPECT_THROW(b.reset(1 << 20), std::bad_alloc);
+  // The throw emptied the buffer but left it valid: no dangling pointer,
+  // and a later reset works.
+  EXPECT_EQ(b.size(), 0u);
+  fault::reset();
+  b.reset(16);
+  EXPECT_EQ(b.size(), 16u);
+  b[15] = 1.0;
+  EXPECT_EQ(b[15], 1.0);
+}
+
+}  // namespace
+}  // namespace gsknn

@@ -106,5 +106,69 @@ TEST(KnnBatch, ManyTinyTasks) {
   }
 }
 
+// Two tasks writing the same row of one shared table would race on that
+// row's heap; the batch driver must reject the overlap up front, before any
+// task has run.
+TEST(KnnBatch, OverlappingRowsOfSharedTableRejected) {
+  const PointTable X = make_uniform(4, 40, 7);
+  std::vector<int> q1 = {0, 1}, q2 = {2, 3};
+  std::vector<int> r(20);
+  std::iota(r.begin(), r.end(), 10);
+  NeighborTable t(4, 3);
+  const std::vector<int> rows1 = {0, 1};
+  const std::vector<int> rows2 = {1, 2};  // row 1 collides with task 1
+  const std::vector<KnnTask> tasks = {KnnTask{q1, r, &t, rows1},
+                                      KnnTask{q2, r, &t, rows2}};
+  try {
+    knn_batch(X, tasks, 3, {});
+    FAIL() << "overlapping rows accepted";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kInvalidArgument);
+  }
+  // Rejected up front: no task ran, the table is untouched.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(t.sorted_row(i).empty()) << "row " << i;
+  }
+}
+
+// The implicit row range (empty result_rows = rows [0, m)) participates in
+// the same overlap check.
+TEST(KnnBatch, ImplicitRowsOverlapRejected) {
+  const PointTable X = make_uniform(4, 40, 8);
+  std::vector<int> q1 = {0, 1, 2}, q2 = {3, 4};
+  std::vector<int> r(20);
+  std::iota(r.begin(), r.end(), 10);
+  NeighborTable t(5, 3);
+  const std::vector<int> rows2 = {2, 3};  // row 2 collides with implicit 0..2
+  const std::vector<KnnTask> tasks = {KnnTask{q1, r, &t, {}},
+                                      KnnTask{q2, r, &t, rows2}};
+  EXPECT_THROW(knn_batch(X, tasks, 3, {}), StatusError);
+}
+
+// Disjoint-row sharing — the tree solvers' global-table pattern — must keep
+// working, including across separate tables (rows only collide within one
+// table).
+TEST(KnnBatch, DisjointRowsAndSeparateTablesStillLegal) {
+  const PointTable X = make_uniform(4, 40, 9);
+  std::vector<int> q1 = {0, 1}, q2 = {2, 3};
+  std::vector<int> r(20);
+  std::iota(r.begin(), r.end(), 10);
+  NeighborTable shared(4, 3);
+  NeighborTable own(2, 3);
+  const std::vector<int> rows1 = {0, 1};
+  const std::vector<int> rows2 = {2, 3};
+  const std::vector<int> rows3 = {0, 1};  // same numbers, different table
+  const std::vector<KnnTask> tasks = {KnnTask{q1, r, &shared, rows1},
+                                      KnnTask{q2, r, &shared, rows2},
+                                      KnnTask{q1, r, &own, rows3}};
+  knn_batch(X, tasks, 3, {});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(shared.sorted_row(i).size(), 3u) << "row " << i;
+  }
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(own.sorted_row(i).size(), 3u) << "row " << i;
+  }
+}
+
 }  // namespace
 }  // namespace gsknn

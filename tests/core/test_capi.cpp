@@ -246,4 +246,81 @@ TEST(CApi, ArchSummaryIsStable) {
   EXPECT_GT(std::string(a).size(), 0u);
 }
 
+TEST(CApi, GovernanceStatusNames) {
+  EXPECT_STREQ(gsknn_status_name(GSKNN_ERR_RESOURCE_EXHAUSTED),
+               "resource_exhausted");
+  EXPECT_STREQ(gsknn_status_name(GSKNN_ERR_DEADLINE_EXCEEDED),
+               "deadline_exceeded");
+  EXPECT_STREQ(gsknn_status_name(GSKNN_ERR_CANCELLED), "cancelled");
+}
+
+TEST(CApi, CancelTokenLifecycle) {
+  gsknn_cancel_token* tok = gsknn_cancel_token_create();
+  ASSERT_NE(tok, nullptr);
+  EXPECT_EQ(gsknn_cancel_token_cancelled(tok), 0);
+  gsknn_cancel_token_cancel(tok);
+  EXPECT_EQ(gsknn_cancel_token_cancelled(tok), 1);
+  gsknn_cancel_token_reset(tok);
+  EXPECT_EQ(gsknn_cancel_token_cancelled(tok), 0);
+  // NULL-safe like the other handles.
+  gsknn_cancel_token_cancel(nullptr);
+  EXPECT_EQ(gsknn_cancel_token_cancelled(nullptr), 0);
+  gsknn_cancel_token_reset(nullptr);
+  gsknn_cancel_token_destroy(nullptr);
+  gsknn_cancel_token_destroy(tok);
+}
+
+TEST_F(CApiFixture, GovernedSearchHonorsCancelToken) {
+  std::vector<int> q(10), r(90);
+  std::iota(q.begin(), q.end(), 0);
+  std::iota(r.begin(), r.end(), 10);
+  gsknn_result* res = gsknn_result_create(10, 5);
+  gsknn_cancel_token* tok = gsknn_cancel_token_create();
+  ASSERT_NE(res, nullptr);
+  ASSERT_NE(tok, nullptr);
+  gsknn_cancel_token_cancel(tok);
+  EXPECT_EQ(gsknn_search_deadline_ms(table, q.data(), 10, r.data(), 90,
+                                     GSKNN_NORM_L2SQ, GSKNN_VARIANT_AUTO, 2.0,
+                                     0, 0, tok, 0, res),
+            GSKNN_ERR_CANCELLED);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(gsknn_result_row_complete(res, i), 0) << "row " << i;
+  }
+  gsknn_cancel_token_reset(tok);
+  EXPECT_EQ(gsknn_search_deadline_ms(table, q.data(), 10, r.data(), 90,
+                                     GSKNN_NORM_L2SQ, GSKNN_VARIANT_AUTO, 2.0,
+                                     0, 0, tok, 0, res),
+            GSKNN_OK);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(gsknn_result_row_complete(res, i), 1) << "row " << i;
+  }
+  EXPECT_EQ(gsknn_result_row_complete(res, 10), -1);
+  EXPECT_EQ(gsknn_result_row_complete(nullptr, 0), -1);
+  gsknn_cancel_token_destroy(tok);
+  gsknn_result_destroy(res);
+}
+
+TEST_F(CApiFixture, GovernedSearchDeadlineAndCap) {
+  std::vector<int> q(10), r(90);
+  std::iota(q.begin(), q.end(), 0);
+  std::iota(r.begin(), r.end(), 10);
+  gsknn_result* res = gsknn_result_create(10, 5);
+  ASSERT_NE(res, nullptr);
+  // A generous deadline, no token, no cap: behaves like gsknn_search.
+  EXPECT_EQ(gsknn_search_deadline_ms(table, q.data(), 10, r.data(), 90,
+                                     GSKNN_NORM_L2SQ, GSKNN_VARIANT_AUTO, 2.0,
+                                     0, 60'000, nullptr, 0, res),
+            GSKNN_OK);
+  // An unreachable workspace cap: clean failure, rows untouched.
+  gsknn_result* res2 = gsknn_result_create(10, 5);
+  ASSERT_NE(res2, nullptr);
+  EXPECT_EQ(gsknn_search_deadline_ms(table, q.data(), 10, r.data(), 90,
+                                     GSKNN_NORM_L2SQ, GSKNN_VARIANT_AUTO, 2.0,
+                                     0, 0, nullptr, 16, res2),
+            GSKNN_ERR_RESOURCE_EXHAUSTED);
+  EXPECT_EQ(gsknn_result_row(res2, 0, 5, nullptr, nullptr), 0);
+  gsknn_result_destroy(res2);
+  gsknn_result_destroy(res);
+}
+
 }  // namespace

@@ -1,0 +1,261 @@
+// Workspace planning and the bounded arena (docs/ROBUSTNESS.md): the plan
+// must mirror the driver's carving byte-exactly, the degradation ladder must
+// honor caps without changing results, and an unreachable cap must fail
+// cleanly with the result untouched.
+#include "gsknn/core/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gsknn/common/telemetry.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/generators.hpp"
+
+namespace gsknn {
+namespace {
+
+// GSKNN_MAX_WORKSPACE latching lives in test_workspace_env.cpp (its own
+// binary): the parse is latched process-wide on first use, and a latched cap
+// would silently taint every "uncapped" expectation below.
+
+std::vector<int> iota_ids(int count, int from = 0) {
+  std::vector<int> v(static_cast<std::size_t>(count));
+  std::iota(v.begin(), v.end(), from);
+  return v;
+}
+
+TEST(WorkspacePlan, UncappedPlanIsTheNaturalFootprint) {
+  const auto plan = plan_knn_workspace<double>(128, 512, 64, 16, {});
+  EXPECT_TRUE(plan.fits);
+  EXPECT_EQ(plan.retile_steps, 0);
+  EXPECT_EQ(plan.cap_bytes, 0u);
+  EXPECT_GT(plan.shared_bytes, 0u);
+  EXPECT_GT(plan.per_thread_bytes, 0u);
+  EXPECT_EQ(plan.total_bytes(),
+            plan.shared_bytes + static_cast<std::size_t>(plan.threads) *
+                                    plan.per_thread_bytes);
+}
+
+TEST(WorkspacePlan, DegenerateShapesNeedNoWorkspace) {
+  EXPECT_EQ(plan_knn_workspace<double>(0, 512, 64, 16, {}).total_bytes(), 0u);
+  EXPECT_EQ(plan_knn_workspace<double>(128, 0, 64, 16, {}).total_bytes(), 0u);
+  EXPECT_EQ(plan_knn_workspace<double>(128, 512, 0, 16, {}).total_bytes(), 0u);
+}
+
+TEST(WorkspacePlan, FloatPlanIsSmallerThanDouble) {
+  const auto d64 = plan_knn_workspace<double>(128, 512, 64, 16, {});
+  const auto f32 = plan_knn_workspace<float>(128, 512, 64, 16, {});
+  EXPECT_LT(f32.total_bytes(), d64.total_bytes());
+}
+
+// The plan IS the driver: a profiled run must report exactly the planned
+// footprint (the carve and the formula share WorkspaceArena::chunk_bytes).
+TEST(WorkspacePlan, PlanMatchesDriverFootprintExactly) {
+  const int m = 96, n = 384, d = 48, k = 8;
+  const PointTable X = make_uniform(d, m + n, 0x9A);
+  const auto q = iota_ids(m);
+  const auto r = iota_ids(n, m);
+  for (const std::size_t cap_div : {std::size_t{0}, std::size_t{4}}) {
+    KnnConfig cfg;
+    cfg.threads = 1;
+    if (cap_div != 0) {
+      const auto natural = plan_knn_workspace<double>(m, n, d, k, cfg);
+      cfg.max_workspace_bytes = natural.total_bytes() / cap_div;
+    }
+    const auto plan = plan_knn_workspace<double>(m, n, d, k, cfg);
+    ASSERT_TRUE(plan.fits);
+    telemetry::KernelProfile P;
+    cfg.profile = &P;
+    NeighborTable res(m, k);
+    knn_kernel(X, q, r, res, cfg);
+    EXPECT_EQ(P.workspace_bytes, plan.total_bytes()) << "cap_div " << cap_div;
+    EXPECT_EQ(P.workspace_cap, plan.cap_bytes) << "cap_div " << cap_div;
+    EXPECT_EQ(P.workspace_retiles, plan.retile_steps)
+        << "cap_div " << cap_div;
+  }
+}
+
+TEST(WorkspacePlan, LadderHonorsEveryReachableCap) {
+  const int m = 128, n = 1024, d = 64, k = 16;
+  const auto natural = plan_knn_workspace<double>(m, n, d, k, {});
+  ASSERT_GT(natural.total_bytes(), 0u);
+  for (const std::size_t div : {2u, 4u, 8u, 16u}) {
+    KnnConfig cfg;
+    cfg.max_workspace_bytes = natural.total_bytes() / div;
+    const auto plan = plan_knn_workspace<double>(m, n, d, k, cfg);
+    if (!plan.fits) continue;  // below the floors: allowed to refuse
+    EXPECT_LE(plan.total_bytes(), cfg.max_workspace_bytes) << "div " << div;
+    EXPECT_GT(plan.retile_steps, 0) << "div " << div;
+  }
+}
+
+TEST(WorkspacePlan, LadderStopsAtTheFloors) {
+  KnnConfig cfg;
+  cfg.max_workspace_bytes = 1;  // unreachable for any real shape
+  const auto plan = plan_knn_workspace<double>(128, 1024, 64, 16, cfg);
+  EXPECT_FALSE(plan.fits);
+  EXPECT_GT(plan.retile_steps, 0);
+  // The ladder never tiled below its documented floors.
+  EXPECT_GE(plan.blocking.dc, kWorkspaceDcFloor);
+  EXPECT_GE(plan.blocking.nc, plan.blocking.nr);
+  EXPECT_GE(plan.blocking.mc, plan.blocking.mr);
+  EXPECT_EQ(plan.cap_bytes, 1u);
+}
+
+// Step 1 of the ladder: a Var#6 plan over a wide reference set demotes to
+// Var#5 (bounded distance buffer) before any retiling.
+TEST(WorkspacePlan, Var6DemotesToVar5UnderPressure) {
+  const int m = 64, n = 4096, d = 32, k = 8;
+  KnnConfig cfg;
+  cfg.variant = Variant::kVar6;
+  cfg.blocking = BlockingParams{};
+  cfg.blocking->nc = 128;
+  const auto natural = plan_knn_workspace<double>(m, n, d, k, cfg);
+  ASSERT_EQ(natural.variant, Variant::kVar6);
+  KnnConfig capped = cfg;
+  capped.max_workspace_bytes = natural.total_bytes() - 1;
+  const auto plan = plan_knn_workspace<double>(m, n, d, k, capped);
+  EXPECT_EQ(plan.variant, Variant::kVar5);
+  EXPECT_GE(plan.retile_steps, 1);
+  ASSERT_TRUE(plan.fits);
+  EXPECT_LE(plan.total_bytes(), capped.max_workspace_bytes);
+}
+
+// The acceptance bar: a cap of a quarter of the natural footprint must
+// complete bitwise-identically to the uncapped run, only retiled.
+TEST(WorkspacePlan, QuarterCapIsBitwiseIdentical) {
+  const int m = 160, n = 640, d = 56, k = 12;
+  const PointTable X = make_uniform(d, m + n, 0x9B);
+  const auto q = iota_ids(m);
+  const auto r = iota_ids(n, m);
+
+  NeighborTable uncapped(m, k);
+  knn_kernel(X, q, r, uncapped, {});
+
+  const auto natural = plan_knn_workspace<double>(m, n, d, k, {});
+  KnnConfig cfg;
+  cfg.max_workspace_bytes = natural.total_bytes() / 4;
+  telemetry::KernelProfile P;
+  cfg.profile = &P;
+  NeighborTable capped(m, k);
+  knn_kernel(X, q, r, capped, cfg);
+
+  EXPECT_GT(P.workspace_retiles, 0);
+  EXPECT_LE(P.workspace_bytes, cfg.max_workspace_bytes);
+  for (int i = 0; i < m; ++i) {
+    EXPECT_EQ(capped.sorted_row(i), uncapped.sorted_row(i)) << "row " << i;
+  }
+}
+
+TEST(WorkspacePlan, QuarterCapIsBitwiseIdenticalF32) {
+  const int m = 160, n = 640, d = 56, k = 12;
+  const PointTable X = make_uniform(d, m + n, 0x9C);
+  const PointTableF Xf = to_float(X);
+  const auto q = iota_ids(m);
+  const auto r = iota_ids(n, m);
+
+  NeighborTableF uncapped(m, k);
+  knn_kernel(Xf, q, r, uncapped, {});
+
+  const auto natural = plan_knn_workspace<float>(m, n, d, k, {});
+  KnnConfig cfg;
+  cfg.max_workspace_bytes = natural.total_bytes() / 4;
+  NeighborTableF capped(m, k);
+  knn_kernel(Xf, q, r, capped, cfg);
+
+  for (int i = 0; i < m; ++i) {
+    EXPECT_EQ(capped.sorted_row(i), uncapped.sorted_row(i)) << "row " << i;
+  }
+}
+
+// Every explicit variant stays bitwise-stable under a quarter cap (the
+// streaming variants exercise the Var#6 -> Var#5 demotion on top of
+// retiling; demotion preserves results by construction).
+TEST(WorkspacePlan, QuarterCapAcrossVariants) {
+  const int m = 96, n = 512, d = 40, k = 8;
+  const PointTable X = make_uniform(d, m + n, 0x9D);
+  const auto q = iota_ids(m);
+  const auto r = iota_ids(n, m);
+  for (const Variant v : {Variant::kVar1, Variant::kVar2, Variant::kVar3,
+                          Variant::kVar5, Variant::kVar6}) {
+    KnnConfig cfg;
+    cfg.variant = v;
+    NeighborTable uncapped(m, k);
+    knn_kernel(X, q, r, uncapped, cfg);
+
+    const auto natural = plan_knn_workspace<double>(m, n, d, k, cfg);
+    KnnConfig capped_cfg = cfg;
+    capped_cfg.max_workspace_bytes = natural.total_bytes() / 4;
+    const auto plan = plan_knn_workspace<double>(m, n, d, k, capped_cfg);
+    ASSERT_TRUE(plan.fits) << "variant " << static_cast<int>(v);
+    NeighborTable capped(m, k);
+    knn_kernel(X, q, r, capped, capped_cfg);
+    for (int i = 0; i < m; ++i) {
+      EXPECT_EQ(capped.sorted_row(i), uncapped.sorted_row(i))
+          << "variant " << static_cast<int>(v) << " row " << i;
+    }
+  }
+}
+
+TEST(WorkspacePlan, UnreachableCapFailsWithResultUntouched) {
+  const int m = 64, n = 256, d = 32, k = 8;
+  const PointTable X = make_uniform(d, m + n, 0x9E);
+  const auto q = iota_ids(m);
+  const auto r = iota_ids(n, m);
+  KnnConfig cfg;
+  cfg.max_workspace_bytes = 64;  // below any reachable footprint
+  ASSERT_FALSE(plan_knn_workspace<double>(m, n, d, k, cfg).fits);
+  NeighborTable res(m, k);
+  EXPECT_EQ(knn_kernel_status(X, q, r, res, cfg),
+            Status::kResourceExhausted);
+  for (int i = 0; i < m; ++i) {
+    EXPECT_TRUE(res.sorted_row(i).empty()) << "row " << i;
+    EXPECT_TRUE(res.row_complete(i)) << "row " << i;  // untouched, not torn
+  }
+  // The throwing overload reports the same status.
+  try {
+    knn_kernel(X, q, r, res, cfg);
+    FAIL() << "capped call returned";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status(), Status::kResourceExhausted);
+  }
+}
+
+TEST(WorkspacePlan, MultiThreadedCapCountsPerThreadArenas) {
+  const int m = 256, n = 512, d = 48, k = 8;
+  KnnConfig cfg;
+  cfg.threads = 3;
+  const auto plan3 = plan_knn_workspace<double>(m, n, d, k, cfg);
+  cfg.threads = 1;
+  const auto plan1 = plan_knn_workspace<double>(m, n, d, k, cfg);
+  EXPECT_EQ(plan3.threads, 3);
+  // Three per-thread arenas instead of one (mc rebalancing may change the
+  // per-thread size itself, so only the total is ordered).
+  EXPECT_GT(plan3.total_bytes(), plan1.total_bytes());
+}
+
+TEST(WorkspacePlan, CappedMultiThreadedRunMatchesUncapped) {
+  const int m = 192, n = 768, d = 48, k = 8;
+  const PointTable X = make_uniform(d, m + n, 0x9F);
+  const auto q = iota_ids(m);
+  const auto r = iota_ids(n, m);
+  KnnConfig cfg;
+  cfg.threads = 3;
+  NeighborTable uncapped(m, k);
+  knn_kernel(X, q, r, uncapped, cfg);
+
+  const auto natural = plan_knn_workspace<double>(m, n, d, k, cfg);
+  KnnConfig capped_cfg = cfg;
+  capped_cfg.max_workspace_bytes = natural.total_bytes() / 4;
+  ASSERT_TRUE(plan_knn_workspace<double>(m, n, d, k, capped_cfg).fits);
+  NeighborTable capped(m, k);
+  knn_kernel(X, q, r, capped, capped_cfg);
+  for (int i = 0; i < m; ++i) {
+    EXPECT_EQ(capped.sorted_row(i), uncapped.sorted_row(i)) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gsknn

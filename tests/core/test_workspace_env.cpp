@@ -1,0 +1,43 @@
+// GSKNN_MAX_WORKSPACE parsing (docs/ROBUSTNESS.md). Isolated in its own
+// binary on purpose: max_workspace_env() latches its first parse for the
+// process lifetime, so exercising it next to the planner suites would taint
+// their "uncapped" expectations.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "gsknn/common/workspace.hpp"
+#include "gsknn/core/workspace.hpp"
+
+namespace gsknn {
+namespace {
+
+TEST(WorkspaceEnv, EnvCapParsedWithSuffixAndLatched) {
+  ::setenv("GSKNN_MAX_WORKSPACE", "2M", 1);
+  EXPECT_EQ(max_workspace_env(), 2u * 1024 * 1024);
+  ::unsetenv("GSKNN_MAX_WORKSPACE");
+  // Latched: later reads in this process see the first parse.
+  EXPECT_EQ(max_workspace_env(), 2u * 1024 * 1024);
+}
+
+// A plan with no explicit cap inherits the latched env cap. Sets the same
+// value as the test above so it is self-contained when ctest runs it in its
+// own process, yet consistent with the latch in a whole-binary run.
+TEST(WorkspaceEnv, PlanInheritsEnvCap) {
+  ::setenv("GSKNN_MAX_WORKSPACE", "2M", 1);
+  const auto plan = plan_knn_workspace<double>(128, 512, 64, 16, {});
+  EXPECT_EQ(plan.cap_bytes, 2u * 1024 * 1024);
+  EXPECT_TRUE(plan.fits);
+  EXPECT_LE(plan.total_bytes(), plan.cap_bytes);
+}
+
+// An explicit KnnConfig cap overrides the env value.
+TEST(WorkspaceEnv, ExplicitCapOverridesEnv) {
+  KnnConfig cfg;
+  cfg.max_workspace_bytes = 512u * 1024;
+  const auto plan = plan_knn_workspace<double>(128, 512, 64, 16, cfg);
+  EXPECT_EQ(plan.cap_bytes, 512u * 1024);
+}
+
+}  // namespace
+}  // namespace gsknn
