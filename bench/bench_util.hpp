@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gsknn/common/arch.hpp"
+#include "gsknn/common/metrics.hpp"
 #include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/timer.hpp"
 
@@ -120,6 +121,22 @@ inline std::string pmu_json_cols(const telemetry::KernelProfile& prof) {
           instr,
       static_cast<double>(prof.pmu_total(telemetry::PmuEvent::kLlcMisses)) /
           instr);
+  return buf;
+}
+
+/// Aggregate-latency columns for a bench row: what the always-on registry
+/// (gsknn/common/metrics.hpp) recorded for one entry point since the last
+/// metrics::reset(). Benches reset per measurement cell, so the columns
+/// describe that cell alone; quantiles are log2-bucket upper edges.
+inline std::string metrics_json_cols(metrics::EntryPoint ep) {
+  const metrics::MetricsSnapshot s = metrics::snapshot();
+  char buf[160];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"agg_calls\":%llu,\"agg_p50_ns\":%llu,\"agg_p99_ns\":%llu",
+      static_cast<unsigned long long>(s.calls_total(ep)),
+      static_cast<unsigned long long>(s.latency_quantile_ns(ep, 0.5)),
+      static_cast<unsigned long long>(s.latency_quantile_ns(ep, 0.99)));
   return buf;
 }
 

@@ -64,6 +64,9 @@ int main() {
       // The breakdown and the telemetry profile come from the same unified
       // instrumentation inside knn_gemm_baseline; the profile (last rep) also
       // feeds the structured JSON row below.
+      // Per-cell aggregate window: the agg_* columns below then describe
+      // exactly this cell's kernel invocations.
+      metrics::reset();
       BaselineBreakdown bd;
       telemetry::KernelProfile ref_prof;
       KnnConfig ref_cfg;
@@ -81,13 +84,16 @@ int main() {
                   k, bd.t_collect * 1e3, bd.t_gemm * 1e3, bd.t_sq2d * 1e3,
                   bd.t_heap * 1e3, bd.total() * 1e3,
                   gk - g1 > 0 ? gk - g1 : 0.0, gk);
-      char head[128];
+      char head[192];
       std::snprintf(head, sizeof(head),
+                    "\"m\":%d,\"n\":%d,\"d\":%d,\"k\":%d,"
                     "\"gsknn_total_ms\":%.3f,\"gsknn_heap_est_ms\":%.3f,",
-                    gk, gk - g1 > 0 ? gk - g1 : 0.0);
+                    m, n, d, k, gk, gk - g1 > 0 ? gk - g1 : 0.0);
       emit_json_row("table5_breakdown",
-                    head + pmu_json_cols(gsknn_prof) + ",\"ref_profile\":{" +
-                        json_fields(ref_prof.to_json()) + "}");
+                    head + pmu_json_cols(gsknn_prof) + "," +
+                        metrics_json_cols(metrics::EntryPoint::kKernelF64) +
+                        ",\"ref_profile\":{" + json_fields(ref_prof.to_json()) +
+                        "}");
     }
   }
   return 0;

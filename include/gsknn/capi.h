@@ -242,6 +242,83 @@ int gsknn_trace_thread_tracks(const gsknn_trace* t);
 int gsknn_trace_write_json(const gsknn_trace* t, const char* path);
 const char* gsknn_trace_json(gsknn_trace* t);
 
+/* ---- aggregate metrics ------------------------------------------------ */
+
+/* Always-on process-wide aggregates (mirror gsknn::metrics): per-entry-point
+ * call/status rates, log2 latency and workload-shape histograms, workspace
+ * governance events and the model-drift histogram. Recording is on by
+ * default with <= 1% overhead; GSKNN_METRICS=0 in the environment disarms
+ * it at startup. Schema and triage guidance: docs/OBSERVABILITY.md. */
+
+/* Entry-point axis (mirror gsknn::metrics::EntryPoint). */
+enum {
+  GSKNN_METRIC_EP_KERNEL_F64 = 0,
+  GSKNN_METRIC_EP_KERNEL_F32 = 1,
+  GSKNN_METRIC_EP_PARALLEL_REFS = 2,
+  GSKNN_METRIC_EP_BATCH = 3,
+  GSKNN_METRIC_EP_GEMM_BASELINE = 4,
+  GSKNN_METRIC_EP_SINGLE_LOOP = 5,
+  GSKNN_METRIC_EP_RKD_FOREST = 6,
+  GSKNN_METRIC_EP_LSH = 7,
+  GSKNN_METRIC_EP_COUNT = 8
+};
+
+/* Event-counter axis (mirror gsknn::metrics::Counter). */
+enum {
+  GSKNN_METRIC_CTR_WORKSPACE_RETILED_CALLS = 0,
+  GSKNN_METRIC_CTR_WORKSPACE_RETILE_STEPS = 1,
+  GSKNN_METRIC_CTR_VARIANT_DEMOTIONS = 2,
+  GSKNN_METRIC_CTR_TRACE_SPANS_DROPPED = 3,
+  GSKNN_METRIC_CTR_PMU_MULTIPLEXED_READS = 4,
+  GSKNN_METRIC_CTR_COUNT = 5
+};
+
+typedef struct gsknn_metrics gsknn_metrics; /* MetricsSnapshot handle */
+
+/* 1 while the registry is recording; gsknn_metrics_enable() flips it at
+ * runtime (process-global, like the registry itself). */
+int gsknn_metrics_enabled(void);
+void gsknn_metrics_enable(int on);
+
+/* Zero the process-global registry. May race in-flight searches; samples
+ * land on whichever side of the cut they reach first (scrape semantics). */
+void gsknn_metrics_reset(void);
+
+/* Reduce the registry into an immutable snapshot handle (NULL on
+ * allocation failure). */
+gsknn_metrics* gsknn_metrics_snapshot(void);
+void gsknn_metrics_destroy(gsknn_metrics* m);
+
+/* Calls that entered `entry_point` and finished with `status` (a GSKNN_OK /
+ * GSKNN_ERR_* code). 0 on NULL or out-of-range arguments. */
+uint64_t gsknn_metrics_calls(const gsknn_metrics* m, int entry_point,
+                             int status);
+/* Total calls into `entry_point` across all statuses. */
+uint64_t gsknn_metrics_calls_total(const gsknn_metrics* m, int entry_point);
+
+/* Upper edge in nanoseconds of the latency bucket containing quantile q in
+ * [0, 1] — a <= 2x overestimate by construction; 0 when nothing recorded. */
+uint64_t gsknn_metrics_latency_quantile_ns(const gsknn_metrics* m,
+                                           int entry_point, double q);
+
+/* Value of one GSKNN_METRIC_CTR_* event counter. */
+uint64_t gsknn_metrics_counter(const gsknn_metrics* m, int counter);
+
+/* Model-drift samples recorded for the f64 (f32 = 0) or f32 (f32 = 1)
+ * kernel path. */
+uint64_t gsknn_metrics_drift_count(const gsknn_metrics* m, int f32);
+
+/* Renderings of the snapshot: one stable JSON object, and the Prometheus
+ * text exposition format. Buffers are owned by the handle and valid until
+ * the next call on the same handle or its destruction. Never NULL: a NULL
+ * handle yields an empty document ("{}" / ""). */
+const char* gsknn_metrics_json(gsknn_metrics* m);
+const char* gsknn_metrics_prometheus(gsknn_metrics* m);
+
+/* Process-wide count of PMU snapshot reads whose counts were extrapolated
+ * by kernel multiplex scaling — non-zero means PMU columns are estimates. */
+uint64_t gsknn_pmu_multiplexed_reads(void);
+
 /* ---- misc ------------------------------------------------------------ */
 
 /* Thread-local message describing the last error (never NULL). */

@@ -1,0 +1,190 @@
+// gsknn::metrics — always-on aggregate metrics for the serving-runtime
+// north star (ROADMAP item 1).
+//
+// The telemetry layer (gsknn/common/telemetry.hpp) answers "where did THIS
+// call spend its time"; this layer answers "what has the process been doing
+// across millions of calls": call rates per entry point, result-status
+// rates (the PR-4 Status axis — deadline expiries and workspace exhaustion
+// become visible as rates, not just as individual errors), latency and
+// workload-shape distributions, workspace-governance events, and whether
+// the paper's §2.6 performance model still predicts measured runtimes
+// (Fig. 4 made continuous, see the drift histogram below).
+//
+// Design, mirroring telemetry::Recorder's aggregation model:
+//   * a fixed static pool of cache-line-aligned shards; each recording
+//     thread claims a private shard on first use (same claim idiom as
+//     TraceSink tracks), so the hot path never contends on a shared line;
+//   * shard fields are relaxed std::atomic<> cells. A thread that owns its
+//     shard updates them with plain load+add+store (no lock-prefixed RMW —
+//     the atomic type only makes the concurrent snapshot reads defined);
+//     threads beyond the pool share one overflow shard with fetch_add;
+//   * snapshot() reduces the shards into a plain MetricsSnapshot struct;
+//     reset() zeroes them. Both may race recording: an in-flight increment
+//     can land before or after the cut, which is the usual contract for
+//     scrape-style metrics.
+//
+// Histograms use a fixed log2 bucket layout (64 buckets, bucket i covers
+// [2^i, 2^(i+1)) with 0 and 1 sharing bucket 0), so snapshots from any two
+// builds merge bucket-by-bucket and the export schema never changes shape.
+//
+// Always-on by default: every public kernel/solver entry point records one
+// (status, latency, shape) sample per call — measured overhead budget is
+// <= 1% on the Table-5 shapes (bench/micro_metrics.cpp guards it; see
+// EXPERIMENTS.md). GSKNN_METRICS=0 in the environment disarms recording at
+// startup; set_enabled() flips it at runtime.
+//
+// Exports: MetricsSnapshot::to_json() (one stable JSON object),
+// to_prometheus() (text exposition format, families prefixed gsknn_), and
+// the gsknn_metrics_* C API (include/gsknn/capi.h). The CLI surfaces both
+// via `--metrics[=path]` / `--metrics-prom[=path]`; tools/check_metrics.py
+// validates both formats in `ctest -L observability`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gsknn::metrics {
+
+/// Public entry points the aggregate layer distinguishes. Nested calls
+/// count at every layer they pass through: a knn_batch call records one
+/// kBatch sample plus one kKernelF64 sample per task it runs — the axes
+/// read as "calls that entered this entry point", not a disjoint partition.
+enum class EntryPoint : int {
+  kKernelF64 = 0,  ///< knn_kernel / knn_kernel_status, double
+  kKernelF32,      ///< knn_kernel / knn_kernel_status, float
+  kParallelRefs,   ///< knn_kernel_parallel_refs[_status]
+  kBatch,          ///< knn_batch[_status]
+  kGemmBaseline,   ///< knn_gemm_baseline
+  kSingleLoop,     ///< knn_single_loop_baseline
+  kRkdForest,      ///< tree::all_nearest_neighbors
+  kLsh,            ///< tree::lsh_all_nearest_neighbors
+  kNumEntryPoints,
+};
+
+inline constexpr int kEntryPointCount =
+    static_cast<int>(EntryPoint::kNumEntryPoints);
+
+/// Stable lowercase identifier ("kernel_f64", "batch", ...) used in both
+/// export formats.
+const char* entry_point_name(EntryPoint ep);
+
+/// Result-status axis. Mirrors gsknn::Status (gsknn/core/knn.hpp) by value
+/// without depending on it — the common layer sits below core. The label
+/// table is pinned to gsknn::status_name() by tests/common/test_metrics.cpp.
+inline constexpr int kStatusCount = 10;
+
+/// Stable lowercase status label ("ok", "deadline_exceeded", ...);
+/// "unknown" outside [0, kStatusCount).
+const char* status_label(int status);
+
+// ---- log2 histograms -------------------------------------------------------
+
+inline constexpr int kHistBuckets = 64;
+
+/// Bucket of value v: 0 and 1 land in bucket 0; 2^i lands exactly in bucket
+/// i; 2^i - 1 in bucket i - 1. Bucket i >= 1 covers [2^i, 2^(i+1)).
+int bucket_index(std::uint64_t v);
+
+/// Exclusive upper boundary of bucket i (2^(i+1)); the Prometheus `le`
+/// edge. Saturates at UINT64_MAX for the last bucket.
+std::uint64_t bucket_limit(int i);
+
+/// Model-drift histogram: signed log2 of measured/predicted runtime at 1/8
+/// log2 resolution (one bucket per ~9% ratio step). A perfectly calibrated
+/// model lands in the center bucket; buckets right of center mean the model
+/// was optimistic (measured > predicted). Returns -1 for non-positive
+/// inputs (nothing to record).
+inline constexpr int kDriftCenter = kHistBuckets / 2;
+inline constexpr int kDriftBucketsPerLog2 = 8;
+int drift_bucket(double predicted_seconds, double measured_seconds);
+
+// ---- scalar event counters -------------------------------------------------
+
+/// Process-wide monotonic event counters. The first three make workspace
+/// governance (docs/ROBUSTNESS.md) visible as rates; the last two make
+/// silently degraded *observability* itself observable: trace spans lost to
+/// ring overflow and PMU reads that needed multiplex extrapolation.
+enum class Counter : int {
+  kWorkspaceRetiledCalls = 0,  ///< calls whose plan took >= 1 retile step
+  kWorkspaceRetileSteps,       ///< degradation-ladder steps, summed
+  kVariantDemotions,           ///< Var#6 -> Var#5 demotions under a cap
+  kTraceSpansDropped,          ///< trace spans lost (ring overflow or track
+                               ///< exhaustion), summed across all sinks
+  kPmuMultiplexedReads,        ///< PMU snapshots scaled by enabled/running
+  kNumCounters,
+};
+
+inline constexpr int kCounterCount = static_cast<int>(Counter::kNumCounters);
+
+const char* counter_name(Counter c);
+
+// ---- snapshot --------------------------------------------------------------
+
+/// Reduced, plain-struct view of the registry. Every array is fixed-size,
+/// so snapshots are mergeable (merge()) and the export schema is stable
+/// regardless of what actually ran.
+struct MetricsSnapshot {
+  std::uint64_t calls[kEntryPointCount][kStatusCount] = {};
+  std::uint64_t latency[kEntryPointCount][kHistBuckets] = {};  ///< ns buckets
+  std::uint64_t latency_sum_ns[kEntryPointCount] = {};
+  /// Workload shape distributions; rows are the m/n/d/k axes in that order.
+  std::uint64_t shape[4][kHistBuckets] = {};
+  std::uint64_t shape_sum[4] = {};
+  /// Model drift (signed log2 ratio, see drift_bucket); rows: f64, f32.
+  std::uint64_t drift[2][kHistBuckets] = {};
+  /// Sum of milli-log2 ratios, for the Prometheus histogram _sum series.
+  std::int64_t drift_sum_millilog2[2] = {};
+  std::uint64_t counters[kCounterCount] = {};
+  bool enabled = true;
+
+  std::uint64_t calls_total(EntryPoint ep) const;
+  std::uint64_t status_total(int status) const;
+  std::uint64_t drift_count(int precision) const;  ///< 0 = f64, 1 = f32
+  /// Upper edge (ns) of the latency bucket containing quantile q in [0, 1]
+  /// — a <= 2x overestimate by construction; 0 when no calls recorded.
+  std::uint64_t latency_quantile_ns(EntryPoint ep, double q) const;
+
+  /// Bucket-wise accumulate (fixed layouts make this exact).
+  void merge(const MetricsSnapshot& other);
+
+  /// One JSON object; schema documented in docs/OBSERVABILITY.md and
+  /// validated by tools/check_metrics.py.
+  std::string to_json() const;
+  /// Prometheus text exposition (families gsknn_calls_total,
+  /// gsknn_latency_seconds, gsknn_shape, gsknn_model_drift_log2,
+  /// gsknn_events_total, gsknn_metrics_enabled).
+  std::string to_prometheus() const;
+};
+
+// ---- registry --------------------------------------------------------------
+
+/// Whether recording is armed. Defaults to true; GSKNN_METRICS=0 in the
+/// environment disarms it before the first record.
+bool enabled();
+void set_enabled(bool on);
+
+/// Record one completed entry-point call: status cell, latency histogram
+/// and the four shape histograms. `status` is the gsknn::Status value;
+/// out-of-range statuses are dropped. No-op when disabled.
+void record_call(EntryPoint ep, int status, std::uint64_t latency_ns, int m,
+                 int n, int d, int k);
+
+/// Record one model-drift sample (predicted vs measured seconds); samples
+/// with a non-positive side are dropped. No-op when disabled.
+void record_drift(bool f32, double predicted_seconds,
+                  double measured_seconds);
+
+/// Bump a scalar event counter. No-op when disabled.
+void add_counter(Counter c, std::uint64_t v = 1);
+
+/// Reduce all shards into one snapshot.
+MetricsSnapshot snapshot();
+
+/// Zero all shards (the enabled flag is left as-is). May race recording;
+/// in-flight samples land on whichever side of the cut they reach first.
+void reset();
+
+/// Steady-clock nanoseconds, for bracketing entry points.
+std::uint64_t now_ns();
+
+}  // namespace gsknn::metrics

@@ -103,4 +103,11 @@ class PmuGroup {
 /// and GSKNN_PMU=0 is not set. Cheap after the first call.
 bool pmu_available();
 
+/// Process-wide count of PmuGroup::read() calls whose counts were
+/// extrapolated by the kernel's multiplex scaling (time_running <
+/// time_enabled). Non-zero means the PMU columns are estimates, not exact
+/// counts; surfaced in the aggregate metrics snapshot and the CLI
+/// --profile output so consumers can tell.
+std::uint64_t pmu_multiplexed_reads();
+
 }  // namespace gsknn::telemetry

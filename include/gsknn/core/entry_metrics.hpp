@@ -1,0 +1,76 @@
+// Internal helpers bracketing public entry points with the aggregate
+// metrics layer (gsknn/common/metrics.hpp): one steady-clock pair per call,
+// the resulting Status recorded even when the entry point reports it by
+// throwing. Used by the driver, baselines, batch, parallel_refs and the
+// tree solvers; not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <new>
+#include <utility>
+
+#include "gsknn/common/metrics.hpp"
+#include "gsknn/core/knn.hpp"
+
+namespace gsknn::core {
+
+/// Run a throwing entry-point body under metrics. StatusError/bad_alloc are
+/// recorded with their mapped status and rethrown; any other exception
+/// records kInternal (the same mapping the C boundary applies).
+template <typename Fn>
+void record_entry(metrics::EntryPoint ep, int m, int n, int d, int k,
+                  Fn&& fn) {
+  if (!metrics::enabled()) {
+    std::forward<Fn>(fn)();
+    return;
+  }
+  const std::uint64_t t0 = metrics::now_ns();
+  try {
+    std::forward<Fn>(fn)();
+  } catch (const StatusError& e) {
+    metrics::record_call(ep, static_cast<int>(e.status()),
+                         metrics::now_ns() - t0, m, n, d, k);
+    throw;
+  } catch (const std::bad_alloc&) {
+    metrics::record_call(ep, static_cast<int>(Status::kResourceExhausted),
+                         metrics::now_ns() - t0, m, n, d, k);
+    throw;
+  } catch (...) {
+    metrics::record_call(ep, static_cast<int>(Status::kInternal),
+                         metrics::now_ns() - t0, m, n, d, k);
+    throw;
+  }
+  metrics::record_call(ep, static_cast<int>(Status::kOk),
+                       metrics::now_ns() - t0, m, n, d, k);
+}
+
+/// Status-returning form: records the returned Status; a body that throws
+/// anyway (validation paths) is recorded and the exception propagated for
+/// the caller's catch-to-Status mapping.
+template <typename Fn>
+Status record_entry_status(metrics::EntryPoint ep, int m, int n, int d,
+                           int k, Fn&& fn) {
+  if (!metrics::enabled()) return std::forward<Fn>(fn)();
+  const std::uint64_t t0 = metrics::now_ns();
+  Status s = Status::kInternal;
+  try {
+    s = std::forward<Fn>(fn)();
+  } catch (const StatusError& e) {
+    metrics::record_call(ep, static_cast<int>(e.status()),
+                         metrics::now_ns() - t0, m, n, d, k);
+    throw;
+  } catch (const std::bad_alloc&) {
+    metrics::record_call(ep, static_cast<int>(Status::kResourceExhausted),
+                         metrics::now_ns() - t0, m, n, d, k);
+    throw;
+  } catch (...) {
+    metrics::record_call(ep, static_cast<int>(Status::kInternal),
+                         metrics::now_ns() - t0, m, n, d, k);
+    throw;
+  }
+  metrics::record_call(ep, static_cast<int>(s), metrics::now_ns() - t0, m, n,
+                       d, k);
+  return s;
+}
+
+}  // namespace gsknn::core

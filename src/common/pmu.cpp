@@ -11,6 +11,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "gsknn/common/metrics.hpp"
+
 #if defined(__linux__)
 #include <linux/perf_event.h>
 #include <sys/syscall.h>
@@ -38,6 +40,9 @@ bool pmu_env_enabled() {
 
 /// Remembers a failed group-leader open so later threads skip the syscall.
 std::atomic<bool> g_open_failed{false};
+
+/// Reads whose counts were multiplex-extrapolated (see pmu.hpp).
+std::atomic<std::uint64_t> g_multiplexed_reads{0};
 
 #if defined(GSKNN_PMU_LINUX)
 
@@ -129,6 +134,10 @@ bool PmuGroup::read(PmuCounts& out) const {
       (running > 0 && running < enabled)
           ? static_cast<double>(enabled) / static_cast<double>(running)
           : 1.0;
+  if (scale != 1.0) {
+    g_multiplexed_reads.fetch_add(1, std::memory_order_relaxed);
+    metrics::add_counter(metrics::Counter::kPmuMultiplexedReads);
+  }
   int slot = 0;
   for (int i = 0; i < kPmuEventCount; ++i) {
     if (fds_[i] < 0) continue;  // absent events keep their zero
@@ -150,6 +159,10 @@ PmuGroup& PmuGroup::this_thread() {
 bool pmu_available() {
   if (!pmu_env_enabled()) return false;
   return PmuGroup::this_thread().ok();
+}
+
+std::uint64_t pmu_multiplexed_reads() {
+  return g_multiplexed_reads.load(std::memory_order_relaxed);
 }
 
 }  // namespace gsknn::telemetry

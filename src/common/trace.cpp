@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "gsknn/common/metrics.hpp"
+
 namespace gsknn::telemetry {
 
 namespace {
@@ -56,6 +58,11 @@ struct TraceSink::Ring {
   explicit Ring(std::size_t capacity) : buf(capacity) {}
 
   void push(const TraceSpan& s) {
+    if (head >= buf.size()) {
+      // Drop-oldest overwrite: the aggregate counter makes ring pressure
+      // visible without exporting (or even finishing) the trace.
+      metrics::add_counter(metrics::Counter::kTraceSpansDropped);
+    }
     buf[static_cast<std::size_t>(head % buf.size())] = s;
     ++head;
   }
@@ -106,6 +113,7 @@ void TraceSink::record(Phase phase, std::uint64_t t0, std::uint64_t t1,
   Ring* ring = ring_for_this_thread();
   if (ring == nullptr) {
     dropped_overflow_.fetch_add(1, std::memory_order_relaxed);
+    metrics::add_counter(metrics::Counter::kTraceSpansDropped);
     return;
   }
   TraceSpan s;

@@ -16,20 +16,25 @@
 
 #include "gsknn/blas/gemm.hpp"
 #include "gsknn/common/aligned.hpp"
+#include "gsknn/common/metrics.hpp"
 #include "gsknn/common/pmu.hpp"
 #include "gsknn/common/threads.hpp"
 #include "gsknn/common/timer.hpp"
 #include "gsknn/common/trace.hpp"
+#include "gsknn/core/entry_metrics.hpp"
 #include "gsknn/core/knn.hpp"
 #include "gsknn/model/perf_model.hpp"
 #include "gsknn/select/select.hpp"
 
 namespace gsknn {
 
-void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
-                       std::span<const int> ridx, NeighborTable& result,
-                       const KnnConfig& cfg, std::span<const int> result_rows,
-                       BaselineBreakdown* breakdown) {
+namespace {
+
+void gemm_baseline_impl(const PointTable& X, std::span<const int> qidx,
+                        std::span<const int> ridx, NeighborTable& result,
+                        const KnnConfig& cfg,
+                        std::span<const int> result_rows,
+                        BaselineBreakdown* breakdown) {
   const int m = static_cast<int>(qidx.size());
   const int n = static_cast<int>(ridx.size());
   const int d = X.dim();
@@ -255,6 +260,20 @@ void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
   if (breakdown != nullptr) *breakdown = BaselineBreakdown::from_profile(prof);
 }
 
+}  // namespace
+
+void knn_gemm_baseline(const PointTable& X, std::span<const int> qidx,
+                       std::span<const int> ridx, NeighborTable& result,
+                       const KnnConfig& cfg, std::span<const int> result_rows,
+                       BaselineBreakdown* breakdown) {
+  core::record_entry(metrics::EntryPoint::kGemmBaseline,
+                     static_cast<int>(qidx.size()),
+                     static_cast<int>(ridx.size()), X.dim(), result.k(), [&] {
+                       gemm_baseline_impl(X, qidx, ridx, result, cfg,
+                                          result_rows, breakdown);
+                     });
+}
+
 namespace {
 
 template <Norm N>
@@ -328,25 +347,33 @@ void knn_single_loop_baseline(const PointTable& X, std::span<const int> qidx,
                               std::span<const int> ridx,
                               NeighborTable& result, const KnnConfig& cfg,
                               std::span<const int> result_rows) {
-  check_knn_args(X, qidx, ridx, result, cfg, result_rows);
-  switch (cfg.norm) {
-    case Norm::kL2Sq:
-      single_loop_impl<Norm::kL2Sq>(X, qidx, ridx, result, cfg, result_rows);
-      break;
-    case Norm::kL1:
-      single_loop_impl<Norm::kL1>(X, qidx, ridx, result, cfg, result_rows);
-      break;
-    case Norm::kLInf:
-      single_loop_impl<Norm::kLInf>(X, qidx, ridx, result, cfg, result_rows);
-      break;
-    case Norm::kLp:
-      single_loop_impl<Norm::kLp>(X, qidx, ridx, result, cfg, result_rows);
-      break;
-    case Norm::kCosine:
-      single_loop_impl<Norm::kCosine>(X, qidx, ridx, result, cfg,
-                                      result_rows);
-      break;
-  }
+  core::record_entry(
+      metrics::EntryPoint::kSingleLoop, static_cast<int>(qidx.size()),
+      static_cast<int>(ridx.size()), X.dim(), result.k(), [&] {
+        check_knn_args(X, qidx, ridx, result, cfg, result_rows);
+        switch (cfg.norm) {
+          case Norm::kL2Sq:
+            single_loop_impl<Norm::kL2Sq>(X, qidx, ridx, result, cfg,
+                                          result_rows);
+            break;
+          case Norm::kL1:
+            single_loop_impl<Norm::kL1>(X, qidx, ridx, result, cfg,
+                                        result_rows);
+            break;
+          case Norm::kLInf:
+            single_loop_impl<Norm::kLInf>(X, qidx, ridx, result, cfg,
+                                          result_rows);
+            break;
+          case Norm::kLp:
+            single_loop_impl<Norm::kLp>(X, qidx, ridx, result, cfg,
+                                        result_rows);
+            break;
+          case Norm::kCosine:
+            single_loop_impl<Norm::kCosine>(X, qidx, ridx, result, cfg,
+                                            result_rows);
+            break;
+        }
+      });
 }
 
 }  // namespace gsknn

@@ -12,14 +12,17 @@
 // share one NeighborTable must target disjoint rows — overlap is rejected
 // up front (it would be a silent data race between workers).
 #include <atomic>
+#include <climits>
 #include <new>
 #include <unordered_map>
 #include <vector>
 
 #include "gsknn/common/fault.hpp"
+#include "gsknn/common/metrics.hpp"
 #include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/threads.hpp"
 #include "gsknn/common/timer.hpp"
+#include "gsknn/core/entry_metrics.hpp"
 #include "gsknn/core/knn.hpp"
 #include "gsknn/model/perf_model.hpp"
 
@@ -191,11 +194,30 @@ Status knn_batch_impl(const PointTable& X, std::span<const KnnTask> tasks,
   return static_cast<Status>(stop.load(std::memory_order_acquire));
 }
 
+/// Batch-level shape for the aggregate metrics: queries/references summed
+/// across tasks (each task's kernel records its own exact shape too).
+void batch_totals(std::span<const KnnTask> tasks, int& m_total,
+                  int& n_total) {
+  std::size_t m = 0, n = 0;
+  for (const KnnTask& t : tasks) {
+    m += t.qidx.size();
+    n += t.ridx.size();
+  }
+  m_total = m > static_cast<std::size_t>(INT_MAX) ? INT_MAX
+                                                  : static_cast<int>(m);
+  n_total = n > static_cast<std::size_t>(INT_MAX) ? INT_MAX
+                                                  : static_cast<int>(n);
+}
+
 }  // namespace
 
 void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
                const KnnConfig& cfg) {
-  const Status s = knn_batch_impl(X, tasks, k, cfg);
+  int m_total = 0, n_total = 0;
+  batch_totals(tasks, m_total, n_total);
+  const Status s = core::record_entry_status(
+      metrics::EntryPoint::kBatch, m_total, n_total, X.dim(), k,
+      [&] { return knn_batch_impl(X, tasks, k, cfg); });
   if (s != Status::kOk) {
     throw StatusError(s, std::string("gsknn: batch stopped: ") +
                              status_name(s));
@@ -204,8 +226,12 @@ void knn_batch(const PointTable& X, std::span<const KnnTask> tasks, int k,
 
 Status knn_batch_status(const PointTable& X, std::span<const KnnTask> tasks,
                         int k, const KnnConfig& cfg) {
+  int m_total = 0, n_total = 0;
+  batch_totals(tasks, m_total, n_total);
   try {
-    return knn_batch_impl(X, tasks, k, cfg);
+    return core::record_entry_status(
+        metrics::EntryPoint::kBatch, m_total, n_total, X.dim(), k,
+        [&] { return knn_batch_impl(X, tasks, k, cfg); });
   } catch (const StatusError& e) {
     return e.status();
   } catch (const std::bad_alloc&) {

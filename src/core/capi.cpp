@@ -10,6 +10,7 @@
 
 #include "gsknn/common/arch.hpp"
 #include "gsknn/common/cancel.hpp"
+#include "gsknn/common/metrics.hpp"
 #include "gsknn/common/pmu.hpp"
 #include "gsknn/common/trace.hpp"
 #include "gsknn/core/knn.hpp"
@@ -124,6 +125,11 @@ struct gsknn_trace {
 
 struct gsknn_cancel_token {
   gsknn::CancelToken token;
+};
+
+struct gsknn_metrics {
+  gsknn::metrics::MetricsSnapshot snap;
+  std::string text;  // owns the json/prometheus buffers handed back
 };
 
 extern "C" {
@@ -456,6 +462,98 @@ const char* gsknn_trace_json(gsknn_trace* t) {
     return "{}";
   }
   return t->json.c_str();
+}
+
+int gsknn_metrics_enabled(void) {
+  return gsknn::metrics::enabled() ? 1 : 0;
+}
+
+void gsknn_metrics_enable(int on) { gsknn::metrics::set_enabled(on != 0); }
+
+void gsknn_metrics_reset(void) { gsknn::metrics::reset(); }
+
+gsknn_metrics* gsknn_metrics_snapshot(void) {
+  try {
+    auto* m = new gsknn_metrics;
+    m->snap = gsknn::metrics::snapshot();
+    return m;
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return nullptr;
+  }
+}
+
+void gsknn_metrics_destroy(gsknn_metrics* m) { delete m; }
+
+uint64_t gsknn_metrics_calls(const gsknn_metrics* m, int entry_point,
+                             int status) {
+  // C status codes are GSKNN_OK / negative GSKNN_ERR_*; the snapshot's
+  // status axis is the non-negative gsknn::Status value.
+  const int si = status <= 0 ? -status : -1;
+  if (m == nullptr || entry_point < 0 ||
+      entry_point >= gsknn::metrics::kEntryPointCount || si < 0 ||
+      si >= gsknn::metrics::kStatusCount) {
+    return 0;
+  }
+  return m->snap.calls[entry_point][si];
+}
+
+uint64_t gsknn_metrics_calls_total(const gsknn_metrics* m, int entry_point) {
+  if (m == nullptr || entry_point < 0 ||
+      entry_point >= gsknn::metrics::kEntryPointCount) {
+    return 0;
+  }
+  return m->snap.calls_total(
+      static_cast<gsknn::metrics::EntryPoint>(entry_point));
+}
+
+uint64_t gsknn_metrics_latency_quantile_ns(const gsknn_metrics* m,
+                                           int entry_point, double q) {
+  if (m == nullptr || entry_point < 0 ||
+      entry_point >= gsknn::metrics::kEntryPointCount) {
+    return 0;
+  }
+  return m->snap.latency_quantile_ns(
+      static_cast<gsknn::metrics::EntryPoint>(entry_point), q);
+}
+
+uint64_t gsknn_metrics_counter(const gsknn_metrics* m, int counter) {
+  if (m == nullptr || counter < 0 ||
+      counter >= gsknn::metrics::kCounterCount) {
+    return 0;
+  }
+  return m->snap.counters[counter];
+}
+
+uint64_t gsknn_metrics_drift_count(const gsknn_metrics* m, int f32) {
+  if (m == nullptr || f32 < 0 || f32 > 1) return 0;
+  return m->snap.drift_count(f32);
+}
+
+const char* gsknn_metrics_json(gsknn_metrics* m) {
+  if (m == nullptr) return "{}";
+  try {
+    m->text = m->snap.to_json();
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return "{}";
+  }
+  return m->text.c_str();
+}
+
+const char* gsknn_metrics_prometheus(gsknn_metrics* m) {
+  if (m == nullptr) return "";
+  try {
+    m->text = m->snap.to_prometheus();
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return "";
+  }
+  return m->text.c_str();
+}
+
+uint64_t gsknn_pmu_multiplexed_reads(void) {
+  return gsknn::telemetry::pmu_multiplexed_reads();
 }
 
 const char* gsknn_last_error(void) { return tl_error.c_str(); }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "gsknn/common/fault.hpp"
+#include "gsknn/common/metrics.hpp"
 #include "gsknn/common/pmu.hpp"
 #include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/threads.hpp"
@@ -271,6 +272,16 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
       plan_workspace(m, n, d, req_variant, bp, tmr, tnr, threads, needs_norms,
                      defer_possible, sizeof(T), cap);
   if (!plan.fits) return Status::kResourceExhausted;
+  // Aggregate governance rates: how often the cap forces the planner off
+  // the natural tiling, and by how many ladder steps.
+  if (plan.retile_steps > 0) {
+    metrics::add_counter(metrics::Counter::kWorkspaceRetiledCalls);
+    metrics::add_counter(metrics::Counter::kWorkspaceRetileSteps,
+                         static_cast<std::uint64_t>(plan.retile_steps));
+  }
+  if (plan.variant != req_variant) {
+    metrics::add_counter(metrics::Counter::kVariantDemotions);
+  }
   const Variant variant = plan.variant;
   bp = plan.blocking;
   const int mc = bp.mc;
@@ -850,6 +861,58 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
   return outcome;
 }
 
+/// Public-entry bracket: records (status, latency, shape) into the
+/// aggregate registry for every call — including ones that end in a throw —
+/// and, for clean runs, one model-drift sample comparing the measured wall
+/// time against the §2.6 prediction for the shape the call resolved to
+/// (Fig. 4 as a continuously monitored calibration error). Costs two clock
+/// reads and ~a dozen relaxed per-thread increments per call; nothing when
+/// metrics are disarmed.
+template <typename T>
+Status kernel_with_metrics(const PointTableT<T>& X, std::span<const int> qidx,
+                           std::span<const int> ridx,
+                           NeighborTableT<T>& result, const KnnConfig& cfg,
+                           std::span<const int> result_rows) {
+  if (!metrics::enabled()) {
+    return knn_kernel_impl<T>(X, qidx, ridx, result, cfg, result_rows);
+  }
+  const int m = static_cast<int>(qidx.size());
+  const int n = static_cast<int>(ridx.size());
+  const int d = X.dim();
+  const int k = result.k();
+  const metrics::EntryPoint ep = sizeof(T) == 8
+                                     ? metrics::EntryPoint::kKernelF64
+                                     : metrics::EntryPoint::kKernelF32;
+  const std::uint64_t t0 = metrics::now_ns();
+  Status s = Status::kInternal;
+  try {
+    s = knn_kernel_impl<T>(X, qidx, ridx, result, cfg, result_rows);
+  } catch (const StatusError& e) {
+    metrics::record_call(ep, static_cast<int>(e.status()),
+                         metrics::now_ns() - t0, m, n, d, k);
+    throw;
+  } catch (const std::bad_alloc&) {
+    metrics::record_call(ep, static_cast<int>(Status::kResourceExhausted),
+                         metrics::now_ns() - t0, m, n, d, k);
+    throw;
+  }
+  const std::uint64_t ns = metrics::now_ns() - t0;
+  metrics::record_call(ep, static_cast<int>(s), ns, m, n, d, k);
+  if (s == Status::kOk && m > 0 && n > 0 && d > 0 && k > 0) {
+    const Variant v = resolve_variant(m, n, d, k, cfg);
+    static const model::MachineParams mp{};
+    const BlockingParams bp = cfg.blocking.value_or(
+        default_blocking(cpu_features().best_level()));
+    const model::ProblemShape shape{m, n, d, k};
+    const double predicted = model::predicted_time(
+        v == Variant::kVar1 ? model::Method::kVar1 : model::Method::kVar6,
+        shape, mp, bp);
+    metrics::record_drift(sizeof(T) == 4, predicted,
+                          static_cast<double>(ns) * 1e-9);
+  }
+  return s;
+}
+
 }  // namespace
 }  // namespace core
 
@@ -875,7 +938,8 @@ void knn_kernel(const PointTable& X, std::span<const int> qidx,
                 std::span<const int> ridx, NeighborTable& result,
                 const KnnConfig& cfg, std::span<const int> result_rows) {
   const Status s =
-      core::knn_kernel_impl<double>(X, qidx, ridx, result, cfg, result_rows);
+      core::kernel_with_metrics<double>(X, qidx, ridx, result, cfg,
+                                        result_rows);
   if (s != Status::kOk) {
     throw StatusError(s, std::string("gsknn: kernel stopped: ") +
                              status_name(s));
@@ -886,7 +950,8 @@ void knn_kernel(const PointTableF& X, std::span<const int> qidx,
                 std::span<const int> ridx, NeighborTableF& result,
                 const KnnConfig& cfg, std::span<const int> result_rows) {
   const Status s =
-      core::knn_kernel_impl<float>(X, qidx, ridx, result, cfg, result_rows);
+      core::kernel_with_metrics<float>(X, qidx, ridx, result, cfg,
+                                       result_rows);
   if (s != Status::kOk) {
     throw StatusError(s, std::string("gsknn: kernel stopped: ") +
                              status_name(s));
@@ -898,8 +963,8 @@ Status knn_kernel_status(const PointTable& X, std::span<const int> qidx,
                          const KnnConfig& cfg,
                          std::span<const int> result_rows) {
   try {
-    return core::knn_kernel_impl<double>(X, qidx, ridx, result, cfg,
-                                         result_rows);
+    return core::kernel_with_metrics<double>(X, qidx, ridx, result, cfg,
+                                             result_rows);
   } catch (const StatusError& e) {
     return e.status();
   } catch (const std::bad_alloc&) {
@@ -912,8 +977,8 @@ Status knn_kernel_status(const PointTableF& X, std::span<const int> qidx,
                          const KnnConfig& cfg,
                          std::span<const int> result_rows) {
   try {
-    return core::knn_kernel_impl<float>(X, qidx, ridx, result, cfg,
-                                        result_rows);
+    return core::kernel_with_metrics<float>(X, qidx, ridx, result, cfg,
+                                            result_rows);
   } catch (const StatusError& e) {
     return e.status();
   } catch (const std::bad_alloc&) {

@@ -16,11 +16,13 @@
 #include <new>
 #include <vector>
 
+#include "gsknn/common/metrics.hpp"
 #include "gsknn/common/pmu.hpp"
 #include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/threads.hpp"
 #include "gsknn/common/timer.hpp"
 #include "gsknn/common/trace.hpp"
+#include "gsknn/core/entry_metrics.hpp"
 #include "gsknn/core/knn.hpp"
 
 namespace gsknn {
@@ -199,8 +201,11 @@ void knn_kernel_parallel_refs(const PointTableT<double>& X,
                               std::span<const int> ridx,
                               NeighborTable& result, const KnnConfig& cfg,
                               std::span<const int> result_rows) {
-  const Status s =
-      parallel_refs_impl(X, qidx, ridx, result, cfg, result_rows);
+  const Status s = core::record_entry_status(
+      metrics::EntryPoint::kParallelRefs, static_cast<int>(qidx.size()),
+      static_cast<int>(ridx.size()), X.dim(), result.k(),
+      [&] { return parallel_refs_impl(X, qidx, ridx, result, cfg,
+                                      result_rows); });
   if (s != Status::kOk) {
     throw StatusError(s, std::string("gsknn: parallel_refs stopped: ") +
                              status_name(s));
@@ -214,7 +219,11 @@ Status knn_kernel_parallel_refs_status(const PointTableT<double>& X,
                                        const KnnConfig& cfg,
                                        std::span<const int> result_rows) {
   try {
-    return parallel_refs_impl(X, qidx, ridx, result, cfg, result_rows);
+    return core::record_entry_status(
+        metrics::EntryPoint::kParallelRefs, static_cast<int>(qidx.size()),
+        static_cast<int>(ridx.size()), X.dim(), result.k(),
+        [&] { return parallel_refs_impl(X, qidx, ridx, result, cfg,
+                                        result_rows); });
   } catch (const StatusError& e) {
     return e.status();
   } catch (const std::bad_alloc&) {

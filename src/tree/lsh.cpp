@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gsknn/common/metrics.hpp"
 #include "gsknn/common/rng.hpp"
 #include "gsknn/common/timer.hpp"
 
@@ -31,10 +32,7 @@ std::uint64_t hash_point(const PointTable& X, int id, const double* w,
   return key;
 }
 
-}  // namespace
-
-AllNnResult lsh_all_nearest_neighbors(const PointTable& X, int k,
-                                      const LshConfig& cfg) {
+AllNnResult lsh_impl(const PointTable& X, int k, const LshConfig& cfg) {
   if (k < 1) {
     throw StatusError(Status::kBadConfig, "gsknn: lsh solver requires k >= 1");
   }
@@ -115,6 +113,27 @@ AllNnResult lsh_all_nearest_neighbors(const PointTable& X, int k,
     if (out.status != Status::kOk) break;
   }
   return out;
+}
+
+}  // namespace
+
+AllNnResult lsh_all_nearest_neighbors(const PointTable& X, int k,
+                                      const LshConfig& cfg) {
+  // Same inline bracket as the rkd solver: the Status rides in the result.
+  if (!metrics::enabled()) return lsh_impl(X, k, cfg);
+  const std::uint64_t t0 = metrics::now_ns();
+  try {
+    AllNnResult out = lsh_impl(X, k, cfg);
+    metrics::record_call(metrics::EntryPoint::kLsh,
+                         static_cast<int>(out.status), metrics::now_ns() - t0,
+                         X.size(), X.size(), X.dim(), k);
+    return out;
+  } catch (const StatusError& e) {
+    metrics::record_call(metrics::EntryPoint::kLsh,
+                         static_cast<int>(e.status()), metrics::now_ns() - t0,
+                         X.size(), X.size(), X.dim(), k);
+    throw;
+  }
 }
 
 }  // namespace gsknn::tree

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "gsknn/common/metrics.hpp"
 #include "gsknn/common/rng.hpp"
 #include "gsknn/common/timer.hpp"
 
@@ -99,8 +100,9 @@ std::vector<std::vector<int>> random_kd_partition(const PointTable& X,
   return leaves;
 }
 
-AllNnResult all_nearest_neighbors(const PointTable& X, int k,
-                                  const RkdConfig& cfg) {
+namespace {
+
+AllNnResult all_nn_impl(const PointTable& X, int k, const RkdConfig& cfg) {
   if (k < 1) {
     throw StatusError(Status::kBadConfig, "gsknn: rkd solver requires k >= 1");
   }
@@ -160,6 +162,29 @@ AllNnResult all_nearest_neighbors(const PointTable& X, int k,
     if (out.status != Status::kOk) break;
   }
   return out;
+}
+
+}  // namespace
+
+AllNnResult all_nearest_neighbors(const PointTable& X, int k,
+                                  const RkdConfig& cfg) {
+  // The solver reports governance statuses in the result rather than by
+  // throwing (config errors aside), so the metrics bracket is inline here
+  // instead of going through core::record_entry.
+  if (!metrics::enabled()) return all_nn_impl(X, k, cfg);
+  const std::uint64_t t0 = metrics::now_ns();
+  try {
+    AllNnResult out = all_nn_impl(X, k, cfg);
+    metrics::record_call(metrics::EntryPoint::kRkdForest,
+                         static_cast<int>(out.status), metrics::now_ns() - t0,
+                         X.size(), X.size(), X.dim(), k);
+    return out;
+  } catch (const StatusError& e) {
+    metrics::record_call(metrics::EntryPoint::kRkdForest,
+                         static_cast<int>(e.status()), metrics::now_ns() - t0,
+                         X.size(), X.size(), X.dim(), k);
+    throw;
+  }
 }
 
 double recall_at_k(const PointTable& X, const NeighborTable& approx, int k,

@@ -300,6 +300,102 @@ TEST_F(CApiFixture, GovernedSearchHonorsCancelToken) {
   gsknn_result_destroy(res);
 }
 
+TEST_F(CApiFixture, MetricsSnapshotRoundTrip) {
+  ASSERT_EQ(gsknn_metrics_enabled(), 1);
+  gsknn_metrics_reset();
+
+  std::vector<int> q(10), r(90);
+  std::iota(q.begin(), q.end(), 0);
+  std::iota(r.begin(), r.end(), 10);
+  gsknn_result* res = gsknn_result_create(10, 5);
+  ASSERT_NE(res, nullptr);
+  ASSERT_EQ(gsknn_search(table, q.data(), 10, r.data(), 90, GSKNN_NORM_L2SQ,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, res),
+            GSKNN_OK);
+  // One failing call too, so the status grid has a non-ok cell.
+  std::vector<int> bad = {0, 1, 100};
+  ASSERT_EQ(gsknn_search(table, q.data(), 10, bad.data(), 3, GSKNN_NORM_L2SQ,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, res),
+            GSKNN_ERR_BAD_INDEX);
+  gsknn_result_destroy(res);
+
+  gsknn_metrics* m = gsknn_metrics_snapshot();
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(gsknn_metrics_calls(m, GSKNN_METRIC_EP_KERNEL_F64, GSKNN_OK), 1u);
+  EXPECT_EQ(
+      gsknn_metrics_calls(m, GSKNN_METRIC_EP_KERNEL_F64, GSKNN_ERR_BAD_INDEX),
+      1u);
+  EXPECT_EQ(gsknn_metrics_calls_total(m, GSKNN_METRIC_EP_KERNEL_F64), 2u);
+  EXPECT_EQ(gsknn_metrics_calls_total(m, GSKNN_METRIC_EP_LSH), 0u);
+  EXPECT_GT(gsknn_metrics_latency_quantile_ns(m, GSKNN_METRIC_EP_KERNEL_F64,
+                                              0.5),
+            0u);
+  // The successful f64 kernel call graded the performance model.
+  EXPECT_GE(gsknn_metrics_drift_count(m, 0), 1u);
+  EXPECT_EQ(gsknn_metrics_drift_count(m, 1), 0u);
+
+  const char* json = gsknn_metrics_json(m);
+  ASSERT_NE(json, nullptr);
+  EXPECT_NE(std::string(json).find("\"metrics_version\":1"),
+            std::string::npos);
+  const char* prom = gsknn_metrics_prometheus(m);
+  ASSERT_NE(prom, nullptr);
+  EXPECT_NE(std::string(prom).find("# TYPE gsknn_calls_total counter"),
+            std::string::npos);
+  gsknn_metrics_destroy(m);
+
+  // A snapshot taken after reset is all zeros again.
+  gsknn_metrics_reset();
+  gsknn_metrics* z = gsknn_metrics_snapshot();
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(gsknn_metrics_calls_total(z, GSKNN_METRIC_EP_KERNEL_F64), 0u);
+  gsknn_metrics_destroy(z);
+}
+
+TEST(CApi, MetricsHandlesAreNullSafeAndBoundsChecked) {
+  gsknn_metrics_reset();
+  gsknn_metrics* m = gsknn_metrics_snapshot();
+  ASSERT_NE(m, nullptr);
+  // Out-of-range axes read as 0, never as a misfiled cell.
+  EXPECT_EQ(gsknn_metrics_calls(m, -1, GSKNN_OK), 0u);
+  EXPECT_EQ(gsknn_metrics_calls(m, GSKNN_METRIC_EP_COUNT, GSKNN_OK), 0u);
+  EXPECT_EQ(gsknn_metrics_calls(m, GSKNN_METRIC_EP_BATCH, 42), 0u);
+  EXPECT_EQ(gsknn_metrics_calls_total(m, 99), 0u);
+  EXPECT_EQ(gsknn_metrics_counter(m, -1), 0u);
+  EXPECT_EQ(gsknn_metrics_counter(m, GSKNN_METRIC_CTR_COUNT), 0u);
+  EXPECT_EQ(gsknn_metrics_drift_count(m, 2), 0u);
+  gsknn_metrics_destroy(m);
+
+  // NULL handles are inert, like every other handle in this API.
+  EXPECT_EQ(gsknn_metrics_calls(nullptr, 0, 0), 0u);
+  EXPECT_EQ(gsknn_metrics_calls_total(nullptr, 0), 0u);
+  EXPECT_EQ(gsknn_metrics_latency_quantile_ns(nullptr, 0, 0.5), 0u);
+  EXPECT_EQ(gsknn_metrics_counter(nullptr, 0), 0u);
+  EXPECT_EQ(gsknn_metrics_drift_count(nullptr, 0), 0u);
+  // The text exports never return NULL; a missing handle yields an empty
+  // document instead.
+  EXPECT_STREQ(gsknn_metrics_json(nullptr), "{}");
+  EXPECT_STREQ(gsknn_metrics_prometheus(nullptr), "");
+  gsknn_metrics_destroy(nullptr);
+}
+
+TEST(CApi, MetricsEnableToggle) {
+  ASSERT_EQ(gsknn_metrics_enabled(), 1);
+  gsknn_metrics_enable(0);
+  EXPECT_EQ(gsknn_metrics_enabled(), 0);
+  gsknn_metrics_reset();
+  gsknn_metrics* m = gsknn_metrics_snapshot();
+  ASSERT_NE(m, nullptr);
+  // The disarmed flag is part of the snapshot (exported as
+  // gsknn_metrics_enabled 0 in the Prometheus text).
+  EXPECT_NE(std::string(gsknn_metrics_prometheus(m))
+                .find("gsknn_metrics_enabled 0"),
+            std::string::npos);
+  gsknn_metrics_destroy(m);
+  gsknn_metrics_enable(1);
+  EXPECT_EQ(gsknn_metrics_enabled(), 1);
+}
+
 TEST_F(CApiFixture, GovernedSearchDeadlineAndCap) {
   std::vector<int> q(10), r(90);
   std::iota(q.begin(), q.end(), 0);

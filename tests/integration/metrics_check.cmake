@@ -1,0 +1,52 @@
+# Aggregate-metrics round trip: run the CLI search in both precisions with
+# --metrics / --metrics-prom, then validate both export formats against the
+# schema (tools/check_metrics.py), requiring the entry points and the
+# model-drift histograms to actually be populated. Registered under
+# `ctest -L observability` for the default, avx2 and scalar dispatch
+# suites; any non-zero exit fails the test.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${ARGN} failed (${rc}): ${out}${err}")
+  endif()
+  set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+run(${GSKNN_CLI} generate --out ${WORK_DIR}/data.gsknn --d 16 --n 1500 --seed 7)
+
+# f64 search: populates kernel_f64 and the f64 drift histogram.
+run(${GSKNN_CLI} search --data ${WORK_DIR}/data.gsknn --k 8
+    --out ${WORK_DIR}/nn64.csv
+    --metrics=${WORK_DIR}/m64.json --metrics-prom=${WORK_DIR}/m64.prom)
+
+# f32 search (separate process, fresh registry): kernel_f32 + f32 drift.
+run(${GSKNN_CLI} search --data ${WORK_DIR}/data.gsknn --k 8 --f32
+    --out ${WORK_DIR}/nn32.csv
+    --metrics=${WORK_DIR}/m32.json --metrics-prom=${WORK_DIR}/m32.prom)
+
+foreach(f m64.json m64.prom m32.json m32.prom)
+  if(NOT EXISTS ${WORK_DIR}/${f})
+    message(FATAL_ERROR "search --metrics did not write ${f}")
+  endif()
+endforeach()
+
+run(${PYTHON} ${CHECK_METRICS} --json ${WORK_DIR}/m64.json
+    --prom ${WORK_DIR}/m64.prom
+    --require-entry kernel_f64 --require-drift f64 --verbose)
+message(STATUS "${last_output}")
+
+run(${PYTHON} ${CHECK_METRICS} --json ${WORK_DIR}/m32.json
+    --prom ${WORK_DIR}/m32.prom
+    --require-entry kernel_f32 --require-drift f32 --verbose)
+message(STATUS "${last_output}")
+
+# The batch scheduler records both the batch envelope and the per-task
+# kernel samples (layered counting is part of the contract).
+run(${GSKNN_CLI} batch --data ${WORK_DIR}/data.gsknn --k 8 --tasks 3
+    --out ${WORK_DIR}/nnb.csv --metrics=${WORK_DIR}/mb.json)
+run(${PYTHON} ${CHECK_METRICS} --json ${WORK_DIR}/mb.json
+    --require-entry batch --require-entry kernel_f64)
+message(STATUS "${last_output}")

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Run the table5 bench and snapshot it into a schema-stable baseline.
+
+Fixes the empty perf trajectory: every PR can regenerate (or just diff
+against) `BENCH_table5.json` at the repo root, a single stable JSON document
+reduced from the bench's JSON-lines rows (bench/bench_util.hpp). Unlike the
+raw GSKNN_BENCH_JSON stream, the snapshot has a fixed shape — one record per
+(m, n, d, k) cell with a fixed field set, sorted by cell — so diffs stay
+reviewable and tools never chase schema drift. Timings are best-of across
+however many rows a cell produced (the time_best convention: kernels are
+deterministic, best-of filters scheduler noise).
+
+The snapshot also carries the aggregate-metrics columns the bench emits
+(agg_calls / agg_p50_ns / agg_p99_ns from gsknn::metrics), so the perf
+baseline doubles as a regression anchor for the always-on metrics layer.
+
+Usage:
+    # regenerate the committed baseline (quick sweep by default):
+    tools/bench_snapshot.py --bench build/bench/table5_breakdown
+
+    # full-size sweep, custom output:
+    tools/bench_snapshot.py --bench build/bench/table5_breakdown \
+        --full --out BENCH_table5.json
+
+    # compare a fresh run against the committed snapshot (exit 1 on
+    # regression beyond --tolerance):
+    tools/bench_snapshot.py --bench build/bench/table5_breakdown \
+        --compare BENCH_table5.json --tolerance 0.3
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SNAPSHOT_VERSION = 1
+
+# Fixed per-cell field set (schema-stable: absent source fields become null,
+# unknown source fields are dropped).
+CELL_KEY = ("m", "n", "d", "k")
+CELL_FIELDS = {
+    "gsknn_total_ms": "gsknn_total_ms",
+    "gsknn_heap_est_ms": "gsknn_heap_est_ms",
+    "gemm_ref_ms": "ref_profile.wall_seconds",  # scaled to ms below
+    "gsknn_gflops": "ref_profile.derived.gflops",
+    "selection_fraction": "ref_profile.derived.selection_fraction",
+    "agg_calls": "agg_calls",
+    "agg_p50_ns": "agg_p50_ns",
+    "agg_p99_ns": "agg_p99_ns",
+}
+# Lower is better for these when comparing; the rest are informational.
+COMPARE_METRIC = "gsknn_total_ms"
+
+
+def get_path(row, dotted):
+    cur = row
+    for part in dotted.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur
+
+
+def run_bench(bench, quick):
+    """Run the bench binary with a JSON sink; return its parsed rows."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        sink = tmp.name
+    env = dict(os.environ, GSKNN_BENCH_JSON=sink)
+    if quick:
+        env["GSKNN_BENCH_QUICK"] = "1"
+    else:
+        env.pop("GSKNN_BENCH_QUICK", None)
+    try:
+        subprocess.run([bench], env=env, check=True,
+                       stdout=subprocess.DEVNULL)
+        rows = []
+        with open(sink) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+        return rows
+    finally:
+        os.unlink(sink)
+
+
+def reduce_rows(rows):
+    """Reduce JSON-lines rows to the stable snapshot document."""
+    cells = {}
+    machine = None
+    quick = False
+    for row in rows:
+        if row.get("bench") != "table5_breakdown":
+            continue
+        machine = row.get("machine", machine)
+        quick = bool(row.get("quick", quick))
+        key = tuple(row.get(k) for k in CELL_KEY)
+        if None in key:
+            continue
+        cell = cells.setdefault(key, dict(zip(CELL_KEY, key)))
+        for field, src in CELL_FIELDS.items():
+            value = get_path(row, src)
+            if field == "gemm_ref_ms" and value is not None:
+                value = round(value * 1e3, 3)
+            if value is None:
+                cell.setdefault(field, None)
+            elif field.startswith(("gsknn_total", "gsknn_heap", "gemm_ref")):
+                # best-of (min time) across repeated rows for the same cell
+                prev = cell.get(field)
+                cell[field] = value if prev is None else min(prev, value)
+            else:
+                cell[field] = value
+    if not cells:
+        sys.exit("bench_snapshot: no table5_breakdown rows in the run")
+    return {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "bench": "table5_breakdown",
+        "quick": quick,
+        "machine": machine,
+        "cells": [cells[k] for k in sorted(cells)],
+    }
+
+
+def compare(fresh, baseline_path, tolerance):
+    try:
+        with open(baseline_path) as f:
+            base = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_snapshot: cannot read baseline: {e}")
+    if base.get("snapshot_version") != SNAPSHOT_VERSION:
+        sys.exit(f"bench_snapshot: baseline snapshot_version "
+                 f"{base.get('snapshot_version')!r} != {SNAPSHOT_VERSION}")
+    base_cells = {tuple(c[k] for k in CELL_KEY): c for c in base["cells"]}
+    regressions = 0
+    compared = 0
+    for cell in fresh["cells"]:
+        key = tuple(cell[k] for k in CELL_KEY)
+        ref = base_cells.get(key)
+        if ref is None or not ref.get(COMPARE_METRIC) or \
+                not cell.get(COMPARE_METRIC):
+            continue
+        compared += 1
+        ratio = cell[COMPARE_METRIC] / ref[COMPARE_METRIC]
+        mark = ""
+        if ratio > 1.0 + tolerance:
+            regressions += 1
+            mark = "  <-- REGRESSION"
+        print(f"  m={key[0]} n={key[1]} d={key[2]} k={key[3]}: "
+              f"{ref[COMPARE_METRIC]:.3f} -> {cell[COMPARE_METRIC]:.3f} ms "
+              f"({ratio:+.1%}){mark}".replace("(+", "(").replace("%)", "%)"))
+    if compared == 0:
+        sys.exit("bench_snapshot: no overlapping cells to compare")
+    if regressions:
+        print(f"bench_snapshot: FAIL: {regressions}/{compared} cells "
+              f"regressed beyond {tolerance:.0%}")
+        return 1
+    print(f"bench_snapshot: ok: {compared} cells within {tolerance:.0%} "
+          f"of baseline")
+    return 0
+
+
+def main():
+    repo_root = Path(__file__).resolve().parent.parent
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", required=True, type=Path,
+                    help="path to the built table5_breakdown binary")
+    ap.add_argument("--full", action="store_true",
+                    help="run the full-size sweep (default: quick)")
+    ap.add_argument("--out", type=Path,
+                    default=repo_root / "BENCH_table5.json",
+                    help="snapshot path (default: BENCH_table5.json at "
+                         "the repo root)")
+    ap.add_argument("--compare", type=Path, metavar="BASELINE",
+                    help="don't write a snapshot; compare the fresh run "
+                         "against this one and exit 1 on regression")
+    ap.add_argument("--tolerance", type=float, default=0.3,
+                    help="relative slowdown allowed per cell in --compare "
+                         "mode (default 0.3; single runs are noisy)")
+    args = ap.parse_args()
+
+    if not args.bench.exists():
+        sys.exit(f"bench_snapshot: bench binary not found: {args.bench}")
+    rows = run_bench(str(args.bench), quick=not args.full)
+    snap = reduce_rows(rows)
+
+    if args.compare:
+        return compare(snap, args.compare, args.tolerance)
+
+    with open(args.out, "w") as f:
+        json.dump(snap, f, indent=1)
+        f.write("\n")
+    print(f"bench_snapshot: wrote {len(snap['cells'])} cells to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,10 +6,16 @@
 //             [--csv]                     synthesize a dataset
 //   search    --data FILE --k K --out FILE [--queries FILE] [--norm l2|l1|
 //             linf|cos|lp] [--p P] [--variant auto|1|2|3|5|6] [--threads N]
-//             [--profile [FILE]] [--trace [FILE]]
+//             [--f32] [--profile [FILE]] [--trace [FILE]] [--metrics [FILE]]
+//             [--metrics-prom [FILE]]
 //             exact kNN of every query (default: all points, self included)
+//   batch     --data FILE --k K --out FILE [--tasks T] [--threads N]
+//             [--metrics [FILE]] [--metrics-prom [FILE]]
+//             split the all-pairs search into T independent tasks and run
+//             them through the §2.5 batch scheduler
 //   allnn     --data FILE --k K --out FILE [--trees T] [--leaf L] [--seed S]
-//             [--profile [FILE]] [--trace [FILE]]
+//             [--profile [FILE]] [--trace [FILE]] [--metrics [FILE]]
+//             [--metrics-prom [FILE]]
 //             approximate all-NN via the randomized KD-tree forest,
 //             reporting sampled exact recall
 //
@@ -24,6 +30,11 @@
 // --trace records per-thread phase spans and writes a Chrome/Perfetto
 // trace_event timeline to FILE (default: <out>.trace.json); open it in
 // https://ui.perfetto.dev. Ring size via GSKNN_TRACE_RING_KB.
+//
+// --metrics / --metrics-prom snapshot the always-on aggregate registry
+// (gsknn/common/metrics.hpp) after the command ran and write the JSON
+// (default: <out>.metrics.json) or Prometheus text (<out>.metrics.prom)
+// rendering; schema in docs/OBSERVABILITY.md.
 //   info      --data FILE               print dataset statistics
 //
 // Data files: native .gsknn tables or .csv (one point per row); detected by
@@ -35,6 +46,8 @@
 #include <string>
 #include <vector>
 
+#include "gsknn/common/metrics.hpp"
+#include "gsknn/common/pmu.hpp"
 #include "gsknn/common/timer.hpp"
 #include "gsknn/common/trace.hpp"
 #include "gsknn/core/knn.hpp"
@@ -151,6 +164,13 @@ void emit_profile(const telemetry::KernelProfile& prof,
         "note: hardware counters unavailable (perf_event_open denied or "
         "GSKNN_PMU=0); pmu fields read as zero\n",
         stdout);
+  } else if (telemetry::pmu_multiplexed_reads() > 0) {
+    // Scaled counts are estimates; say so instead of letting them read as
+    // exact tallies.
+    std::printf(
+        "note: %llu pmu reads were multiplex-scaled (more events than "
+        "hardware counters); pmu columns are estimates\n",
+        static_cast<unsigned long long>(telemetry::pmu_multiplexed_reads()));
   }
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -174,6 +194,39 @@ void emit_trace(const telemetry::TraceSink& trace,
               static_cast<unsigned long long>(trace.span_count()),
               trace.thread_tracks(),
               static_cast<unsigned long long>(trace.dropped_spans()));
+}
+
+/// Write one rendering of the aggregate registry; shared by --metrics
+/// (JSON) and --metrics-prom (Prometheus text).
+void write_metrics_file(const std::string& body, const std::string& path,
+                        const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error(std::string("cannot write ") + what + " to " +
+                             path);
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("%s -> %s\n", what, path.c_str());
+}
+
+/// Handle `--metrics [F]` / `--metrics-prom [F]`: snapshot the process-wide
+/// aggregate registry once and write the requested renderings.
+void emit_metrics(const Args& a, const std::string& out) {
+  if (!a.has("metrics") && !a.has("metrics-prom")) return;
+  const metrics::MetricsSnapshot snap = metrics::snapshot();
+  if (a.has("metrics")) {
+    const std::string v = a.get("metrics");
+    write_metrics_file(snap.to_json(), v != "1" ? v : out + ".metrics.json",
+                       "metrics json");
+  }
+  if (a.has("metrics-prom")) {
+    const std::string v = a.get("metrics-prom");
+    write_metrics_file(snap.to_prometheus(),
+                       v != "1" ? v : out + ".metrics.prom",
+                       "metrics prometheus");
+  }
 }
 
 int cmd_generate(const Args& a) {
@@ -222,24 +275,20 @@ int cmd_search(const Args& a) {
   std::iota(refs.begin(), refs.end(), 0);
 
   std::vector<int> queries;
-  PointTable qtable;
+  PointTable combined;  // used only with --queries
   const std::string qpath = a.get("queries");
-  NeighborTable result(0, 1);
-  WallTimer timer;
+  const PointTable* X = &data;
   if (qpath.empty()) {
     // All-pairs over the dataset itself.
     queries = refs;
-    result.resize(static_cast<int>(queries.size()), k);
-    timer.start();
-    knn_kernel(data, queries, refs, result, cfg);
   } else {
     // External query set: append its points to a combined table so the
     // kernel's single-table interface applies.
-    qtable = load_any(qpath);
+    const PointTable qtable = load_any(qpath);
     if (qtable.dim() != data.dim()) {
       throw std::runtime_error("query/data dimension mismatch");
     }
-    PointTable combined(data.dim(), data.size() + qtable.size());
+    combined.resize(data.dim(), data.size() + qtable.size());
     std::memcpy(combined.data(), data.data(),
                 sizeof(double) * static_cast<std::size_t>(data.dim()) * data.size());
     std::memcpy(combined.col(data.size()), qtable.data(),
@@ -247,19 +296,93 @@ int cmd_search(const Args& a) {
     combined.compute_norms();
     queries.resize(static_cast<std::size_t>(qtable.size()));
     std::iota(queries.begin(), queries.end(), data.size());
-    result.resize(static_cast<int>(queries.size()), k);
-    timer.start();
-    knn_kernel(combined, queries, refs, result, cfg);
+    X = &combined;
   }
-  const double secs = timer.seconds();
 
   const std::string out = a.get("out");
   if (out.empty()) throw std::runtime_error("search requires --out");
-  save_neighbors_csv(result, out);
-  std::printf("searched %zu queries x %d refs (d=%d, k=%d) in %.3fs -> %s\n",
-              queries.size(), data.size(), data.dim(), k, secs, out.c_str());
+
+  WallTimer timer;
+  double secs;
+  if (a.has("f32")) {
+    // Single-precision path; save_neighbors_csv is double-only, so the CSV
+    // (same query,rank,neighbor_id,distance schema) is written here.
+    const PointTableF xf = to_float(*X);
+    NeighborTableF result(static_cast<int>(queries.size()), k);
+    timer.start();
+    knn_kernel(xf, queries, refs, result, cfg);
+    secs = timer.seconds();
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) throw std::runtime_error("cannot write " + out);
+    std::fputs("query,rank,neighbor_id,distance\n", f);
+    for (int i = 0; i < result.rows(); ++i) {
+      const auto row = result.sorted_row(i);
+      for (std::size_t rank = 0; rank < row.size(); ++rank) {
+        std::fprintf(f, "%d,%zu,%d,%.9g\n", i, rank, row[rank].second,
+                     static_cast<double>(row[rank].first));
+      }
+    }
+    std::fclose(f);
+  } else {
+    NeighborTable result(static_cast<int>(queries.size()), k);
+    timer.start();
+    knn_kernel(*X, queries, refs, result, cfg);
+    secs = timer.seconds();
+    save_neighbors_csv(result, out);
+  }
+  std::printf("searched %zu queries x %d refs (d=%d, k=%d, %s) in %.3fs -> %s\n",
+              queries.size(), data.size(), data.dim(), k,
+              a.has("f32") ? "f32" : "f64", secs, out.c_str());
   if (cfg.profile != nullptr) emit_profile(prof, profile_json_path(a, out));
   if (cfg.trace != nullptr) emit_trace(trace, trace_json_path(a, out));
+  emit_metrics(a, out);
+  return 0;
+}
+
+/// Split the all-pairs search into `--tasks` contiguous query slices over
+/// the shared reference set and run them through the §2.5 batch scheduler.
+int cmd_batch(const Args& a) {
+  const PointTable data = load_any(a.get("data"));
+  const int k = static_cast<int>(a.get_long("k", 10));
+  const int ntasks =
+      std::max(1, static_cast<int>(a.get_long("tasks", 8)));
+  KnnConfig cfg;
+  cfg.norm = parse_norm(a.get("norm"));
+  cfg.p = a.get_double("p", 3.0);
+  cfg.threads = static_cast<int>(a.get_long("threads", 0));
+
+  std::vector<int> refs(static_cast<std::size_t>(data.size()));
+  std::iota(refs.begin(), refs.end(), 0);
+  NeighborTable result(data.size(), k);
+
+  std::vector<KnnTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(ntasks));
+  const int n = data.size();
+  for (int t = 0; t < ntasks; ++t) {
+    const int lo = static_cast<int>(static_cast<long>(n) * t / ntasks);
+    const int hi = static_cast<int>(static_cast<long>(n) * (t + 1) / ntasks);
+    if (hi <= lo) continue;
+    KnnTask task;
+    task.qidx = std::span<const int>(refs.data() + lo,
+                                     static_cast<std::size_t>(hi - lo));
+    task.ridx = refs;
+    task.result = &result;
+    // Tasks share one table; aim each at its own query rows (ids == rows).
+    task.result_rows = task.qidx;
+    tasks.push_back(task);
+  }
+
+  WallTimer timer;
+  timer.start();
+  knn_batch(data, tasks, k, cfg);
+  const double secs = timer.seconds();
+
+  const std::string out = a.get("out");
+  if (out.empty()) throw std::runtime_error("batch requires --out");
+  save_neighbors_csv(result, out);
+  std::printf("batch: %zu tasks over %d points (d=%d, k=%d) in %.3fs -> %s\n",
+              tasks.size(), data.size(), data.dim(), k, secs, out.c_str());
+  emit_metrics(a, out);
   return 0;
 }
 
@@ -290,6 +413,7 @@ int cmd_allnn(const Args& a) {
     emit_profile(prof, profile_json_path(a, out));
   }
   if (cfg.kernel.trace != nullptr) emit_trace(trace, trace_json_path(a, out));
+  emit_metrics(a, out);
   return 0;
 }
 
@@ -309,13 +433,15 @@ int cmd_info(const Args& a) {
 }
 
 void usage() {
-  std::puts("usage: gsknn <generate|search|allnn|info> [--options]\n"
+  std::puts("usage: gsknn <generate|search|batch|allnn|info> [--options]\n"
             "  generate --out F --d D --n N [--dist uniform|gaussian|mixture] [--csv]\n"
             "  search   --data F --k K --out F [--queries F] [--norm l2|l1|linf|cos|lp]\n"
-            "           [--variant auto|1|2|3|5|6] [--threads N] [--profile [F]]\n"
-            "           [--trace [F]]\n"
+            "           [--variant auto|1|2|3|5|6] [--threads N] [--f32] [--profile [F]]\n"
+            "           [--trace [F]] [--metrics [F]] [--metrics-prom [F]]\n"
+            "  batch    --data F --k K --out F [--tasks T] [--threads N]\n"
+            "           [--metrics [F]] [--metrics-prom [F]]\n"
             "  allnn    --data F --k K --out F [--trees T] [--leaf L] [--profile [F]]\n"
-            "           [--trace [F]]\n"
+            "           [--trace [F]] [--metrics [F]] [--metrics-prom [F]]\n"
             "  info     --data F");
 }
 
@@ -331,6 +457,7 @@ int main(int argc, char** argv) {
     const Args args = parse_args(argc, argv, 2);
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "search") return cmd_search(args);
+    if (cmd == "batch") return cmd_batch(args);
     if (cmd == "allnn") return cmd_allnn(args);
     if (cmd == "info") return cmd_info(args);
     usage();
