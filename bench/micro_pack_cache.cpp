@@ -1,0 +1,106 @@
+// Micro-benchmark: the plan/pack/compute split (PackedRefs,
+// docs/ARCHITECTURE.md). Three traffic regimes per (d, k) cell over the
+// same query/reference sets:
+//
+//   cold         every call re-packs the Rc panel (the classic one-shot
+//                kernel — pack cost amortized over exactly one query);
+//   warm         resident panels from a PackedRefs cache — the pack phase
+//                is eliminated, 0 packed reference bytes per call;
+//   incremental  one insert() between queries — only the blocks whose id
+//                range changed re-pack, the rest stay resident.
+//
+// The JSON rows (GSKNN_BENCH_JSON) carry the packed-byte counters so
+// tools/check_perf.py can hard-assert warm pack_bytes == 0 rather than
+// trusting the timing column.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/core/packed_refs.hpp"
+#include "gsknn/data/generators.hpp"
+
+using namespace gsknn;
+using namespace gsknn::bench;
+
+int main() {
+  print_header("micro_pack_cache — packed-refs traffic: cold vs warm vs incremental");
+  const int m = scaled(4096, 1024);
+  const int n = scaled(8192, 2048);
+  const int k = 16;
+  std::printf("# m = %d queries x n = %d refs, k = %d; warm pack bytes must "
+              "read 0\n", m, n, k);
+  std::printf("%6s | %9s | %9s | %7s | %10s | %9s | %12s\n", "d", "cold ms",
+              "warm ms", "speedup", "warm bytes", "incr ms", "repack bytes");
+
+  for (int d : {16, 64, 256}) {
+    const PointTable X = make_uniform(d, m + n, 0x9ACC);
+    const auto q = iota_ids(m);
+    const auto r = iota_ids(n, m);
+    NeighborTable t(m, k);
+
+    // Cold: the pack phase runs inside every invocation.
+    const double cold_s = time_best(3, [&] {
+      t.reset();
+      knn_kernel(X, q, r, t, {});
+    });
+
+    // Warm: pack once into the cache, then query resident panels.
+    PackedRefs refs;
+    if (refs.build(X, r, {}) != Status::kOk) {
+      std::fprintf(stderr, "pack cache build failed\n");
+      return 1;
+    }
+    t.reset();
+    knn_kernel(refs, q, t, {});  // prime (the only packing pass)
+    const PackedRefs::Stats primed = refs.stats();
+    const double warm_s = time_best(3, [&] {
+      t.reset();
+      knn_kernel(refs, q, t, {});
+    });
+    const PackedRefs::Stats warmed = refs.stats();
+    const std::uint64_t warm_bytes = warmed.bytes_packed - primed.bytes_packed;
+
+    // Incremental: one appended reference between queries; only the touched
+    // tail block re-packs (repack bytes << the full resident footprint).
+    double incr_s = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const std::vector<int> extra = {rep};  // query-range ids: valid, unused
+      WallTimer wt;
+      if (refs.insert(extra) != Status::kOk) return 1;
+      t.reset();
+      knn_kernel(refs, q, t, {});
+      incr_s = std::min(incr_s, wt.seconds());
+    }
+    const PackedRefs::Stats incr = refs.stats();
+    const std::uint64_t incr_bytes =
+        (incr.bytes_packed - warmed.bytes_packed) / 3;  // per update
+
+    std::printf("%6d | %9.2f | %9.2f | %6.2fx | %10llu | %9.2f | %12llu\n", d,
+                cold_s * 1e3, warm_s * 1e3, cold_s / warm_s,
+                static_cast<unsigned long long>(warm_bytes), incr_s * 1e3,
+                static_cast<unsigned long long>(incr_bytes));
+
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "\"d\":%d,\"k\":%d,\"mode\":\"cold\",\"ms\":%.3f", d, k,
+                  cold_s * 1e3);
+    emit_json_row("micro_pack_cache", row);
+    std::snprintf(row, sizeof(row),
+                  "\"d\":%d,\"k\":%d,\"mode\":\"warm\",\"ms\":%.3f,"
+                  "\"pack_bytes\":%llu,\"hits\":%llu,\"misses\":%llu",
+                  d, k, warm_s * 1e3,
+                  static_cast<unsigned long long>(warm_bytes),
+                  static_cast<unsigned long long>(warmed.hits),
+                  static_cast<unsigned long long>(warmed.misses));
+    emit_json_row("micro_pack_cache", row);
+    std::snprintf(row, sizeof(row),
+                  "\"d\":%d,\"k\":%d,\"mode\":\"incremental\",\"ms\":%.3f,"
+                  "\"pack_bytes\":%llu,\"resident_bytes\":%zu",
+                  d, k, incr_s * 1e3,
+                  static_cast<unsigned long long>(incr_bytes),
+                  incr.resident_bytes);
+    emit_json_row("micro_pack_cache", row);
+  }
+  return 0;
+}

@@ -37,7 +37,9 @@ enum {
   GSKNN_ERR_INTERNAL = -6,         /* unexpected failure */
   GSKNN_ERR_RESOURCE_EXHAUSTED = -7, /* workspace cap / allocation failure */
   GSKNN_ERR_DEADLINE_EXCEEDED = -8,  /* deadline expired mid-search */
-  GSKNN_ERR_CANCELLED = -9           /* cancel token fired mid-search */
+  GSKNN_ERR_CANCELLED = -9,          /* cancel token fired mid-search */
+  GSKNN_ERR_STALE = -10              /* packed-refs epoch mismatch (see
+                                        gsknn_packed_refs_* below) */
 };
 
 /* Short stable name for a status code ("ok", "bad_index", ...); "unknown"
@@ -137,6 +139,67 @@ int gsknn_search_deadline_ms(const gsknn_table* table, const int* qidx,
                              int64_t deadline_ms, gsknn_cancel_token* token,
                              size_t max_workspace_bytes,
                              gsknn_result* result);
+
+/* ---- packed reference cache ------------------------------------------ */
+
+/* A reusable packed reference-panel cache (mirror gsknn::PackedRefs; see
+ * docs/ARCHITECTURE.md "plan / pack / compute"). Pack a reference set once,
+ * query it many times: warm searches move 0 packed reference bytes and
+ * return results bitwise-identical to gsknn_search over the same ids.
+ * The cache serves the query norms that share its panel layout (l2sq/cosine
+ * caches also serve l1/lp; an linf cache serves only linf) — a mismatch
+ * returns GSKNN_ERR_UNSUPPORTED. */
+typedef struct gsknn_packed_refs gsknn_packed_refs;
+
+/* "Don't check the epoch" sentinel for gsknn_packed_search. */
+#define GSKNN_EPOCH_ANY ((uint64_t)-1)
+
+/* Per-cache statistics (mirror gsknn::PackedRefsT::Stats). */
+enum {
+  GSKNN_PACK_STAT_HITS = 0,            /* block acquisitions served resident */
+  GSKNN_PACK_STAT_MISSES = 1,          /* block acquisitions that packed */
+  GSKNN_PACK_STAT_EVICTIONS = 2,       /* blocks dropped under the budget */
+  GSKNN_PACK_STAT_BYTES_PACKED = 3,    /* cumulative bytes packed */
+  GSKNN_PACK_STAT_RESIDENT_BYTES = 4,  /* panel bytes currently cached */
+  GSKNN_PACK_STAT_RESIDENT_BLOCKS = 5,
+  GSKNN_PACK_STAT_COUNT = 6
+};
+
+/* Pack the nq references `ridx` (indices into `table`, copied) for queries
+ * under `norm`. `table` is referenced, not copied — it must outlive the
+ * handle. budget_bytes caps resident panel bytes (0 = unlimited; LRU
+ * eviction above it; a budget below one block fails). eager != 0 packs every
+ * block now instead of on first touch. NULL on error (gsknn_last_error()). */
+gsknn_packed_refs* gsknn_packed_refs_create(const gsknn_table* table,
+                                            const int* ridx, int nq, int norm,
+                                            size_t budget_bytes, int eager);
+void gsknn_packed_refs_destroy(gsknn_packed_refs* p);
+
+/* Generation counter: 0 after create, +1 per insert/erase. 0 on NULL. */
+uint64_t gsknn_packed_refs_epoch(const gsknn_packed_refs* p);
+/* Current reference count; -1 on NULL. */
+int gsknn_packed_refs_size(const gsknn_packed_refs* p);
+
+/* Incremental updates (block-granularity repacking: only the panel blocks
+ * whose id range changed are re-packed on next touch). Both bump the epoch,
+ * so in-flight gsknn_packed_search calls pinned to the old epoch return
+ * GSKNN_ERR_STALE. Updates must not run concurrently with searches on the
+ * same handle. insert appends ids; erase removes the first occurrence of
+ * each id (GSKNN_ERR_BAD_INDEX when one is absent; nothing is removed). */
+int gsknn_packed_refs_insert(gsknn_packed_refs* p, const int* ids, int count);
+int gsknn_packed_refs_erase(gsknn_packed_refs* p, const int* ids, int count);
+
+/* One GSKNN_PACK_STAT_* value; 0 on NULL or out-of-range arguments. */
+uint64_t gsknn_packed_refs_stat(const gsknn_packed_refs* p, int stat);
+
+/* Warm-path search: identical semantics (and bitwise-identical results) to
+ * gsknn_search over the cache's current ids, except reference panels come
+ * from the cache. Pass an epoch observed via gsknn_packed_refs_epoch() to
+ * reject the call with GSKNN_ERR_STALE (result untouched) when an update
+ * slipped in between — or GSKNN_EPOCH_ANY to skip the check. */
+int gsknn_packed_search(gsknn_packed_refs* refs, const int* qidx, int mq,
+                        int norm, int variant, double lp, int threads,
+                        uint64_t expected_epoch, gsknn_result* result);
 
 /* ---- telemetry ------------------------------------------------------- */
 
@@ -270,7 +333,11 @@ enum {
   GSKNN_METRIC_CTR_VARIANT_DEMOTIONS = 2,
   GSKNN_METRIC_CTR_TRACE_SPANS_DROPPED = 3,
   GSKNN_METRIC_CTR_PMU_MULTIPLEXED_READS = 4,
-  GSKNN_METRIC_CTR_COUNT = 5
+  GSKNN_METRIC_CTR_PACK_HITS = 5,       /* warm packed-refs block reuses */
+  GSKNN_METRIC_CTR_PACK_MISSES = 6,     /* packed-refs blocks packed cold */
+  GSKNN_METRIC_CTR_PACK_EVICTIONS = 7,  /* blocks evicted under the budget */
+  GSKNN_METRIC_CTR_CACHE_BYTES = 8,     /* bytes packed into caches, cumul. */
+  GSKNN_METRIC_CTR_COUNT = 9
 };
 
 typedef struct gsknn_metrics gsknn_metrics; /* MetricsSnapshot handle */

@@ -71,7 +71,7 @@ const char* entry_point_name(EntryPoint ep);
 /// Result-status axis. Mirrors gsknn::Status (gsknn/core/knn.hpp) by value
 /// without depending on it — the common layer sits below core. The label
 /// table is pinned to gsknn::status_name() by tests/common/test_metrics.cpp.
-inline constexpr int kStatusCount = 10;
+inline constexpr int kStatusCount = 11;
 
 /// Stable lowercase status label ("ok", "deadline_exceeded", ...);
 /// "unknown" outside [0, kStatusCount).
@@ -111,6 +111,13 @@ enum class Counter : int {
   kTraceSpansDropped,          ///< trace spans lost (ring overflow or track
                                ///< exhaustion), summed across all sinks
   kPmuMultiplexedReads,        ///< PMU snapshots scaled by enabled/running
+  // Packed-panel reference cache (gsknn/core/packed_refs.hpp). Hit/miss
+  // make the warm-traffic claim measurable ("0 packed bytes moved" means
+  // hits without pack_bytes growth); evictions expose budget pressure.
+  kPackHits,                   ///< warm block acquisitions (panel resident)
+  kPackMisses,                 ///< cold block acquisitions (block was packed)
+  kPackEvictions,              ///< panel blocks evicted under the budget
+  kCacheBytes,                 ///< bytes packed into caches, cumulative
   kNumCounters,
 };
 

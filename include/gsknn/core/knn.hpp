@@ -55,6 +55,9 @@ enum class Status {
                        ///< the result table is untouched
   kDeadlineExceeded,   ///< KnnConfig::deadline passed at a block boundary
   kCancelled,          ///< KnnConfig::cancel token fired at a block boundary
+  kStale,              ///< PackedRefs epoch mismatch: the reference set was
+                       ///< updated after the caller captured its epoch; the
+                       ///< result table is untouched (gsknn/core/packed_refs.hpp)
 };
 
 /// Stable lowercase name of a status ("ok", "invalid_argument", ...).

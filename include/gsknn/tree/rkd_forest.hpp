@@ -38,6 +38,18 @@ struct RkdConfig {
   /// Number of candidate split directions sampled per node (split uses the
   /// one with maximal projected spread — FLANN-style randomization).
   int split_candidates = 4;
+  /// Route leaf reference panels through a PackedRefs cache (GSKNN backend
+  /// only; ignored by the GEMM baseline). Each leaf's references are packed
+  /// once and reused across sweeps — with sweeps > 1 the repeat passes move
+  /// zero packed reference bytes. Results stay bitwise-identical (dedup
+  /// makes re-visiting a leaf idempotent).
+  bool pack_cache = false;
+  /// Query passes per tree (>= 1). Extra sweeps only do useful work with
+  /// pack_cache — they exist to measure/exercise warm panel reuse.
+  int sweeps = 1;
+  /// Per-leaf-cache resident-panel budget in bytes (0 = unlimited); see
+  /// PackedRefsT::Options::budget_bytes.
+  std::size_t pack_cache_budget = 0;
 };
 
 struct AllNnResult {
@@ -52,6 +64,12 @@ struct AllNnResult {
   /// via NeighborTable::row_complete(). Deadline/cancel ride in on
   /// RkdConfig::kernel (KnnConfig::deadline / ::cancel).
   Status status = Status::kOk;
+  /// Pack-cache telemetry, all zero unless RkdConfig::pack_cache was on:
+  /// leaf-block acquisitions served resident / packed cold, and the packed
+  /// bytes moved (cold sweeps pay pack_bytes; warm sweeps add hits only).
+  std::uint64_t pack_hits = 0;
+  std::uint64_t pack_misses = 0;
+  std::uint64_t pack_bytes = 0;
 };
 
 /// Approximate all-kNN of every point of X among all points of X.

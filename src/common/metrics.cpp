@@ -24,12 +24,13 @@ const char* const kStatusLabels[kStatusCount] = {
     "ok",          "invalid_argument",   "bad_index",
     "bad_config",  "non_finite",         "unsupported",
     "internal",    "resource_exhausted", "deadline_exceeded",
-    "cancelled",
+    "cancelled",   "stale",
 };
 
 const char* const kCounterNames[kCounterCount] = {
     "workspace_retiled_calls", "workspace_retile_steps", "variant_demotions",
-    "trace_spans_dropped",     "pmu_multiplexed_reads",
+    "trace_spans_dropped",     "pmu_multiplexed_reads",  "pack_hits",
+    "pack_misses",             "pack_evictions",         "cache_bytes",
 };
 
 const char* const kShapeDims[4] = {"m", "n", "d", "k"};

@@ -14,6 +14,7 @@
 #include "gsknn/common/pmu.hpp"
 #include "gsknn/common/trace.hpp"
 #include "gsknn/core/knn.hpp"
+#include "gsknn/core/packed_refs.hpp"
 #include "gsknn/data/io.hpp"
 
 namespace {
@@ -45,6 +46,8 @@ int status_code(gsknn::Status s) {
       return GSKNN_ERR_DEADLINE_EXCEEDED;
     case gsknn::Status::kCancelled:
       return GSKNN_ERR_CANCELLED;
+    case gsknn::Status::kStale:
+      return GSKNN_ERR_STALE;
   }
   return GSKNN_ERR_INTERNAL;
 }
@@ -125,6 +128,10 @@ struct gsknn_trace {
 
 struct gsknn_cancel_token {
   gsknn::CancelToken token;
+};
+
+struct gsknn_packed_refs {
+  gsknn::PackedRefs refs;
 };
 
 struct gsknn_metrics {
@@ -238,6 +245,8 @@ const char* gsknn_status_name(int status) {
       return "deadline_exceeded";
     case GSKNN_ERR_CANCELLED:
       return "cancelled";
+    case GSKNN_ERR_STALE:
+      return "stale";
   }
   return "unknown";
 }
@@ -384,6 +393,135 @@ int gsknn_search_deadline_ms(const gsknn_table* table, const int* qidx,
     const gsknn::Status s = gsknn::knn_kernel_status(
         table->table, {qidx, static_cast<std::size_t>(mq)},
         {ridx, static_cast<std::size_t>(nq)}, result->table, cfg);
+    if (s != gsknn::Status::kOk) {
+      set_error(gsknn::status_name(s));
+      return status_code(s);
+    }
+    return GSKNN_OK;
+  } catch (const gsknn::StatusError& e) {
+    set_error(e.what());
+    return status_code(e.status());
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return GSKNN_ERR_INTERNAL;
+  }
+}
+
+gsknn_packed_refs* gsknn_packed_refs_create(const gsknn_table* table,
+                                            const int* ridx, int nq, int norm,
+                                            size_t budget_bytes, int eager) {
+  if (table == nullptr || nq < 0 || (nq > 0 && ridx == nullptr)) {
+    set_error("gsknn_packed_refs_create: null argument or negative count");
+    return nullptr;
+  }
+  try {
+    gsknn::KnnConfig probe;  // reuse the norm switch; variant is irrelevant
+    if (parse_search_config(norm, GSKNN_VARIANT_AUTO, 2.0, 0, probe) !=
+        GSKNN_OK) {
+      set_error("gsknn_packed_refs_create: unknown norm");
+      return nullptr;
+    }
+    auto p = std::make_unique<gsknn_packed_refs>();
+    gsknn::PackedRefs::Options opt;
+    opt.norm = probe.norm;
+    opt.budget_bytes = budget_bytes;
+    opt.eager = eager != 0;
+    const gsknn::Status s = p->refs.build(
+        table->table, {ridx, static_cast<std::size_t>(nq)}, opt);
+    if (s != gsknn::Status::kOk) {
+      set_error(gsknn::status_name(s));
+      return nullptr;
+    }
+    return p.release();
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return nullptr;
+  }
+}
+
+void gsknn_packed_refs_destroy(gsknn_packed_refs* p) { delete p; }
+
+uint64_t gsknn_packed_refs_epoch(const gsknn_packed_refs* p) {
+  return p != nullptr ? p->refs.epoch() : 0;
+}
+
+int gsknn_packed_refs_size(const gsknn_packed_refs* p) {
+  return p != nullptr ? p->refs.size() : -1;
+}
+
+int gsknn_packed_refs_insert(gsknn_packed_refs* p, const int* ids, int count) {
+  if (p == nullptr || count < 0 || (count > 0 && ids == nullptr)) {
+    set_error("gsknn_packed_refs_insert: null argument or negative count");
+    return GSKNN_ERR_INVALID_ARGUMENT;
+  }
+  try {
+    const gsknn::Status s =
+        p->refs.insert({ids, static_cast<std::size_t>(count)});
+    if (s != gsknn::Status::kOk) {
+      set_error(gsknn::status_name(s));
+      return status_code(s);
+    }
+    return GSKNN_OK;
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return GSKNN_ERR_INTERNAL;
+  }
+}
+
+int gsknn_packed_refs_erase(gsknn_packed_refs* p, const int* ids, int count) {
+  if (p == nullptr || count < 0 || (count > 0 && ids == nullptr)) {
+    set_error("gsknn_packed_refs_erase: null argument or negative count");
+    return GSKNN_ERR_INVALID_ARGUMENT;
+  }
+  try {
+    const gsknn::Status s =
+        p->refs.erase({ids, static_cast<std::size_t>(count)});
+    if (s != gsknn::Status::kOk) {
+      set_error(gsknn::status_name(s));
+      return status_code(s);
+    }
+    return GSKNN_OK;
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return GSKNN_ERR_INTERNAL;
+  }
+}
+
+uint64_t gsknn_packed_refs_stat(const gsknn_packed_refs* p, int stat) {
+  if (p == nullptr) return 0;
+  const gsknn::PackedRefs::Stats st = p->refs.stats();
+  switch (stat) {
+    case GSKNN_PACK_STAT_HITS:
+      return st.hits;
+    case GSKNN_PACK_STAT_MISSES:
+      return st.misses;
+    case GSKNN_PACK_STAT_EVICTIONS:
+      return st.evictions;
+    case GSKNN_PACK_STAT_BYTES_PACKED:
+      return st.bytes_packed;
+    case GSKNN_PACK_STAT_RESIDENT_BYTES:
+      return st.resident_bytes;
+    case GSKNN_PACK_STAT_RESIDENT_BLOCKS:
+      return static_cast<uint64_t>(st.resident_blocks);
+  }
+  return 0;
+}
+
+int gsknn_packed_search(gsknn_packed_refs* refs, const int* qidx, int mq,
+                        int norm, int variant, double lp, int threads,
+                        uint64_t expected_epoch, gsknn_result* result) {
+  if (refs == nullptr || result == nullptr || mq < 0 ||
+      (mq > 0 && qidx == nullptr)) {
+    set_error("gsknn_packed_search: null argument or negative count");
+    return GSKNN_ERR_INVALID_ARGUMENT;
+  }
+  try {
+    gsknn::KnnConfig cfg;
+    const int rc = parse_search_config(norm, variant, lp, threads, cfg);
+    if (rc != GSKNN_OK) return rc;
+    const gsknn::Status s = gsknn::knn_kernel_status(
+        refs->refs, {qidx, static_cast<std::size_t>(mq)}, result->table, cfg,
+        {}, expected_epoch);
     if (s != gsknn::Status::kOk) {
       set_error(gsknn::status_name(s));
       return status_code(s);

@@ -44,6 +44,7 @@
 #include "gsknn/common/trace.hpp"
 #include "gsknn/common/workspace.hpp"
 #include "gsknn/core/knn.hpp"
+#include "gsknn/core/packed_refs.hpp"
 #include "gsknn/core/workspace.hpp"
 #include "gsknn/model/perf_model.hpp"
 #include "micro.hpp"
@@ -134,55 +135,6 @@ void row_select(const T* GSKNN_RESTRICT cand, const int* GSKNN_RESTRICT ids,
   }
 }
 
-/// Flag every selected point that has at least one non-finite coordinate.
-/// `bad[i]` corresponds to position i of the index list (not the global id,
-/// which may repeat). O(count·d) worst case, but early-exits per point and is
-/// only run for ℓ∞ (see poison_packed below).
-template <typename T>
-void scan_nonfinite(const PointTableT<T>& X, const int* idx, int count,
-                    std::vector<unsigned char>& bad, bool& any) {
-  bad.assign(static_cast<std::size_t>(count), 0);
-  any = false;
-  const int d = X.dim();
-  for (int i = 0; i < count; ++i) {
-    const T* p = X.col(idx[i]);
-    for (int r = 0; r < d; ++r) {
-      if (!std::isfinite(p[r])) {
-        bad[static_cast<std::size_t>(i)] = 1;
-        any = true;
-        break;
-      }
-    }
-  }
-}
-
-/// Overwrite the packed columns of flagged points with quiet NaN.
-///
-/// Every additive norm (ℓ1, ℓ2, ℓp, cosine) propagates a NaN coordinate to
-/// the final distance through the accumulation itself. ℓ∞ cannot: its
-/// max-style combine (vmaxpd and the scalar mirror alike) returns the second
-/// source when either operand is NaN, so a NaN term — or a NaN partial
-/// carried across depth blocks — is silently dropped the moment a finite
-/// term follows it. Poisoning the *entire* packed column of a non-finite
-/// point in every depth block makes all of its |q−r| terms NaN, so the max
-/// chain ends NaN in every SIMD path and every blocking, and the selection
-/// contract then excludes the point. `count` may include the zero-padded
-/// tail lanes (their flags are never set). Layout matches pack_points_rt:
-/// tile-major groups of `tile` lanes, depth-major within a group.
-template <typename T>
-void poison_packed(T* panel, const unsigned char* bad, int i0, int count,
-                   int tile, int db) {
-  const T qnan = std::numeric_limits<T>::quiet_NaN();
-  for (int g = 0; g < count; g += tile) {
-    const int pts = (count - g < tile) ? count - g : tile;
-    T* blk = panel + static_cast<long>(g) * db;
-    for (int l = 0; l < pts; ++l) {
-      if (!bad[static_cast<std::size_t>(i0 + g + l)]) continue;
-      for (int p = 0; p < db; ++p) blk[static_cast<long>(p) * tile + l] = qnan;
-    }
-  }
-}
-
 /// The loop number a Variant names (telemetry metadata).
 int variant_number(Variant v) {
   switch (v) {
@@ -202,91 +154,261 @@ int variant_number(Variant v) {
   return 0;
 }
 
+/// The d == 0 degenerate path, shared by the cold and packed drivers:
+/// every point is the empty tuple and every pairwise distance is identically
+/// 0 (cosine: 1, the zero-norm rule). Selection still honors dedup and the
+/// lowest-id tie contract, so route a constant candidate row through the
+/// ordinary row scan.
 template <typename T>
-Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
-                       std::span<const int> ridx, NeighborTableT<T>& result,
-                       const KnnConfig& cfg,
-                       std::span<const int> result_rows) {
-  const int m = static_cast<int>(qidx.size());
-  const int n = static_cast<int>(ridx.size());
-  const int d = X.dim();
-  const int k = result.k();
-  // Full contract validation (docs/CONTRACT.md): throws StatusError before
-  // any parallel region or allocation so malformed calls fail cleanly.
-  check_knn_args(X, qidx, ridx, result, cfg, result_rows);
-  if (m == 0 || n == 0) return Status::kOk;
-
-  if (d == 0) {
-    // Zero-dimensional geometry: every point is the empty tuple and every
-    // pairwise distance is identically 0 (cosine: 1, the zero-norm rule).
-    // Selection still honors dedup and the lowest-id tie contract, so route
-    // a constant candidate row through the ordinary row scan.
-    const T dist0 = (cfg.norm == Norm::kCosine) ? T(1) : T(0);
-    AlignedBuffer<T> cand(static_cast<std::size_t>(n));
-    for (int j = 0; j < n; ++j) cand.data()[j] = dist0;
-    const int stride0 = result.row_stride();
-    const HeapArity arity0 = result.arity();
-    for (int i = 0; i < m; ++i) {
-      const int row =
-          result_rows.empty() ? i : result_rows[static_cast<std::size_t>(i)];
-      row_select(cand.data(), ridx.data(), n, result.row_dists(row),
-                 result.row_ids(row), result.row_idset(row), result.k(),
-                 stride0, arity0, cfg.dedup);
-    }
-    return Status::kOk;
+Status degenerate_d0(const int* rid, int n, int m, NeighborTableT<T>& result,
+                     const KnnConfig& cfg, std::span<const int> result_rows) {
+  const T dist0 = (cfg.norm == Norm::kCosine) ? T(1) : T(0);
+  AlignedBuffer<T> cand(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) cand.data()[j] = dist0;
+  const int stride0 = result.row_stride();
+  const HeapArity arity0 = result.arity();
+  for (int i = 0; i < m; ++i) {
+    const int row =
+        result_rows.empty() ? i : result_rows[static_cast<std::size_t>(i)];
+    row_select(cand.data(), rid, n, result.row_dists(row),
+               result.row_ids(row), result.row_idset(row), result.k(),
+               stride0, arity0, cfg.dedup);
   }
+  return Status::kOk;
+}
 
-  // ℓ∞'s max-based accumulation cannot propagate NaN on its own (see
-  // poison_packed); pre-scan both index lists once so the per-block poison
-  // pass is skipped entirely on clean data.
-  std::vector<unsigned char> qbad, rbad;
-  bool any_bad_q = false, any_bad_r = false;
-  if (cfg.norm == Norm::kLInf) {
-    scan_nonfinite(X, qidx.data(), m, qbad, any_bad_q);
-    scan_nonfinite(X, ridx.data(), n, rbad, any_bad_r);
+// ---- plan phase ------------------------------------------------------------
+//
+// The driver's pipeline is plan / pack / compute. The plan phase resolves
+// everything the loop nest needs before a single byte moves: variant,
+// micro-kernel, blocking, thread balancing and the byte-exact workspace
+// plan. The pack phase is behind the RefPanels providers below (plus the
+// per-thread Qc packing inside the nest); the compute phase is
+// knn_kernel_compute.
+
+/// Resolved plan for one kernel invocation.
+template <typename T>
+struct KernelPlanT {
+  Variant variant = Variant::kVar1;
+  BlockingParams bp;       ///< balanced + retiled blocking
+  MicroKernelT<T> mk;      ///< selected micro-kernel (fn, mr, nr)
+  SimdLevel chosen = SimdLevel::kScalar;  ///< level the kernel dispatched to
+  int threads = 1;
+  bool needs_norms = false;
+  bool defer_possible = false;
+  WorkspacePlan ws;
+};
+
+/// Record the governance counters a finished plan implies.
+void count_plan_events(const WorkspacePlan& ws, Variant requested) {
+  if (ws.retile_steps > 0) {
+    metrics::add_counter(metrics::Counter::kWorkspaceRetiledCalls);
+    metrics::add_counter(metrics::Counter::kWorkspaceRetileSteps,
+                         static_cast<std::uint64_t>(ws.retile_steps));
   }
+  if (ws.variant != requested) {
+    metrics::add_counter(metrics::Counter::kVariantDemotions);
+  }
+}
 
+/// Cold-path plan: resolve variant, micro-kernel and blocking, balance mc
+/// over the thread team, and run the workspace planner (which may demote
+/// Var#6 and retile nc/mc/dc under a cap — all bitwise-result-preserving,
+/// gsknn/core/workspace.hpp). Throws StatusError(kBadConfig) for blockings
+/// no micro-kernel matches.
+template <typename T>
+Status plan_kernel(int m, int n, int d, int k, const KnnConfig& cfg,
+                   KernelPlanT<T>& kp) {
   const Variant req_variant = resolve_variant(m, n, d, k, cfg);
   const SimdLevel level = cpu_features().best_level();
-  const bool needs_norms =
-      (cfg.norm == Norm::kL2Sq || cfg.norm == Norm::kCosine);
-
-  MicroKernelT<T> mk;
-  BlockingParams bp;
-  SimdLevel chosen = level;
-  resolve_kernel_and_blocking<T>(level, cfg, mk, bp, chosen);
-  const MicroFnT<T> micro = mk.fn;
-  const int tmr = mk.mr;  // register-tile rows of the selected kernel
-  const int tnr = mk.nr;  // register-tile columns
-  const int threads = resolve_threads(cfg.threads);
-  bp.mc = balanced_mc(m, bp.mc, tmr, threads);
-
-  // Workspace governance: the plan is byte-exact for the carving below, and
-  // under a cap it may have demoted Var#6 to Var#5 and/or retiled nc/mc/dc
-  // downward — both bitwise-result-preserving (gsknn/core/workspace.hpp).
-  const bool defer_possible = k >= kDeferMinK && defer_enabled();
+  kp.needs_norms = (cfg.norm == Norm::kL2Sq || cfg.norm == Norm::kCosine);
+  resolve_kernel_and_blocking<T>(level, cfg, kp.mk, kp.bp, kp.chosen);
+  kp.threads = resolve_threads(cfg.threads);
+  kp.bp.mc = balanced_mc(m, kp.bp.mc, kp.mk.mr, kp.threads);
+  kp.defer_possible = k >= kDeferMinK && defer_enabled();
   const std::size_t cap = cfg.max_workspace_bytes != 0
                               ? cfg.max_workspace_bytes
                               : max_workspace_env();
-  const WorkspacePlan plan =
-      plan_workspace(m, n, d, req_variant, bp, tmr, tnr, threads, needs_norms,
-                     defer_possible, sizeof(T), cap);
-  if (!plan.fits) return Status::kResourceExhausted;
-  // Aggregate governance rates: how often the cap forces the planner off
-  // the natural tiling, and by how many ladder steps.
-  if (plan.retile_steps > 0) {
-    metrics::add_counter(metrics::Counter::kWorkspaceRetiledCalls);
-    metrics::add_counter(metrics::Counter::kWorkspaceRetileSteps,
-                         static_cast<std::uint64_t>(plan.retile_steps));
+  kp.ws = plan_workspace(m, n, d, req_variant, kp.bp, kp.mk.mr, kp.mk.nr,
+                         kp.threads, kp.needs_norms, kp.defer_possible,
+                         sizeof(T), cap);
+  if (!kp.ws.fits) return Status::kResourceExhausted;
+  count_plan_events(kp.ws, req_variant);
+  kp.variant = kp.ws.variant;
+  kp.bp = kp.ws.blocking;
+  return Status::kOk;
+}
+
+/// Warm-path plan: the pack geometry (nc, dc, nr, SIMD level) is pinned by
+/// the cache — the kernel must walk the cached blocks exactly as they were
+/// packed — so the plan selects the micro-kernel AT the cache's level for
+/// the query norm, adopts the cache's blocking, and runs the planner in
+/// packed_refs mode (Rc leaves the footprint; the ladder may only demote
+/// Var#6 and halve mc). A query the cache cannot serve byte-identically —
+/// incompatible layout class, or a norm whose kernel has a different sliver
+/// width (float ℓp resolves to the scalar 8×4 kernel; an AVX2 8×8 cache
+/// cannot feed it) — fails with kUnsupported, and the caller can fall back
+/// to the cold path.
+template <typename T>
+Status plan_kernel_packed(const PackedRefsT<T>& refs, int m, int n, int d,
+                          int k, const KnnConfig& cfg, KernelPlanT<T>& kp) {
+  if (!refs.layout_compatible(cfg.norm)) return Status::kUnsupported;
+  kp.mk = select_micro_t<T>(refs.level(), cfg.norm);
+  kp.chosen = refs.level();
+  kp.bp = refs.blocking();
+  if (kp.mk.fn == nullptr || kp.mk.nr != kp.bp.nr) return Status::kUnsupported;
+  kp.bp.mr = kp.mk.mr;
+  kp.bp.mc = static_cast<int>(round_up(static_cast<std::size_t>(kp.bp.mc),
+                                       static_cast<std::size_t>(kp.mk.mr)));
+  if (cfg.blocking.has_value()) {
+    // An explicit blocking override must agree with the cache on everything
+    // the cached panels pin; only the query-side mc is free.
+    const BlockingParams& ob = *cfg.blocking;
+    if (!ob.valid()) {
+      throw StatusError(Status::kBadConfig,
+                        "gsknn: invalid blocking parameters");
+    }
+    if (ob.nc != kp.bp.nc || ob.dc != kp.bp.dc || ob.nr != kp.bp.nr ||
+        ob.mr != kp.mk.mr) {
+      return Status::kUnsupported;
+    }
+    kp.bp.mc = ob.mc;
   }
-  if (plan.variant != req_variant) {
-    metrics::add_counter(metrics::Counter::kVariantDemotions);
+  kp.needs_norms = (cfg.norm == Norm::kL2Sq || cfg.norm == Norm::kCosine);
+  kp.threads = resolve_threads(cfg.threads);
+  kp.bp.mc = balanced_mc(m, kp.bp.mc, kp.mk.mr, kp.threads);
+  kp.defer_possible = k >= kDeferMinK && defer_enabled();
+  const Variant req_variant = resolve_variant(m, n, d, k, cfg);
+  const std::size_t cap = cfg.max_workspace_bytes != 0
+                              ? cfg.max_workspace_bytes
+                              : max_workspace_env();
+  kp.ws = plan_workspace(m, n, d, req_variant, kp.bp, kp.mk.mr, kp.mk.nr,
+                         kp.threads, kp.needs_norms, kp.defer_possible,
+                         sizeof(T), cap, /*packed_refs=*/true);
+  if (!kp.ws.fits) return Status::kResourceExhausted;
+  count_plan_events(kp.ws, req_variant);
+  kp.variant = kp.ws.variant;
+  kp.bp = kp.ws.blocking;
+  return Status::kOk;
+}
+
+// ---- pack phase (reference side) -------------------------------------------
+
+/// Cold-path reference panels: pack each (jc, pc) slab into the shared
+/// arena on demand — the pre-split driver's pack phase, verbatim. `rc`/`r2c`
+/// are carved by the compute preamble.
+template <typename T>
+struct ArenaRefPanels {
+  static constexpr bool kCached = false;
+  const PointTableT<T>* X = nullptr;
+  const int* ridx = nullptr;
+  SimdLevel chosen = SimdLevel::kScalar;
+  int tnr = 0;
+  T* rc = nullptr;
+  T* r2c = nullptr;
+  const unsigned char* rbad = nullptr;  ///< ℓ∞ non-finite flags (may be null)
+  bool any_bad = false;
+  Status err = Status::kOk;  ///< never set on the cold path
+
+  /// Pack slab (jc, pc); returns the panel base and reports the bytes moved.
+  const T* get(int jc, int nb, int nbpad, int pc, int db, bool last,
+               bool needs_norms, std::uint64_t& bytes) {
+    pack_points_rt(tnr, chosen, *X, ridx, jc, nb, pc, db, rc);
+    if (any_bad) poison_packed(rc, rbad, jc, nb, tnr, db);
+    if (last && needs_norms) pack_norms_rt(tnr, *X, ridx, jc, nb, r2c);
+    bytes = static_cast<std::uint64_t>(nbpad) * db * sizeof(T);
+    if (last && needs_norms) {
+      bytes += static_cast<std::uint64_t>(nbpad) * sizeof(T);
+    }
+    return rc;
   }
-  const Variant variant = plan.variant;
-  bp = plan.blocking;
-  const int mc = bp.mc;
-  const int nc = bp.nc;
-  const int dc = bp.dc;
+  const T* norms() const { return r2c; }
+};
+
+/// Warm-path reference panels: lease resident blocks from a PackedRefs
+/// cache. One block is pinned at a time; a resident hit moves zero bytes
+/// (the panels were packed by the same pack_points_rt/poison_packed calls
+/// the cold provider makes, so the compute phase cannot tell the paths
+/// apart). A failed acquire (allocation under a miss) surfaces through
+/// `err` and stops the call like any other resource failure.
+template <typename T>
+struct CachedRefPanels {
+  static constexpr bool kCached = true;
+  PackedRefsT<T>* cache = nullptr;
+  int nc = 0;
+  Status err = Status::kOk;
+  int cur = -1;
+  typename PackedRefsT<T>::Lease lease;
+
+  const T* get(int jc, int nb, int nbpad, int pc, int db, bool last,
+               bool needs_norms, std::uint64_t& bytes) {
+    (void)nb;
+    (void)db;
+    (void)last;
+    (void)needs_norms;
+    const int b = jc / nc;
+    bytes = 0;
+    if (b != cur) {
+      if (cur >= 0) cache->release(cur);
+      cur = -1;
+      const Status s = cache->acquire(b, lease);
+      if (s != Status::kOk) {
+        err = s;
+        return nullptr;
+      }
+      cur = b;
+      bytes = lease.bytes_packed;  // 0 on a warm hit
+    }
+    assert(lease.nbpad == nbpad);
+    return lease.panel + static_cast<std::size_t>(lease.nbpad) * pc;
+  }
+  const T* norms() const { return lease.norms; }
+  ~CachedRefPanels() {
+    if (cur >= 0) cache->release(cur);
+  }
+};
+
+// ---- compute phase ---------------------------------------------------------
+
+/// The six-loop nest. Reference panels come from the RefPanels provider —
+/// arena-packed (cold) or cache-leased (warm); everything else (query
+/// packing, micro-kernels, selection, governance, telemetry) is one code
+/// path, which is what makes cold and warm results bitwise-identical by
+/// construction. `rid` is the reference id list the panels were packed from
+/// (ridx.data() cold, refs.ids().data() warm).
+template <typename T, typename RefPanels>
+Status knn_kernel_compute(const PointTableT<T>& X, std::span<const int> qidx,
+                          const int* rid, int n, NeighborTableT<T>& result,
+                          const KnnConfig& cfg,
+                          std::span<const int> result_rows,
+                          const KernelPlanT<T>& kp, RefPanels& rpanels) {
+  const int m = static_cast<int>(qidx.size());
+  const int d = X.dim();
+  const int k = result.k();
+
+  // ℓ∞'s max-based accumulation cannot propagate NaN on its own (see
+  // poison_packed in pack.hpp); pre-scan the query list once so the
+  // per-block poison pass is skipped entirely on clean data. The reference
+  // side is the provider's problem (cold: scanned by the caller; warm:
+  // poisoned once at pack time inside the cache).
+  std::vector<unsigned char> qbad;
+  bool any_bad_q = false;
+  if (cfg.norm == Norm::kLInf) {
+    scan_nonfinite(X, qidx.data(), m, qbad, any_bad_q);
+  }
+
+  const Variant variant = kp.variant;
+  const MicroFnT<T> micro = kp.mk.fn;
+  const int tmr = kp.mk.mr;  // register-tile rows of the selected kernel
+  const int tnr = kp.mk.nr;  // register-tile columns
+  const SimdLevel chosen = kp.chosen;
+  const int threads = kp.threads;
+  const bool needs_norms = kp.needs_norms;
+  const WorkspacePlan& plan = kp.ws;
+  const bool defer_possible = kp.defer_possible;
+  const int mc = kp.bp.mc;
+  const int nc = kp.bp.nc;
+  const int dc = kp.bp.dc;
 
   // Reserve every byte the call will touch before any result row can be
   // written: a genuine allocation failure (or an injected one;
@@ -397,10 +519,15 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
   const bool c_colmajor = (variant == Variant::kVar1);
   const int ld = (c_colmajor ? mpad : wpad) + static_cast<int>(64 / sizeof(T));
   WorkspaceArena& sws = shared_arena();
-  T* const rc = sws.alloc<T>(static_cast<std::size_t>(nbpad_max) * db_max);
-  T* const r2c = needs_norms
-                     ? sws.alloc<T>(static_cast<std::size_t>(nbpad_max))
-                     : nullptr;
+  if constexpr (!RefPanels::kCached) {
+    // Cold path: the Rc panel (+ reference norms) is carved per call; the
+    // warm path reads them out of the cache's resident blocks instead, and
+    // the packed_refs workspace plan excluded them from shared_bytes.
+    rpanels.rc = sws.alloc<T>(static_cast<std::size_t>(nbpad_max) * db_max);
+    rpanels.r2c = needs_norms
+                      ? sws.alloc<T>(static_cast<std::size_t>(nbpad_max))
+                      : nullptr;
+  }
   T* cbuf = nullptr;
   if (needs_cbuf) {
     // Var#6 materializes the full padded m × n panel: keep the size math in
@@ -438,17 +565,28 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
       const bool defer_sel =
           (variant == Variant::kVar1) && last && defer_possible;
 
+      // Pack phase, reference side: cold packs the slab into the arena and
+      // reports its bytes; warm leases the cached block — 0 bytes on a
+      // resident hit, which is exactly what kBytesPackedR then records.
       WallTimer pack_r_timer;
       telemetry::PmuCounts pr0;
       std::uint64_t tr0 = 0;
       if (prof) pack_r_timer.start();
       if (pmu_on) telemetry::PmuGroup::this_thread().read(pr0);
       if (trace != nullptr) tr0 = telemetry::trace_now();
-      pack_points_rt(tnr, chosen, X, ridx.data(), jc, nb, pc, db, rc);
-      if (any_bad_r) poison_packed(rc, rbad.data(), jc, nb, tnr, db);
-      if (last && needs_norms) {
-        pack_norms_rt(tnr, X, ridx.data(), jc, nb, r2c);
+      std::uint64_t pack_bytes = 0;
+      const T* const rcp =
+          rpanels.get(jc, nb, nbpad, pc, db, last, needs_norms, pack_bytes);
+      if (rcp == nullptr) {
+        // Acquire failure (allocation under a cache miss): stop like any
+        // other resource failure, with the affected rows flagged below.
+        int expected = 0;
+        stop.compare_exchange_strong(expected,
+                                     static_cast<int>(rpanels.err),
+                                     std::memory_order_relaxed);
+        break;
       }
+      const T* const r2cur = (last && needs_norms) ? rpanels.norms() : nullptr;
       if (trace != nullptr) {
         trace->record(telemetry::Phase::kPackR, tr0, telemetry::trace_now(),
                       jc, pc);
@@ -464,10 +602,7 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
           }
         }
         if constexpr (telemetry::kCountersEnabled) {
-          std::uint64_t bytes =
-              static_cast<std::uint64_t>(nbpad) * db * sizeof(T);
-          if (last && needs_norms) bytes += static_cast<std::uint64_t>(nbpad) * sizeof(T);
-          s0.add(telemetry::Counter::kBytesPackedR, bytes);
+          s0.add(telemetry::Counter::kBytesPackedR, pack_bytes);
         }
       }
 
@@ -551,8 +686,8 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
 
         for (int jr = 0; jr < nb; jr += tnr) {  // ---- 3rd loop ----
           const int cols = (nb - jr < tnr) ? nb - jr : tnr;
-          const T* rs = rc + static_cast<long>(jr) * db;
-          const T* r2s = (last && needs_norms) ? r2c + jr : nullptr;
+          const T* rs = rcp + static_cast<long>(jr) * db;
+          const T* r2s = (last && needs_norms) ? r2cur + jr : nullptr;
 
           for (int ir = 0; ir < mb; ir += tmr) {  // ---- 2nd loop ----
             const int rows = (mb - ir < tmr) ? mb - ir : tmr;
@@ -585,7 +720,7 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
                   ctx.hset[i] = nullptr;
                 }
               }
-              ctx.cand_ids = ridx.data() + jc + jr;
+              ctx.cand_ids = rid + jc + jr;
               ctx.k = k;
               ctx.row_stride = stride;
               ctx.arity = arity;
@@ -619,7 +754,7 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
             for (int i = 0; i < mb; ++i) {
               const int row = heap_row(ic + i);
               row_select(cbuf + static_cast<long>(ic + i) * ld + jr,
-                         ridx.data() + jc + jr, cols, result.row_dists(row),
+                         rid + jc + jr, cols, result.row_dists(row),
                          result.row_ids(row), result.row_idset(row), k,
                          stride, arity, cfg.dedup, tc);
             }
@@ -668,7 +803,7 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
           for (int i = 0; i < mb; ++i) {
             const int row = heap_row(ic + i);
             row_select(cbuf + static_cast<long>(ic + i) * ld,
-                       ridx.data() + jc, nb, result.row_dists(row),
+                       rid + jc, nb, result.row_dists(row),
                        result.row_ids(row), result.row_idset(row), k, stride,
                        arity, cfg.dedup, tc);
           }
@@ -741,7 +876,7 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
 #endif
         for (int i = 0; i < m; ++i) {
           const int row = heap_row(i);
-          row_select(cbuf + static_cast<long>(i) * ld, ridx.data() + jc,
+          row_select(cbuf + static_cast<long>(i) * ld, rid + jc,
                      nb, result.row_dists(row), result.row_ids(row),
                      result.row_idset(row), k, stride, arity, cfg.dedup, tc);
         }
@@ -782,7 +917,7 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
 #endif
       for (int i = 0; i < m; ++i) {
         const int row = heap_row(i);
-        row_select(cbuf + static_cast<long>(i) * ld, ridx.data(), n,
+        row_select(cbuf + static_cast<long>(i) * ld, rid, n,
                    result.row_dists(row), result.row_ids(row),
                    result.row_idset(row), k, stride, arity, cfg.dedup, tc);
       }
@@ -839,7 +974,7 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
     P.threads = threads;
     P.variant = variant_number(variant);
     P.simd_level = static_cast<int>(chosen);
-    P.blocking = bp;
+    P.blocking = kp.bp;
     P.workspace_bytes = plan.total_bytes();
     P.workspace_cap = plan.cap_bytes;
     P.workspace_retiles = plan.retile_steps;
@@ -847,7 +982,7 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
     const model::ProblemShape shape{m, n, d, k};
     P.model_gflops = model::predicted_gflops(
         variant == Variant::kVar1 ? model::Method::kVar1 : model::Method::kVar6,
-        shape, mp, bp);
+        shape, mp, kp.bp);
     // Machine ceilings for the roofline reporter: the profile JSON carries
     // everything tools/roofline_report.py needs in one file.
     P.peak_gflops = mp.peak_flops / 1e9;
@@ -859,6 +994,78 @@ Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
     rec.aggregate(wall_timer.seconds());
   }
   return outcome;
+}
+
+/// Cold path: plan, then compute with arena-packed reference panels.
+template <typename T>
+Status knn_kernel_impl(const PointTableT<T>& X, std::span<const int> qidx,
+                       std::span<const int> ridx, NeighborTableT<T>& result,
+                       const KnnConfig& cfg,
+                       std::span<const int> result_rows) {
+  const int m = static_cast<int>(qidx.size());
+  const int n = static_cast<int>(ridx.size());
+  const int d = X.dim();
+  const int k = result.k();
+  // Full contract validation (docs/CONTRACT.md): throws StatusError before
+  // any parallel region or allocation so malformed calls fail cleanly.
+  check_knn_args(X, qidx, ridx, result, cfg, result_rows);
+  if (m == 0 || n == 0) return Status::kOk;
+  if (d == 0) return degenerate_d0(ridx.data(), n, m, result, cfg, result_rows);
+
+  KernelPlanT<T> kp;
+  const Status planned = plan_kernel<T>(m, n, d, k, cfg, kp);
+  if (planned != Status::kOk) return planned;
+
+  std::vector<unsigned char> rbad;
+  bool any_bad_r = false;
+  if (cfg.norm == Norm::kLInf) {
+    scan_nonfinite(X, ridx.data(), n, rbad, any_bad_r);
+  }
+  ArenaRefPanels<T> rpanels;
+  rpanels.X = &X;
+  rpanels.ridx = ridx.data();
+  rpanels.chosen = kp.chosen;
+  rpanels.tnr = kp.mk.nr;
+  rpanels.rbad = rbad.data();
+  rpanels.any_bad = any_bad_r;
+  return knn_kernel_compute<T>(X, qidx, ridx.data(), n, result, cfg,
+                               result_rows, kp, rpanels);
+}
+
+/// Warm path: plan against the cache's pinned geometry, then compute with
+/// cache-leased reference panels. The epoch handshake happens here, before
+/// anything can touch the result table.
+template <typename T>
+Status packed_kernel_impl(PackedRefsT<T>& refs, std::span<const int> qidx,
+                          NeighborTableT<T>& result, const KnnConfig& cfg,
+                          std::span<const int> result_rows,
+                          std::uint64_t expected_epoch) {
+  if (!refs.built()) {
+    throw StatusError(Status::kInvalidArgument,
+                      "gsknn: PackedRefs::build() has not succeeded");
+  }
+  const PointTableT<T>& X = *refs.table();
+  const std::span<const int> ridx = refs.ids();
+  const int m = static_cast<int>(qidx.size());
+  const int n = static_cast<int>(ridx.size());
+  const int d = X.dim();
+  const int k = result.k();
+  check_knn_args(X, qidx, ridx, result, cfg, result_rows);
+  if (expected_epoch != kEpochAny && expected_epoch != refs.epoch()) {
+    return Status::kStale;
+  }
+  if (m == 0 || n == 0) return Status::kOk;
+  if (d == 0) return degenerate_d0(ridx.data(), n, m, result, cfg, result_rows);
+
+  KernelPlanT<T> kp;
+  const Status planned = plan_kernel_packed<T>(refs, m, n, d, k, cfg, kp);
+  if (planned != Status::kOk) return planned;
+
+  CachedRefPanels<T> rpanels;
+  rpanels.cache = &refs;
+  rpanels.nc = kp.bp.nc;
+  return knn_kernel_compute<T>(X, qidx, ridx.data(), n, result, cfg,
+                               result_rows, kp, rpanels);
 }
 
 /// Public-entry bracket: records (status, latency, shape) into the
@@ -910,6 +1117,48 @@ Status kernel_with_metrics(const PointTableT<T>& X, std::span<const int> qidx,
     metrics::record_drift(sizeof(T) == 4, predicted,
                           static_cast<double>(ns) * 1e-9);
   }
+  return s;
+}
+
+/// Metrics bracket for the packed entry points: same (status, latency,
+/// shape) sample under the kernel entry-point axis — warm and cold traffic
+/// share one rate, which is what a server dashboard wants. No model-drift
+/// sample: the §2.6 model prices the pack phase the warm path skips, so a
+/// warm call would read as spurious model optimism.
+template <typename T>
+Status packed_kernel_with_metrics(PackedRefsT<T>& refs,
+                                  std::span<const int> qidx,
+                                  NeighborTableT<T>& result,
+                                  const KnnConfig& cfg,
+                                  std::span<const int> result_rows,
+                                  std::uint64_t expected_epoch) {
+  if (!metrics::enabled()) {
+    return packed_kernel_impl<T>(refs, qidx, result, cfg, result_rows,
+                                 expected_epoch);
+  }
+  const int m = static_cast<int>(qidx.size());
+  const int n = refs.size();
+  const int d = refs.built() ? refs.table()->dim() : 0;
+  const int k = result.k();
+  const metrics::EntryPoint ep = sizeof(T) == 8
+                                     ? metrics::EntryPoint::kKernelF64
+                                     : metrics::EntryPoint::kKernelF32;
+  const std::uint64_t t0 = metrics::now_ns();
+  Status s = Status::kInternal;
+  try {
+    s = packed_kernel_impl<T>(refs, qidx, result, cfg, result_rows,
+                              expected_epoch);
+  } catch (const StatusError& e) {
+    metrics::record_call(ep, static_cast<int>(e.status()),
+                         metrics::now_ns() - t0, m, n, d, k);
+    throw;
+  } catch (const std::bad_alloc&) {
+    metrics::record_call(ep, static_cast<int>(Status::kResourceExhausted),
+                         metrics::now_ns() - t0, m, n, d, k);
+    throw;
+  }
+  metrics::record_call(ep, static_cast<int>(s), metrics::now_ns() - t0, m, n,
+                       d, k);
   return s;
 }
 
@@ -979,6 +1228,60 @@ Status knn_kernel_status(const PointTableF& X, std::span<const int> qidx,
   try {
     return core::kernel_with_metrics<float>(X, qidx, ridx, result, cfg,
                                             result_rows);
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return Status::kResourceExhausted;
+  }
+}
+
+void knn_kernel(PackedRefs& refs, std::span<const int> qidx,
+                NeighborTable& result, const KnnConfig& cfg,
+                std::span<const int> result_rows,
+                std::uint64_t expected_epoch) {
+  const Status s = core::packed_kernel_with_metrics<double>(
+      refs, qidx, result, cfg, result_rows, expected_epoch);
+  if (s != Status::kOk) {
+    throw StatusError(s, std::string("gsknn: packed kernel stopped: ") +
+                             status_name(s));
+  }
+}
+
+void knn_kernel(PackedRefsF& refs, std::span<const int> qidx,
+                NeighborTableF& result, const KnnConfig& cfg,
+                std::span<const int> result_rows,
+                std::uint64_t expected_epoch) {
+  const Status s = core::packed_kernel_with_metrics<float>(
+      refs, qidx, result, cfg, result_rows, expected_epoch);
+  if (s != Status::kOk) {
+    throw StatusError(s, std::string("gsknn: packed kernel stopped: ") +
+                             status_name(s));
+  }
+}
+
+Status knn_kernel_status(PackedRefs& refs, std::span<const int> qidx,
+                         NeighborTable& result, const KnnConfig& cfg,
+                         std::span<const int> result_rows,
+                         std::uint64_t expected_epoch) {
+  try {
+    return core::packed_kernel_with_metrics<double>(refs, qidx, result, cfg,
+                                                    result_rows,
+                                                    expected_epoch);
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return Status::kResourceExhausted;
+  }
+}
+
+Status knn_kernel_status(PackedRefsF& refs, std::span<const int> qidx,
+                         NeighborTableF& result, const KnnConfig& cfg,
+                         std::span<const int> result_rows,
+                         std::uint64_t expected_epoch) {
+  try {
+    return core::packed_kernel_with_metrics<float>(refs, qidx, result, cfg,
+                                                   result_rows,
+                                                   expected_epoch);
   } catch (const StatusError& e) {
     return e.status();
   } catch (const std::bad_alloc&) {

@@ -25,7 +25,10 @@
 #pragma once
 
 #include <cassert>
+#include <cmath>
 #include <cstring>
+#include <limits>
+#include <vector>
 
 #include "gsknn/common/arch.hpp"
 #include "gsknn/common/macros.hpp"
@@ -153,6 +156,56 @@ inline void pack_points_rt(int S, SimdLevel level, const PointTableT<float>& X,
       return;
     default:
       assert(false && "unsupported sliver width");
+  }
+}
+
+/// Flag every selected point that has at least one non-finite coordinate.
+/// `bad[i]` corresponds to position i of the index list (not the global id,
+/// which may repeat). O(count·d) worst case, but early-exits per point and is
+/// only run for ℓ∞ (see poison_packed below). Shared by the driver's cold
+/// path and the PackedRefs cache so their panels poison identically.
+template <typename T>
+void scan_nonfinite(const PointTableT<T>& X, const int* idx, int count,
+                    std::vector<unsigned char>& bad, bool& any) {
+  bad.assign(static_cast<std::size_t>(count), 0);
+  any = false;
+  const int d = X.dim();
+  for (int i = 0; i < count; ++i) {
+    const T* p = X.col(idx[i]);
+    for (int r = 0; r < d; ++r) {
+      if (!std::isfinite(p[r])) {
+        bad[static_cast<std::size_t>(i)] = 1;
+        any = true;
+        break;
+      }
+    }
+  }
+}
+
+/// Overwrite the packed columns of flagged points with quiet NaN.
+///
+/// Every additive norm (ℓ1, ℓ2, ℓp, cosine) propagates a NaN coordinate to
+/// the final distance through the accumulation itself. ℓ∞ cannot: its
+/// max-style combine (vmaxpd and the scalar mirror alike) returns the second
+/// source when either operand is NaN, so a NaN term — or a NaN partial
+/// carried across depth blocks — is silently dropped the moment a finite
+/// term follows it. Poisoning the *entire* packed column of a non-finite
+/// point in every depth block makes all of its |q−r| terms NaN, so the max
+/// chain ends NaN in every SIMD path and every blocking, and the selection
+/// contract then excludes the point. `count` may include the zero-padded
+/// tail lanes (their flags are never set). Layout matches pack_points_rt:
+/// tile-major groups of `tile` lanes, depth-major within a group.
+template <typename T>
+void poison_packed(T* panel, const unsigned char* bad, int i0, int count,
+                   int tile, int db) {
+  const T qnan = std::numeric_limits<T>::quiet_NaN();
+  for (int g = 0; g < count; g += tile) {
+    const int pts = (count - g < tile) ? count - g : tile;
+    T* blk = panel + static_cast<long>(g) * db;
+    for (int l = 0; l < pts; ++l) {
+      if (!bad[static_cast<std::size_t>(i0 + g + l)]) continue;
+      for (int p = 0; p < db; ++p) blk[static_cast<long>(p) * tile + l] = qnan;
+    }
   }
 }
 

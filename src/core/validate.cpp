@@ -35,6 +35,8 @@ const char* status_name(Status s) {
       return "deadline_exceeded";
     case Status::kCancelled:
       return "cancelled";
+    case Status::kStale:
+      return "stale";
   }
   return "unknown";
 }

@@ -81,7 +81,8 @@ namespace {
 /// chunk_bytes rounding matches WorkspaceArena::alloc exactly.
 void compute_footprint(int m, int n, int d, bool needs_norms,
                        bool defer_possible, std::size_t elem,
-                       int tmr, int tnr, WorkspacePlan& plan) {
+                       int tmr, int tnr, bool packed_refs,
+                       WorkspacePlan& plan) {
   const BlockingParams& bp = plan.blocking;
   const auto cb = [](std::size_t count, std::size_t es) {
     return WorkspaceArena::chunk_bytes(count, es);
@@ -94,8 +95,14 @@ void compute_footprint(int m, int n, int d, bool needs_norms,
       static_cast<std::size_t>(tnr));
 
   // Shared: packed Rc panel (+ reference norms at the last depth block).
-  std::size_t shared = cb(nbpad_max * db_max, elem);
-  if (needs_norms) shared += cb(nbpad_max, elem);
+  // A warm packed-refs call reads both straight out of the cache's resident
+  // blocks (budgeted by PackedRefs::Options::budget_bytes), so they leave
+  // this call's footprint entirely.
+  std::size_t shared = 0;
+  if (!packed_refs) {
+    shared = cb(nbpad_max * db_max, elem);
+    if (needs_norms) shared += cb(nbpad_max, elem);
+  }
 
   // Shared: distance buffer. Var#1 needs it only to carry the rank-dc
   // accumulation across depth blocks (d > dc); Var#2/3/5 hold the current
@@ -138,7 +145,7 @@ WorkspacePlan plan_workspace(int m, int n, int d, Variant variant,
                              const BlockingParams& bp, int tmr, int tnr,
                              int threads, bool needs_norms,
                              bool defer_possible, std::size_t elem,
-                             std::size_t cap_bytes) {
+                             std::size_t cap_bytes, bool packed_refs) {
   assert(variant != Variant::kAuto && "plan_workspace wants a concrete variant");
   WorkspacePlan plan;
   plan.variant = variant;
@@ -147,17 +154,21 @@ WorkspacePlan plan_workspace(int m, int n, int d, Variant variant,
   plan.cap_bytes = cap_bytes;
   if (m <= 0 || n <= 0 || d <= 0) return plan;  // driver returns before packing
 
-  compute_footprint(m, n, d, needs_norms, defer_possible, elem, tmr, tnr, plan);
+  compute_footprint(m, n, d, needs_norms, defer_possible, elem, tmr, tnr,
+                    packed_refs, plan);
   if (cap_bytes == 0) return plan;
 
   // Degradation ladder (see the header comment): every step is bitwise-
   // result-preserving, so the only cost of a cap is extra packing passes.
+  // Warm packed-refs calls only take the steps that leave the cache's block
+  // geometry (nc, dc) alone — the kernel must walk the cached blocks as
+  // they were packed.
   while (plan.total_bytes() > cap_bytes) {
     if (plan.variant == Variant::kVar6) {
       // The full m × n distance matrix cannot be retiled away; Var#5 is the
       // paper's bounded-memory formulation of the same selection.
       plan.variant = Variant::kVar5;
-    } else if (plan.blocking.nc > tnr) {
+    } else if (!packed_refs && plan.blocking.nc > tnr) {
       plan.blocking.nc = std::max(
           tnr, static_cast<int>(round_up(
                    static_cast<std::size_t>(plan.blocking.nc / 2),
@@ -167,13 +178,13 @@ WorkspacePlan plan_workspace(int m, int n, int d, Variant variant,
           tmr, static_cast<int>(round_up(
                    static_cast<std::size_t>(plan.blocking.mc / 2),
                    static_cast<std::size_t>(tmr))));
-    } else if (plan.blocking.dc > kWorkspaceDcFloor) {
+    } else if (!packed_refs && plan.blocking.dc > kWorkspaceDcFloor) {
       // Shrinking dc below d ADDS the rank-dc carry buffer on the Var#1
       // path, so only take the step when it strictly helps.
       WorkspacePlan trial = plan;
       trial.blocking.dc = std::max(kWorkspaceDcFloor, plan.blocking.dc / 2);
       compute_footprint(m, n, d, needs_norms, defer_possible, elem, tmr, tnr,
-                        trial);
+                        packed_refs, trial);
       if (trial.total_bytes() >= plan.total_bytes()) break;
       plan.blocking = trial.blocking;
       plan.shared_bytes = trial.shared_bytes;
@@ -185,7 +196,7 @@ WorkspacePlan plan_workspace(int m, int n, int d, Variant variant,
     }
     ++plan.retile_steps;
     compute_footprint(m, n, d, needs_norms, defer_possible, elem, tmr, tnr,
-                      plan);
+                      packed_refs, plan);
   }
   plan.fits = plan.total_bytes() <= cap_bytes;
   return plan;

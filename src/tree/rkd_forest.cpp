@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <unordered_set>
 
 #include "gsknn/common/metrics.hpp"
 #include "gsknn/common/rng.hpp"
 #include "gsknn/common/timer.hpp"
+#include "gsknn/core/packed_refs.hpp"
 
 namespace gsknn::tree {
 
@@ -111,6 +113,10 @@ AllNnResult all_nn_impl(const PointTable& X, int k, const RkdConfig& cfg) {
                       "gsknn: rkd solver requires leaf_size >= 1 and "
                       "num_trees >= 1");
   }
+  if (cfg.sweeps < 1) {
+    throw StatusError(Status::kBadConfig,
+                      "gsknn: rkd solver requires sweeps >= 1");
+  }
   AllNnResult out;
   const int n = X.size();
   // Large k pairs with the 4-ary heap (paper §2.4 / §3 parameters).
@@ -134,31 +140,70 @@ AllNnResult all_nn_impl(const PointTable& X, int k, const RkdConfig& cfg) {
         cfg.split_candidates);
     out.build_seconds += timer.seconds();
 
+    // Per-leaf panel caches (pack_cache): each leaf's references pack on the
+    // first sweep and are served resident on every later sweep of this tree
+    // (sweeps re-visit the same partition; dedup makes that idempotent, so
+    // the table is bitwise-identical to a single uncached pass).
+    const bool cached =
+        cfg.pack_cache && cfg.backend == KernelBackend::kGsknn;
+    std::vector<std::unique_ptr<PackedRefs>> caches;
+    if (cached) caches.resize(leaves.size());
+
     timer.start();
-    for (const auto& leaf : leaves) {
-      if (leaf.size() < 2) continue;
-      if (cfg.backend == KernelBackend::kGemmBaseline) {
-        // The baseline has no internal polling; govern it at leaf
-        // granularity here so a deadline still unwinds the solve cleanly.
-        if (kcfg.cancel != nullptr && kcfg.cancel->cancelled()) {
-          out.status = Status::kCancelled;
-        } else if (kcfg.deadline.has_value() &&
-                   deadline_expired(*kcfg.deadline)) {
-          out.status = Status::kDeadlineExceeded;
+    for (int sweep = 0; sweep < cfg.sweeps && out.status == Status::kOk;
+         ++sweep) {
+      for (std::size_t li = 0; li < leaves.size(); ++li) {
+        const auto& leaf = leaves[li];
+        if (leaf.size() < 2) continue;
+        if (cfg.backend == KernelBackend::kGemmBaseline) {
+          // The baseline has no internal polling; govern it at leaf
+          // granularity here so a deadline still unwinds the solve cleanly.
+          if (kcfg.cancel != nullptr && kcfg.cancel->cancelled()) {
+            out.status = Status::kCancelled;
+          } else if (kcfg.deadline.has_value() &&
+                     deadline_expired(*kcfg.deadline)) {
+            out.status = Status::kDeadlineExceeded;
+          }
+          if (out.status != Status::kOk) break;
+          knn_gemm_baseline(X, leaf, leaf, out.table, kcfg, leaf);
+        } else if (cached) {
+          if (caches[li] == nullptr) {
+            caches[li] = std::make_unique<PackedRefs>();
+            PackedRefs::Options opt;
+            opt.norm = kcfg.norm;
+            opt.blocking = kcfg.blocking;
+            opt.budget_bytes = cfg.pack_cache_budget;
+            const Status b = caches[li]->build(X, leaf, opt);
+            if (b != Status::kOk) {
+              out.status = b;
+              break;
+            }
+          }
+          const Status s =
+              knn_kernel_status(*caches[li], leaf, out.table, kcfg, leaf);
+          if (s != Status::kOk) {
+            out.status = s;
+            break;
+          }
+        } else {
+          const Status s = knn_kernel_status(X, leaf, leaf, out.table, kcfg,
+                                             leaf);
+          if (s != Status::kOk) {
+            out.status = s;
+            break;
+          }
         }
-        if (out.status != Status::kOk) break;
-        knn_gemm_baseline(X, leaf, leaf, out.table, kcfg, leaf);
-      } else {
-        const Status s = knn_kernel_status(X, leaf, leaf, out.table, kcfg,
-                                           leaf);
-        if (s != Status::kOk) {
-          out.status = s;
-          break;
-        }
+        ++out.leaves_processed;
       }
-      ++out.leaves_processed;
     }
     out.kernel_seconds += timer.seconds();
+    for (const auto& cache : caches) {
+      if (cache == nullptr) continue;
+      const PackedRefs::Stats st = cache->stats();
+      out.pack_hits += st.hits;
+      out.pack_misses += st.misses;
+      out.pack_bytes += st.bytes_packed;
+    }
     if (out.status != Status::kOk) break;
   }
   return out;

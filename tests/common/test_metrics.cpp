@@ -61,7 +61,7 @@ TEST_F(MetricsTest, BucketBoundariesArePowerOfTwoExact) {
 TEST_F(MetricsTest, StatusLabelsMatchCoreStatusNames) {
   // The common layer mirrors gsknn::Status by value without depending on
   // core; this is the parity pin promised in metrics.hpp.
-  ASSERT_EQ(m::kStatusCount, static_cast<int>(Status::kCancelled) + 1);
+  ASSERT_EQ(m::kStatusCount, static_cast<int>(Status::kStale) + 1);
   for (int s = 0; s < m::kStatusCount; ++s) {
     EXPECT_STREQ(m::status_label(s), status_name(static_cast<Status>(s)))
         << "status " << s;

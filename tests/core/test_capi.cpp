@@ -149,6 +149,111 @@ TEST_F(CApiFixture, StatusCodesForMalformedCalls) {
   gsknn_result_destroy(res);
 }
 
+TEST_F(CApiFixture, PackedRefsRoundTrip) {
+  std::vector<int> q(10), r(80);
+  std::iota(q.begin(), q.end(), 0);
+  std::iota(r.begin(), r.end(), 10);
+  gsknn_packed_refs* refs = gsknn_packed_refs_create(
+      table, r.data(), 80, GSKNN_NORM_L2SQ, /*budget_bytes=*/0, /*eager=*/0);
+  ASSERT_NE(refs, nullptr);
+  EXPECT_EQ(gsknn_packed_refs_epoch(refs), 0u);
+  EXPECT_EQ(gsknn_packed_refs_size(refs), 80);
+
+  // Warm results are bitwise-identical to gsknn_search over the same ids.
+  gsknn_result* cold = gsknn_result_create(10, 5);
+  gsknn_result* warm = gsknn_result_create(10, 5);
+  ASSERT_EQ(gsknn_search(table, q.data(), 10, r.data(), 80, GSKNN_NORM_L2SQ,
+                         GSKNN_VARIANT_AUTO, 2.0, 0, cold),
+            0);
+  ASSERT_EQ(gsknn_packed_search(refs, q.data(), 10, GSKNN_NORM_L2SQ,
+                                GSKNN_VARIANT_AUTO, 2.0, 0, GSKNN_EPOCH_ANY,
+                                warm),
+            0);
+  std::vector<int> ci(5), wi(5);
+  std::vector<double> cd(5), wd(5);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(gsknn_result_row(cold, i, 5, ci.data(), cd.data()), 5);
+    ASSERT_EQ(gsknn_result_row(warm, i, 5, wi.data(), wd.data()), 5);
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(ci[static_cast<std::size_t>(j)], wi[static_cast<std::size_t>(j)]);
+      EXPECT_EQ(cd[static_cast<std::size_t>(j)], wd[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  // Repeat traffic packs nothing: bytes stay flat, hits grow.
+  const uint64_t packed =
+      gsknn_packed_refs_stat(refs, GSKNN_PACK_STAT_BYTES_PACKED);
+  const uint64_t hits = gsknn_packed_refs_stat(refs, GSKNN_PACK_STAT_HITS);
+  gsknn_result* again = gsknn_result_create(10, 5);
+  ASSERT_EQ(gsknn_packed_search(refs, q.data(), 10, GSKNN_NORM_L2SQ,
+                                GSKNN_VARIANT_AUTO, 2.0, 0, GSKNN_EPOCH_ANY,
+                                again),
+            0);
+  EXPECT_EQ(gsknn_packed_refs_stat(refs, GSKNN_PACK_STAT_BYTES_PACKED),
+            packed);
+  EXPECT_GT(gsknn_packed_refs_stat(refs, GSKNN_PACK_STAT_HITS), hits);
+
+  // Updates bump the epoch; a search pinned to the old epoch is rejected
+  // with the result untouched.
+  const uint64_t before = gsknn_packed_refs_epoch(refs);
+  const int extra[] = {90, 91};
+  ASSERT_EQ(gsknn_packed_refs_insert(refs, extra, 2), 0);
+  EXPECT_EQ(gsknn_packed_refs_epoch(refs), before + 1);
+  EXPECT_EQ(gsknn_packed_refs_size(refs), 82);
+  gsknn_result* stale = gsknn_result_create(10, 5);
+  EXPECT_EQ(gsknn_packed_search(refs, q.data(), 10, GSKNN_NORM_L2SQ,
+                                GSKNN_VARIANT_AUTO, 2.0, 0, before, stale),
+            GSKNN_ERR_STALE);
+  EXPECT_EQ(gsknn_result_row(stale, 0, 5, wi.data(), wd.data()), 0);
+  const int gone[] = {15};
+  ASSERT_EQ(gsknn_packed_refs_erase(refs, gone, 1), 0);
+  EXPECT_EQ(gsknn_packed_refs_size(refs), 81);
+  const int absent[] = {15};
+  EXPECT_EQ(gsknn_packed_refs_erase(refs, absent, 1), GSKNN_ERR_BAD_INDEX);
+
+  // An l2sq-layout cache cannot serve linf queries.
+  EXPECT_EQ(gsknn_packed_search(refs, q.data(), 10, GSKNN_NORM_LINF,
+                                GSKNN_VARIANT_AUTO, 2.0, 0, GSKNN_EPOCH_ANY,
+                                stale),
+            GSKNN_ERR_UNSUPPORTED);
+
+  gsknn_result_destroy(stale);
+  gsknn_result_destroy(again);
+  gsknn_result_destroy(warm);
+  gsknn_result_destroy(cold);
+  gsknn_packed_refs_destroy(refs);
+}
+
+TEST_F(CApiFixture, PackedRefsRejectsBadArgumentsAndNulls) {
+  // NULL-safe accessors.
+  EXPECT_EQ(gsknn_packed_refs_epoch(nullptr), 0u);
+  EXPECT_EQ(gsknn_packed_refs_size(nullptr), -1);
+  EXPECT_EQ(gsknn_packed_refs_stat(nullptr, GSKNN_PACK_STAT_HITS), 0u);
+  gsknn_packed_refs_destroy(nullptr);  // no-op
+
+  // Bad build arguments produce NULL + a message, never a handle.
+  const int bad_id[] = {0, 1, 100};
+  EXPECT_EQ(gsknn_packed_refs_create(table, bad_id, 3, GSKNN_NORM_L2SQ, 0, 0),
+            nullptr);
+  EXPECT_NE(std::string(gsknn_last_error()).size(), 0u);
+  EXPECT_EQ(gsknn_packed_refs_create(nullptr, bad_id, 2, GSKNN_NORM_L2SQ, 0, 0),
+            nullptr);
+  EXPECT_EQ(gsknn_packed_refs_create(table, bad_id, 2, /*norm=*/99, 0, 0),
+            nullptr);
+
+  // Out-of-range stat index reads 0.
+  const int ok_ids[] = {0, 1, 2};
+  gsknn_packed_refs* refs =
+      gsknn_packed_refs_create(table, ok_ids, 3, GSKNN_NORM_L2SQ, 0, 1);
+  ASSERT_NE(refs, nullptr);
+  EXPECT_EQ(gsknn_packed_refs_stat(refs, GSKNN_PACK_STAT_COUNT), 0u);
+  EXPECT_EQ(gsknn_packed_refs_stat(refs, -1), 0u);
+  // Update validation: out-of-range ids are rejected without an epoch bump.
+  EXPECT_EQ(gsknn_packed_refs_insert(refs, bad_id, 3), GSKNN_ERR_BAD_INDEX);
+  EXPECT_EQ(gsknn_packed_refs_epoch(refs), 0u);
+  gsknn_packed_refs_destroy(refs);
+}
+
 TEST(CApi, StatusNamesAreStable) {
   EXPECT_STREQ(gsknn_status_name(GSKNN_OK), "ok");
   EXPECT_STREQ(gsknn_status_name(GSKNN_ERR_INVALID_ARGUMENT),

@@ -44,6 +44,8 @@ CELL_KEY = ("m", "n", "d", "k")
 CELL_FIELDS = {
     "gsknn_total_ms": "gsknn_total_ms",
     "gsknn_heap_est_ms": "gsknn_heap_est_ms",
+    "gsknn_warm_ms": "gsknn_warm_ms",
+    "warm_pack_bytes": "warm_pack_bytes",
     "gemm_ref_ms": "ref_profile.wall_seconds",  # scaled to ms below
     "gsknn_gflops": "ref_profile.derived.gflops",
     "selection_fraction": "ref_profile.derived.selection_fraction",
@@ -107,7 +109,8 @@ def reduce_rows(rows):
                 value = round(value * 1e3, 3)
             if value is None:
                 cell.setdefault(field, None)
-            elif field.startswith(("gsknn_total", "gsknn_heap", "gemm_ref")):
+            elif field.startswith(("gsknn_total", "gsknn_heap", "gsknn_warm",
+                                   "gemm_ref")):
                 # best-of (min time) across repeated rows for the same cell
                 prev = cell.get(field)
                 cell[field] = value if prev is None else min(prev, value)

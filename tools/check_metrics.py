@@ -26,11 +26,12 @@ ENTRY_POINTS = [
 STATUSES = [
     "ok", "invalid_argument", "bad_index", "bad_config", "non_finite",
     "unsupported", "internal", "resource_exhausted", "deadline_exceeded",
-    "cancelled",
+    "cancelled", "stale",
 ]
 COUNTERS = [
     "workspace_retiled_calls", "workspace_retile_steps", "variant_demotions",
-    "trace_spans_dropped", "pmu_multiplexed_reads",
+    "trace_spans_dropped", "pmu_multiplexed_reads", "pack_hits",
+    "pack_misses", "pack_evictions", "cache_bytes",
 ]
 SHAPE_DIMS = ["m", "n", "d", "k"]
 HIST_BUCKETS = 64

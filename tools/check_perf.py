@@ -58,7 +58,31 @@ METRICS = {
         "metric": "f32_gflops",
         "lower_is_better": False,
     },
+    "micro_pack_cache": {
+        "key": ("d", "k", "mode"),
+        "metric": "ms",
+        "lower_is_better": True,
+    },
 }
+
+
+def hard_assert_violations(row):
+    """Invariant checks that fail the gate regardless of tolerance. Warm
+    packed-refs traffic must move zero packed reference bytes — a nonzero
+    count means the cache is silently re-packing, which timing noise could
+    hide. Applies to micro_pack_cache warm rows and table5's warm column."""
+    out = []
+    if row.get("bench") == "micro_pack_cache" and row.get("mode") == "warm":
+        if row.get("pack_bytes") not in (0, None):
+            out.append(f"micro_pack_cache warm row d={row.get('d')} "
+                       f"k={row.get('k')}: pack_bytes="
+                       f"{row.get('pack_bytes')} (expected 0)")
+    if row.get("bench") == "table5_breakdown":
+        if row.get("warm_pack_bytes") not in (0, None):
+            out.append(f"table5_breakdown cell d={row.get('d')} "
+                       f"k={row.get('k')}: warm_pack_bytes="
+                       f"{row.get('warm_pack_bytes')} (expected 0)")
+    return out
 
 
 def get_path(row, dotted):
@@ -72,9 +96,11 @@ def get_path(row, dotted):
 
 
 def load_cells(path):
-    """Reduce a JSON-lines trajectory file to {(bench, key): best_metric}."""
+    """Reduce a JSON-lines trajectory file to {(bench, key): best_metric}.
+    Also returns hard-invariant violations found in the rows."""
     cells = {}
     quick_modes = set()
+    violations = []
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -86,6 +112,7 @@ def load_cells(path):
                 print(f"warning: {path}:{lineno}: unparseable row: {e}",
                       file=sys.stderr)
                 continue
+            violations.extend(hard_assert_violations(row))
             bench = row.get("bench")
             spec = METRICS.get(bench)
             if spec is None:
@@ -98,7 +125,7 @@ def load_cells(path):
             cell = (bench, key)
             best = min if spec["lower_is_better"] else max
             cells[cell] = value if cell not in cells else best(cells[cell], value)
-    return cells, quick_modes
+    return cells, quick_modes, violations
 
 
 def main():
@@ -114,8 +141,12 @@ def main():
                     help="print every cell, not only regressions")
     args = ap.parse_args()
 
-    base_cells, base_quick = load_cells(args.baseline)
-    fresh_cells, fresh_quick = load_cells(args.fresh)
+    base_cells, base_quick, _ = load_cells(args.baseline)
+    fresh_cells, fresh_quick, fresh_violations = load_cells(args.fresh)
+    if fresh_violations:
+        for v in fresh_violations:
+            print(f"VIOLATION  {v}")
+        return 1
     if not base_cells:
         print(f"error: no comparable rows in baseline {args.baseline}")
         return 2

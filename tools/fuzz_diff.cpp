@@ -15,7 +15,12 @@
 //      plausible, non-finite points never present, dedup rows duplicate-free;
 //   4. the GEMM baseline (ℓ2/cosine) agrees with the oracle to tolerance;
 //   5. malformed calls (bad indices, duplicate result rows, bad lp/blocking,
-//      undersized tables) throw StatusError with the documented code.
+//      undersized tables) throw StatusError with the documented code;
+//   6. a PackedRefs cache walked through random insert/erase/query
+//      interleavings (random geometry, eviction budgets) answers every
+//      query bitwise-identically to the cold kernel over a snapshot of its
+//      current id list, rejects stale epoch pins without touching the
+//      result, and refuses layout-incompatible norms with kUnsupported.
 //
 // Runs for --seconds wall time (default 20) from --seed; on failure prints
 // the trial's full repro parameters and exits nonzero.
@@ -32,6 +37,7 @@
 
 #include "gsknn/common/rng.hpp"
 #include "gsknn/core/knn.hpp"
+#include "gsknn/core/packed_refs.hpp"
 #include "gsknn/data/point_table.hpp"
 
 namespace {
@@ -68,6 +74,10 @@ const char* mode_name(Mode m) {
     default:             return "?";
   }
 }
+
+constexpr Variant kAllVariants[] = {Variant::kVar1, Variant::kVar2,
+                                    Variant::kVar3, Variant::kVar5,
+                                    Variant::kVar6};
 
 struct Trial {
   std::uint64_t seed = 0;
@@ -350,6 +360,192 @@ bool probe_malformed(const PointTable& X) {
   return true;
 }
 
+/// Packed-refs round: walk one PackedRefs cache through random
+/// insert/erase/query interleavings (sometimes under an eviction budget,
+/// sometimes with a tiny blocking so even fuzz-sized trials span several
+/// panel blocks). After every mutation the warm query must be
+/// bitwise-identical to the cold kernel over a snapshot of the cache's
+/// current id list — the cold run pins cfg.blocking to the cache geometry
+/// so both sides feed candidates in the same order (ties resolve
+/// identically). Finishes with the epoch and layout-class error contracts.
+bool check_packed(const PointTable& X, const std::vector<int>& q,
+                  const std::vector<int>& r, const Trial& t,
+                  gsknn::Xoshiro256& rng) {
+  using gsknn::PackedKnnTask;
+  using gsknn::PackedRefs;
+  const std::uint64_t npts = static_cast<std::uint64_t>(X.size());
+
+  PackedRefs::Options opt;
+  opt.norm = t.norm;
+  opt.eager = (rng.below(2) != 0u);
+  if (rng.below(2) != 0u) {
+    gsknn::BlockingParams bp;  // mr=8 / nr=4 resolves at every SIMD level
+    bp.mr = 8;
+    bp.nr = 4;
+    bp.mc = 16;
+    bp.nc = 16;
+    bp.dc = 32;
+    opt.blocking = bp;
+  }
+  PackedRefs refs;
+  Status s = refs.build(X, r, opt);
+  if (s != Status::kOk) {
+    std::fprintf(stderr, "packed: build failed: %s\n", gsknn::status_name(s));
+    return false;
+  }
+
+  // Sometimes rebuild under a budget that forces LRU eviction mid-walk. A
+  // single-block cache cannot fit half its own footprint — that build is
+  // contractually kResourceExhausted, so fall back to unlimited.
+  if (rng.below(3) == 0u) {
+    PackedRefs probe;
+    PackedRefs::Options eager = opt;
+    eager.eager = true;
+    if (probe.build(X, r, eager) != Status::kOk) {
+      std::fprintf(stderr, "packed: eager probe build failed\n");
+      return false;
+    }
+    const std::size_t full = probe.stats().resident_bytes;
+    if (full > 1) {
+      opt.budget_bytes = full / 2 + 1;
+      s = refs.build(X, r, opt);
+      if (s == Status::kResourceExhausted) {
+        opt.budget_bytes = 0;
+        s = refs.build(X, r, opt);
+      }
+      if (s != Status::kOk) {
+        std::fprintf(stderr, "packed: budgeted rebuild failed: %s\n",
+                     gsknn::status_name(s));
+        return false;
+      }
+    }
+  }
+
+  KnnConfig cfg;
+  cfg.norm = t.norm;
+  cfg.p = t.p;
+  cfg.dedup = t.dedup;
+  cfg.blocking = refs.blocking();
+
+  for (int step = 0; step < 4; ++step) {
+    // Mutate the reference set (exercises block-granularity repacking).
+    const std::uint64_t op = rng.below(3);
+    if (op == 0) {
+      std::vector<int> add(1 + rng.below(3));
+      for (auto& v : add) v = static_cast<int>(rng.below(npts));
+      if (refs.insert(add) != Status::kOk) {
+        std::fprintf(stderr, "packed: valid insert rejected at step %d\n",
+                     step);
+        return false;
+      }
+    } else if (op == 1 && refs.size() > 0) {
+      const auto live = refs.ids();
+      const std::vector<int> del = {
+          live[rng.below(static_cast<std::uint64_t>(live.size()))]};
+      if (refs.erase(del) != Status::kOk) {
+        std::fprintf(stderr, "packed: valid erase rejected at step %d\n",
+                     step);
+        return false;
+      }
+    }  // op == 2: query-only step (pure warm traffic)
+
+    cfg.variant = kAllVariants[rng.below(5)];
+    cfg.threads = (rng.below(2) != 0u) ? 3 : 1;
+
+    const std::vector<int> snap(refs.ids().begin(), refs.ids().end());
+    NeighborTable warm(t.m, t.k);
+    if (t.dedup) warm.enable_dedup_index();
+    s = knn_kernel_status(refs, q, warm, cfg, {}, refs.epoch());
+    if (s != Status::kOk) {
+      std::fprintf(stderr, "packed: warm query failed at step %d: %s\n",
+                   step, gsknn::status_name(s));
+      return false;
+    }
+    NeighborTable cold(t.m, t.k);
+    if (t.dedup) cold.enable_dedup_index();
+    knn_kernel(X, q, snap, cold, cfg);
+    if (collect_rows(warm, t.m) != collect_rows(cold, t.m)) {
+      std::fprintf(stderr,
+                   "packed: warm/cold divergence at step %d (variant %d "
+                   "threads %d refs %d)\n",
+                   step, static_cast<int>(cfg.variant), cfg.threads,
+                   refs.size());
+      return false;
+    }
+
+    // The shared-cache batch driver must agree with the same cold rows.
+    if (step == 0 && t.m >= 2) {
+      const int half = t.m / 2;
+      std::vector<int> rows_a(static_cast<std::size_t>(half));
+      std::vector<int> rows_b(static_cast<std::size_t>(t.m - half));
+      for (int i = 0; i < half; ++i) rows_a[static_cast<std::size_t>(i)] = i;
+      for (int i = half; i < t.m; ++i) {
+        rows_b[static_cast<std::size_t>(i - half)] = i;
+      }
+      const std::vector<int> qa(q.begin(), q.begin() + half);
+      const std::vector<int> qb(q.begin() + half, q.end());
+      NeighborTable batched(t.m, t.k);
+      if (t.dedup) batched.enable_dedup_index();
+      const PackedKnnTask tasks[] = {{qa, &batched, rows_a},
+                                     {qb, &batched, rows_b}};
+      s = knn_batch_status(refs, tasks, t.k, cfg, refs.epoch());
+      if (s != Status::kOk) {
+        std::fprintf(stderr, "packed: batch failed: %s\n",
+                     gsknn::status_name(s));
+        return false;
+      }
+      if (collect_rows(batched, t.m) != collect_rows(cold, t.m)) {
+        std::fprintf(stderr, "packed: batch/cold divergence\n");
+        return false;
+      }
+    }
+  }
+
+  // Epoch handshake: a pin captured before an update must be rejected with
+  // kStale and the result left untouched.
+  {
+    const std::uint64_t pinned = refs.epoch();
+    const std::vector<int> add = {static_cast<int>(rng.below(npts))};
+    if (refs.insert(add) != Status::kOk) {
+      std::fprintf(stderr, "packed: stale-probe insert rejected\n");
+      return false;
+    }
+    NeighborTable res(t.m, t.k);
+    s = knn_kernel_status(refs, q, res, cfg, {}, pinned);
+    if (s != Status::kStale) {
+      std::fprintf(stderr, "packed: stale pin returned %s, expected stale\n",
+                   gsknn::status_name(s));
+      return false;
+    }
+    for (int i = 0; i < t.m; ++i) {
+      if (!res.sorted_row(i).empty()) {
+        std::fprintf(stderr, "packed: stale call touched result row %d\n", i);
+        return false;
+      }
+    }
+  }
+
+  // Layout classes: a poisoned (ℓ∞) cache serves only ℓ∞ and vice versa.
+  // d == 0 short-circuits before the plan (no panels are read), so the
+  // layout contract only applies to d > 0.
+  if (t.d > 0) {
+    KnnConfig bad = cfg;
+    bad.norm = (t.norm == Norm::kLInf) ? Norm::kL2Sq : Norm::kLInf;
+    bad.variant = Variant::kAuto;
+    const std::vector<int> one = {0};
+    NeighborTable res(1, 1);
+    s = knn_kernel_status(refs, one, res, bad);
+    if (s != Status::kUnsupported) {
+      std::fprintf(stderr,
+                   "packed: layout-incompatible norm returned %s, expected "
+                   "unsupported\n",
+                   gsknn::status_name(s));
+      return false;
+    }
+  }
+  return true;
+}
+
 bool run_trial(const Trial& t, gsknn::Xoshiro256& rng) {
   // Build the point pool. The coordinate magnitude is capped so that
   // squared norms stay far from the f64 overflow edge and (since the same
@@ -400,14 +596,10 @@ bool run_trial(const Trial& t, gsknn::Xoshiro256& rng) {
     }
   }
 
-  constexpr Variant kVariants[] = {Variant::kVar1, Variant::kVar2,
-                                   Variant::kVar3, Variant::kVar5,
-                                   Variant::kVar6};
-
   // f64: bitwise identity of every variant × thread count × arity.
   const auto anchor =
       run_kernel(X, q, r, t, Variant::kVar1, 1, HeapArity::kBinary);
-  for (Variant v : kVariants) {
+  for (Variant v : kAllVariants) {
     for (int threads : {1, 3}) {
       for (HeapArity arity : {HeapArity::kBinary, HeapArity::kQuad}) {
         const auto rows = run_kernel(X, q, r, t, v, threads, arity);
@@ -442,7 +634,7 @@ bool run_trial(const Trial& t, gsknn::Xoshiro256& rng) {
     const gsknn::PointTableF Xf = gsknn::to_float(X);
     const auto anchor_f =
         run_kernel(Xf, q, r, t, Variant::kVar1, 1, HeapArity::kBinary);
-    for (Variant v : kVariants) {
+    for (Variant v : kAllVariants) {
       for (int threads : {1, 3}) {
         const auto rows =
             run_kernel(Xf, q, r, t, v, threads, HeapArity::kBinary);
@@ -487,6 +679,9 @@ bool run_trial(const Trial& t, gsknn::Xoshiro256& rng) {
       return false;
     }
   }
+
+  // Packed-refs differential round over the same trial shape.
+  if (!check_packed(X, q, r, t, rng)) return false;
   return true;
 }
 

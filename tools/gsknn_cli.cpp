@@ -6,18 +6,29 @@
 //             [--csv]                     synthesize a dataset
 //   search    --data FILE --k K --out FILE [--queries FILE] [--norm l2|l1|
 //             linf|cos|lp] [--p P] [--variant auto|1|2|3|5|6] [--threads N]
-//             [--f32] [--profile [FILE]] [--trace [FILE]] [--metrics [FILE]]
+//             [--f32] [--pack-cache] [--repeat R] [--cache-budget B]
+//             [--profile [FILE]] [--trace [FILE]] [--metrics [FILE]]
 //             [--metrics-prom [FILE]]
 //             exact kNN of every query (default: all points, self included)
 //   batch     --data FILE --k K --out FILE [--tasks T] [--threads N]
+//             [--pack-cache] [--cache-budget B]
 //             [--metrics [FILE]] [--metrics-prom [FILE]]
 //             split the all-pairs search into T independent tasks and run
 //             them through the §2.5 batch scheduler
 //   allnn     --data FILE --k K --out FILE [--trees T] [--leaf L] [--seed S]
+//             [--pack-cache] [--sweeps S] [--cache-budget B]
 //             [--profile [FILE]] [--trace [FILE]] [--metrics [FILE]]
 //             [--metrics-prom [FILE]]
 //             approximate all-NN via the randomized KD-tree forest,
 //             reporting sampled exact recall
+//
+// --pack-cache routes reference panels through a PackedRefs cache (see
+// docs/ARCHITECTURE.md "plan / pack / compute"): the references are packed
+// once, and repeat traffic (--repeat > 1 searches, --sweeps > 1 tree passes,
+// every task of a batch after the first to touch a block) runs warm — zero
+// packed reference bytes, bitwise-identical results. A pack-stats line
+// (hits / misses / bytes packed) is printed after the run; --cache-budget
+// caps resident panel bytes (LRU eviction).
 //
 // Options take either `--key value` or `--key=value` form.
 //
@@ -51,6 +62,7 @@
 #include "gsknn/common/timer.hpp"
 #include "gsknn/common/trace.hpp"
 #include "gsknn/core/knn.hpp"
+#include "gsknn/core/packed_refs.hpp"
 #include "gsknn/data/generators.hpp"
 #include "gsknn/data/io.hpp"
 #include "gsknn/tree/rkd_forest.hpp"
@@ -211,6 +223,21 @@ void write_metrics_file(const std::string& body, const std::string& path,
   std::printf("%s -> %s\n", what, path.c_str());
 }
 
+/// One-line pack-cache report for --pack-cache runs (stats() is cumulative
+/// over the handle's lifetime, so warm repeats show up as hits with zero
+/// new bytes packed).
+template <typename T>
+void print_pack_stats(const PackedRefsT<T>& refs) {
+  const auto st = refs.stats();
+  std::printf("pack cache: %llu hits, %llu misses, %llu evictions, "
+              "%llu bytes packed, %zu resident\n",
+              static_cast<unsigned long long>(st.hits),
+              static_cast<unsigned long long>(st.misses),
+              static_cast<unsigned long long>(st.evictions),
+              static_cast<unsigned long long>(st.bytes_packed),
+              st.resident_bytes);
+}
+
 /// Handle `--metrics [F]` / `--metrics-prom [F]`: snapshot the process-wide
 /// aggregate registry once and write the requested renderings.
 void emit_metrics(const Args& a, const std::string& out) {
@@ -302,6 +329,13 @@ int cmd_search(const Args& a) {
   const std::string out = a.get("out");
   if (out.empty()) throw std::runtime_error("search requires --out");
 
+  const bool pack_cache = a.has("pack-cache");
+  const int repeat = std::max(1, static_cast<int>(a.get_long("repeat", 1)));
+  const auto budget = static_cast<std::size_t>(a.get_long("cache-budget", 0));
+  // Repeats feed the same candidates into the same rows; dedup rejects the
+  // re-arrivals, so the table stays bitwise-identical to a single pass.
+  if (repeat > 1) cfg.dedup = true;
+
   WallTimer timer;
   double secs;
   if (a.has("f32")) {
@@ -309,9 +343,27 @@ int cmd_search(const Args& a) {
     // (same query,rank,neighbor_id,distance schema) is written here.
     const PointTableF xf = to_float(*X);
     NeighborTableF result(static_cast<int>(queries.size()), k);
+    PackedRefsF pr;
+    if (pack_cache) {
+      PackedRefsF::Options opt;
+      opt.norm = cfg.norm;
+      opt.budget_bytes = budget;
+      const Status b = pr.build(xf, refs, opt);
+      if (b != Status::kOk) {
+        throw std::runtime_error(std::string("pack cache build failed: ") +
+                                 status_name(b));
+      }
+    }
     timer.start();
-    knn_kernel(xf, queries, refs, result, cfg);
+    for (int r = 0; r < repeat; ++r) {
+      if (pack_cache) {
+        knn_kernel(pr, queries, result, cfg);
+      } else {
+        knn_kernel(xf, queries, refs, result, cfg);
+      }
+    }
     secs = timer.seconds();
+    if (pack_cache) print_pack_stats(pr);
     std::FILE* f = std::fopen(out.c_str(), "w");
     if (f == nullptr) throw std::runtime_error("cannot write " + out);
     std::fputs("query,rank,neighbor_id,distance\n", f);
@@ -325,9 +377,27 @@ int cmd_search(const Args& a) {
     std::fclose(f);
   } else {
     NeighborTable result(static_cast<int>(queries.size()), k);
+    PackedRefs pr;
+    if (pack_cache) {
+      PackedRefs::Options opt;
+      opt.norm = cfg.norm;
+      opt.budget_bytes = budget;
+      const Status b = pr.build(*X, refs, opt);
+      if (b != Status::kOk) {
+        throw std::runtime_error(std::string("pack cache build failed: ") +
+                                 status_name(b));
+      }
+    }
     timer.start();
-    knn_kernel(*X, queries, refs, result, cfg);
+    for (int r = 0; r < repeat; ++r) {
+      if (pack_cache) {
+        knn_kernel(pr, queries, result, cfg);
+      } else {
+        knn_kernel(*X, queries, refs, result, cfg);
+      }
+    }
     secs = timer.seconds();
+    if (pack_cache) print_pack_stats(pr);
     save_neighbors_csv(result, out);
   }
   std::printf("searched %zu queries x %d refs (d=%d, k=%d, %s) in %.3fs -> %s\n",
@@ -355,33 +425,68 @@ int cmd_batch(const Args& a) {
   std::iota(refs.begin(), refs.end(), 0);
   NeighborTable result(data.size(), k);
 
-  std::vector<KnnTask> tasks;
-  tasks.reserve(static_cast<std::size_t>(ntasks));
-  const int n = data.size();
-  for (int t = 0; t < ntasks; ++t) {
-    const int lo = static_cast<int>(static_cast<long>(n) * t / ntasks);
-    const int hi = static_cast<int>(static_cast<long>(n) * (t + 1) / ntasks);
-    if (hi <= lo) continue;
-    KnnTask task;
-    task.qidx = std::span<const int>(refs.data() + lo,
-                                     static_cast<std::size_t>(hi - lo));
-    task.ridx = refs;
-    task.result = &result;
-    // Tasks share one table; aim each at its own query rows (ids == rows).
-    task.result_rows = task.qidx;
-    tasks.push_back(task);
-  }
-
+  const bool pack_cache = a.has("pack-cache");
+  std::size_t ntasks_run = 0;
   WallTimer timer;
-  timer.start();
-  knn_batch(data, tasks, k, cfg);
-  const double secs = timer.seconds();
+  double secs;
+  const int n = data.size();
+  PackedRefs pr;
+  if (pack_cache) {
+    // One shared cache: each reference block packs at most once across the
+    // whole batch, whichever task touches it first.
+    PackedRefs::Options opt;
+    opt.norm = cfg.norm;
+    opt.budget_bytes = static_cast<std::size_t>(a.get_long("cache-budget", 0));
+    const Status b = pr.build(data, refs, opt);
+    if (b != Status::kOk) {
+      throw std::runtime_error(std::string("pack cache build failed: ") +
+                               status_name(b));
+    }
+    std::vector<PackedKnnTask> tasks;
+    tasks.reserve(static_cast<std::size_t>(ntasks));
+    for (int t = 0; t < ntasks; ++t) {
+      const int lo = static_cast<int>(static_cast<long>(n) * t / ntasks);
+      const int hi = static_cast<int>(static_cast<long>(n) * (t + 1) / ntasks);
+      if (hi <= lo) continue;
+      PackedKnnTask task;
+      task.qidx = std::span<const int>(refs.data() + lo,
+                                       static_cast<std::size_t>(hi - lo));
+      task.result = &result;
+      task.result_rows = task.qidx;
+      tasks.push_back(task);
+    }
+    ntasks_run = tasks.size();
+    timer.start();
+    knn_batch(pr, tasks, k, cfg);
+    secs = timer.seconds();
+    print_pack_stats(pr);
+  } else {
+    std::vector<KnnTask> tasks;
+    tasks.reserve(static_cast<std::size_t>(ntasks));
+    for (int t = 0; t < ntasks; ++t) {
+      const int lo = static_cast<int>(static_cast<long>(n) * t / ntasks);
+      const int hi = static_cast<int>(static_cast<long>(n) * (t + 1) / ntasks);
+      if (hi <= lo) continue;
+      KnnTask task;
+      task.qidx = std::span<const int>(refs.data() + lo,
+                                       static_cast<std::size_t>(hi - lo));
+      task.ridx = refs;
+      task.result = &result;
+      // Tasks share one table; aim each at its own query rows (ids == rows).
+      task.result_rows = task.qidx;
+      tasks.push_back(task);
+    }
+    ntasks_run = tasks.size();
+    timer.start();
+    knn_batch(data, tasks, k, cfg);
+    secs = timer.seconds();
+  }
 
   const std::string out = a.get("out");
   if (out.empty()) throw std::runtime_error("batch requires --out");
   save_neighbors_csv(result, out);
   std::printf("batch: %zu tasks over %d points (d=%d, k=%d) in %.3fs -> %s\n",
-              tasks.size(), data.size(), data.dim(), k, secs, out.c_str());
+              ntasks_run, data.size(), data.dim(), k, secs, out.c_str());
   emit_metrics(a, out);
   return 0;
 }
@@ -393,6 +498,10 @@ int cmd_allnn(const Args& a) {
   cfg.num_trees = static_cast<int>(a.get_long("trees", 8));
   cfg.leaf_size = static_cast<int>(a.get_long("leaf", 512));
   cfg.seed = static_cast<std::uint64_t>(a.get_long("seed", 0));
+  cfg.pack_cache = a.has("pack-cache");
+  cfg.sweeps = std::max(1, static_cast<int>(a.get_long("sweeps", 1)));
+  cfg.pack_cache_budget =
+      static_cast<std::size_t>(a.get_long("cache-budget", 0));
   // Leaf kernels run sequentially inside the solver, so one shared sink
   // accumulates every leaf invocation race-free.
   telemetry::KernelProfile prof;
@@ -409,6 +518,14 @@ int cmd_allnn(const Args& a) {
               "%.3fs, recall@%d %.3f -> %s\n",
               data.size(), cfg.num_trees, cfg.leaf_size, result.build_seconds,
               result.kernel_seconds, k, recall, out.c_str());
+  if (cfg.pack_cache) {
+    std::printf("pack cache: %llu hits, %llu misses, %llu bytes packed "
+                "(%d sweeps/tree)\n",
+                static_cast<unsigned long long>(result.pack_hits),
+                static_cast<unsigned long long>(result.pack_misses),
+                static_cast<unsigned long long>(result.pack_bytes),
+                cfg.sweeps);
+  }
   if (cfg.kernel.profile != nullptr) {
     emit_profile(prof, profile_json_path(a, out));
   }
@@ -436,11 +553,14 @@ void usage() {
   std::puts("usage: gsknn <generate|search|batch|allnn|info> [--options]\n"
             "  generate --out F --d D --n N [--dist uniform|gaussian|mixture] [--csv]\n"
             "  search   --data F --k K --out F [--queries F] [--norm l2|l1|linf|cos|lp]\n"
-            "           [--variant auto|1|2|3|5|6] [--threads N] [--f32] [--profile [F]]\n"
+            "           [--variant auto|1|2|3|5|6] [--threads N] [--f32]\n"
+            "           [--pack-cache] [--repeat R] [--cache-budget B] [--profile [F]]\n"
             "           [--trace [F]] [--metrics [F]] [--metrics-prom [F]]\n"
             "  batch    --data F --k K --out F [--tasks T] [--threads N]\n"
+            "           [--pack-cache] [--cache-budget B]\n"
             "           [--metrics [F]] [--metrics-prom [F]]\n"
-            "  allnn    --data F --k K --out F [--trees T] [--leaf L] [--profile [F]]\n"
+            "  allnn    --data F --k K --out F [--trees T] [--leaf L]\n"
+            "           [--pack-cache] [--sweeps S] [--cache-budget B] [--profile [F]]\n"
             "           [--trace [F]] [--metrics [F]] [--metrics-prom [F]]\n"
             "  info     --data F");
 }
