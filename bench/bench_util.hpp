@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -17,6 +18,10 @@
 #include "gsknn/common/metrics.hpp"
 #include "gsknn/common/telemetry.hpp"
 #include "gsknn/common/timer.hpp"
+
+#ifndef GSKNN_GIT_DESCRIBE
+#define GSKNN_GIT_DESCRIBE "unknown"
+#endif
 
 namespace gsknn::bench {
 
@@ -89,12 +94,73 @@ inline std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// CPU model string from /proc/cpuinfo ("model name" row), or "unknown" —
+/// the machine-summary field only carries SIMD/cache geometry, which is not
+/// enough to tell two hosts apart when comparing snapshots.
+inline std::string cpu_model_name() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  std::string model = "unknown";
+  char line[512];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    const char* colon = std::strchr(line, ':');
+    if (colon != nullptr) {
+      const char* p = colon + 1;
+      while (*p == ' ' || *p == '\t') ++p;
+      model = p;
+      while (!model.empty() &&
+             (model.back() == '\n' || model.back() == '\r')) {
+        model.pop_back();
+      }
+    }
+    break;
+  }
+  std::fclose(f);
+  return model;
+}
+
+/// One provenance header row per process, ahead of the first data row:
+/// which build (git describe + compiler), which machine (SIMD level + CPU
+/// model), and when (timestamp passed by the harness via
+/// GSKNN_BENCH_TIMESTAMP, null when absent — the library takes no clock
+/// dependency here). tools/bench_snapshot.py lifts it into the snapshot
+/// document and tools/check_perf.py carries it through comparisons.
+inline void emit_provenance_row(std::FILE* f) {
+  const CpuFeatures& feats = cpu_features();
+  const char* simd = feats.avx512f ? "avx512"
+                     : feats.avx2  ? "avx2"
+                                   : "scalar";
+  const char* ts = std::getenv("GSKNN_BENCH_TIMESTAMP");
+  std::string ts_field = "null";
+  if (ts != nullptr && ts[0] != '\0') {
+    ts_field = "\"" + json_escape(ts) + "\"";
+  }
+  std::fprintf(f,
+               "{\"bench\":\"__provenance\",\"git\":\"%s\",\"compiler\":"
+               "\"%s\",\"simd\":\"%s\",\"cpu\":\"%s\",\"timestamp\":%s}\n",
+               json_escape(GSKNN_GIT_DESCRIBE).c_str(),
+#ifdef __VERSION__
+               json_escape(__VERSION__).c_str(),
+#else
+               "unknown",
+#endif
+               simd, json_escape(cpu_model_name()).c_str(),
+               ts_field.c_str());
+}
+
 /// Emit one JSON-lines row. `fields` is the comma-separated interior of a
 /// JSON object (e.g. "\"m\":4096,\"gflops\":21.3" or a profile's to_json()
 /// with the braces stripped); bench/machine/mode envelope fields are added.
+/// The first row of a process is preceded by a __provenance header row.
 inline void emit_json_row(const char* bench, const std::string& fields) {
   std::FILE* f = json_sink();
   if (f == nullptr) return;
+  static bool provenance_emitted = false;
+  if (!provenance_emitted) {
+    provenance_emitted = true;
+    emit_provenance_row(f);
+  }
   std::fprintf(f, "{\"bench\":\"%s\",\"machine\":\"%s\",\"quick\":%s%s%s}\n",
                bench, json_escape(arch_summary()).c_str(),
                quick_mode() ? "true" : "false", fields.empty() ? "" : ",",

@@ -382,6 +382,40 @@ uint64_t gsknn_metrics_drift_count(const gsknn_metrics* m, int f32);
 const char* gsknn_metrics_json(gsknn_metrics* m);
 const char* gsknn_metrics_prometheus(gsknn_metrics* m);
 
+/* ---- rolling windows (docs/OBSERVABILITY.md "Flight recorder & SLO
+ * windows") ------------------------------------------------------------ */
+
+/* The snapshot also carries a 60 x 1 s rolling window over status counts,
+ * latency and model drift (all entry points combined). These accessors
+ * read the windowed health signals; the same numbers appear as the
+ * "window" object in gsknn_metrics_json() and the gsknn_window_* gauge
+ * families in gsknn_metrics_prometheus(). */
+
+/* Calls / non-OK calls inside the rolling window. */
+uint64_t gsknn_metrics_window_calls(const gsknn_metrics* m);
+uint64_t gsknn_metrics_window_errors(const gsknn_metrics* m);
+
+/* Non-OK fraction of windowed calls; 0 when the window is empty. */
+double gsknn_metrics_window_error_rate(const gsknn_metrics* m);
+
+/* Windowed latency quantile (same <= 2x bucket-edge contract as the
+ * cumulative quantile accessor). */
+uint64_t gsknn_metrics_window_latency_quantile_ns(const gsknn_metrics* m,
+                                                  double q);
+
+/* SLO burn rates over the window: 1.0 means the error budget is being
+ * spent exactly at the sustainable rate. `which` selects the SLO:
+ * 0 = latency (GSKNN_SLO_LATENCY_MS at quantile GSKNN_SLO_LATENCY_TARGET),
+ * 1 = availability (GSKNN_SLO_AVAILABILITY). Negative on bad arguments. */
+double gsknn_metrics_window_burn_rate(const gsknn_metrics* m, int which);
+
+/* Write a one-shot diagnostics bundle — build/arch/CPU info, env knobs,
+ * metrics snapshot incl. the window series, a flight-recorder drain, and
+ * the section-2.6 model table — to `path` as one JSON object (the schema
+ * tools/check_diag.py validates; same bundle `gsknn_cli doctor` emits).
+ * Returns GSKNN_OK or a GSKNN_ERR_* code. */
+int gsknn_diag_dump(const char* path);
+
 /* Process-wide count of PMU snapshot reads whose counts were extrapolated
  * by kernel multiplex scaling — non-zero means PMU columns are estimates. */
 uint64_t gsknn_pmu_multiplexed_reads(void);

@@ -98,6 +98,31 @@ inline constexpr int kDriftCenter = kHistBuckets / 2;
 inline constexpr int kDriftBucketsPerLog2 = 8;
 int drift_bucket(double predicted_seconds, double measured_seconds);
 
+// ---- rolling windows -------------------------------------------------------
+
+/// Time-bucketed ring over the last kWindowBuckets × kWindowBucketSeconds
+/// of traffic: per-second status counts, one aggregate latency histogram
+/// per second (all entry points combined — the windowed axes answer "is
+/// the process healthy NOW", the cumulative axes keep the per-entry
+/// detail), and model drift. Each shard carries its own ring; a slot is
+/// lazily re-zeroed by its owner when the wall second it held falls out of
+/// the window (slot = second % kWindowBuckets, the slot's absolute second
+/// is stored alongside so scrapes can tell live data from stale).
+inline constexpr int kWindowBuckets = 60;
+inline constexpr int kWindowBucketSeconds = 1;
+
+/// SLO targets for the windowed burn rates. Defaults match slo_from_env()
+/// with no environment overrides.
+struct Slo {
+  double latency_target_s = 0.100;   ///< GSKNN_SLO_LATENCY_MS / 1000
+  double latency_quantile = 0.99;    ///< GSKNN_SLO_LATENCY_TARGET
+  double availability_target = 0.999;  ///< GSKNN_SLO_AVAILABILITY
+};
+
+/// SLO targets from GSKNN_SLO_LATENCY_MS / GSKNN_SLO_LATENCY_TARGET /
+/// GSKNN_SLO_AVAILABILITY (latched on first call).
+const Slo& slo_from_env();
+
 // ---- scalar event counters -------------------------------------------------
 
 /// Process-wide monotonic event counters. The first three make workspace
@@ -144,6 +169,20 @@ struct MetricsSnapshot {
   std::uint64_t counters[kCounterCount] = {};
   bool enabled = true;
 
+  /// Rolling-window series (see kWindowBuckets above). window_epoch[i] is
+  /// the absolute wall second slot i holds (0 = never written); a slot is
+  /// live iff its epoch is within kWindowBuckets seconds of window_now_sec.
+  std::uint64_t window_now_sec = 0;
+  std::uint64_t window_epoch[kWindowBuckets] = {};
+  std::uint64_t window_status[kWindowBuckets][kStatusCount] = {};
+  std::uint64_t window_latency[kWindowBuckets][kHistBuckets] = {};
+  std::uint64_t window_latency_sum_ns[kWindowBuckets] = {};
+  std::uint64_t window_drift_count[kWindowBuckets] = {};
+  std::int64_t window_drift_sum_millilog2[kWindowBuckets] = {};
+  /// SLO targets the burn rates in the exports are computed against
+  /// (snapshot() fills this from slo_from_env()).
+  Slo slo;
+
   std::uint64_t calls_total(EntryPoint ep) const;
   std::uint64_t status_total(int status) const;
   std::uint64_t drift_count(int precision) const;  ///< 0 = f64, 1 = f32
@@ -151,7 +190,30 @@ struct MetricsSnapshot {
   /// — a <= 2x overestimate by construction; 0 when no calls recorded.
   std::uint64_t latency_quantile_ns(EntryPoint ep, double q) const;
 
-  /// Bucket-wise accumulate (fixed layouts make this exact).
+  /// Whether window slot i holds live (in-window) data.
+  bool window_slot_live(int i) const;
+  /// Calls / non-OK calls across the live window slots.
+  std::uint64_t window_calls() const;
+  std::uint64_t window_errors() const;
+  /// window_errors() / window_calls(); 0 when the window is empty.
+  double window_error_rate() const;
+  /// Quantile over the merged live-slot latency histogram (same <= 2x
+  /// overestimate contract as latency_quantile_ns); 0 when empty.
+  std::uint64_t window_latency_quantile_ns(double q) const;
+  /// Mean log2(measured/predicted) across live-slot drift samples; 0 when
+  /// no samples.
+  double window_drift_mean_log2() const;
+  /// Fraction of windowed calls slower than slo.latency_target_s, divided
+  /// by the error budget (1 - slo.latency_quantile). 1.0 = burning exactly
+  /// the budget; conservative: the bucket straddling the target counts as
+  /// over-target.
+  double window_latency_burn_rate() const;
+  /// window_error_rate() / (1 - slo.availability_target).
+  double window_availability_burn_rate() const;
+
+  /// Bucket-wise accumulate (fixed layouts make this exact). Window slots
+  /// align by absolute epoch: equal epochs add, the newer epoch wins
+  /// otherwise.
   void merge(const MetricsSnapshot& other);
 
   /// One JSON object; schema documented in docs/OBSERVABILITY.md and
@@ -176,16 +238,30 @@ void set_enabled(bool on);
 void record_call(EntryPoint ep, int status, std::uint64_t latency_ns, int m,
                  int n, int d, int k);
 
+/// record_call with the caller's end-of-call timestamp (steady-clock ns,
+/// i.e. a now_ns() value) — saves the entry brackets a second clock read
+/// and gives the window tests a simulated clock.
+void record_call_at(std::uint64_t now, EntryPoint ep, int status,
+                    std::uint64_t latency_ns, int m, int n, int d, int k);
+
 /// Record one model-drift sample (predicted vs measured seconds); samples
 /// with a non-positive side are dropped. No-op when disabled.
 void record_drift(bool f32, double predicted_seconds,
                   double measured_seconds);
+
+/// record_drift against a caller-supplied timestamp (window placement).
+void record_drift_at(std::uint64_t now, bool f32, double predicted_seconds,
+                     double measured_seconds);
 
 /// Bump a scalar event counter. No-op when disabled.
 void add_counter(Counter c, std::uint64_t v = 1);
 
 /// Reduce all shards into one snapshot.
 MetricsSnapshot snapshot();
+
+/// snapshot() with a caller-supplied "now" (steady-clock ns) for the
+/// window-liveness cut — the simulated-clock test hook.
+MetricsSnapshot snapshot_at(std::uint64_t now);
 
 /// Zero all shards (the enabled flag is left as-is). May race recording;
 /// in-flight samples land on whichever side of the cut they reach first.

@@ -1,0 +1,39 @@
+// gsknn::diag — one-shot diagnostics bundles.
+//
+// A bundle is a single versioned JSON document capturing everything needed
+// to triage a misbehaving process after the fact: build and architecture
+// facts (compiler, SIMD level, CPU features, cache hierarchy, derived
+// blocking), the GSKNN_* environment knobs as the process sees them, a full
+// aggregate-metrics snapshot (including the rolling-window series and SLO
+// burn rates), a flight-recorder drain, and the §2.6 performance-model
+// table (predicted Var#1/Var#6/GEMM times over a (d, k) grid — the
+// reference the model-drift histograms are measured against).
+//
+// Produced three ways, all the same schema (tools/check_diag.py):
+//   * `gsknn_cli doctor [--out F]`;
+//   * gsknn_diag_dump(path) from the C API (include/gsknn/capi.h);
+//   * automatically when a flight-recorder status trigger fires with
+//     GSKNN_FLIGHTREC_DUMP set — this header's TU registers the dump hook
+//     that upgrades the raw event dump to a full bundle, so any binary
+//     whose link pulls in gsknn::diag gets bundles for free.
+//
+// See docs/OBSERVABILITY.md "Flight recorder & SLO windows".
+#pragma once
+
+#include <string>
+
+namespace gsknn::diag {
+
+/// Render the bundle (one JSON object, "diag_version": 1). `reason` is a
+/// short token recorded in the bundle ("doctor", "api",
+/// "status_trigger:deadline_exceeded", ...).
+std::string bundle_json(const char* reason);
+
+/// bundle_json() to a file; false on I/O failure.
+bool write_bundle(const char* path, const char* reason);
+
+/// Ensure the flight-recorder dump hook is registered (idempotent; also
+/// runs at static-init time when this TU is linked in).
+void ensure_trigger_hook();
+
+}  // namespace gsknn::diag

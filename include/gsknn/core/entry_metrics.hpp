@@ -1,18 +1,35 @@
 // Internal helpers bracketing public entry points with the aggregate
-// metrics layer (gsknn/common/metrics.hpp): one steady-clock pair per call,
-// the resulting Status recorded even when the entry point reports it by
-// throwing. Used by the driver, baselines, batch, parallel_refs and the
-// tree solvers; not part of the public API.
+// metrics layer (gsknn/common/metrics.hpp) and the flight recorder
+// (gsknn/common/flightrec.hpp): one steady-clock pair per call, the
+// resulting Status recorded even when the entry point reports it by
+// throwing, plus a call_begin/call_end event pair in the recorder. Used by
+// the driver, baselines, batch, parallel_refs and the tree solvers; not
+// part of the public API.
 #pragma once
 
 #include <cstdint>
 #include <new>
 #include <utility>
 
+#include "gsknn/common/flightrec.hpp"
 #include "gsknn/common/metrics.hpp"
 #include "gsknn/core/knn.hpp"
 
 namespace gsknn::core {
+
+/// One finished-call sample into both sinks; `t1` is the end-of-call
+/// now_ns() so the metrics layer places it in the right window slot
+/// without a second clock read.
+inline void record_entry_end(bool met, bool rec, metrics::EntryPoint ep,
+                             int status, std::uint64_t t0, int m, int n,
+                             int d, int k) {
+  const std::uint64_t t1 = metrics::now_ns();
+  if (met) metrics::record_call_at(t1, ep, status, t1 - t0, m, n, d, k);
+  if (rec) {
+    flightrec::record(flightrec::Kind::kCallEnd, static_cast<int>(ep),
+                      status, t1 - t0, m, n, d, k);
+  }
+}
 
 /// Run a throwing entry-point body under metrics. StatusError/bad_alloc are
 /// recorded with their mapped status and rethrown; any other exception
@@ -20,28 +37,35 @@ namespace gsknn::core {
 template <typename Fn>
 void record_entry(metrics::EntryPoint ep, int m, int n, int d, int k,
                   Fn&& fn) {
-  if (!metrics::enabled()) {
+  const bool met = metrics::enabled();
+  const bool rec = flightrec::enabled();
+  if (!met && !rec) {
     std::forward<Fn>(fn)();
     return;
   }
   const std::uint64_t t0 = metrics::now_ns();
+  if (rec) {
+    flightrec::record(flightrec::Kind::kCallBegin, static_cast<int>(ep), 0,
+                      0, m, n, d, k);
+  }
   try {
     std::forward<Fn>(fn)();
   } catch (const StatusError& e) {
-    metrics::record_call(ep, static_cast<int>(e.status()),
-                         metrics::now_ns() - t0, m, n, d, k);
+    record_entry_end(met, rec, ep, static_cast<int>(e.status()), t0, m, n, d,
+                     k);
     throw;
   } catch (const std::bad_alloc&) {
-    metrics::record_call(ep, static_cast<int>(Status::kResourceExhausted),
-                         metrics::now_ns() - t0, m, n, d, k);
+    record_entry_end(met, rec, ep,
+                     static_cast<int>(Status::kResourceExhausted), t0, m, n,
+                     d, k);
     throw;
   } catch (...) {
-    metrics::record_call(ep, static_cast<int>(Status::kInternal),
-                         metrics::now_ns() - t0, m, n, d, k);
+    record_entry_end(met, rec, ep, static_cast<int>(Status::kInternal), t0,
+                     m, n, d, k);
     throw;
   }
-  metrics::record_call(ep, static_cast<int>(Status::kOk),
-                       metrics::now_ns() - t0, m, n, d, k);
+  record_entry_end(met, rec, ep, static_cast<int>(Status::kOk), t0, m, n, d,
+                   k);
 }
 
 /// Status-returning form: records the returned Status; a body that throws
@@ -50,26 +74,32 @@ void record_entry(metrics::EntryPoint ep, int m, int n, int d, int k,
 template <typename Fn>
 Status record_entry_status(metrics::EntryPoint ep, int m, int n, int d,
                            int k, Fn&& fn) {
-  if (!metrics::enabled()) return std::forward<Fn>(fn)();
+  const bool met = metrics::enabled();
+  const bool rec = flightrec::enabled();
+  if (!met && !rec) return std::forward<Fn>(fn)();
   const std::uint64_t t0 = metrics::now_ns();
+  if (rec) {
+    flightrec::record(flightrec::Kind::kCallBegin, static_cast<int>(ep), 0,
+                      0, m, n, d, k);
+  }
   Status s = Status::kInternal;
   try {
     s = std::forward<Fn>(fn)();
   } catch (const StatusError& e) {
-    metrics::record_call(ep, static_cast<int>(e.status()),
-                         metrics::now_ns() - t0, m, n, d, k);
+    record_entry_end(met, rec, ep, static_cast<int>(e.status()), t0, m, n, d,
+                     k);
     throw;
   } catch (const std::bad_alloc&) {
-    metrics::record_call(ep, static_cast<int>(Status::kResourceExhausted),
-                         metrics::now_ns() - t0, m, n, d, k);
+    record_entry_end(met, rec, ep,
+                     static_cast<int>(Status::kResourceExhausted), t0, m, n,
+                     d, k);
     throw;
   } catch (...) {
-    metrics::record_call(ep, static_cast<int>(Status::kInternal),
-                         metrics::now_ns() - t0, m, n, d, k);
+    record_entry_end(met, rec, ep, static_cast<int>(Status::kInternal), t0,
+                     m, n, d, k);
     throw;
   }
-  metrics::record_call(ep, static_cast<int>(s), metrics::now_ns() - t0, m, n,
-                       d, k);
+  record_entry_end(met, rec, ep, static_cast<int>(s), t0, m, n, d, k);
   return s;
 }
 

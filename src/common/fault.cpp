@@ -11,6 +11,8 @@
 #include <cstring>
 #include <thread>
 
+#include "gsknn/common/flightrec.hpp"
+
 namespace gsknn::fault {
 
 namespace {
@@ -104,9 +106,12 @@ bool inject_alloc_failure() noexcept {
   const auto seq = static_cast<std::int64_t>(
       s.allocs.fetch_add(1, std::memory_order_relaxed) + 1);
   const std::int64_t nth = s.alloc_nth.load(std::memory_order_relaxed);
-  if (nth > 0 && seq == nth) return true;
   const std::int64_t every = s.alloc_every.load(std::memory_order_relaxed);
-  if (every > 0 && seq % every == 0) return true;
+  if ((nth > 0 && seq == nth) || (every > 0 && seq % every == 0)) {
+    // value 1 = alloc site, matching the "fault" kind's payload contract.
+    flightrec::record(flightrec::Kind::kFault, -1, 0, 1);
+    return true;
+  }
   return false;
 }
 
@@ -120,7 +125,12 @@ bool inject_cancel() noexcept {
   const auto seq = static_cast<std::int64_t>(
       s.polls.fetch_add(1, std::memory_order_relaxed) + 1);
   const std::int64_t at = s.cancel_at.load(std::memory_order_relaxed);
-  return at > 0 && seq == at;
+  if (at > 0 && seq == at) {
+    // value 2 = cancel-poll site.
+    flightrec::record(flightrec::Kind::kFault, -1, 0, 2);
+    return true;
+  }
+  return false;
 }
 
 std::uint64_t alloc_count() noexcept {

@@ -48,6 +48,15 @@ struct alignas(64) Shard {
   std::atomic<std::uint64_t> drift[2][kHistBuckets];
   std::atomic<std::int64_t> drift_sum_millilog2[2];
   std::atomic<std::uint64_t> counters[kCounterCount];
+  // Rolling-window ring (see metrics.hpp kWindowBuckets). win_epoch[i] is
+  // the absolute wall second slot i currently holds; the slot's arrays are
+  // re-zeroed by the recording thread when its second moves on.
+  std::atomic<std::uint64_t> win_epoch[kWindowBuckets];
+  std::atomic<std::uint64_t> win_status[kWindowBuckets][kStatusCount];
+  std::atomic<std::uint64_t> win_latency[kWindowBuckets][kHistBuckets];
+  std::atomic<std::uint64_t> win_latency_sum_ns[kWindowBuckets];
+  std::atomic<std::uint64_t> win_drift_count[kWindowBuckets];
+  std::atomic<std::int64_t> win_drift_sum_millilog2[kWindowBuckets];
 };
 
 // Fixed pool: ~8 KB per shard, claimed one per recording thread. Threads
@@ -100,6 +109,41 @@ bool initial_enabled() {
 }
 
 std::atomic<bool> g_enabled{initial_enabled()};
+
+void zero_window_slot(Shard& s, int slot) {
+  for (int st = 0; st < kStatusCount; ++st) {
+    s.win_status[slot][st].store(0, std::memory_order_relaxed);
+  }
+  for (int b = 0; b < kHistBuckets; ++b) {
+    s.win_latency[slot][b].store(0, std::memory_order_relaxed);
+  }
+  s.win_latency_sum_ns[slot].store(0, std::memory_order_relaxed);
+  s.win_drift_count[slot].store(0, std::memory_order_relaxed);
+  s.win_drift_sum_millilog2[slot].store(0, std::memory_order_relaxed);
+}
+
+/// Make `slot` of shard `s` hold wall-second `sec`, re-zeroing it if it
+/// held an older second. Owned shards do this with plain stores. On the
+/// shared overflow shard a CAS elects one zeroing thread; a concurrent
+/// bump may land while the winner zeroes — an acceptable (counted-sample)
+/// loss on an already contended fallback path, same scrape-race contract
+/// as snapshot()/reset().
+inline void rotate_window(Shard& s, int slot, std::uint64_t sec,
+                          bool shared) {
+  std::uint64_t held = s.win_epoch[slot].load(std::memory_order_relaxed);
+  if (held == sec) return;
+  if (held > sec) return;  // another thread already advanced past us
+  if (shared) {
+    if (!s.win_epoch[slot].compare_exchange_strong(
+            held, sec, std::memory_order_relaxed)) {
+      return;
+    }
+    zero_window_slot(s, slot);
+  } else {
+    zero_window_slot(s, slot);
+    s.win_epoch[slot].store(sec, std::memory_order_relaxed);
+  }
+}
 
 // ---- tiny JSON/text builders (snprintf into std::string, the telemetry
 // serializer idiom — no allocation surprises, no iostreams) ----------------
@@ -206,6 +250,11 @@ void set_enabled(bool on) {
 
 void record_call(EntryPoint ep, int status, std::uint64_t latency_ns, int m,
                  int n, int d, int k) {
+  record_call_at(now_ns(), ep, status, latency_ns, m, n, d, k);
+}
+
+void record_call_at(std::uint64_t now, EntryPoint ep, int status,
+                    std::uint64_t latency_ns, int m, int n, int d, int k) {
   if (!enabled()) return;
   const int e = static_cast<int>(ep);
   if (e < 0 || e >= kEntryPointCount) return;
@@ -214,7 +263,8 @@ void record_call(EntryPoint ep, int status, std::uint64_t latency_ns, int m,
   Shard& s = *ref.shard;
   const bool sh = ref.shared;
   bump(s.calls[e][status], 1, sh);
-  bump(s.latency[e][bucket_index(latency_ns)], 1, sh);
+  const int lb = bucket_index(latency_ns);
+  bump(s.latency[e][lb], 1, sh);
   bump(s.latency_sum_ns[e], latency_ns, sh);
   const int dims[4] = {m, n, d, k};
   for (int a = 0; a < 4; ++a) {
@@ -223,10 +273,22 @@ void record_call(EntryPoint ep, int status, std::uint64_t latency_ns, int m,
     bump(s.shape[a][bucket_index(v)], 1, sh);
     bump(s.shape_sum[a], v, sh);
   }
+  // Rolling window: the slot for this wall second.
+  const std::uint64_t sec = now / 1000000000u;
+  const int slot = static_cast<int>(sec % kWindowBuckets);
+  rotate_window(s, slot, sec, sh);
+  bump(s.win_status[slot][status], 1, sh);
+  bump(s.win_latency[slot][lb], 1, sh);
+  bump(s.win_latency_sum_ns[slot], latency_ns, sh);
 }
 
 void record_drift(bool f32, double predicted_seconds,
                   double measured_seconds) {
+  record_drift_at(now_ns(), f32, predicted_seconds, measured_seconds);
+}
+
+void record_drift_at(std::uint64_t now, bool f32, double predicted_seconds,
+                     double measured_seconds) {
   if (!enabled()) return;
   const int b = drift_bucket(predicted_seconds, measured_seconds);
   if (b < 0) return;
@@ -236,8 +298,14 @@ void record_drift(bool f32, double predicted_seconds,
   bump(s.drift[p][b], 1, ref.shared);
   const double millilog2 =
       1000.0 * std::log2(measured_seconds / predicted_seconds);
-  bump_signed(s.drift_sum_millilog2[p],
-              static_cast<std::int64_t>(std::llround(millilog2)), ref.shared);
+  const std::int64_t ml2 =
+      static_cast<std::int64_t>(std::llround(millilog2));
+  bump_signed(s.drift_sum_millilog2[p], ml2, ref.shared);
+  const std::uint64_t sec = now / 1000000000u;
+  const int slot = static_cast<int>(sec % kWindowBuckets);
+  rotate_window(s, slot, sec, ref.shared);
+  bump(s.win_drift_count[slot], 1, ref.shared);
+  bump_signed(s.win_drift_sum_millilog2[slot], ml2, ref.shared);
 }
 
 void add_counter(Counter c, std::uint64_t v) {
@@ -248,9 +316,65 @@ void add_counter(Counter c, std::uint64_t v) {
   bump(ref.shard->counters[i], v, ref.shared);
 }
 
-MetricsSnapshot snapshot() {
+const Slo& slo_from_env() {
+  static const Slo slo = [] {
+    Slo s;
+    if (const char* e = std::getenv("GSKNN_SLO_LATENCY_MS")) {
+      const double ms = std::strtod(e, nullptr);
+      if (ms > 0.0) s.latency_target_s = ms / 1000.0;
+    }
+    if (const char* e = std::getenv("GSKNN_SLO_LATENCY_TARGET")) {
+      const double q = std::strtod(e, nullptr);
+      if (q > 0.0 && q < 1.0) s.latency_quantile = q;
+    }
+    if (const char* e = std::getenv("GSKNN_SLO_AVAILABILITY")) {
+      const double a = std::strtod(e, nullptr);
+      if (a > 0.0 && a < 1.0) s.availability_target = a;
+    }
+    return s;
+  }();
+  return slo;
+}
+
+MetricsSnapshot snapshot() { return snapshot_at(now_ns()); }
+
+MetricsSnapshot snapshot_at(std::uint64_t now) {
   MetricsSnapshot out;
   out.enabled = enabled();
+  out.window_now_sec = now / 1000000000u;
+  out.slo = slo_from_env();
+  // Window slots align across shards (slot = second % kWindowBuckets), but
+  // a shard that idled may still hold a previous lap's second in a slot.
+  // Reduce to the newest epoch per slot and only add matching shards.
+  for (const Shard& s : g_shards) {
+    for (int i = 0; i < kWindowBuckets; ++i) {
+      const std::uint64_t e = s.win_epoch[i].load(std::memory_order_relaxed);
+      if (e > out.window_epoch[i]) out.window_epoch[i] = e;
+    }
+  }
+  for (const Shard& s : g_shards) {
+    for (int i = 0; i < kWindowBuckets; ++i) {
+      if (out.window_epoch[i] == 0 ||
+          s.win_epoch[i].load(std::memory_order_relaxed) !=
+              out.window_epoch[i]) {
+        continue;
+      }
+      for (int st = 0; st < kStatusCount; ++st) {
+        out.window_status[i][st] +=
+            s.win_status[i][st].load(std::memory_order_relaxed);
+      }
+      for (int b = 0; b < kHistBuckets; ++b) {
+        out.window_latency[i][b] +=
+            s.win_latency[i][b].load(std::memory_order_relaxed);
+      }
+      out.window_latency_sum_ns[i] +=
+          s.win_latency_sum_ns[i].load(std::memory_order_relaxed);
+      out.window_drift_count[i] +=
+          s.win_drift_count[i].load(std::memory_order_relaxed);
+      out.window_drift_sum_millilog2[i] +=
+          s.win_drift_sum_millilog2[i].load(std::memory_order_relaxed);
+    }
+  }
   for (const Shard& s : g_shards) {
     for (int e = 0; e < kEntryPointCount; ++e) {
       for (int st = 0; st < kStatusCount; ++st) {
@@ -308,6 +432,10 @@ void reset() {
     for (int c = 0; c < kCounterCount; ++c) {
       s.counters[c].store(0, std::memory_order_relaxed);
     }
+    for (int i = 0; i < kWindowBuckets; ++i) {
+      zero_window_slot(s, i);
+      s.win_epoch[i].store(0, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -358,7 +486,131 @@ std::uint64_t MetricsSnapshot::latency_quantile_ns(EntryPoint ep,
   return bucket_limit(kHistBuckets - 1);
 }
 
+bool MetricsSnapshot::window_slot_live(int i) const {
+  if (i < 0 || i >= kWindowBuckets) return false;
+  const std::uint64_t e = window_epoch[i];
+  if (e == 0) return false;
+  // A slot a shade ahead of the snapshot cut (clock skew between the
+  // recording thread and the scrape) still counts as live.
+  return e >= window_now_sec || window_now_sec - e < kWindowBuckets;
+}
+
+std::uint64_t MetricsSnapshot::window_calls() const {
+  std::uint64_t total = 0;
+  for (int i = 0; i < kWindowBuckets; ++i) {
+    if (!window_slot_live(i)) continue;
+    for (int st = 0; st < kStatusCount; ++st) total += window_status[i][st];
+  }
+  return total;
+}
+
+std::uint64_t MetricsSnapshot::window_errors() const {
+  std::uint64_t total = 0;
+  for (int i = 0; i < kWindowBuckets; ++i) {
+    if (!window_slot_live(i)) continue;
+    for (int st = 1; st < kStatusCount; ++st) total += window_status[i][st];
+  }
+  return total;
+}
+
+double MetricsSnapshot::window_error_rate() const {
+  const std::uint64_t calls = window_calls();
+  if (calls == 0) return 0.0;
+  return static_cast<double>(window_errors()) / static_cast<double>(calls);
+}
+
+std::uint64_t MetricsSnapshot::window_latency_quantile_ns(double q) const {
+  std::uint64_t merged[kHistBuckets] = {};
+  std::uint64_t total = 0;
+  for (int i = 0; i < kWindowBuckets; ++i) {
+    if (!window_slot_live(i)) continue;
+    for (int b = 0; b < kHistBuckets; ++b) {
+      merged[b] += window_latency[i][b];
+      total += window_latency[i][b];
+    }
+  }
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kHistBuckets; ++b) {
+    cum += merged[b];
+    if (cum >= rank) return bucket_limit(b);
+  }
+  return bucket_limit(kHistBuckets - 1);
+}
+
+double MetricsSnapshot::window_drift_mean_log2() const {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  for (int i = 0; i < kWindowBuckets; ++i) {
+    if (!window_slot_live(i)) continue;
+    count += window_drift_count[i];
+    sum += window_drift_sum_millilog2[i];
+  }
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / 1000.0 / static_cast<double>(count);
+}
+
+double MetricsSnapshot::window_latency_burn_rate() const {
+  const std::uint64_t target_ns = static_cast<std::uint64_t>(
+      slo.latency_target_s > 0.0 ? slo.latency_target_s * 1e9 : 0.0);
+  std::uint64_t total = 0;
+  std::uint64_t within = 0;
+  for (int i = 0; i < kWindowBuckets; ++i) {
+    if (!window_slot_live(i)) continue;
+    for (int b = 0; b < kHistBuckets; ++b) {
+      const std::uint64_t c = window_latency[i][b];
+      total += c;
+      // A bucket counts as within-target only when its whole range is:
+      // the straddling bucket is charged to the budget (conservative).
+      if (bucket_limit(b) <= target_ns) within += c;
+    }
+  }
+  if (total == 0) return 0.0;
+  const double budget = 1.0 - slo.latency_quantile;
+  if (budget <= 0.0) return 0.0;
+  const double miss =
+      static_cast<double>(total - within) / static_cast<double>(total);
+  return miss / budget;
+}
+
+double MetricsSnapshot::window_availability_burn_rate() const {
+  const double budget = 1.0 - slo.availability_target;
+  if (budget <= 0.0) return 0.0;
+  return window_error_rate() / budget;
+}
+
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  if (other.window_now_sec > window_now_sec) {
+    window_now_sec = other.window_now_sec;
+  }
+  for (int i = 0; i < kWindowBuckets; ++i) {
+    if (other.window_epoch[i] == window_epoch[i]) {
+      for (int st = 0; st < kStatusCount; ++st) {
+        window_status[i][st] += other.window_status[i][st];
+      }
+      for (int b = 0; b < kHistBuckets; ++b) {
+        window_latency[i][b] += other.window_latency[i][b];
+      }
+      window_latency_sum_ns[i] += other.window_latency_sum_ns[i];
+      window_drift_count[i] += other.window_drift_count[i];
+      window_drift_sum_millilog2[i] += other.window_drift_sum_millilog2[i];
+    } else if (other.window_epoch[i] > window_epoch[i]) {
+      window_epoch[i] = other.window_epoch[i];
+      for (int st = 0; st < kStatusCount; ++st) {
+        window_status[i][st] = other.window_status[i][st];
+      }
+      for (int b = 0; b < kHistBuckets; ++b) {
+        window_latency[i][b] = other.window_latency[i][b];
+      }
+      window_latency_sum_ns[i] = other.window_latency_sum_ns[i];
+      window_drift_count[i] = other.window_drift_count[i];
+      window_drift_sum_millilog2[i] = other.window_drift_sum_millilog2[i];
+    }  // else: ours is newer, keep it
+  }
   for (int e = 0; e < kEntryPointCount; ++e) {
     for (int st = 0; st < kStatusCount; ++st) {
       calls[e][st] += other.calls[e][st];
@@ -423,7 +675,63 @@ std::string MetricsSnapshot::to_json() const {
     append_bucket_array(out, drift[p]);
     out += '}';
   }
-  out += "},\"counters\":{";
+  append_fmt(out,
+             "},\"window\":{\"buckets\":%d,\"bucket_seconds\":%d,"
+             "\"now_sec\":%llu,\"calls\":%llu,\"errors\":%llu,"
+             "\"error_rate\":%.9g,\"p50_ns\":%llu,\"p99_ns\":%llu,"
+             "\"drift_mean_log2\":%.9g",
+             kWindowBuckets, kWindowBucketSeconds,
+             static_cast<unsigned long long>(window_now_sec),
+             static_cast<unsigned long long>(window_calls()),
+             static_cast<unsigned long long>(window_errors()),
+             window_error_rate(),
+             static_cast<unsigned long long>(window_latency_quantile_ns(0.5)),
+             static_cast<unsigned long long>(
+                 window_latency_quantile_ns(0.99)),
+             window_drift_mean_log2());
+  append_fmt(out,
+             ",\"slo\":{\"latency_target_s\":%.9g,\"latency_quantile\":%.9g,"
+             "\"availability_target\":%.9g,\"latency_burn_rate\":%.9g,"
+             "\"availability_burn_rate\":%.9g}",
+             slo.latency_target_s, slo.latency_quantile,
+             slo.availability_target, window_latency_burn_rate(),
+             window_availability_burn_rate());
+  out += ",\"series\":[";
+  {
+    // Live slots, oldest second first (epoch order, not slot order).
+    int order[kWindowBuckets];
+    int live = 0;
+    for (int i = 0; i < kWindowBuckets; ++i) {
+      if (window_slot_live(i)) order[live++] = i;
+    }
+    for (int a = 1; a < live; ++a) {  // tiny insertion sort by epoch
+      const int v = order[a];
+      int b = a;
+      while (b > 0 && window_epoch[order[b - 1]] > window_epoch[v]) {
+        order[b] = order[b - 1];
+        --b;
+      }
+      order[b] = v;
+    }
+    for (int j = 0; j < live; ++j) {
+      const int i = order[j];
+      std::uint64_t slot_calls = 0, slot_errors = 0;
+      for (int st = 0; st < kStatusCount; ++st) {
+        slot_calls += window_status[i][st];
+        if (st != 0) slot_errors += window_status[i][st];
+      }
+      append_fmt(out,
+                 "%s{\"epoch_sec\":%llu,\"calls\":%llu,\"errors\":%llu,"
+                 "\"latency_sum_ns\":%llu,\"drift_count\":%llu}",
+                 j == 0 ? "" : ",",
+                 static_cast<unsigned long long>(window_epoch[i]),
+                 static_cast<unsigned long long>(slot_calls),
+                 static_cast<unsigned long long>(slot_errors),
+                 static_cast<unsigned long long>(window_latency_sum_ns[i]),
+                 static_cast<unsigned long long>(window_drift_count[i]));
+    }
+  }
+  out += "]},\"counters\":{";
   for (int c = 0; c < kCounterCount; ++c) {
     append_fmt(out, "%s\"%s\":%llu", c == 0 ? "" : ",",
                counter_name(static_cast<Counter>(c)),
@@ -494,6 +802,43 @@ std::string MetricsSnapshot::to_prometheus() const {
                counter_name(static_cast<Counter>(c)),
                static_cast<unsigned long long>(counters[c]));
   }
+
+  // Rolling-window health gauges (last kWindowBuckets seconds).
+  append_fmt(out,
+             "# HELP gsknn_window_calls Calls in the rolling window.\n"
+             "# TYPE gsknn_window_calls gauge\n"
+             "gsknn_window_calls %llu\n",
+             static_cast<unsigned long long>(window_calls()));
+  append_fmt(out,
+             "# HELP gsknn_window_errors Non-OK calls in the rolling "
+             "window.\n# TYPE gsknn_window_errors gauge\n"
+             "gsknn_window_errors %llu\n",
+             static_cast<unsigned long long>(window_errors()));
+  append_fmt(out,
+             "# HELP gsknn_window_error_rate Non-OK fraction of windowed "
+             "calls.\n# TYPE gsknn_window_error_rate gauge\n"
+             "gsknn_window_error_rate %.9g\n",
+             window_error_rate());
+  out += "# HELP gsknn_window_latency_seconds Windowed latency quantiles "
+         "(all entry points).\n"
+         "# TYPE gsknn_window_latency_seconds gauge\n";
+  append_fmt(out, "gsknn_window_latency_seconds{quantile=\"0.5\"} %.9g\n",
+             static_cast<double>(window_latency_quantile_ns(0.5)) * 1e-9);
+  append_fmt(out, "gsknn_window_latency_seconds{quantile=\"0.99\"} %.9g\n",
+             static_cast<double>(window_latency_quantile_ns(0.99)) * 1e-9);
+  append_fmt(out,
+             "# HELP gsknn_window_drift_log2 Mean windowed "
+             "log2(measured/predicted) model drift.\n"
+             "# TYPE gsknn_window_drift_log2 gauge\n"
+             "gsknn_window_drift_log2 %.9g\n",
+             window_drift_mean_log2());
+  out += "# HELP gsknn_window_burn_rate SLO burn rates over the rolling "
+         "window (1.0 = spending the whole error budget).\n"
+         "# TYPE gsknn_window_burn_rate gauge\n";
+  append_fmt(out, "gsknn_window_burn_rate{slo=\"latency\"} %.9g\n",
+             window_latency_burn_rate());
+  append_fmt(out, "gsknn_window_burn_rate{slo=\"availability\"} %.9g\n",
+             window_availability_burn_rate());
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include "gsknn/common/metrics.hpp"
 #include "gsknn/common/pmu.hpp"
 #include "gsknn/common/trace.hpp"
+#include "gsknn/core/diag.hpp"
 #include "gsknn/core/knn.hpp"
 #include "gsknn/core/packed_refs.hpp"
 #include "gsknn/data/io.hpp"
@@ -688,6 +689,49 @@ const char* gsknn_metrics_prometheus(gsknn_metrics* m) {
     return "";
   }
   return m->text.c_str();
+}
+
+uint64_t gsknn_metrics_window_calls(const gsknn_metrics* m) {
+  return m != nullptr ? m->snap.window_calls() : 0;
+}
+
+uint64_t gsknn_metrics_window_errors(const gsknn_metrics* m) {
+  return m != nullptr ? m->snap.window_errors() : 0;
+}
+
+double gsknn_metrics_window_error_rate(const gsknn_metrics* m) {
+  return m != nullptr ? m->snap.window_error_rate() : 0.0;
+}
+
+uint64_t gsknn_metrics_window_latency_quantile_ns(const gsknn_metrics* m,
+                                                  double q) {
+  return m != nullptr ? m->snap.window_latency_quantile_ns(q) : 0;
+}
+
+double gsknn_metrics_window_burn_rate(const gsknn_metrics* m, int which) {
+  if (m == nullptr || which < 0 || which > 1) {
+    set_error("gsknn_metrics_window_burn_rate: bad argument");
+    return -1.0;
+  }
+  return which == 0 ? m->snap.window_latency_burn_rate()
+                    : m->snap.window_availability_burn_rate();
+}
+
+int gsknn_diag_dump(const char* path) {
+  if (path == nullptr) {
+    set_error("gsknn_diag_dump: null path");
+    return GSKNN_ERR_INVALID_ARGUMENT;
+  }
+  try {
+    if (!gsknn::diag::write_bundle(path, "api")) {
+      set_error("gsknn_diag_dump: could not write bundle");
+      return GSKNN_ERR_INTERNAL;
+    }
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    return GSKNN_ERR_INTERNAL;
+  }
+  return GSKNN_OK;
 }
 
 uint64_t gsknn_pmu_multiplexed_reads(void) {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "gsknn/common/fault.hpp"
+#include "gsknn/common/flightrec.hpp"
 #include "gsknn/common/metrics.hpp"
 #include "gsknn/common/pmu.hpp"
 #include "gsknn/common/telemetry.hpp"
@@ -43,6 +44,7 @@
 #include "gsknn/common/timer.hpp"
 #include "gsknn/common/trace.hpp"
 #include "gsknn/common/workspace.hpp"
+#include "gsknn/core/entry_metrics.hpp"
 #include "gsknn/core/knn.hpp"
 #include "gsknn/core/packed_refs.hpp"
 #include "gsknn/core/workspace.hpp"
@@ -199,15 +201,20 @@ struct KernelPlanT {
   WorkspacePlan ws;
 };
 
-/// Record the governance counters a finished plan implies.
+/// Record the governance counters (and flight-recorder events) a finished
+/// plan implies.
 void count_plan_events(const WorkspacePlan& ws, Variant requested) {
   if (ws.retile_steps > 0) {
     metrics::add_counter(metrics::Counter::kWorkspaceRetiledCalls);
     metrics::add_counter(metrics::Counter::kWorkspaceRetileSteps,
                          static_cast<std::uint64_t>(ws.retile_steps));
+    flightrec::record(flightrec::Kind::kRetile, -1, 0,
+                      static_cast<std::uint64_t>(ws.retile_steps));
   }
   if (ws.variant != requested) {
     metrics::add_counter(metrics::Counter::kVariantDemotions);
+    flightrec::record(flightrec::Kind::kDemotion, -1, 0,
+                      static_cast<std::uint64_t>(ws.variant));
   }
 }
 
@@ -481,8 +488,15 @@ Status knn_kernel_compute(const PointTableT<T>& X, std::span<const int> qidx,
     }
     if (s != Status::kOk) {
       int expected = 0;
-      stop.compare_exchange_strong(expected, static_cast<int>(s),
-                                   std::memory_order_relaxed);
+      if (stop.compare_exchange_strong(expected, static_cast<int>(s),
+                                       std::memory_order_relaxed)) {
+        // The thread that flips the stop flag logs the one event (the
+        // other threads observe the same stop at their next poll).
+        flightrec::record(s == Status::kCancelled
+                              ? flightrec::Kind::kCancel
+                              : flightrec::Kind::kDeadline,
+                          -1, static_cast<int>(s), 0);
+      }
     }
   };
 
@@ -1052,6 +1066,9 @@ Status packed_kernel_impl(PackedRefsT<T>& refs, std::span<const int> qidx,
   const int k = result.k();
   check_knn_args(X, qidx, ridx, result, cfg, result_rows);
   if (expected_epoch != kEpochAny && expected_epoch != refs.epoch()) {
+    flightrec::record(flightrec::Kind::kStaleReject, -1,
+                      static_cast<int>(Status::kStale), refs.epoch(), m, n,
+                      d, k);
     return Status::kStale;
   }
   if (m == 0 || n == 0) return Status::kOk;
@@ -1080,7 +1097,9 @@ Status kernel_with_metrics(const PointTableT<T>& X, std::span<const int> qidx,
                            std::span<const int> ridx,
                            NeighborTableT<T>& result, const KnnConfig& cfg,
                            std::span<const int> result_rows) {
-  if (!metrics::enabled()) {
+  const bool met = metrics::enabled();
+  const bool rec = flightrec::enabled();
+  if (!met && !rec) {
     return knn_kernel_impl<T>(X, qidx, ridx, result, cfg, result_rows);
   }
   const int m = static_cast<int>(qidx.size());
@@ -1091,21 +1110,33 @@ Status kernel_with_metrics(const PointTableT<T>& X, std::span<const int> qidx,
                                      ? metrics::EntryPoint::kKernelF64
                                      : metrics::EntryPoint::kKernelF32;
   const std::uint64_t t0 = metrics::now_ns();
+  if (rec) {
+    flightrec::record(flightrec::Kind::kCallBegin, static_cast<int>(ep), 0,
+                      0, m, n, d, k);
+  }
   Status s = Status::kInternal;
   try {
     s = knn_kernel_impl<T>(X, qidx, ridx, result, cfg, result_rows);
   } catch (const StatusError& e) {
-    metrics::record_call(ep, static_cast<int>(e.status()),
-                         metrics::now_ns() - t0, m, n, d, k);
+    record_entry_end(met, rec, ep, static_cast<int>(e.status()), t0, m, n, d,
+                     k);
     throw;
   } catch (const std::bad_alloc&) {
-    metrics::record_call(ep, static_cast<int>(Status::kResourceExhausted),
-                         metrics::now_ns() - t0, m, n, d, k);
+    record_entry_end(met, rec, ep,
+                     static_cast<int>(Status::kResourceExhausted), t0, m, n,
+                     d, k);
     throw;
   }
-  const std::uint64_t ns = metrics::now_ns() - t0;
-  metrics::record_call(ep, static_cast<int>(s), ns, m, n, d, k);
-  if (s == Status::kOk && m > 0 && n > 0 && d > 0 && k > 0) {
+  const std::uint64_t t1 = metrics::now_ns();
+  const std::uint64_t ns = t1 - t0;
+  if (met) {
+    metrics::record_call_at(t1, ep, static_cast<int>(s), ns, m, n, d, k);
+  }
+  if (rec) {
+    flightrec::record(flightrec::Kind::kCallEnd, static_cast<int>(ep),
+                      static_cast<int>(s), ns, m, n, d, k);
+  }
+  if (met && s == Status::kOk && m > 0 && n > 0 && d > 0 && k > 0) {
     const Variant v = resolve_variant(m, n, d, k, cfg);
     static const model::MachineParams mp{};
     const BlockingParams bp = cfg.blocking.value_or(
@@ -1114,8 +1145,8 @@ Status kernel_with_metrics(const PointTableT<T>& X, std::span<const int> qidx,
     const double predicted = model::predicted_time(
         v == Variant::kVar1 ? model::Method::kVar1 : model::Method::kVar6,
         shape, mp, bp);
-    metrics::record_drift(sizeof(T) == 4, predicted,
-                          static_cast<double>(ns) * 1e-9);
+    metrics::record_drift_at(t1, sizeof(T) == 4, predicted,
+                             static_cast<double>(ns) * 1e-9);
   }
   return s;
 }
@@ -1132,7 +1163,9 @@ Status packed_kernel_with_metrics(PackedRefsT<T>& refs,
                                   const KnnConfig& cfg,
                                   std::span<const int> result_rows,
                                   std::uint64_t expected_epoch) {
-  if (!metrics::enabled()) {
+  const bool met = metrics::enabled();
+  const bool rec = flightrec::enabled();
+  if (!met && !rec) {
     return packed_kernel_impl<T>(refs, qidx, result, cfg, result_rows,
                                  expected_epoch);
   }
@@ -1144,21 +1177,25 @@ Status packed_kernel_with_metrics(PackedRefsT<T>& refs,
                                      ? metrics::EntryPoint::kKernelF64
                                      : metrics::EntryPoint::kKernelF32;
   const std::uint64_t t0 = metrics::now_ns();
+  if (rec) {
+    flightrec::record(flightrec::Kind::kCallBegin, static_cast<int>(ep), 0,
+                      0, m, n, d, k);
+  }
   Status s = Status::kInternal;
   try {
     s = packed_kernel_impl<T>(refs, qidx, result, cfg, result_rows,
                               expected_epoch);
   } catch (const StatusError& e) {
-    metrics::record_call(ep, static_cast<int>(e.status()),
-                         metrics::now_ns() - t0, m, n, d, k);
+    record_entry_end(met, rec, ep, static_cast<int>(e.status()), t0, m, n, d,
+                     k);
     throw;
   } catch (const std::bad_alloc&) {
-    metrics::record_call(ep, static_cast<int>(Status::kResourceExhausted),
-                         metrics::now_ns() - t0, m, n, d, k);
+    record_entry_end(met, rec, ep,
+                     static_cast<int>(Status::kResourceExhausted), t0, m, n,
+                     d, k);
     throw;
   }
-  metrics::record_call(ep, static_cast<int>(s), metrics::now_ns() - t0, m, n,
-                       d, k);
+  record_entry_end(met, rec, ep, static_cast<int>(s), t0, m, n, d, k);
   return s;
 }
 

@@ -14,6 +14,7 @@
 #include <new>
 #include <unordered_map>
 
+#include "gsknn/common/flightrec.hpp"
 #include "gsknn/common/macros.hpp"
 #include "gsknn/common/metrics.hpp"
 #include "micro.hpp"
@@ -137,6 +138,8 @@ Status PackedRefsT<T>::insert(std::span<const int> ids) {
       ceil_div(ids_.size(), static_cast<std::size_t>(bp_.nc)));
   blocks_.resize(static_cast<std::size_t>(nblocks));
   ++epoch_;
+  flightrec::record(flightrec::Kind::kPackUpdate, -1, 0, epoch_, 0,
+                    static_cast<int>(ids_.size()));
   return Status::kOk;
 }
 
@@ -184,6 +187,8 @@ Status PackedRefsT<T>::erase(std::span<const int> ids) {
   }
   blocks_.resize(static_cast<std::size_t>(nblocks));
   ++epoch_;
+  flightrec::record(flightrec::Kind::kPackUpdate, -1, 0, epoch_, 0,
+                    static_cast<int>(ids_.size()));
   return Status::kOk;
 }
 
@@ -348,9 +353,13 @@ void PackedRefsT<T>::evict_over_budget_locked(int protect) {
       }
     }
     if (victim < 0) break;  // everything left is pinned: over-budget but safe
+    const std::size_t freed =
+        blocks_[static_cast<std::size_t>(victim)].bytes;
     invalidate_block_locked(victim);
     ++st_.evictions;
     metrics::add_counter(metrics::Counter::kPackEvictions);
+    flightrec::record(flightrec::Kind::kPackEvict, -1, 0,
+                      static_cast<std::uint64_t>(freed), 0, victim);
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -297,6 +298,174 @@ TEST_F(MetricsTest, PrometheusExportHasAllFamilies) {
       std::string::npos);
   EXPECT_NE(p.find("gsknn_latency_seconds_count{entry=\"kernel_f64\"} 1"),
             std::string::npos);
+  // Windowed gauge families ride along with fixed label sets.
+  for (const char* family :
+       {"# TYPE gsknn_window_calls gauge",
+        "gsknn_window_latency_seconds{quantile=\"0.5\"}",
+        "gsknn_window_latency_seconds{quantile=\"0.99\"}",
+        "gsknn_window_burn_rate{slo=\"latency\"}",
+        "gsknn_window_burn_rate{slo=\"availability\"}"}) {
+    EXPECT_NE(p.find(family), std::string::npos) << "missing " << family;
+  }
+}
+
+// ---- rolling windows -------------------------------------------------------
+//
+// The *_at entry points take an explicit clock so the 60x1s ring can be
+// driven across minutes of simulated time in microseconds of test time.
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+TEST_F(MetricsTest, WindowRotationAcrossSimulatedClock) {
+  const std::uint64_t t0 = 100'000 * kSec;
+  m::record_call_at(t0, m::EntryPoint::kKernelF64, 0, 1000, 8, 8, 2, 1);
+  m::record_call_at(t0 + 5 * kSec, m::EntryPoint::kKernelF64,
+                    9 /* cancelled */, 2000, 8, 8, 2, 1);
+
+  m::MetricsSnapshot s = m::snapshot_at(t0 + 5 * kSec);
+  EXPECT_EQ(s.window_calls(), 2u);
+  EXPECT_EQ(s.window_errors(), 1u);
+  EXPECT_DOUBLE_EQ(s.window_error_rate(), 0.5);
+
+  // 30s on: both samples still inside the 60s window.
+  EXPECT_EQ(m::snapshot_at(t0 + 30 * kSec).window_calls(), 2u);
+
+  // 62s after t0 the first sample has aged out; the error remains.
+  s = m::snapshot_at(t0 + 62 * kSec);
+  EXPECT_EQ(s.window_calls(), 1u);
+  EXPECT_EQ(s.window_errors(), 1u);
+  EXPECT_DOUBLE_EQ(s.window_error_rate(), 1.0);
+
+  // Past both: the window is empty while the cumulative registry keeps all.
+  s = m::snapshot_at(t0 + 70 * kSec);
+  EXPECT_EQ(s.window_calls(), 0u);
+  EXPECT_DOUBLE_EQ(s.window_error_rate(), 0.0);
+  EXPECT_EQ(s.calls_total(m::EntryPoint::kKernelF64), 2u);
+
+  // One full lap later the t0 slot is reused: rotation must zero the old
+  // lap's samples, not add to them.
+  m::record_call_at(t0 + 60 * kSec, m::EntryPoint::kKernelF64, 0, 500, 8, 8,
+                    2, 1);
+  s = m::snapshot_at(t0 + 60 * kSec);
+  EXPECT_EQ(s.window_calls(), 2u);  // the new sample + the t0+5s error
+  EXPECT_EQ(s.window_errors(), 1u);
+}
+
+TEST_F(MetricsTest, WindowSeriesReconcilesWithHeadline) {
+  const std::uint64_t t0 = 200'000 * kSec;
+  for (int i = 0; i < 12; ++i) {
+    m::record_call_at(t0 + static_cast<std::uint64_t>(i % 3) * kSec,
+                      m::EntryPoint::kBatch, i % 4 == 0 ? 8 : 0, 1u << 14, 4,
+                      4, 2, 1);
+  }
+  const m::MetricsSnapshot s = m::snapshot_at(t0 + 3 * kSec);
+  // Live-slot totals (what to_json's "series" renders) must equal the
+  // headline window aggregates — the same reconciliation check_metrics.py
+  // applies to the export.
+  std::uint64_t series_calls = 0, series_errors = 0, series_hist = 0;
+  for (int i = 0; i < m::kWindowBuckets; ++i) {
+    if (!s.window_slot_live(i)) continue;
+    for (int st = 0; st < m::kStatusCount; ++st) {
+      series_calls += s.window_status[i][st];
+      if (st != 0) series_errors += s.window_status[i][st];
+    }
+    for (int b = 0; b < m::kHistBuckets; ++b) {
+      series_hist += s.window_latency[i][b];
+    }
+  }
+  EXPECT_EQ(series_calls, 12u);
+  EXPECT_EQ(s.window_calls(), 12u);
+  EXPECT_EQ(s.window_errors(), series_errors);
+  EXPECT_EQ(series_hist, 12u);  // one latency sample per windowed call
+}
+
+TEST_F(MetricsTest, WindowWriterStormReconcilesWithCumulative) {
+  // 40 threads hammer the same simulated second from every shard class
+  // (owned slots + the shared overflow shard); afterwards the window and
+  // the cumulative registry must agree exactly. Run under tsan via
+  // `ctest -L observability`.
+  constexpr int kThreads = 40;
+  constexpr int kPer = 500;
+  const std::uint64_t t0 = 300'000 * kSec;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&go, t, t0] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPer; ++i) {
+        m::record_call_at(t0, m::EntryPoint::kParallelRefs,
+                          t % 2 == 0 ? 0 : 9,
+                          static_cast<std::uint64_t>(1) << (t % 16), 16, 16,
+                          4, 2);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : writers) w.join();
+
+  const m::MetricsSnapshot s = m::snapshot_at(t0);
+  const std::uint64_t total = static_cast<std::uint64_t>(kThreads) * kPer;
+  EXPECT_EQ(s.calls_total(m::EntryPoint::kParallelRefs), total);
+  EXPECT_EQ(s.window_calls(), total);
+  EXPECT_EQ(s.window_errors(), total / 2);
+  std::uint64_t hist = 0;
+  for (int i = 0; i < m::kWindowBuckets; ++i) {
+    if (!s.window_slot_live(i)) continue;
+    for (int b = 0; b < m::kHistBuckets; ++b) hist += s.window_latency[i][b];
+  }
+  EXPECT_EQ(hist, total);
+}
+
+TEST_F(MetricsTest, WindowQuantileAndBurnRateMath) {
+  // Default SLO: latency target 100ms at p99, availability 99.9%.
+  const std::uint64_t t0 = 400'000 * kSec;
+  const std::uint64_t fast = 1'000'000;    // 1ms, within target
+  const std::uint64_t slow = 200'000'000;  // 200ms, breaches target
+  for (int i = 0; i < 93; ++i) {
+    m::record_call_at(t0, m::EntryPoint::kKernelF64, 0, fast, 8, 8, 2, 1);
+  }
+  for (int i = 0; i < 5; ++i) {
+    m::record_call_at(t0, m::EntryPoint::kKernelF64, 0, slow, 8, 8, 2, 1);
+  }
+  for (int i = 0; i < 2; ++i) {
+    m::record_call_at(t0, m::EntryPoint::kKernelF64, 9, fast, 8, 8, 2, 1);
+  }
+  const m::MetricsSnapshot s = m::snapshot_at(t0);
+  ASSERT_EQ(s.window_calls(), 100u);
+  // Quantiles report the log2-bucket upper edge (<= 2x overestimate).
+  EXPECT_EQ(s.window_latency_quantile_ns(0.5), std::uint64_t{1} << 20);
+  EXPECT_EQ(s.window_latency_quantile_ns(0.99), std::uint64_t{1} << 28);
+  // 5/100 calls missed the 100ms target; the p99 SLO allows 1%, so the
+  // burn rate is 5x the budget. 2/100 errors against a 0.1% budget = 20x.
+  EXPECT_NEAR(s.window_latency_burn_rate(), 5.0, 1e-9);
+  EXPECT_NEAR(s.window_availability_burn_rate(), 20.0, 1e-9);
+}
+
+TEST_F(MetricsTest, WindowMergeAlignsByEpoch) {
+  const std::uint64_t t0 = 500'000 * kSec;
+  m::record_call_at(t0, m::EntryPoint::kLsh, 0, 1000, 4, 4, 2, 1);
+  const m::MetricsSnapshot a = m::snapshot_at(t0);
+  m::reset();
+  // The other process observed the same second plus a newer one.
+  m::record_call_at(t0, m::EntryPoint::kLsh, 9, 2000, 4, 4, 2, 1);
+  m::record_call_at(t0 + kSec, m::EntryPoint::kLsh, 0, 3000, 4, 4, 2, 1);
+  const m::MetricsSnapshot b = m::snapshot_at(t0 + kSec);
+
+  m::MetricsSnapshot into_newer = b;
+  into_newer.merge(a);
+  // Same-epoch slots add; b's extra slot rides along untouched.
+  EXPECT_EQ(into_newer.window_calls(), 3u);
+  EXPECT_EQ(into_newer.window_errors(), 1u);
+  EXPECT_EQ(into_newer.calls_total(m::EntryPoint::kLsh), 3u);
+
+  // Merging the newer snapshot into the older one must adopt the newer
+  // epoch's slots (copy, not add) rather than corrupt the older lap.
+  m::MetricsSnapshot into_older = a;
+  into_older.merge(b);
+  EXPECT_EQ(into_older.window_calls(), 3u);
+  EXPECT_EQ(into_older.window_errors(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,44 @@
+# Diagnostics-bundle round trip, both production paths:
+#   1. `gsknn doctor` writes a bundle on demand;
+#   2. a forced non-OK status (GSKNN_FAULT=cancel_at=1) fires the
+#      flight-recorder trigger, which routes through the diag hook to the
+#      GSKNN_FLIGHTREC_DUMP path.
+# Each output must pass the schema validator (tools/check_diag.py), with the
+# trigger bundle required to carry the cancel event and a status_trigger
+# reason. Registered under `ctest -L observability`.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${ARGN} failed (${rc}): ${out}${err}")
+  endif()
+  set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+# Leg 1: on-demand bundle from the doctor subcommand.
+run(${GSKNN_CLI} doctor --out ${WORK_DIR}/doctor.json)
+run(${PYTHON} ${CHECK_DIAG} ${WORK_DIR}/doctor.json
+    --require-reason doctor --require-kind call_end --verbose)
+message(STATUS "${last_output}")
+
+# Leg 2: trigger bundle. The injected cancellation makes the search exit
+# non-zero by design, so assert on the artifact instead of the exit code.
+run(${GSKNN_CLI} generate --out ${WORK_DIR}/data.gsknn --d 16 --n 1500
+    --seed 7)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+    GSKNN_FAULT=cancel_at=1 GSKNN_FLIGHTREC_DUMP=${WORK_DIR}/trigger.json
+    ${GSKNN_CLI} search --data ${WORK_DIR}/data.gsknn --k 8
+    --out ${WORK_DIR}/nn.csv
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "injected cancellation did not fail the search: ${out}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/trigger.json)
+  message(FATAL_ERROR "non-OK status did not write a trigger dump: ${err}")
+endif()
+run(${PYTHON} ${CHECK_DIAG} ${WORK_DIR}/trigger.json
+    --require-reason status_trigger --require-kind cancel --verbose)
+message(STATUS "${last_output}")

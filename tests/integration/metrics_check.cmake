@@ -50,3 +50,14 @@ run(${GSKNN_CLI} batch --data ${WORK_DIR}/data.gsknn --k 8 --tasks 3
 run(${PYTHON} ${CHECK_METRICS} --json ${WORK_DIR}/mb.json
     --require-entry batch --require-entry kernel_f64)
 message(STATUS "${last_output}")
+
+# Pack-cache leg: --repeat 2 reruns the search against the same PackedRefs
+# handle, so the second pass is all warm traffic — the pack_hits counter
+# must be nonzero in the export (axis completeness for the cache counters).
+run(${GSKNN_CLI} search --data ${WORK_DIR}/data.gsknn --k 8
+    --pack-cache --repeat 2 --out ${WORK_DIR}/nnp.csv
+    --metrics=${WORK_DIR}/mp.json --metrics-prom=${WORK_DIR}/mp.prom)
+run(${PYTHON} ${CHECK_METRICS} --json ${WORK_DIR}/mp.json
+    --prom ${WORK_DIR}/mp.prom
+    --require-counter pack_hits --require-counter pack_misses)
+message(STATUS "${last_output}")

@@ -89,12 +89,21 @@ def run_bench(bench, quick):
         os.unlink(sink)
 
 
+PROVENANCE_FIELDS = ("git", "compiler", "simd", "cpu", "timestamp")
+
+
 def reduce_rows(rows):
     """Reduce JSON-lines rows to the stable snapshot document."""
     cells = {}
     machine = None
     quick = False
+    provenance = None
     for row in rows:
+        if row.get("bench") == "__provenance":
+            # One header row per bench process (bench_util.hpp); keep a
+            # fixed field set so the snapshot schema never drifts.
+            provenance = {k: row.get(k) for k in PROVENANCE_FIELDS}
+            continue
         if row.get("bench") != "table5_breakdown":
             continue
         machine = row.get("machine", machine)
@@ -123,8 +132,17 @@ def reduce_rows(rows):
         "bench": "table5_breakdown",
         "quick": quick,
         "machine": machine,
+        "provenance": provenance,
         "cells": [cells[k] for k in sorted(cells)],
     }
+
+
+def describe_provenance(p):
+    if not isinstance(p, dict):
+        return "unknown (no provenance row)"
+    parts = [str(p.get(k) or "?") for k in ("git", "compiler", "simd", "cpu")]
+    ts = p.get("timestamp")
+    return ", ".join(parts) + (f" @ {ts}" if ts else "")
 
 
 def compare(fresh, baseline_path, tolerance):
@@ -136,6 +154,18 @@ def compare(fresh, baseline_path, tolerance):
     if base.get("snapshot_version") != SNAPSHOT_VERSION:
         sys.exit(f"bench_snapshot: baseline snapshot_version "
                  f"{base.get('snapshot_version')!r} != {SNAPSHOT_VERSION}")
+    fresh_prov, base_prov = fresh.get("provenance"), base.get("provenance")
+    print(f"  baseline: {describe_provenance(base_prov)}")
+    print(f"  fresh:    {describe_provenance(fresh_prov)}")
+    if isinstance(fresh_prov, dict) and isinstance(base_prov, dict):
+        diff = [k for k in ("git", "compiler", "simd", "cpu")
+                if fresh_prov.get(k) != base_prov.get(k)]
+        if diff:
+            # Not an error — regenerating the baseline on a new host is the
+            # point — but ratios across differing provenance are not
+            # regressions in the usual sense.
+            print(f"bench_snapshot: note: provenance differs on "
+                  f"{', '.join(diff)}; comparing across builds/machines")
     base_cells = {tuple(c[k] for k in CELL_KEY): c for c in base["cells"]}
     regressions = 0
     compared = 0

@@ -6,13 +6,16 @@ The library's always-on metrics registry (gsknn/common/metrics.hpp, CLI
 exposition. This tool checks both against the contract documented in
 docs/OBSERVABILITY.md — fixed entry-point/status/counter axes, 64-bucket
 log2 histograms whose counts reconcile with their bucket sums, cumulative
-Prometheus buckets that agree with _count — and exits nonzero on the first
-violation. It is the schema gate behind `ctest -L observability`.
+Prometheus buckets that agree with _count, a 60x1s rolling window whose
+headline calls/errors equal its series totals plus fixed-label windowed
+gauge families (quantile 0.5/0.99, slo latency/availability) — and exits
+nonzero on the first violation. It is the schema gate behind
+`ctest -L observability`.
 
 Usage:
     tools/check_metrics.py [--json FILE] [--prom FILE]
                            [--require-entry NAME] [--require-drift f64|f32]
-                           [--verbose]
+                           [--require-counter NAME] [--verbose]
 """
 
 import argparse
@@ -35,6 +38,13 @@ COUNTERS = [
 ]
 SHAPE_DIMS = ["m", "n", "d", "k"]
 HIST_BUCKETS = 64
+WINDOW_BUCKETS = 60
+SLO_KEYS = [
+    "latency_target_s", "latency_quantile", "availability_target",
+    "latency_burn_rate", "availability_burn_rate",
+]
+SERIES_KEYS = ["epoch_sec", "calls", "errors", "latency_sum_ns",
+               "drift_count"]
 
 PROM_FAMILIES = {
     "gsknn_metrics_enabled": "gauge",
@@ -43,6 +53,12 @@ PROM_FAMILIES = {
     "gsknn_shape": "histogram",
     "gsknn_model_drift_log2": "histogram",
     "gsknn_events_total": "counter",
+    "gsknn_window_calls": "gauge",
+    "gsknn_window_errors": "gauge",
+    "gsknn_window_error_rate": "gauge",
+    "gsknn_window_latency_seconds": "gauge",
+    "gsknn_window_drift_log2": "gauge",
+    "gsknn_window_burn_rate": "gauge",
 }
 
 
@@ -66,7 +82,7 @@ def check_hist(where, h, count_key="count"):
     return count
 
 
-def check_json(path, require_entries, require_drift):
+def check_json(path, require_entries, require_drift, require_counters=()):
     try:
         with open(path) as f:
             m = json.load(f)
@@ -120,6 +136,47 @@ def check_json(path, require_entries, require_drift):
         if not isinstance(drift[prec].get("sum_millilog2"), int):
             fail(f"model_drift.{prec}.sum_millilog2 must be an integer")
 
+    win = m.get("window")
+    if not isinstance(win, dict):
+        fail("window object missing")
+    if win.get("buckets") != WINDOW_BUCKETS or win.get("bucket_seconds") != 1:
+        fail(f"window geometry {win.get('buckets')!r}x"
+             f"{win.get('bucket_seconds')!r}s, expected {WINDOW_BUCKETS}x1s")
+    for key in ("now_sec", "calls", "errors", "p50_ns", "p99_ns"):
+        if not isinstance(win.get(key), int) or win[key] < 0:
+            fail(f"window.{key} must be a non-negative integer")
+    for key in ("error_rate", "drift_mean_log2"):
+        if not isinstance(win.get(key), (int, float)):
+            fail(f"window.{key} must be a number")
+    if not 0.0 <= win["error_rate"] <= 1.0:
+        fail(f"window.error_rate {win['error_rate']} outside [0, 1]")
+    slo = win.get("slo")
+    if not isinstance(slo, dict) or sorted(slo) != sorted(SLO_KEYS):
+        fail(f"window.slo keys {sorted(slo or {})} != {sorted(SLO_KEYS)}")
+    for key in SLO_KEYS:
+        if not isinstance(slo[key], (int, float)) or slo[key] < 0:
+            fail(f"window.slo.{key} must be a non-negative number")
+    series = win.get("series")
+    if not isinstance(series, list) or len(series) > WINDOW_BUCKETS:
+        fail(f"window.series must be a list of <= {WINDOW_BUCKETS} slots")
+    series_calls = series_errors = 0
+    for i, slot in enumerate(series):
+        if not isinstance(slot, dict) or sorted(slot) != sorted(SERIES_KEYS):
+            fail(f"window.series[{i}] keys {sorted(slot or {})} != "
+                 f"{sorted(SERIES_KEYS)}")
+        if not all(isinstance(slot[k], int) and slot[k] >= 0
+                   for k in SERIES_KEYS):
+            fail(f"window.series[{i}] values must be non-negative integers")
+        series_calls += slot["calls"]
+        series_errors += slot["errors"]
+    # The headline window aggregates are exactly the series totals.
+    if series_calls != win["calls"] or series_errors != win["errors"]:
+        fail(f"window calls/errors {win['calls']}/{win['errors']} != series "
+             f"totals {series_calls}/{series_errors}")
+    epochs = [slot["epoch_sec"] for slot in series]
+    if epochs != sorted(epochs):
+        fail("window.series epochs not ascending")
+
     counters = m.get("counters")
     if not isinstance(counters, dict) or sorted(counters) != sorted(COUNTERS):
         fail(f"counters keys {sorted(counters or {})} != {sorted(COUNTERS)}")
@@ -134,6 +191,11 @@ def check_json(path, require_entries, require_drift):
     for prec in require_drift:
         if drift[prec]["count"] < 1:
             fail(f"--require-drift {prec}: no drift samples recorded")
+    for name in require_counters:
+        if name not in counters:
+            fail(f"--require-counter {name}: unknown counter")
+        if counters[name] < 1:
+            fail(f"--require-counter {name}: counter is zero")
     return m, total_calls
 
 
@@ -211,6 +273,22 @@ def check_prom(path):
         fail(f"gsknn_events_total events {sorted(seen_events)} != "
              f"{sorted(COUNTERS)}")
 
+    # Windowed gauges: fixed label sets so dashboards never see a partial
+    # family (a burn-rate panel with only one SLO reads as "no data").
+    quantiles = {s[1].get("quantile")
+                 for s in families["gsknn_window_latency_seconds"]["samples"]}
+    if quantiles != {"0.5", "0.99"}:
+        fail(f"gsknn_window_latency_seconds quantiles {sorted(quantiles)} != "
+             f"['0.5', '0.99']")
+    slos = {s[1].get("slo")
+            for s in families["gsknn_window_burn_rate"]["samples"]}
+    if slos != {"latency", "availability"}:
+        fail(f"gsknn_window_burn_rate slo labels {sorted(slos)} != "
+             f"['availability', 'latency']")
+    rate = [s[2] for s in families["gsknn_window_error_rate"]["samples"]]
+    if len(rate) != 1 or not 0.0 <= rate[0] <= 1.0:
+        fail(f"gsknn_window_error_rate must be one sample in [0, 1]: {rate}")
+
     # Histogram series: cumulative non-decreasing buckets, +Inf == _count.
     for fam in ("gsknn_latency_seconds", "gsknn_shape",
                 "gsknn_model_drift_log2"):
@@ -259,6 +337,9 @@ def main():
     ap.add_argument("--require-drift", action="append", default=[],
                     choices=["f64", "f32"],
                     help="require >= 1 model-drift sample for this precision")
+    ap.add_argument("--require-counter", action="append", default=[],
+                    metavar="NAME",
+                    help="require this counter to be >= 1 (e.g. pack_hits)")
     ap.add_argument("--verbose", action="store_true")
     args = ap.parse_args()
     if not args.json and not args.prom:
@@ -267,7 +348,7 @@ def main():
     checked = []
     if args.json:
         m, total = check_json(args.json, args.require_entry,
-                              args.require_drift)
+                              args.require_drift, args.require_counter)
         checked.append(f"json ({total} calls)")
         if args.verbose:
             for name in ENTRY_POINTS:

@@ -97,10 +97,12 @@ def get_path(row, dotted):
 
 def load_cells(path):
     """Reduce a JSON-lines trajectory file to {(bench, key): best_metric}.
-    Also returns hard-invariant violations found in the rows."""
+    Also returns the last __provenance header row (bench_util.hpp emits one
+    per process) and hard-invariant violations found in the rows."""
     cells = {}
     quick_modes = set()
     violations = []
+    provenance = None
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -114,6 +116,10 @@ def load_cells(path):
                 continue
             violations.extend(hard_assert_violations(row))
             bench = row.get("bench")
+            if bench == "__provenance":
+                provenance = {k: row.get(k) for k in
+                              ("git", "compiler", "simd", "cpu", "timestamp")}
+                continue
             spec = METRICS.get(bench)
             if spec is None:
                 continue
@@ -125,7 +131,15 @@ def load_cells(path):
             cell = (bench, key)
             best = min if spec["lower_is_better"] else max
             cells[cell] = value if cell not in cells else best(cells[cell], value)
-    return cells, quick_modes, violations
+    return cells, quick_modes, violations, provenance
+
+
+def describe_provenance(p):
+    if not isinstance(p, dict):
+        return "unknown (no __provenance row)"
+    parts = [str(p.get(k) or "?") for k in ("git", "compiler", "simd", "cpu")]
+    ts = p.get("timestamp")
+    return ", ".join(parts) + (f" @ {ts}" if ts else "")
 
 
 def main():
@@ -141,8 +155,9 @@ def main():
                     help="print every cell, not only regressions")
     args = ap.parse_args()
 
-    base_cells, base_quick, _ = load_cells(args.baseline)
-    fresh_cells, fresh_quick, fresh_violations = load_cells(args.fresh)
+    base_cells, base_quick, _, base_prov = load_cells(args.baseline)
+    fresh_cells, fresh_quick, fresh_violations, fresh_prov = \
+        load_cells(args.fresh)
     if fresh_violations:
         for v in fresh_violations:
             print(f"VIOLATION  {v}")
@@ -157,6 +172,15 @@ def main():
         print("warning: baseline and fresh run used different "
               "GSKNN_BENCH_QUICK modes; comparison is apples-to-oranges",
               file=sys.stderr)
+    print(f"# baseline provenance: {describe_provenance(base_prov)}")
+    print(f"# fresh provenance:    {describe_provenance(fresh_prov)}")
+    if isinstance(base_prov, dict) and isinstance(fresh_prov, dict):
+        diff = [k for k in ("git", "compiler", "simd", "cpu")
+                if base_prov.get(k) != fresh_prov.get(k)]
+        if diff:
+            print(f"warning: provenance differs on {', '.join(diff)}; "
+                  f"ratios compare different builds/machines",
+                  file=sys.stderr)
 
     regressions = []
     improvements = 0

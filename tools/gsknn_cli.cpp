@@ -47,6 +47,10 @@
 // (default: <out>.metrics.json) or Prometheus text (<out>.metrics.prom)
 // rendering; schema in docs/OBSERVABILITY.md.
 //   info      --data FILE               print dataset statistics
+//   doctor    [--out FILE]              run a tiny self-test and write a
+//             one-shot diagnostics bundle (build/arch/env/metrics/flight-
+//             recorder/model table) to FILE (default: gsknn_doctor.json);
+//             schema validated by tools/check_diag.py
 //
 // Data files: native .gsknn tables or .csv (one point per row); detected by
 // content, not extension. Results are CSV: query,rank,neighbor_id,distance.
@@ -57,10 +61,13 @@
 #include <string>
 #include <vector>
 
+#include "gsknn/common/arch.hpp"
+#include "gsknn/common/flightrec.hpp"
 #include "gsknn/common/metrics.hpp"
 #include "gsknn/common/pmu.hpp"
 #include "gsknn/common/timer.hpp"
 #include "gsknn/common/trace.hpp"
+#include "gsknn/core/diag.hpp"
 #include "gsknn/core/knn.hpp"
 #include "gsknn/core/packed_refs.hpp"
 #include "gsknn/data/generators.hpp"
@@ -159,6 +166,34 @@ std::string trace_json_path(const Args& a, const std::string& out) {
   return out + ".trace.json";
 }
 
+/// Warn-once (stderr) when the trace ring overflowed: dropped spans mean the
+/// timeline silently under-reports work, which is easy to misread as idle
+/// threads. The aggregate registry keeps the authoritative tally.
+void warn_trace_drops(std::uint64_t dropped) {
+  static bool warned = false;
+  if (warned || dropped == 0) return;
+  warned = true;
+  std::fprintf(stderr,
+               "gsknn: warning: trace ring overflow dropped %llu spans; the "
+               "timeline is incomplete. Raise GSKNN_TRACE_RING_KB; see the "
+               "trace_spans_dropped counter in --metrics output.\n",
+               static_cast<unsigned long long>(dropped));
+}
+
+/// Warn-once (stderr) when any PMU read was multiplex-scaled: the scaled
+/// columns are estimates, not exact counts.
+void warn_pmu_multiplexing() {
+  static bool warned = false;
+  const std::uint64_t scaled = telemetry::pmu_multiplexed_reads();
+  if (warned || scaled == 0) return;
+  warned = true;
+  std::fprintf(stderr,
+               "gsknn: warning: %llu pmu reads were multiplex-scaled (more "
+               "events than hardware counters); pmu columns are estimates. "
+               "See the pmu_multiplexed_reads counter in --metrics output.\n",
+               static_cast<unsigned long long>(scaled));
+}
+
 /// Print the Table-5-style breakdown and write the one-line JSON profile.
 void emit_profile(const telemetry::KernelProfile& prof,
                   const std::string& json_path) {
@@ -193,6 +228,7 @@ void emit_profile(const telemetry::KernelProfile& prof,
   std::fputc('\n', f);
   std::fclose(f);
   std::printf("profile json -> %s\n", json_path.c_str());
+  warn_pmu_multiplexing();
 }
 
 /// Write the Chrome trace_event timeline and report retention.
@@ -206,6 +242,7 @@ void emit_trace(const telemetry::TraceSink& trace,
               static_cast<unsigned long long>(trace.span_count()),
               trace.thread_tracks(),
               static_cast<unsigned long long>(trace.dropped_spans()));
+  warn_trace_drops(trace.dropped_spans());
 }
 
 /// Write one rendering of the aggregate registry; shared by --metrics
@@ -549,8 +586,50 @@ int cmd_info(const Args& a) {
   return 0;
 }
 
+/// Run a tiny in-memory self-test (one f64 and one f32 all-pairs search) so
+/// the metrics registry, rolling windows, and flight recorder carry live
+/// data, then write the one-shot diagnostics bundle.
+int cmd_doctor(const Args& a) {
+  diag::ensure_trigger_hook();
+  const std::string out = a.get("out", "gsknn_doctor.json");
+
+  const int d = 16, n = 256, k = 8;
+  const PointTable data = make_uniform(d, n, 42);
+  std::vector<int> refs(static_cast<std::size_t>(n));
+  std::iota(refs.begin(), refs.end(), 0);
+  KnnConfig cfg;
+  NeighborTable result(n, k);
+  knn_kernel(data, refs, refs, result, cfg);
+  const PointTableF dataf = to_float(data);
+  NeighborTableF resultf(n, k);
+  knn_kernel(dataf, refs, refs, resultf, cfg);
+
+  if (!diag::write_bundle(out.c_str(), "doctor")) {
+    throw std::runtime_error("cannot write diagnostics bundle to " + out);
+  }
+
+  const metrics::MetricsSnapshot snap = metrics::snapshot();
+  std::uint64_t total = 0;
+  for (int s = 0; s < metrics::kStatusCount; ++s) total += snap.status_total(s);
+  std::printf("doctor: diagnostics bundle -> %s\n", out.c_str());
+  std::printf("  arch: %s\n", arch_summary().c_str());
+  std::printf("  metrics: %llu calls total, %llu in the last %ds window "
+              "(error rate %.4f)\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(snap.window_calls()),
+              metrics::kWindowBuckets * metrics::kWindowBucketSeconds,
+              snap.window_error_rate());
+  std::printf("  flightrec: %zu events retained, %llu dropped, %s\n",
+              flightrec::drain().size(),
+              static_cast<unsigned long long>(flightrec::dropped()),
+              flightrec::enabled() ? "armed" : "disarmed (GSKNN_FLIGHTREC=0)");
+  std::printf("  validate with: python3 tools/check_diag.py %s\n",
+              out.c_str());
+  return 0;
+}
+
 void usage() {
-  std::puts("usage: gsknn <generate|search|batch|allnn|info> [--options]\n"
+  std::puts("usage: gsknn <generate|search|batch|allnn|info|doctor> [--options]\n"
             "  generate --out F --d D --n N [--dist uniform|gaussian|mixture] [--csv]\n"
             "  search   --data F --k K --out F [--queries F] [--norm l2|l1|linf|cos|lp]\n"
             "           [--variant auto|1|2|3|5|6] [--threads N] [--f32]\n"
@@ -562,12 +641,16 @@ void usage() {
             "  allnn    --data F --k K --out F [--trees T] [--leaf L]\n"
             "           [--pack-cache] [--sweeps S] [--cache-budget B] [--profile [F]]\n"
             "           [--trace [F]] [--metrics [F]] [--metrics-prom [F]]\n"
-            "  info     --data F");
+            "  info     --data F\n"
+            "  doctor   [--out F]  (diagnostics bundle; default gsknn_doctor.json)");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Fatal signals drain the flight recorder to GSKNN_FLIGHTREC_DUMP (or
+  // stderr) before the default handler runs, so a crash leaves evidence.
+  gsknn::flightrec::install_crash_handler();
   if (argc < 2) {
     usage();
     return 2;
@@ -580,6 +663,7 @@ int main(int argc, char** argv) {
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "allnn") return cmd_allnn(args);
     if (cmd == "info") return cmd_info(args);
+    if (cmd == "doctor") return cmd_doctor(args);
     usage();
     return 2;
   } catch (const std::exception& e) {
