@@ -183,9 +183,11 @@ int gsknn_packed_refs_size(const gsknn_packed_refs* p);
 /* Incremental updates (block-granularity repacking: only the panel blocks
  * whose id range changed are re-packed on next touch). Both bump the epoch,
  * so in-flight gsknn_packed_search calls pinned to the old epoch return
- * GSKNN_ERR_STALE. Updates must not run concurrently with searches on the
- * same handle. insert appends ids; erase removes the first occurrence of
- * each id (GSKNN_ERR_BAD_INDEX when one is absent; nothing is removed). */
+ * GSKNN_ERR_STALE. Updates MAY run concurrently with searches on the same
+ * handle: a racing search fails with a clean GSKNN_ERR_STALE (unfinished
+ * rows flagged incomplete), never mixed-generation results. insert appends
+ * ids; erase removes the first occurrence of each id (GSKNN_ERR_BAD_INDEX
+ * when one is absent; nothing is removed). */
 int gsknn_packed_refs_insert(gsknn_packed_refs* p, const int* ids, int count);
 int gsknn_packed_refs_erase(gsknn_packed_refs* p, const int* ids, int count);
 
@@ -419,6 +421,65 @@ int gsknn_diag_dump(const char* path);
 /* Process-wide count of PMU snapshot reads whose counts were extrapolated
  * by kernel multiplex scaling — non-zero means PMU columns are estimates. */
 uint64_t gsknn_pmu_multiplexed_reads(void);
+
+/* ---- serving runtime (gsknn/serving/server.hpp; docs/SERVING.md) ----- */
+
+typedef struct gsknn_server gsknn_server; /* serving::Server handle */
+
+/* Priority lanes (mirror gsknn::serving::Lane). Interactive drains
+ * strictly before bulk. */
+enum { GSKNN_LANE_INTERACTIVE = 0, GSKNN_LANE_BULK = 1 };
+
+/* Create a serving runtime over `table` (which must outlive the server).
+ * `norm` fixes the layout class every reference set is packed for (one of
+ * the fusion keys); `workers` is the dispatcher-thread count (< 1 clamps
+ * to 1). NULL on bad arguments. */
+gsknn_server* gsknn_server_create(const gsknn_table* table, int norm,
+                                  int workers);
+
+/* Drain and destroy: in-flight fused calls finish, still-queued tickets
+ * fail GSKNN_ERR_CANCELLED. */
+void gsknn_server_destroy(gsknn_server* s);
+
+/* Named reference sets (packed-panel caches under the hood). Return
+ * GSKNN_OK or a GSKNN_ERR_* code. insert/erase are safe concurrently with
+ * in-flight queries: the epoch handshake re-admits affected tickets, it
+ * never mixes reference generations. */
+int gsknn_server_create_refs(gsknn_server* s, const char* name,
+                             const int* ids, int count);
+int gsknn_server_insert_refs(gsknn_server* s, const char* name,
+                             const int* ids, int count);
+int gsknn_server_erase_refs(gsknn_server* s, const char* name,
+                            const int* ids, int count);
+int gsknn_server_drop_refs(gsknn_server* s, const char* name);
+
+/* Admit one query (row id of the server's table) for its k nearest among
+ * the set `refs`. Returns a positive ticket id, or a negative GSKNN_ERR_*
+ * code (unknown set, bad query id / k / lane, or lane queue full —
+ * GSKNN_ERR_RESOURCE_EXHAUSTED — under open-loop overload). budget_ms > 0
+ * maps onto the fused call's deadline; <= 0 means no deadline. Every
+ * completed ticket is bitwise-identical to a cold synchronous gsknn_search
+ * over the same query and the reference generation it ran against. */
+long long gsknn_server_submit(gsknn_server* s, const char* refs, int query,
+                              int k, int lane, double budget_ms);
+
+/* 1 once the ticket is terminal, 0 while pending, GSKNN_ERR_* on bad
+ * arguments (unknown tickets are terminal with GSKNN_ERR_BAD_INDEX). */
+int gsknn_server_poll(gsknn_server* s, long long ticket);
+
+/* Block until terminal; returns the ticket's terminal status (GSKNN_OK,
+ * GSKNN_ERR_CANCELLED, GSKNN_ERR_DEADLINE_EXCEEDED, ...). */
+int gsknn_server_wait(gsknn_server* s, long long ticket);
+
+/* 1 = cancelled while still queued; 0 = too late (running or terminal —
+ * the result, if any, stays valid); GSKNN_ERR_* on bad arguments. */
+int gsknn_server_cancel(gsknn_server* s, long long ticket);
+
+/* Copy a GSKNN_OK ticket's neighbors (ascending distance) into ids/dists
+ * (cap entries each). Returns the count written, or a GSKNN_ERR_* code
+ * when the ticket is unknown, pending, or did not complete. */
+int gsknn_server_result(gsknn_server* s, long long ticket, int* ids,
+                        double* dists, int cap);
 
 /* ---- misc ------------------------------------------------------------ */
 

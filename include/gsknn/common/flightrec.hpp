@@ -65,6 +65,10 @@ enum class Kind : int {
   kPackUpdate,     ///< PackedRefs insert/erase epoch bump (value = epoch)
   kStaleReject,    ///< warm call rejected: pinned epoch went stale
   kFault,          ///< fault injection fired (value = site id)
+  kServeSubmit,    ///< serving ticket admitted (entry = lane, value = queue
+                   ///< depth after enqueue)
+  kServeFuse,      ///< fused serving dispatch (entry = lane, value = tickets
+                   ///< carried by the call)
   kNumKinds,
 };
 

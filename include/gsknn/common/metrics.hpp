@@ -58,6 +58,11 @@ enum class EntryPoint : int {
   kSingleLoop,     ///< knn_single_loop_baseline
   kRkdForest,      ///< tree::all_nearest_neighbors
   kLsh,            ///< tree::lsh_all_nearest_neighbors
+  // Serving runtime (gsknn/serving/server.hpp): one sample per ticket at
+  // completion, latency = completion - submit (queueing included), under
+  // the ticket's lane — the per-lane tail-latency axis.
+  kServeInteractive,  ///< interactive-lane tickets
+  kServeBulk,         ///< bulk-lane tickets
   kNumEntryPoints,
 };
 
@@ -143,6 +148,14 @@ enum class Counter : int {
   kPackMisses,                 ///< cold block acquisitions (block was packed)
   kPackEvictions,              ///< panel blocks evicted under the budget
   kCacheBytes,                 ///< bytes packed into caches, cumulative
+  // Serving runtime (gsknn/serving/server.hpp). fused_queries/fused_calls
+  // is the batch-fusion ratio — the headline number of the admission
+  // coalescer (>1 means queries are riding shared kernel calls).
+  kServeEnqueued,              ///< tickets admitted to a lane queue
+  kServeFusedCalls,            ///< fused kernel dispatches
+  kServeFusedQueries,          ///< tickets carried by those dispatches
+  kServeCancelled,             ///< tickets cancelled before dispatch
+  kServeExpired,               ///< tickets failed on their own deadline
   kNumCounters,
 };
 

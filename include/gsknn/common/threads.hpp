@@ -21,6 +21,18 @@ inline int resolve_threads(int threads) {
 #endif
 }
 
+/// Actual team size inside a parallel region (1 outside). Can be smaller
+/// than the `num_threads` request when nesting or runtime caps shrink the
+/// team — schedulers that precomputed a p-way assignment must remap onto
+/// this, not assume the request was honored.
+inline int team_size() {
+#if defined(GSKNN_HAVE_OPENMP)
+  return omp_get_num_threads();
+#else
+  return 1;
+#endif
+}
+
 /// Calling thread's index inside a parallel region (0 outside).
 inline int thread_id() {
 #if defined(GSKNN_HAVE_OPENMP)

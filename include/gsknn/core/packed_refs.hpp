@@ -33,9 +33,19 @@
 // invalidated and re-packed on next touch; every other resident block is
 // reused as-is. Each update bumps epoch(); a query that passes the epoch it
 // captured fails with Status::kStale when an update slipped in between —
-// the optimistic-concurrency handshake for servers. Updates must not run
-// concurrently with queries on the same PackedRefs (queries may run
-// concurrently with each other).
+// the optimistic-concurrency handshake for servers.
+//
+// Concurrency. Updates MAY run concurrently with queries (the serving
+// runtime's mutate-while-query regime): every query resolves the epoch it
+// runs under at entry (snapshot()), every block pin re-validates that epoch
+// under the cache lock, and invalidation defers buffer frees past any
+// outstanding lease — so a racing update yields a clean Status::kStale,
+// never a kernel computing over mixed-epoch panels or freed memory. The id
+// list is copy-on-write: a query holds a shared snapshot of the list it
+// validated against, immune to reallocation by a concurrent insert().
+// (ids() returns an unowned span of the *current* list and is the one
+// accessor that still requires external synchronization against updates;
+// concurrent callers use snapshot().)
 //
 // Observability: per-object stats() plus process-wide metrics counters
 // pack_hits / pack_misses / pack_evictions / cache_bytes
@@ -43,6 +53,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -105,8 +116,21 @@ class PackedRefsT {
   /// Monotone generation counter: 0 after build(), +1 per insert()/erase().
   std::uint64_t epoch() const;
 
-  int size() const { return static_cast<int>(ids_.size()); }
-  std::span<const int> ids() const { return ids_; }
+  /// Atomic (id list, epoch) pair captured under the cache lock. The shared
+  /// pointer keeps the list alive across concurrent copy-on-write updates,
+  /// so a query can validate ids and pin blocks against one consistent
+  /// generation even while mutators run.
+  struct Snapshot {
+    std::shared_ptr<const std::vector<int>> ids;
+    std::uint64_t epoch = 0;
+  };
+  Snapshot snapshot() const;
+
+  int size() const;
+  /// Unowned view of the current id list. Requires external synchronization
+  /// against insert()/erase() (which swap the list out from under the span);
+  /// concurrent readers use snapshot() instead.
+  std::span<const int> ids() const;
   const PointTableT<T>* table() const { return X_; }
   bool built() const { return X_ != nullptr; }
 
@@ -130,20 +154,35 @@ class PackedRefsT {
   // pointers that stay valid until the matching release(). Depth block
   // p0 ∈ [0, d) starts at panel + nbpad·p0 (blocks are laid depth-major,
   // exactly the cold path's per-(jc, pc) slabs concatenated).
+  //
+  // `expected_epoch` other than kEpochAny re-validates the caller's pinned
+  // generation under the cache lock — the per-block half of the stale
+  // handshake. Without it, an insert()/erase() landing between a call's
+  // entry epoch check and a later block pin could hand that call a
+  // just-repacked (new-generation) panel next to old-generation ones.
+  // Leases hold shared ownership of their block's buffers, so a concurrent
+  // invalidation defers the free until the last lease releases.
   struct Lease {
     const T* panel = nullptr;
     const T* norms = nullptr;  ///< nbpad packed squared norms; null w/o norms
     int nb = 0;                ///< live references in this block
     int nbpad = 0;             ///< nb rounded up to the sliver width
     std::uint64_t bytes_packed = 0;  ///< 0 on a warm hit
+    std::shared_ptr<const void> hold;  ///< keeps the panel alive (see above)
   };
-  Status acquire(int block, Lease& lease);
+  Status acquire(int block, Lease& lease,
+                 std::uint64_t expected_epoch = kEpochAny);
   void release(int block);
 
  private:
-  struct Block {
+  /// Buffer pair shared between a resident block and outstanding leases;
+  /// invalidation drops the block's reference, leases keep theirs.
+  struct BlockData {
     AlignedBuffer<T> panel;
     AlignedBuffer<T> norms;
+  };
+  struct Block {
+    std::shared_ptr<BlockData> data;
     std::size_t bytes = 0;  ///< accounted size while resident
     bool resident = false;
     std::uint64_t lru = 0;
@@ -157,7 +196,9 @@ class PackedRefsT {
   void evict_over_budget_locked(int protect);
 
   const PointTableT<T>* X_ = nullptr;
-  std::vector<int> ids_;
+  /// Copy-on-write id list (swapped whole under mu_ by insert()/erase());
+  /// snapshot holders keep superseded generations alive.
+  std::shared_ptr<const std::vector<int>> ids_;
   BlockingParams bp_{};
   int tnr_ = 0;
   SimdLevel level_ = SimdLevel::kScalar;
@@ -186,8 +227,14 @@ using PackedRefsF = PackedRefsT<float>;
 /// ...) — bitwise-identical rows — except the reference panels come from the
 /// cache (0 packed reference bytes on resident blocks). `expected_epoch`
 /// other than kEpochAny makes the call fail with Status::kStale when the
-/// cache's epoch differs (the result is untouched). The status overloads
-/// return kStale/kUnsupported instead of throwing.
+/// cache's epoch differs at entry (heap rows untouched, every row of the
+/// call flagged incomplete — an entry reject never masquerades as a
+/// finished empty result). kEpochAny
+/// resolves to the epoch observed at entry, so every call computes over one
+/// consistent generation either way; an update racing the call surfaces as
+/// kStale with the rows the kernel could not finish flagged incomplete
+/// (row_complete() false), never as mixed-generation results. The status
+/// overloads return kStale/kUnsupported instead of throwing.
 void knn_kernel(PackedRefs& refs, std::span<const int> qidx,
                 NeighborTable& result, const KnnConfig& cfg = {},
                 std::span<const int> result_rows = {},

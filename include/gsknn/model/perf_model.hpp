@@ -99,4 +99,14 @@ std::vector<int> schedule_lpt(std::span<const double> est_seconds, int p);
 double makespan(std::span<const double> est_seconds,
                 std::span<const int> assignment, int p);
 
+/// Admission order for a serving queue: indices sorted deadline-first
+/// (earliest deadline wins; +inf or non-finite = no deadline), then by the
+/// model estimate ascending — the greedy first-termination order, which
+/// maximizes requests retired per unit time while never starving a budgeted
+/// request behind an unbudgeted one. Ties fall back to submission (index)
+/// order. `deadline_seconds` may be empty (no entry has a deadline).
+std::vector<int> order_first_termination(
+    std::span<const double> est_seconds,
+    std::span<const double> deadline_seconds);
+
 }  // namespace gsknn::model

@@ -1,0 +1,153 @@
+// gsknn::serving — async query-serving runtime over the packed-panel cache
+// (ROADMAP item 1; docs/SERVING.md).
+//
+// The paper's §2.5 task-parallel mode wins by sharing the packed Rc panels
+// across the 4th loop. Server generalizes that insight into a front end:
+// callers submit single-query tickets against named PackedRefs sets and the
+// admission queue coalesces compatible pending tickets — same refs set
+// (hence same epoch at dispatch), same precision (a Server is double
+// precision throughout), same norm layout class (fixed per Server), same
+// k-bucket — into one fused knn_batch call, so Rc is leased once per fused
+// batch and warm fused traffic moves zero packed reference bytes.
+//
+// Scheduling is model-driven (§2.6): every ticket carries a predicted
+// runtime from gsknn::model, dispatch order within a lane is greedy
+// first-termination (earliest deadline first, then smallest estimate —
+// model::order_first_termination), and the interactive lane always drains
+// before the bulk lane. A ticket budget maps onto KnnConfig::deadline for
+// the fused call (the minimum member budget governs the kernel); tickets a
+// shared deadline starved are re-queued while their own budget holds and
+// fail kDeadlineExceeded once it does not.
+//
+// Consistency: every completed ticket is bitwise-identical to a cold
+// synchronous knn_kernel call over the same query and the reference list of
+// the generation it ran against — under cancellation, deadline expiry and
+// concurrent insert_refs/erase_refs (the cache's snapshot/epoch handshake
+// turns races into clean kStale retries, never mixed-generation results).
+//
+// Observability: per-lane ticket latency (queueing included) under
+// metrics::EntryPoint::kServeInteractive/kServeBulk, fusion counters
+// serve_enqueued / serve_fused_calls / serve_fused_queries /
+// serve_cancelled / serve_expired, and flightrec kServeSubmit/kServeFuse
+// events (docs/OBSERVABILITY.md, docs/SERVING.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "gsknn/core/knn.hpp"
+#include "gsknn/core/packed_refs.hpp"
+
+namespace gsknn::serving {
+
+/// Priority lanes. Interactive drains strictly before bulk; each lane has
+/// its own queue-depth cap and its own latency axis in gsknn::metrics.
+enum class Lane : int { kInteractive = 0, kBulk = 1 };
+inline constexpr int kNumLanes = 2;
+
+struct ServerOptions {
+  /// Dispatcher threads pulling fused batches off the admission queue.
+  int workers = 1;
+  /// Threads per fused kernel call (knn_batch's LPT pool).
+  int kernel_threads = 1;
+  /// Per-lane queued-ticket cap; submit fails kResourceExhausted beyond it
+  /// (open-loop overload sheds at admission, not in the kernel).
+  int max_queue_depth = 4096;
+  /// Cap on tickets coalesced into one fused call.
+  int max_fused_queries = 64;
+  /// Norm layout class served (fixed per Server; one fusion key).
+  Norm norm = Norm::kL2Sq;
+  /// Pack-geometry override forwarded to every PackedRefs set.
+  std::optional<BlockingParams> blocking;
+  /// Per-refs-set resident panel budget (0 = unlimited).
+  std::size_t budget_bytes = 0;
+};
+
+struct SubmitOptions {
+  Lane lane = Lane::kInteractive;
+  /// Latency budget; maps onto KnnConfig::deadline of the fused call. Empty
+  /// = no deadline (the ticket never expires, only cancels).
+  std::optional<std::chrono::nanoseconds> budget;
+};
+
+/// Opaque ticket handle; 0 is never a valid ticket.
+using TicketId = std::uint64_t;
+
+class Server {
+ public:
+  /// `X` must outlive the Server (same lifetime contract as PackedRefs).
+  explicit Server(const PointTable& X, const ServerOptions& opt = {});
+  /// Drains: in-flight fused calls finish, queued tickets fail kCancelled.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // ---- named reference sets ----------------------------------------------
+  /// Build a PackedRefs set under `name` (kInvalidArgument if taken).
+  Status create_refs(std::string_view name, std::span<const int> ids);
+  /// Incremental updates; safe concurrently with in-flight queries (the
+  /// cache's epoch handshake re-queues affected tickets).
+  Status insert_refs(std::string_view name, std::span<const int> ids);
+  Status erase_refs(std::string_view name, std::span<const int> ids);
+  /// Unregister a set by name. Tickets resolve the set at submit time and
+  /// share ownership, so both in-flight fused calls and already-queued
+  /// tickets still complete against the dropped set; only new submissions
+  /// see kInvalidArgument.
+  Status drop_refs(std::string_view name);
+  /// Current epoch of a set, ~0ull if unknown.
+  std::uint64_t refs_epoch(std::string_view name) const;
+  /// Current size of a set, -1 if unknown.
+  int refs_size(std::string_view name) const;
+  /// Pack/cache counters of a set (empty if unknown). `bytes_packed` is
+  /// cumulative: once panels are resident it must stop moving — the warm
+  /// fused path's zero-copy contract is asserted against exactly this.
+  std::optional<PackedRefs::Stats> refs_stats(std::string_view name) const;
+
+  // ---- tickets ------------------------------------------------------------
+  /// Admit one query (row id of X) for its k nearest among `refs`. Returns
+  /// 0 on rejection with the reason in *err when given: kInvalidArgument
+  /// (unknown set), kBadIndex (query id), kBadConfig (k),
+  /// kResourceExhausted (lane queue full).
+  TicketId submit(std::string_view refs, int query, int k,
+                  const SubmitOptions& opt = {}, Status* err = nullptr);
+  /// True once the ticket reached a terminal state; *out gets the terminal
+  /// status (kOk, kCancelled, kDeadlineExceeded, kStale, ...). Unknown
+  /// tickets report done with kBadIndex.
+  bool poll(TicketId t, Status* out = nullptr) const;
+  /// Block until terminal; returns the terminal status.
+  Status wait(TicketId t);
+  /// Cancel a still-queued ticket (true). Running/terminal tickets are not
+  /// interrupted (false) — their result stays valid.
+  bool cancel(TicketId t);
+  /// Copy a completed ticket's neighbors (ascending distance) into
+  /// ids/dists (each of capacity >= k). Returns the count written, or -1 if
+  /// the ticket is unknown / not terminal / did not complete with kOk.
+  int result(TicketId t, std::span<int> ids, std::span<double> dists) const;
+
+  // ---- introspection ------------------------------------------------------
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;      ///< terminal with kOk
+    std::uint64_t cancelled = 0;
+    std::uint64_t expired = 0;        ///< terminal with kDeadlineExceeded
+    std::uint64_t failed = 0;         ///< terminal with any other non-kOk
+    std::uint64_t fused_calls = 0;    ///< kernel dispatches
+    std::uint64_t fused_queries = 0;  ///< tickets those dispatches carried
+    std::uint64_t requeues = 0;       ///< stale/starved re-admissions
+    int queue_depth[kNumLanes] = {0, 0};
+  };
+  Stats stats() const;
+  /// fused_queries / fused_calls (0 when no call ran) — the fusion ratio.
+  double fusion_ratio() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gsknn::serving

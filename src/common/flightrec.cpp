@@ -21,6 +21,7 @@ namespace {
 const char* const kKindNames[kKindCount] = {
     "call_begin", "call_end",    "retile",       "demotion",     "deadline",
     "cancel",     "pack_evict",  "pack_update",  "stale_reject", "fault",
+    "serve_submit", "serve_fuse",
 };
 
 // ---- event rings -----------------------------------------------------------

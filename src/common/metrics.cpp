@@ -16,6 +16,7 @@ namespace {
 const char* const kEntryPointNames[kEntryPointCount] = {
     "kernel_f64", "kernel_f32",  "parallel_refs", "batch",
     "gemm_baseline", "single_loop", "rkd_forest",  "lsh",
+    "serve_interactive", "serve_bulk",
 };
 
 // Mirrors gsknn::status_name() (src/core/validate.cpp); the parity is
@@ -31,6 +32,8 @@ const char* const kCounterNames[kCounterCount] = {
     "workspace_retiled_calls", "workspace_retile_steps", "variant_demotions",
     "trace_spans_dropped",     "pmu_multiplexed_reads",  "pack_hits",
     "pack_misses",             "pack_evictions",         "cache_bytes",
+    "serve_enqueued",          "serve_fused_calls",      "serve_fused_queries",
+    "serve_cancelled",         "serve_expired",
 };
 
 const char* const kShapeDims[4] = {"m", "n", "d", "k"};
@@ -352,6 +355,22 @@ MetricsSnapshot snapshot_at(std::uint64_t now) {
       if (e > out.window_epoch[i]) out.window_epoch[i] = e;
     }
   }
+  // Rotate on read: slots only get their epoch refreshed by record(), so
+  // after >kWindowBuckets idle seconds every slot still carries a previous
+  // lap's second. Expire those here — a scrape (or SLO burn-rate read) of an
+  // idle process must report an empty window, not the last burst of traffic
+  // as if it were current. One second of future skew is tolerated (a
+  // recording thread racing the scrape's clock read); beyond that the stamp
+  // is clock damage and the slot is dropped rather than trusted forever.
+  for (int i = 0; i < kWindowBuckets; ++i) {
+    const std::uint64_t e = out.window_epoch[i];
+    if (e == 0) continue;
+    const bool future_damaged = e > out.window_now_sec + 1;
+    const bool expired =
+        e <= out.window_now_sec &&
+        out.window_now_sec - e >= static_cast<std::uint64_t>(kWindowBuckets);
+    if (future_damaged || expired) out.window_epoch[i] = 0;
+  }
   for (const Shard& s : g_shards) {
     for (int i = 0; i < kWindowBuckets; ++i) {
       if (out.window_epoch[i] == 0 ||
@@ -490,9 +509,13 @@ bool MetricsSnapshot::window_slot_live(int i) const {
   if (i < 0 || i >= kWindowBuckets) return false;
   const std::uint64_t e = window_epoch[i];
   if (e == 0) return false;
-  // A slot a shade ahead of the snapshot cut (clock skew between the
-  // recording thread and the scrape) still counts as live.
-  return e >= window_now_sec || window_now_sec - e < kWindowBuckets;
+  // A slot one second ahead of the snapshot cut (clock skew between the
+  // recording thread and the scrape) still counts as live; anything further
+  // ahead is clock damage, not traffic. The unbounded `e >= window_now_sec`
+  // form of this clause used to grant eternal liveness to any future-stamped
+  // slot.
+  if (e > window_now_sec) return e - window_now_sec <= 1;
+  return window_now_sec - e < kWindowBuckets;
 }
 
 std::uint64_t MetricsSnapshot::window_calls() const {

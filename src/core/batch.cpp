@@ -155,10 +155,18 @@ Status knn_batch_impl(const PointTable& X, std::span<const KnnTask> tasks,
 #endif
   {
     const int tid = thread_id();
+    // The LPT schedule targeted p workers, but the delivered team can be
+    // smaller (nested parallelism with max-active-levels, runtime caps).
+    // Fold the absent workers' queues onto live threads — owner % nt — so
+    // every task runs exactly once; with a full team the fold is the
+    // identity and the schedule is untouched. Before this remap, tasks
+    // assigned to absent workers silently never ran and their result rows
+    // were reported complete while holding stale sentinels.
+    const int nt = team_size();
     KnnConfig my_cfg = task_cfg;
     my_cfg.profile = prof ? &wprof[static_cast<std::size_t>(tid)] : nullptr;
     for (int i = 0; i < t; ++i) {
-      if (assignment[static_cast<std::size_t>(i)] != tid) continue;
+      if (assignment[static_cast<std::size_t>(i)] % nt != tid) continue;
       const auto& task = tasks[static_cast<std::size_t>(i)];
       if (stop.load(std::memory_order_relaxed) != 0) {
         mark_task_incomplete(task);
@@ -221,7 +229,11 @@ Status knn_batch_packed_impl(PackedRefs& refs,
   if (t == 0) return Status::kOk;
   const int p = resolve_threads(cfg.threads);
   const PointTable& X = *refs.table();
-  const std::span<const int> ridx = refs.ids();
+  // One atomic (id list, epoch) capture for the whole batch: validation,
+  // scheduling and every task kernel run against this generation, immune to
+  // a concurrent insert()/erase() swapping the list mid-batch.
+  const PackedRefs::Snapshot snap = refs.snapshot();
+  const std::span<const int> ridx(*snap.ids);
 
   for (int i = 0; i < t; ++i) {
     const auto& task = tasks[static_cast<std::size_t>(i)];
@@ -232,12 +244,14 @@ Status knn_batch_packed_impl(PackedRefs& refs,
     check_knn_args(X, task.qidx, ridx, *task.result, cfg, task.result_rows);
   }
   // Batch-level epoch handshake, after validation and before any task runs:
-  // a stale batch touches nothing. Each task kernel re-checks, so an update
-  // racing the batch (a contract violation, but a cheap one to catch) stops
-  // it at task granularity instead of corrupting results silently.
-  if (expected_epoch != kEpochAny && expected_epoch != refs.epoch()) {
+  // a stale batch touches nothing. kEpochAny resolves to the entry epoch
+  // here, and every task kernel pins its blocks against that resolved
+  // generation — an update racing the batch stops affected tasks with a
+  // clean kStale (rows flagged incomplete) instead of mixing generations.
+  if (expected_epoch != kEpochAny && expected_epoch != snap.epoch) {
     return Status::kStale;
   }
+  const std::uint64_t run_epoch = snap.epoch;
 
   std::unordered_map<const NeighborTable*, std::vector<unsigned char>> used;
   for (int i = 0; i < t; ++i) {
@@ -269,7 +283,7 @@ Status knn_batch_packed_impl(PackedRefs& refs,
   for (int i = 0; i < t; ++i) {
     const auto& task = tasks[static_cast<std::size_t>(i)];
     const model::ProblemShape s{static_cast<int>(task.qidx.size()),
-                                refs.size(), X.dim(), k};
+                                static_cast<int>(ridx.size()), X.dim(), k};
     const Variant v = resolve_variant(s.m, s.n, s.d, s.k, cfg);
     est[static_cast<std::size_t>(i)] = model::predicted_time(
         v == Variant::kVar1 ? model::Method::kVar1 : model::Method::kVar6, s,
@@ -304,10 +318,13 @@ Status knn_batch_packed_impl(PackedRefs& refs,
 #endif
   {
     const int tid = thread_id();
+    // Same absent-worker fold as knn_batch_impl: the delivered team can be
+    // smaller than the p the LPT schedule targeted.
+    const int nt = team_size();
     KnnConfig my_cfg = task_cfg;
     my_cfg.profile = prof ? &wprof[static_cast<std::size_t>(tid)] : nullptr;
     for (int i = 0; i < t; ++i) {
-      if (assignment[static_cast<std::size_t>(i)] != tid) continue;
+      if (assignment[static_cast<std::size_t>(i)] % nt != tid) continue;
       const auto& task = tasks[static_cast<std::size_t>(i)];
       if (stop.load(std::memory_order_relaxed) != 0) {
         mark_task_incomplete(task);
@@ -325,7 +342,7 @@ Status knn_batch_packed_impl(PackedRefs& refs,
       }
       const Status s = knn_kernel_status(refs, task.qidx, *task.result,
                                          my_cfg, task.result_rows,
-                                         expected_epoch);
+                                         run_epoch);
       if (s != Status::kOk) {
         if (s != Status::kCancelled && s != Status::kDeadlineExceeded) {
           mark_task_incomplete(task);

@@ -18,6 +18,8 @@
 #include "gsknn/core/packed_refs.hpp"
 #include "gsknn/data/io.hpp"
 
+#include "capi_handles.hpp"
+
 namespace {
 
 thread_local std::string tl_error = "ok";
@@ -107,13 +109,8 @@ int parse_search_config(int norm, int variant, double lp, int threads,
 
 }  // namespace
 
-struct gsknn_table {
-  gsknn::PointTable table;
-};
-
-struct gsknn_result {
-  gsknn::NeighborTable table;
-};
+// gsknn_table / gsknn_result live in capi_handles.hpp (shared with the
+// serving C API translation unit).
 
 struct gsknn_profile {
   gsknn::telemetry::KernelProfile profile;

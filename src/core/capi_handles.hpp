@@ -1,0 +1,15 @@
+// Internal: C-handle struct layouts shared by the capi translation units
+// (src/core/capi.cpp, src/serving/capi.cpp). The public header only forward
+// declares these; every TU that unwraps a handle must see one identical
+// definition, which is this file.
+#pragma once
+
+#include "gsknn/core/knn.hpp"
+
+struct gsknn_table {
+  gsknn::PointTable table;
+};
+
+struct gsknn_result {
+  gsknn::NeighborTable table;
+};

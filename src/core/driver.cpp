@@ -343,6 +343,7 @@ struct CachedRefPanels {
   static constexpr bool kCached = true;
   PackedRefsT<T>* cache = nullptr;
   int nc = 0;
+  std::uint64_t epoch = kEpochAny;  ///< generation every pin must match
   Status err = Status::kOk;
   int cur = -1;
   typename PackedRefsT<T>::Lease lease;
@@ -358,7 +359,7 @@ struct CachedRefPanels {
     if (b != cur) {
       if (cur >= 0) cache->release(cur);
       cur = -1;
-      const Status s = cache->acquire(b, lease);
+      const Status s = cache->acquire(b, lease, epoch);
       if (s != Status::kOk) {
         err = s;
         return nullptr;
@@ -1059,15 +1060,30 @@ Status packed_kernel_impl(PackedRefsT<T>& refs, std::span<const int> qidx,
                       "gsknn: PackedRefs::build() has not succeeded");
   }
   const PointTableT<T>& X = *refs.table();
-  const std::span<const int> ridx = refs.ids();
+  // One atomic (id list, epoch) capture: the whole call validates, plans and
+  // pins against this generation. A concurrent insert()/erase() cannot swap
+  // the list mid-call (the snapshot holds shared ownership) and cannot slip
+  // a repacked panel in (every block pin below re-checks `epoch`).
+  const typename PackedRefsT<T>::Snapshot snap = refs.snapshot();
+  const std::span<const int> ridx(*snap.ids);
   const int m = static_cast<int>(qidx.size());
   const int n = static_cast<int>(ridx.size());
   const int d = X.dim();
   const int k = result.k();
   check_knn_args(X, qidx, ridx, result, cfg, result_rows);
-  if (expected_epoch != kEpochAny && expected_epoch != refs.epoch()) {
+  if (expected_epoch != kEpochAny && expected_epoch != snap.epoch) {
+    // No row saw any candidate of the caller's generation — flag them all,
+    // exactly like a mid-flight pin rejection. Untouched rows of a fresh
+    // table read vacuously complete, so skipping this would let a stale
+    // reject masquerade as a finished (empty) result to anyone gating on
+    // row_complete().
+    for (int i = 0; i < m; ++i) {
+      result.mark_row_incomplete(result_rows.empty()
+                                     ? i
+                                     : result_rows[static_cast<std::size_t>(i)]);
+    }
     flightrec::record(flightrec::Kind::kStaleReject, -1,
-                      static_cast<int>(Status::kStale), refs.epoch(), m, n,
+                      static_cast<int>(Status::kStale), snap.epoch, m, n,
                       d, k);
     return Status::kStale;
   }
@@ -1081,6 +1097,7 @@ Status packed_kernel_impl(PackedRefsT<T>& refs, std::span<const int> qidx,
   CachedRefPanels<T> rpanels;
   rpanels.cache = &refs;
   rpanels.nc = kp.bp.nc;
+  rpanels.epoch = snap.epoch;  // kEpochAny resolves to the entry epoch
   return knn_kernel_compute<T>(X, qidx, ridx.data(), n, result, cfg,
                                result_rows, kp, rpanels);
 }

@@ -78,7 +78,7 @@ Status PackedRefsT<T>::build(const PointTableT<T>& X, std::span<const int> ridx,
 
   std::lock_guard<std::mutex> lk(mu_);
   X_ = &X;
-  ids_.assign(ridx.begin(), ridx.end());
+  ids_ = std::make_shared<const std::vector<int>>(ridx.begin(), ridx.end());
   bp_ = bp;
   tnr_ = mk.nr;
   level_ = chosen;
@@ -99,7 +99,7 @@ Status PackedRefsT<T>::build(const PointTableT<T>& X, std::span<const int> ridx,
   resident_bytes_ = 0;
   st_ = Stats{};
   if (poison_) {
-    core::scan_nonfinite(X, ids_.data(), n, bad_, any_bad_);
+    core::scan_nonfinite(X, ids_->data(), n, bad_, any_bad_);
   }
   if (opt.eager) {
     for (int b = 0; b < nblocks; ++b) {
@@ -119,8 +119,13 @@ Status PackedRefsT<T>::insert(std::span<const int> ids) {
     if (id < 0 || id >= table_n) return Status::kBadIndex;
   }
   std::lock_guard<std::mutex> lk(mu_);
-  const int old_n = static_cast<int>(ids_.size());
-  ids_.insert(ids_.end(), ids.begin(), ids.end());
+  const int old_n = static_cast<int>(ids_->size());
+  // Copy-on-write: concurrent queries hold snapshots of the old list, so
+  // the mutation builds a fresh vector and swaps it in whole (never
+  // reallocates a list a reader may be walking).
+  auto next = std::make_shared<std::vector<int>>(*ids_);
+  next->insert(next->end(), ids.begin(), ids.end());
+  ids_ = std::move(next);
   if (poison_) {
     for (const int id : ids) {
       const unsigned char flag = point_nonfinite(*X_, id);
@@ -135,11 +140,11 @@ Status PackedRefsT<T>::insert(std::span<const int> ids) {
     invalidate_block_locked((old_n - 1) / bp_.nc);
   }
   const int nblocks = static_cast<int>(
-      ceil_div(ids_.size(), static_cast<std::size_t>(bp_.nc)));
+      ceil_div(ids_->size(), static_cast<std::size_t>(bp_.nc)));
   blocks_.resize(static_cast<std::size_t>(nblocks));
   ++epoch_;
   flightrec::record(flightrec::Kind::kPackUpdate, -1, 0, epoch_, 0,
-                    static_cast<int>(ids_.size()));
+                    static_cast<int>(ids_->size()));
   return Status::kOk;
 }
 
@@ -154,7 +159,7 @@ Status PackedRefsT<T>::erase(std::span<const int> ids) {
     std::unordered_map<int, int> need;
     for (const int id : ids) ++need[id];
     if (!need.empty()) {
-      for (const int id : ids_) {
+      for (const int id : *ids_) {
         auto it = need.find(id);
         if (it != need.end() && it->second > 0) --it->second;
       }
@@ -164,13 +169,16 @@ Status PackedRefsT<T>::erase(std::span<const int> ids) {
       }
     }
   }
+  // Copy-on-write, as in insert(): the swap-removes run on a private copy.
+  auto next = std::make_shared<std::vector<int>>(*ids_);
+  std::vector<int>& list = *next;
   for (const int id : ids) {
-    const auto it = std::find(ids_.begin(), ids_.end(), id);
-    assert(it != ids_.end());
-    const int pos = static_cast<int>(it - ids_.begin());
-    const int last = static_cast<int>(ids_.size()) - 1;
-    ids_[static_cast<std::size_t>(pos)] = ids_[static_cast<std::size_t>(last)];
-    ids_.pop_back();
+    const auto it = std::find(list.begin(), list.end(), id);
+    assert(it != list.end());
+    const int pos = static_cast<int>(it - list.begin());
+    const int last = static_cast<int>(list.size()) - 1;
+    list[static_cast<std::size_t>(pos)] = list[static_cast<std::size_t>(last)];
+    list.pop_back();
     if (poison_) {
       bad_[static_cast<std::size_t>(pos)] = bad_[static_cast<std::size_t>(last)];
       bad_.pop_back();
@@ -179,16 +187,17 @@ Status PackedRefsT<T>::erase(std::span<const int> ids) {
     invalidate_block_locked(last / bp_.nc);
   }
   const int nblocks =
-      ids_.empty() ? 0
+      list.empty() ? 0
                    : static_cast<int>(ceil_div(
-                         ids_.size(), static_cast<std::size_t>(bp_.nc)));
+                         list.size(), static_cast<std::size_t>(bp_.nc)));
+  ids_ = std::move(next);
   for (int b = nblocks; b < static_cast<int>(blocks_.size()); ++b) {
     invalidate_block_locked(b);
   }
   blocks_.resize(static_cast<std::size_t>(nblocks));
   ++epoch_;
   flightrec::record(flightrec::Kind::kPackUpdate, -1, 0, epoch_, 0,
-                    static_cast<int>(ids_.size()));
+                    static_cast<int>(ids_->size()));
   return Status::kOk;
 }
 
@@ -196,6 +205,25 @@ template <typename T>
 std::uint64_t PackedRefsT<T>::epoch() const {
   std::lock_guard<std::mutex> lk(mu_);
   return epoch_;
+}
+
+template <typename T>
+typename PackedRefsT<T>::Snapshot PackedRefsT<T>::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return Snapshot{ids_, epoch_};
+}
+
+template <typename T>
+int PackedRefsT<T>::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ids_ ? static_cast<int>(ids_->size()) : 0;
+}
+
+template <typename T>
+std::span<const int> PackedRefsT<T>::ids() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!ids_) return {};
+  return std::span<const int>(*ids_);
 }
 
 template <typename T>
@@ -231,8 +259,20 @@ bool PackedRefsT<T>::layout_compatible(Norm query_norm) const {
 }
 
 template <typename T>
-Status PackedRefsT<T>::acquire(int block, Lease& lease) {
+Status PackedRefsT<T>::acquire(int block, Lease& lease,
+                               std::uint64_t expected_epoch) {
   std::lock_guard<std::mutex> lk(mu_);
+  // Per-block stale handshake, checked BEFORE bounds: re-validate the
+  // caller's pinned generation under the same lock mutators bump it under,
+  // so an update landing between a call's entry check and this pin is
+  // caught here — the caller never receives a panel packed for a different
+  // generation than the id snapshot it validated. Checking epoch first also
+  // keeps the failure honest when the update shrank the block count: the
+  // caller's block index was valid for ITS generation, so it must see
+  // kStale, not kBadIndex.
+  if (expected_epoch != kEpochAny && expected_epoch != epoch_) {
+    return Status::kStale;
+  }
   if (!built() || block < 0 || block >= static_cast<int>(blocks_.size())) {
     return Status::kBadIndex;
   }
@@ -252,11 +292,12 @@ Status PackedRefsT<T>::acquire(int block, Lease& lease) {
   ++blk.pins;
   int j0 = 0, nb = 0;
   block_range(block, j0, nb);
-  lease.panel = blk.panel.data();
-  lease.norms = needs_norms_ ? blk.norms.data() : nullptr;
+  lease.panel = blk.data->panel.data();
+  lease.norms = needs_norms_ ? blk.data->norms.data() : nullptr;
   lease.nb = nb;
   lease.nbpad = static_cast<int>(round_up(static_cast<std::size_t>(nb),
                                           static_cast<std::size_t>(tnr_)));
+  lease.hold = blk.data;  // defers any concurrent invalidation's free
   evict_over_budget_locked(block);
   return Status::kOk;
 }
@@ -266,14 +307,13 @@ void PackedRefsT<T>::release(int block) {
   std::lock_guard<std::mutex> lk(mu_);
   if (block < 0 || block >= static_cast<int>(blocks_.size())) return;
   Block& blk = blocks_[static_cast<std::size_t>(block)];
-  assert(blk.pins > 0);
-  --blk.pins;
+  if (blk.pins > 0) --blk.pins;
 }
 
 template <typename T>
 void PackedRefsT<T>::block_range(int b, int& j0, int& nb) const {
   j0 = b * bp_.nc;
-  const int n = static_cast<int>(ids_.size());
+  const int n = static_cast<int>(ids_->size());
   nb = (n - j0 < bp_.nc) ? n - j0 : bp_.nc;
 }
 
@@ -295,24 +335,31 @@ Status PackedRefsT<T>::pack_block_locked(int b) {
                                      static_cast<std::size_t>(tnr_));
   Block& blk = blocks_[static_cast<std::size_t>(b)];
   try {
+    // Fresh buffers every repack: an outstanding lease on the previous
+    // generation (deferred invalidation) keeps the old BlockData alive, so
+    // the new pack must not write into it.
+    blk.data = std::make_shared<BlockData>();
     if (nbpad * static_cast<std::size_t>(d) > 0) {
-      blk.panel.reset(nbpad * static_cast<std::size_t>(d));
+      blk.data->panel.reset(nbpad * static_cast<std::size_t>(d));
     }
-    if (needs_norms_ && nbpad > 0) blk.norms.reset(nbpad);
+    if (needs_norms_ && nbpad > 0) blk.data->norms.reset(nbpad);
   } catch (const std::bad_alloc&) {
+    blk.data.reset();
     return Status::kResourceExhausted;
   }
   const int dc = bp_.dc;
   for (int pc = 0; pc < d; pc += dc) {
     const int db = (d - pc < dc) ? d - pc : dc;
-    T* const dst = blk.panel.data() + nbpad * static_cast<std::size_t>(pc);
-    core::pack_points_rt(tnr_, level_, *X_, ids_.data(), j0, nb, pc, db, dst);
+    T* const dst =
+        blk.data->panel.data() + nbpad * static_cast<std::size_t>(pc);
+    core::pack_points_rt(tnr_, level_, *X_, ids_->data(), j0, nb, pc, db, dst);
     if (poison_ && any_bad_) {
       core::poison_packed(dst, bad_.data(), j0, nb, tnr_, db);
     }
   }
   if (needs_norms_ && nbpad > 0) {
-    core::pack_norms_rt(tnr_, *X_, ids_.data(), j0, nb, blk.norms.data());
+    core::pack_norms_rt(tnr_, *X_, ids_->data(), j0, nb,
+                        blk.data->norms.data());
   }
   blk.bytes = block_bytes(nb);
   blk.resident = true;
@@ -328,12 +375,13 @@ void PackedRefsT<T>::invalidate_block_locked(int b) {
   if (b < 0 || b >= static_cast<int>(blocks_.size())) return;
   Block& blk = blocks_[static_cast<std::size_t>(b)];
   if (!blk.resident) return;
-  // Updates are documented as externally synchronized with queries, so no
-  // lease can be outstanding on the block being rewritten.
-  assert(blk.pins == 0);
+  // Dropping the shared reference is the whole invalidation: if a query
+  // still leases this block, its Lease::hold keeps the buffers alive until
+  // release — the free is deferred, never unsafe. That query's next
+  // epoch-checked acquire returns kStale, so it can never *combine* this
+  // stale panel with post-update ones.
   resident_bytes_ -= blk.bytes;
-  blk.panel = AlignedBuffer<T>();
-  blk.norms = AlignedBuffer<T>();
+  blk.data.reset();
   blk.bytes = 0;
   blk.resident = false;
 }

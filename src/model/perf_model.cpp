@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <queue>
 
@@ -170,6 +171,28 @@ std::vector<int> schedule_lpt(std::span<const double> est_seconds, int p) {
     procs.emplace(load + est_seconds[static_cast<std::size_t>(task)], proc);
   }
   return assignment;
+}
+
+std::vector<int> order_first_termination(
+    std::span<const double> est_seconds,
+    std::span<const double> deadline_seconds) {
+  const int t = static_cast<int>(est_seconds.size());
+  const auto deadline = [&](int i) {
+    if (i >= static_cast<int>(deadline_seconds.size())) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double d = deadline_seconds[static_cast<std::size_t>(i)];
+    return std::isfinite(d) ? d : std::numeric_limits<double>::infinity();
+  };
+  std::vector<int> order(static_cast<std::size_t>(t));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const double da = deadline(a), db = deadline(b);
+    if (da != db) return da < db;
+    return est_seconds[static_cast<std::size_t>(a)] <
+           est_seconds[static_cast<std::size_t>(b)];
+  });
+  return order;
 }
 
 double makespan(std::span<const double> est_seconds,

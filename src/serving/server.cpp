@@ -1,0 +1,525 @@
+// Serving runtime (gsknn/serving/server.hpp): admission queue, batch
+// fusion over PackedRefs, model-driven dispatch.
+//
+// Threading model: plain std::thread workers and one mutex/two condvars —
+// deliberately not OpenMP, so the runtime works (and is tsan-checkable)
+// under the no-OpenMP presets; OpenMP parallelism lives inside the fused
+// knn_batch call, where the §2.5 LPT scheduler already owns it. The server
+// lock guards queues/tickets/registry only; fused kernel calls run outside
+// it, so submit/poll/cancel stay responsive under load.
+#include "gsknn/serving/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gsknn/common/flightrec.hpp"
+#include "gsknn/common/metrics.hpp"
+#include "gsknn/core/packed_refs.hpp"
+#include "gsknn/model/perf_model.hpp"
+
+namespace gsknn::serving {
+
+namespace {
+
+/// Re-admissions before a persistently racing mutator fails a ticket with
+/// kStale (each retry re-resolves the epoch, so one quiet instant suffices).
+constexpr int kMaxStaleRequeues = 8;
+
+metrics::EntryPoint lane_entry(Lane lane) {
+  return lane == Lane::kInteractive ? metrics::EntryPoint::kServeInteractive
+                                    : metrics::EntryPoint::kServeBulk;
+}
+
+enum class TState { kQueued, kRunning, kDone };
+
+struct Ticket {
+  TicketId id = 0;
+  std::shared_ptr<PackedRefs> refs;  ///< resolved at submit; drop-safe
+  int query = 0;
+  int k = 0;
+  Lane lane = Lane::kInteractive;
+  std::optional<Deadline> deadline;
+  std::uint64_t submit_ns = 0;
+  double est = 0.0;  ///< §2.6 predicted runtime (scheduling key)
+  int requeues = 0;
+  TState state = TState::kQueued;
+  Status status = Status::kInternal;
+  // Terminal kOk payload: neighbors ascending by distance.
+  std::vector<int> out_ids;
+  std::vector<double> out_dists;
+};
+
+using TicketPtr = std::shared_ptr<Ticket>;
+
+}  // namespace
+
+struct Server::Impl {
+  const PointTable* X = nullptr;
+  ServerOptions opt;
+
+  mutable std::mutex mu;
+  std::condition_variable cv_work;  ///< workers: queue non-empty or stopping
+  std::condition_variable cv_done;  ///< waiters: some ticket went terminal
+  bool stopping = false;
+  std::uint64_t next_id = 1;
+  std::unordered_map<TicketId, TicketPtr> tickets;
+  std::deque<TicketPtr> queue[kNumLanes];
+  std::unordered_map<std::string, std::shared_ptr<PackedRefs>> refs;
+  Stats st;
+  std::vector<std::thread> workers;
+
+  // ---- helpers (all *_locked require mu held) -----------------------------
+
+  int depth_locked(int lane) const {
+    int n = 0;
+    for (const TicketPtr& t : queue[lane]) {
+      if (t->state == TState::kQueued) ++n;
+    }
+    return n;
+  }
+
+  /// Terminal transition: accounting, per-lane metrics sample (latency =
+  /// completion - submit, queueing included), waiter wakeup.
+  void finalize_locked(Ticket& t, Status status) {
+    t.state = TState::kDone;
+    t.status = status;
+    switch (status) {
+      case Status::kOk:
+        ++st.completed;
+        break;
+      case Status::kCancelled:
+        ++st.cancelled;
+        metrics::add_counter(metrics::Counter::kServeCancelled);
+        break;
+      case Status::kDeadlineExceeded:
+        ++st.expired;
+        metrics::add_counter(metrics::Counter::kServeExpired);
+        break;
+      default:
+        ++st.failed;
+        break;
+    }
+    if (metrics::enabled()) {
+      const std::uint64_t now = metrics::now_ns();
+      metrics::record_call_at(now, lane_entry(t.lane),
+                              static_cast<int>(status), now - t.submit_ns, 1,
+                              t.refs ? t.refs->size() : 0, X->dim(), t.k);
+    }
+    cv_done.notify_all();
+  }
+
+  void requeue_locked(TicketPtr t) {
+    ++t->requeues;
+    ++st.requeues;
+    t->state = TState::kQueued;
+    queue[static_cast<int>(t->lane)].push_back(std::move(t));
+    cv_work.notify_one();
+  }
+
+  /// Pop the next fused group off `lane`: seed chosen by the model's
+  /// first-termination order (earliest deadline, then smallest estimate),
+  /// then every queued ticket sharing the seed's fusion key — refs set and
+  /// exact k; precision and norm layout class are Server-wide — rides
+  /// along, in first-termination order, up to max_fused_queries.
+  std::vector<TicketPtr> admit_locked(int lane) {
+    std::deque<TicketPtr>& q = queue[lane];
+    // Lazily drop entries cancel() already finalized.
+    while (!q.empty() && q.front()->state != TState::kQueued) q.pop_front();
+    std::vector<TicketPtr> live;
+    live.reserve(q.size());
+    for (const TicketPtr& t : q) {
+      if (t->state == TState::kQueued) live.push_back(t);
+    }
+    if (live.empty()) {
+      q.clear();
+      return {};
+    }
+    std::vector<double> est(live.size());
+    std::vector<double> dls(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      est[i] = live[i]->est;
+      if (live[i]->deadline.has_value()) {
+        // Remaining budget in seconds (can go negative: most-overdue first,
+        // so expiry is discovered and reported promptly).
+        dls[i] = std::chrono::duration<double>(*live[i]->deadline -
+                                               std::chrono::steady_clock::now())
+                     .count();
+      } else {
+        dls[i] = std::numeric_limits<double>::infinity();
+      }
+    }
+    const std::vector<int> order = model::order_first_termination(est, dls);
+    const TicketPtr& seed = live[static_cast<std::size_t>(order[0])];
+    std::vector<TicketPtr> group;
+    for (const int oi : order) {
+      const TicketPtr& t = live[static_cast<std::size_t>(oi)];
+      if (t->refs != seed->refs || t->k != seed->k) continue;
+      group.push_back(t);
+      if (static_cast<int>(group.size()) >= opt.max_fused_queries) break;
+    }
+    for (const TicketPtr& t : group) t->state = TState::kRunning;
+    // Compact the queue: drop everything no longer queued (the group plus
+    // any cancel()-finalized stragglers).
+    std::deque<TicketPtr> rest;
+    for (TicketPtr& t : q) {
+      if (t->state == TState::kQueued) rest.push_back(std::move(t));
+    }
+    q.swap(rest);
+    return group;
+  }
+
+  // ---- fused dispatch (mu NOT held) ---------------------------------------
+
+  void run_fused(std::vector<TicketPtr>& group) {
+    const int m = static_cast<int>(group.size());
+    const int k = group[0]->k;
+    PackedRefs& r = *group[0]->refs;
+
+    std::vector<int> qids(static_cast<std::size_t>(m));
+    std::vector<int> rows(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      qids[static_cast<std::size_t>(i)] = group[static_cast<std::size_t>(i)]->query;
+      rows[static_cast<std::size_t>(i)] = i;
+    }
+    NeighborTable table(m, k);
+    std::vector<PackedKnnTask> tasks(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      // One task per ticket row: the batch driver's governance then flags
+      // exactly the starved tickets' rows, and §2.5 LPT spreads the fused
+      // batch over the kernel pool.
+      tasks[static_cast<std::size_t>(i)] = PackedKnnTask{
+          std::span<const int>(&qids[static_cast<std::size_t>(i)], 1), &table,
+          std::span<const int>(&rows[static_cast<std::size_t>(i)], 1)};
+    }
+
+    KnnConfig cfg;
+    cfg.norm = opt.norm;
+    cfg.threads = opt.kernel_threads;
+    // The tightest member budget governs the fused call; members it starves
+    // are re-admitted below while their own budget holds.
+    std::optional<Deadline> min_dl;
+    for (const TicketPtr& t : group) {
+      if (t->deadline.has_value() &&
+          (!min_dl.has_value() || *t->deadline < *min_dl)) {
+        min_dl = t->deadline;
+      }
+    }
+    cfg.deadline = min_dl;
+
+    if (flightrec::enabled()) {
+      flightrec::record(flightrec::Kind::kServeFuse,
+                        static_cast<int>(group[0]->lane), 0,
+                        static_cast<std::uint64_t>(m), m, r.size(), X->dim(),
+                        k);
+    }
+    metrics::add_counter(metrics::Counter::kServeFusedCalls);
+    metrics::add_counter(metrics::Counter::kServeFusedQueries,
+                         static_cast<std::uint64_t>(m));
+
+    // kEpochAny resolves to the batch's entry epoch: the whole fused call
+    // computes over one reference generation, racing mutators surface as
+    // kStale on the affected rows.
+    Status s = Status::kInternal;
+    try {
+      s = knn_batch_status(r, tasks, k, cfg, kEpochAny);
+    } catch (const std::exception&) {
+      s = Status::kInternal;
+    }
+
+    std::lock_guard<std::mutex> lk(mu);
+    ++st.fused_calls;
+    st.fused_queries += static_cast<std::uint64_t>(m);
+    for (int i = 0; i < m; ++i) {
+      TicketPtr& t = group[static_cast<std::size_t>(i)];
+      if (table.row_complete(i)) {
+        // Complete rows are valid results of the resolved generation even
+        // when the batch as a whole stopped (deadline/stale hit later rows).
+        const auto row = table.sorted_row(i);
+        t->out_ids.reserve(row.size());
+        t->out_dists.reserve(row.size());
+        for (const auto& [dist, id] : row) {
+          t->out_dists.push_back(dist);
+          t->out_ids.push_back(id);
+        }
+        finalize_locked(*t, Status::kOk);
+        continue;
+      }
+      if (s == Status::kStale) {
+        if (t->requeues < kMaxStaleRequeues) {
+          requeue_locked(std::move(t));
+        } else {
+          finalize_locked(*t, Status::kStale);
+        }
+        continue;
+      }
+      if (s == Status::kDeadlineExceeded) {
+        if (t->deadline.has_value() && deadline_expired(*t->deadline)) {
+          finalize_locked(*t, Status::kDeadlineExceeded);
+        } else {
+          // Starved by a fused neighbor's tighter budget; its own holds, so
+          // re-admit (progress guaranteed: expired members leave the group).
+          requeue_locked(std::move(t));
+        }
+        continue;
+      }
+      finalize_locked(*t, s == Status::kOk ? Status::kInternal : s);
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      cv_work.wait(lk, [&] {
+        return stopping || !queue[0].empty() || !queue[1].empty();
+      });
+      if (stopping) return;
+      // Interactive drains strictly before bulk.
+      const int lane = queue[0].empty() ? 1 : 0;
+      std::vector<TicketPtr> group = admit_locked(lane);
+      if (group.empty()) continue;
+      lk.unlock();
+      run_fused(group);
+      lk.lock();
+    }
+  }
+};
+
+Server::Server(const PointTable& X, const ServerOptions& opt)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->X = &X;
+  impl_->opt = opt;
+  impl_->opt.workers = std::max(1, opt.workers);
+  impl_->opt.kernel_threads = std::max(0, opt.kernel_threads);
+  impl_->opt.max_queue_depth = std::max(1, opt.max_queue_depth);
+  impl_->opt.max_fused_queries = std::max(1, opt.max_fused_queries);
+  impl_->workers.reserve(static_cast<std::size_t>(impl_->opt.workers));
+  for (int i = 0; i < impl_->opt.workers; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv_work.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  // Drain: whatever is still queued fails kCancelled so waiters unblock.
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (auto& [id, t] : impl_->tickets) {
+    if (t->state != TState::kDone) impl_->finalize_locked(*t, Status::kCancelled);
+  }
+}
+
+Status Server::create_refs(std::string_view name, std::span<const int> ids) {
+  auto r = std::make_shared<PackedRefs>();
+  PackedRefs::Options ropt;
+  ropt.norm = impl_->opt.norm;
+  ropt.blocking = impl_->opt.blocking;
+  ropt.budget_bytes = impl_->opt.budget_bytes;
+  const Status s = r->build(*impl_->X, ids, ropt);
+  if (s != Status::kOk) return s;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  const auto [it, inserted] =
+      impl_->refs.emplace(std::string(name), std::move(r));
+  (void)it;
+  return inserted ? Status::kOk : Status::kInvalidArgument;
+}
+
+Status Server::insert_refs(std::string_view name, std::span<const int> ids) {
+  std::shared_ptr<PackedRefs> r;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    const auto it = impl_->refs.find(std::string(name));
+    if (it == impl_->refs.end()) return Status::kInvalidArgument;
+    r = it->second;
+  }
+  // Outside the server lock: the cache has its own lock, and in-flight
+  // fused calls may hold it while packing.
+  return r->insert(ids);
+}
+
+Status Server::erase_refs(std::string_view name, std::span<const int> ids) {
+  std::shared_ptr<PackedRefs> r;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    const auto it = impl_->refs.find(std::string(name));
+    if (it == impl_->refs.end()) return Status::kInvalidArgument;
+    r = it->second;
+  }
+  return r->erase(ids);
+}
+
+Status Server::drop_refs(std::string_view name) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->refs.erase(std::string(name)) != 0 ? Status::kOk
+                                                   : Status::kInvalidArgument;
+}
+
+std::uint64_t Server::refs_epoch(std::string_view name) const {
+  std::shared_ptr<PackedRefs> r;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    const auto it = impl_->refs.find(std::string(name));
+    if (it == impl_->refs.end()) return ~0ull;
+    r = it->second;
+  }
+  return r->epoch();
+}
+
+int Server::refs_size(std::string_view name) const {
+  std::shared_ptr<PackedRefs> r;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    const auto it = impl_->refs.find(std::string(name));
+    if (it == impl_->refs.end()) return -1;
+    r = it->second;
+  }
+  return r->size();
+}
+
+std::optional<PackedRefs::Stats> Server::refs_stats(
+    std::string_view name) const {
+  std::shared_ptr<PackedRefs> r;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    const auto it = impl_->refs.find(std::string(name));
+    if (it == impl_->refs.end()) return std::nullopt;
+    r = it->second;
+  }
+  return r->stats();
+}
+
+TicketId Server::submit(std::string_view refs, int query, int k,
+                        const SubmitOptions& opt, Status* err) {
+  const auto fail = [&](Status s) {
+    if (err != nullptr) *err = s;
+    return TicketId{0};
+  };
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  if (impl_->stopping) return fail(Status::kCancelled);
+  const auto it = impl_->refs.find(std::string(refs));
+  if (it == impl_->refs.end()) return fail(Status::kInvalidArgument);
+  const std::shared_ptr<PackedRefs> r = it->second;
+  if (query < 0 || query >= impl_->X->size()) return fail(Status::kBadIndex);
+  const int n = r->size();
+  if (k < 1 || k > n) return fail(Status::kBadConfig);
+  const int lane = static_cast<int>(opt.lane);
+  if (lane < 0 || lane >= kNumLanes) return fail(Status::kInvalidArgument);
+  if (impl_->depth_locked(lane) >= impl_->opt.max_queue_depth) {
+    return fail(Status::kResourceExhausted);
+  }
+
+  auto t = std::make_shared<Ticket>();
+  t->id = impl_->next_id++;
+  t->refs = r;
+  t->query = query;
+  t->k = k;
+  t->lane = opt.lane;
+  if (opt.budget.has_value()) {
+    t->deadline = std::chrono::steady_clock::now() + *opt.budget;
+  }
+  t->submit_ns = metrics::now_ns();
+  // §2.6 estimate for the scheduler (shape: one query against the set).
+  static const model::MachineParams mp{};
+  const BlockingParams bp =
+      r->blocking();  // the geometry the fused call will actually run
+  const model::ProblemShape shape{1, n, impl_->X->dim(), k};
+  const Variant v = resolve_variant(1, n, impl_->X->dim(), k, KnnConfig{});
+  t->est = model::predicted_time(
+      v == Variant::kVar1 ? model::Method::kVar1 : model::Method::kVar6,
+      shape, mp, bp);
+
+  impl_->tickets.emplace(t->id, t);
+  impl_->queue[lane].push_back(t);
+  ++impl_->st.submitted;
+  metrics::add_counter(metrics::Counter::kServeEnqueued);
+  if (flightrec::enabled()) {
+    flightrec::record(flightrec::Kind::kServeSubmit, lane, 0,
+                      static_cast<std::uint64_t>(impl_->depth_locked(lane)),
+                      1, n, impl_->X->dim(), k);
+  }
+  const TicketId id = t->id;
+  lk.unlock();
+  impl_->cv_work.notify_one();
+  if (err != nullptr) *err = Status::kOk;
+  return id;
+}
+
+bool Server::poll(TicketId t, Status* out) const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  const auto it = impl_->tickets.find(t);
+  if (it == impl_->tickets.end()) {
+    if (out != nullptr) *out = Status::kBadIndex;
+    return true;
+  }
+  if (it->second->state != TState::kDone) return false;
+  if (out != nullptr) *out = it->second->status;
+  return true;
+}
+
+Status Server::wait(TicketId t) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  const auto it = impl_->tickets.find(t);
+  if (it == impl_->tickets.end()) return Status::kBadIndex;
+  const TicketPtr ticket = it->second;
+  impl_->cv_done.wait(lk, [&] { return ticket->state == TState::kDone; });
+  return ticket->status;
+}
+
+bool Server::cancel(TicketId t) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  const auto it = impl_->tickets.find(t);
+  if (it == impl_->tickets.end()) return false;
+  Ticket& ticket = *it->second;
+  if (ticket.state != TState::kQueued) return false;  // running or terminal
+  // The queue entry stays; admit_locked drops non-kQueued entries lazily.
+  impl_->finalize_locked(ticket, Status::kCancelled);
+  return true;
+}
+
+int Server::result(TicketId t, std::span<int> ids,
+                   std::span<double> dists) const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  const auto it = impl_->tickets.find(t);
+  if (it == impl_->tickets.end()) return -1;
+  const Ticket& ticket = *it->second;
+  if (ticket.state != TState::kDone || ticket.status != Status::kOk) {
+    return -1;
+  }
+  const std::size_t n = std::min({ticket.out_ids.size(), ids.size(),
+                                  dists.size()});
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = ticket.out_ids[i];
+    dists[i] = ticket.out_dists[i];
+  }
+  return static_cast<int>(n);
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  Stats s = impl_->st;
+  for (int lane = 0; lane < kNumLanes; ++lane) {
+    s.queue_depth[lane] = impl_->depth_locked(lane);
+  }
+  return s;
+}
+
+double Server::fusion_ratio() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  if (impl_->st.fused_calls == 0) return 0.0;
+  return static_cast<double>(impl_->st.fused_queries) /
+         static_cast<double>(impl_->st.fused_calls);
+}
+
+}  // namespace gsknn::serving

@@ -351,6 +351,58 @@ TEST_F(MetricsTest, WindowRotationAcrossSimulatedClock) {
   EXPECT_EQ(s.window_errors(), 1u);
 }
 
+// Regression: slots only get their epoch refreshed by record(), so after a
+// >60s idle gap a scrape used to carry the last burst's raw slots in the
+// snapshot (window_epoch/window_status still populated with a previous
+// lap's seconds) — the JSON/prom "series" export and any consumer reading
+// the raw arrays saw stale buckets as current. snapshot_at must rotate on
+// read: dead slots come back zeroed, not merely filtered by the helpers.
+TEST_F(MetricsTest, IdleGapZeroesRawWindowSlotsOnRead) {
+  const std::uint64_t t0 = 300'000 * kSec;
+  for (int i = 0; i < 10; ++i) {
+    m::record_call_at(t0 + static_cast<std::uint64_t>(i) * kSec,
+                      m::EntryPoint::kKernelF64, 0, 1000, 8, 8, 2, 1);
+  }
+  // Sanity: the burst is visible while fresh.
+  EXPECT_EQ(m::snapshot_at(t0 + 9 * kSec).window_calls(), 10u);
+
+  // 2 minutes of idle: every slot has aged out. The RAW snapshot arrays —
+  // not just the window_calls() helper — must report an empty ring.
+  const m::MetricsSnapshot s = m::snapshot_at(t0 + 120 * kSec);
+  EXPECT_EQ(s.window_calls(), 0u);
+  for (int i = 0; i < m::kWindowBuckets; ++i) {
+    EXPECT_EQ(s.window_epoch[i], 0u) << "slot " << i << " carries a stale "
+                                     << "epoch after the idle gap";
+    EXPECT_FALSE(s.window_slot_live(i)) << "slot " << i;
+    for (int st = 0; st < m::kStatusCount; ++st) {
+      EXPECT_EQ(s.window_status[i][st], 0u) << "slot " << i;
+    }
+  }
+  // The cumulative registry is unaffected by window expiry.
+  EXPECT_EQ(s.calls_total(m::EntryPoint::kKernelF64), 10u);
+}
+
+// Regression: a slot stamped in the future (clock damage, or a test driving
+// the *_at hooks badly) was live FOREVER — `epoch >= now` never ages out.
+// One second of skew stays tolerated; anything further is dropped.
+TEST_F(MetricsTest, FarFutureSlotIsDroppedNotEternal) {
+  const std::uint64_t t0 = 400'000 * kSec;
+  m::record_call_at(t0 + 400 * kSec, m::EntryPoint::kKernelF64, 0, 1000, 8,
+                    8, 2, 1);
+  // Scraped "now": 200s before the rogue stamp. The slot must not read as
+  // current traffic.
+  const m::MetricsSnapshot far = m::snapshot_at(t0 + 200 * kSec);
+  EXPECT_EQ(far.window_calls(), 0u);
+  for (int i = 0; i < m::kWindowBuckets; ++i) {
+    EXPECT_EQ(far.window_epoch[i], 0u) << "slot " << i;
+  }
+  // One second of recording-thread skew is still within tolerance.
+  m::reset();
+  m::record_call_at(t0 + kSec, m::EntryPoint::kKernelF64, 0, 1000, 8, 8, 2,
+                    1);
+  EXPECT_EQ(m::snapshot_at(t0).window_calls(), 1u);
+}
+
 TEST_F(MetricsTest, WindowSeriesReconcilesWithHeadline) {
   const std::uint64_t t0 = 200'000 * kSec;
   for (int i = 0; i < 12; ++i) {

@@ -5,6 +5,10 @@
 #include <numeric>
 #include <vector>
 
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
 #include "gsknn/core/knn.hpp"
 #include "gsknn/data/generators.hpp"
 #include "test_util.hpp"
@@ -169,6 +173,110 @@ TEST(KnnBatch, DisjointRowsAndSeparateTablesStillLegal) {
     EXPECT_EQ(own.sorted_row(i).size(), 3u) << "row " << i;
   }
 }
+
+#if defined(_OPENMP)
+// Regression: the LPT schedule targets p = resolve_threads(cfg.threads)
+// workers, but an OpenMP runtime can deliver a smaller team — most simply
+// when the batch runs inside an enclosing parallel region with nesting
+// capped (max-active-levels=1, libgomp's default). Tasks assigned to the
+// absent workers used to be silently skipped: never run, never flagged, so
+// their result rows held stale sentinels that row_complete() reported as
+// complete. The fix folds absent workers' queues onto the live threads.
+TEST(KnnBatch, ShrunkenTeamStillRunsEveryTask) {
+  const int N = 240, k = 3;
+  const PointTable X = make_uniform(6, N, 0xA11);
+  std::vector<std::vector<int>> qs, rs;
+  for (int g = 0; g < 8; ++g) {
+    std::vector<int> q = {g * 30, g * 30 + 1, g * 30 + 2};
+    std::vector<int> r;
+    for (int i = 3; i < 30; ++i) r.push_back(g * 30 + i);
+    qs.push_back(q);
+    rs.push_back(r);
+  }
+  NeighborTable t(N, k);
+  std::vector<KnnTask> tasks;
+  for (int g = 0; g < 8; ++g) {
+    tasks.push_back(KnnTask{qs[static_cast<std::size_t>(g)],
+                            rs[static_cast<std::size_t>(g)], &t,
+                            qs[static_cast<std::size_t>(g)]});
+  }
+
+  const int saved_levels = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);  // nested region below gets a team of 1
+  KnnConfig cfg;
+  cfg.threads = 4;  // LPT schedules for 4 workers; only 1 will materialize
+  Status s = Status::kInternal;
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    { s = knn_batch_status(X, tasks, k, cfg); }
+  }
+  omp_set_max_active_levels(saved_levels);
+
+  ASSERT_EQ(s, Status::kOk);
+  for (int g = 0; g < 8; ++g) {
+    for (const int q : qs[static_cast<std::size_t>(g)]) {
+      EXPECT_TRUE(t.row_complete(q)) << "row " << q;
+      EXPECT_EQ(t.sorted_row(q).size(), static_cast<std::size_t>(k))
+          << "row " << q;
+    }
+    const auto expect = test::brute_force_knn(
+        X, qs[static_cast<std::size_t>(g)], rs[static_cast<std::size_t>(g)],
+        k);
+    for (std::size_t i = 0; i < qs[static_cast<std::size_t>(g)].size(); ++i) {
+      const auto row = t.sorted_row(qs[static_cast<std::size_t>(g)][i]);
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        EXPECT_NEAR(row[j].first, expect[i][j].first, 1e-9)
+            << "group " << g << " row " << i;
+      }
+    }
+  }
+}
+
+// Regression: an already-expired shared deadline must mark EVERY task's rows
+// incomplete — including tasks the LPT schedule assigned to workers the
+// runtime never delivered. Before the fold, those tasks' rows stayed
+// row_complete()==true while holding unsifted sentinels.
+TEST(KnnBatch, ExpiredDeadlineFlagsTasksOfAbsentWorkers) {
+  const int N = 160, k = 3;
+  const PointTable X = make_uniform(5, N, 0xA12);
+  std::vector<std::vector<int>> qs, rs;
+  for (int g = 0; g < 8; ++g) {
+    std::vector<int> q = {g * 20, g * 20 + 1};
+    std::vector<int> r;
+    for (int i = 2; i < 20; ++i) r.push_back(g * 20 + i);
+    qs.push_back(q);
+    rs.push_back(r);
+  }
+  NeighborTable t(N, k);
+  std::vector<KnnTask> tasks;
+  for (int g = 0; g < 8; ++g) {
+    tasks.push_back(KnnTask{qs[static_cast<std::size_t>(g)],
+                            rs[static_cast<std::size_t>(g)], &t,
+                            qs[static_cast<std::size_t>(g)]});
+  }
+
+  const int saved_levels = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);
+  KnnConfig cfg;
+  cfg.threads = 4;
+  cfg.deadline = deadline_after_ms(0);  // expired before any task starts
+  Status s = Status::kInternal;
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    { s = knn_batch_status(X, tasks, k, cfg); }
+  }
+  omp_set_max_active_levels(saved_levels);
+
+  ASSERT_EQ(s, Status::kDeadlineExceeded);
+  for (int g = 0; g < 8; ++g) {
+    for (const int q : qs[static_cast<std::size_t>(g)]) {
+      EXPECT_FALSE(t.row_complete(q)) << "row " << q;
+    }
+  }
+}
+#endif  // _OPENMP
 
 }  // namespace
 }  // namespace gsknn

@@ -61,3 +61,16 @@ run(${PYTHON} ${CHECK_METRICS} --json ${WORK_DIR}/mp.json
     --prom ${WORK_DIR}/mp.prom
     --require-counter pack_hits --require-counter pack_misses)
 message(STATUS "${last_output}")
+
+# Serving leg: an open-loop trace through the async runtime must populate
+# both lane entry points and the queue/fusion counters — a burst at high
+# offered rate guarantees at least one coalesced dispatch.
+run(${GSKNN_CLI} serve-sim --queries 128 --rate 1000000 --n 2048
+    --workers 1 --metrics=${WORK_DIR}/ms.json
+    --metrics-prom=${WORK_DIR}/ms.prom)
+run(${PYTHON} ${CHECK_METRICS} --json ${WORK_DIR}/ms.json
+    --prom ${WORK_DIR}/ms.prom
+    --require-entry serve_interactive --require-entry serve_bulk
+    --require-counter serve_enqueued --require-counter serve_fused_calls
+    --require-counter serve_fused_queries)
+message(STATUS "${last_output}")

@@ -31,10 +31,12 @@ import sys
 EVENT_KINDS = [
     "call_begin", "call_end", "retile", "demotion", "deadline", "cancel",
     "pack_evict", "pack_update", "stale_reject", "fault",
+    "serve_submit", "serve_fuse",
 ]
 ENTRY_POINTS = [
     "kernel_f64", "kernel_f32", "parallel_refs", "batch",
     "gemm_baseline", "single_loop", "rkd_forest", "lsh",
+    "serve_interactive", "serve_bulk",
 ]
 STATUSES = [
     "ok", "invalid_argument", "bad_index", "bad_config", "non_finite",

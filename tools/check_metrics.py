@@ -25,6 +25,7 @@ import sys
 ENTRY_POINTS = [
     "kernel_f64", "kernel_f32", "parallel_refs", "batch",
     "gemm_baseline", "single_loop", "rkd_forest", "lsh",
+    "serve_interactive", "serve_bulk",
 ]
 STATUSES = [
     "ok", "invalid_argument", "bad_index", "bad_config", "non_finite",
@@ -35,6 +36,8 @@ COUNTERS = [
     "workspace_retiled_calls", "workspace_retile_steps", "variant_demotions",
     "trace_spans_dropped", "pmu_multiplexed_reads", "pack_hits",
     "pack_misses", "pack_evictions", "cache_bytes",
+    "serve_enqueued", "serve_fused_calls", "serve_fused_queries",
+    "serve_cancelled", "serve_expired",
 ]
 SHAPE_DIMS = ["m", "n", "d", "k"]
 HIST_BUCKETS = 64

@@ -20,7 +20,14 @@
 //      interleavings (random geometry, eviction budgets) answers every
 //      query bitwise-identically to the cold kernel over a snapshot of its
 //      current id list, rejects stale epoch pins without touching the
-//      result, and refuses layout-incompatible norms with kUnsupported.
+//      result, and refuses layout-incompatible norms with kUnsupported;
+//   7. the async serving runtime (gsknn::serving::Server) driven through
+//      random submit / cancel / insert / erase interleavings — the worker
+//      threads race the mutations for real — completes every kOk ticket
+//      bitwise-identical to a cold synchronous kernel call over one of the
+//      clean reference generations (never a mixed-epoch hybrid), reports
+//      kCancelled only for tickets this harness cancelled, and returns no
+//      result for non-kOk tickets.
 //
 // Runs for --seconds wall time (default 20) from --seed; on failure prints
 // the trial's full repro parameters and exits nonzero.
@@ -39,6 +46,7 @@
 #include "gsknn/core/knn.hpp"
 #include "gsknn/core/packed_refs.hpp"
 #include "gsknn/data/point_table.hpp"
+#include "gsknn/serving/server.hpp"
 
 namespace {
 
@@ -546,6 +554,168 @@ bool check_packed(const PointTable& X, const std::vector<int>& q,
   return true;
 }
 
+/// Round 7: the serving runtime under random submit/cancel/mutate
+/// interleavings. Ops issue from this thread while the server's workers
+/// dispatch concurrently, so every interleaving of admission, fusion,
+/// cancellation and epoch bumps is in play. The oracle tracks the clean
+/// reference generations (the shadow list after each applied mutation); a
+/// completed ticket must match the cold kernel over one generation that
+/// existed between its submission and its completion — bitwise.
+bool check_serving(gsknn::Xoshiro256& rng) {
+  const int d = 6 + static_cast<int>(rng.below(16));
+  const int npts = 140 + static_cast<int>(rng.below(80));
+  const int kmax = 10;
+  const int floor_refs = 24;  // erase never shrinks the set below this
+  PointTable X(d, npts);
+  for (int i = 0; i < npts; ++i) {
+    for (int r = 0; r < d; ++r) X.col(i)[r] = rng.uniform(-1.0, 1.0);
+  }
+  X.compute_norms();
+
+  gsknn::serving::ServerOptions sopt;
+  sopt.workers = 1 + static_cast<int>(rng.below(2));
+  sopt.max_fused_queries = 1 + static_cast<int>(rng.below(8));
+  gsknn::serving::Server srv(X, sopt);
+
+  // Unique ids throughout: with distinct clean points, equal id multisets
+  // give bitwise-equal sorted rows whatever the internal list order, so the
+  // shadow generations below are exact oracles.
+  const int n0 = 40 + static_cast<int>(rng.below(40));
+  std::vector<int> shadow(static_cast<std::size_t>(n0));
+  for (int i = 0; i < n0; ++i) shadow[static_cast<std::size_t>(i)] = i;
+  int next_unused = n0;
+  std::vector<std::vector<int>> generations = {shadow};
+  if (srv.create_refs("fz", shadow) != Status::kOk) {
+    std::fprintf(stderr, "serving: create_refs failed\n");
+    return false;
+  }
+
+  struct Pending {
+    gsknn::serving::TicketId id = 0;
+    int query = 0;
+    int k = 1;
+    std::size_t gen_at_submit = 0;
+    bool cancelled = false;
+  };
+  std::vector<Pending> pending;
+
+  const int ops = 50 + static_cast<int>(rng.below(70));
+  for (int op = 0; op < ops; ++op) {
+    const std::uint64_t roll = rng.below(100);
+    if (roll < 60) {  // submit
+      Pending p;
+      p.query = static_cast<int>(rng.below(static_cast<std::uint64_t>(npts)));
+      p.k = 1 + static_cast<int>(rng.below(kmax));
+      p.gen_at_submit = generations.size() - 1;
+      gsknn::serving::SubmitOptions so;
+      so.lane = (rng.below(2) != 0u) ? gsknn::serving::Lane::kBulk
+                                     : gsknn::serving::Lane::kInteractive;
+      Status err = Status::kOk;
+      p.id = srv.submit("fz", p.query, p.k, so, &err);
+      if (p.id == 0) {
+        std::fprintf(stderr, "serving: submit rejected: %s\n",
+                     gsknn::status_name(err));
+        return false;
+      }
+      pending.push_back(p);
+    } else if (roll < 75) {  // cancel a random live ticket
+      if (!pending.empty()) {
+        Pending& p = pending[rng.below(pending.size())];
+        if (!p.cancelled && srv.cancel(p.id)) p.cancelled = true;
+      }
+    } else if (roll < 87) {  // insert fresh unique ids
+      const int c = 1 + static_cast<int>(rng.below(6));
+      if (next_unused + c <= npts) {
+        std::vector<int> add(static_cast<std::size_t>(c));
+        for (auto& v : add) v = next_unused++;
+        if (srv.insert_refs("fz", add) != Status::kOk) {
+          std::fprintf(stderr, "serving: insert_refs failed\n");
+          return false;
+        }
+        shadow.insert(shadow.end(), add.begin(), add.end());
+        generations.push_back(shadow);
+      }
+    } else {  // erase the most recent ids (keeps the floor)
+      const int c = 1 + static_cast<int>(rng.below(6));
+      if (static_cast<int>(shadow.size()) - c >= floor_refs) {
+        const std::vector<int> del(shadow.end() - c, shadow.end());
+        if (srv.erase_refs("fz", del) != Status::kOk) {
+          std::fprintf(stderr, "serving: erase_refs failed\n");
+          return false;
+        }
+        shadow.resize(shadow.size() - static_cast<std::size_t>(c));
+        generations.push_back(shadow);
+      }
+    }
+  }
+
+  for (const Pending& p : pending) {
+    Status st = srv.wait(p.id);
+    std::vector<int> rid(static_cast<std::size_t>(p.k));
+    std::vector<double> rd(static_cast<std::size_t>(p.k));
+    const int got = srv.result(p.id, rid, rd);
+    if (st != Status::kOk) {
+      if (got != -1) {
+        std::fprintf(stderr,
+                     "serving: non-ok ticket %llu (%s) exposed a result\n",
+                     static_cast<unsigned long long>(p.id),
+                     gsknn::status_name(st));
+        return false;
+      }
+      if (st == Status::kCancelled && !p.cancelled) {
+        std::fprintf(stderr,
+                     "serving: ticket %llu cancelled without a cancel call\n",
+                     static_cast<unsigned long long>(p.id));
+        return false;
+      }
+      if (st != Status::kCancelled && st != Status::kStale) {
+        std::fprintf(stderr, "serving: ticket %llu failed: %s\n",
+                     static_cast<unsigned long long>(p.id),
+                     gsknn::status_name(st));
+        return false;
+      }
+      continue;
+    }
+    if (got != p.k) {
+      std::fprintf(stderr, "serving: ticket %llu returned %d of %d rows\n",
+                   static_cast<unsigned long long>(p.id), got, p.k);
+      return false;
+    }
+    // The ticket ran against some generation >= the one live at submit
+    // (requeues only move forward). Try them in order; one must match.
+    bool matched = false;
+    for (std::size_t g = p.gen_at_submit; g < generations.size() && !matched;
+         ++g) {
+      const std::vector<int>& gen = generations[g];
+      if (static_cast<int>(gen.size()) < p.k) continue;
+      NeighborTable cold(1, p.k);
+      const int qone[1] = {p.query};
+      if (knn_kernel_status(X, std::span<const int>(qone, 1), gen, cold,
+                            KnnConfig{}) != Status::kOk) {
+        std::fprintf(stderr, "serving: cold oracle failed\n");
+        return false;
+      }
+      const auto row = cold.sorted_row(0);
+      matched = static_cast<int>(row.size()) == p.k;
+      for (int j = 0; matched && j < p.k; ++j) {
+        matched = rd[static_cast<std::size_t>(j)] ==
+                      row[static_cast<std::size_t>(j)].first &&
+                  rid[static_cast<std::size_t>(j)] ==
+                      row[static_cast<std::size_t>(j)].second;
+      }
+    }
+    if (!matched) {
+      std::fprintf(stderr,
+                   "serving: ticket %llu (query %d k %d) matches no clean "
+                   "generation [%zu..%zu] — mixed-epoch result\n",
+                   static_cast<unsigned long long>(p.id), p.query, p.k,
+                   p.gen_at_submit, generations.size() - 1);
+      return false;
+    }
+  }
+  return true;
+}
+
 bool run_trial(const Trial& t, gsknn::Xoshiro256& rng) {
   // Build the point pool. The coordinate magnitude is capped so that
   // squared norms stay far from the f64 overflow edge and (since the same
@@ -742,6 +912,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unexpected exception: %s\n", e.what());
       print_repro(t);
       return 1;
+    }
+
+    // The serving round spins up worker threads, so it interleaves at a
+    // coarser cadence than the in-process rounds.
+    if (trials % 16 == 0) {
+      try {
+        if (!check_serving(rng)) {
+          std::fprintf(stderr,
+                       "fuzz_diff FAILURE in serving round (--seed=%llu "
+                       "trial %ld)\n",
+                       static_cast<unsigned long long>(seed), trials);
+          return 1;
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "serving round exception: %s (trial %ld)\n",
+                     e.what(), trials);
+        return 1;
+      }
     }
 
     // Error-path probes interleave with the differential trials.

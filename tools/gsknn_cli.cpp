@@ -54,9 +54,13 @@
 //
 // Data files: native .gsknn tables or .csv (one point per row); detected by
 // content, not extension. Results are CSV: query,rank,neighbor_id,distance.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <numeric>
+#include <random>
+#include <thread>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -72,6 +76,7 @@
 #include "gsknn/core/packed_refs.hpp"
 #include "gsknn/data/generators.hpp"
 #include "gsknn/data/io.hpp"
+#include "gsknn/serving/server.hpp"
 #include "gsknn/tree/rkd_forest.hpp"
 
 namespace {
@@ -628,8 +633,129 @@ int cmd_doctor(const Args& a) {
   return 0;
 }
 
+/// Replay a synthetic open-loop arrival trace through the serving runtime
+/// (gsknn/serving/server.hpp): Poisson arrivals split across the
+/// interactive/bulk lanes, an optional concurrent mutator exercising the
+/// epoch handshake, then a per-lane latency/fusion report. Open loop means
+/// arrivals do not wait for completions — overload sheds as
+/// kResourceExhausted at admission instead of queueing without bound.
+int cmd_serve_sim(const Args& a) {
+  const int d = static_cast<int>(a.get_long("d", 16));
+  const int n = static_cast<int>(a.get_long("n", 4096));
+  const int k = static_cast<int>(a.get_long("k", 8));
+  const int queries = static_cast<int>(a.get_long("queries", 512));
+  const int workers = static_cast<int>(a.get_long("workers", 2));
+  const double rate = a.get_double("rate", 50000.0);  // arrivals per second
+  const double bulk_frac = a.get_double("bulk-frac", 0.5);
+  const double budget_ms = a.get_double("budget-ms", 0.0);
+  const bool mutate = a.has("mutate");
+  const auto seed = static_cast<std::uint64_t>(a.get_long("seed", 7));
+  if (n < 128 || k < 1 || queries < 1 || rate <= 0.0) {
+    throw std::runtime_error("serve-sim: need n >= 128, k >= 1, queries >= 1, rate > 0");
+  }
+
+  const PointTable data = make_uniform(d, n, seed);
+  serving::ServerOptions sopt;
+  sopt.workers = workers;
+  serving::Server srv(data, sopt);
+  // References: all but the last 64 points; queries draw from the tail so
+  // a query is never its own nearest neighbor.
+  const int nrefs = n - 64;
+  std::vector<int> ids(static_cast<std::size_t>(nrefs));
+  std::iota(ids.begin(), ids.end(), 0);
+  if (srv.create_refs("main", ids) != Status::kOk) {
+    throw std::runtime_error("serve-sim: create_refs failed");
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread mutator;
+  if (mutate) {
+    mutator = std::thread([&srv, nrefs, &stop] {
+      std::vector<int> extra(32);
+      std::iota(extra.begin(), extra.end(), nrefs);
+      while (!stop.load(std::memory_order_relaxed)) {
+        srv.insert_refs("main", extra);
+        srv.erase_refs("main", extra);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> interarrival(rate);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> qpick(nrefs, n - 1);
+  std::vector<serving::TicketId> tickets;
+  tickets.reserve(static_cast<std::size_t>(queries));
+  std::uint64_t shed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < queries; ++i) {
+    serving::SubmitOptions so;
+    so.lane = coin(rng) < bulk_frac ? serving::Lane::kBulk
+                                    : serving::Lane::kInteractive;
+    if (budget_ms > 0.0) {
+      so.budget = std::chrono::nanoseconds(
+          static_cast<std::int64_t>(budget_ms * 1e6));
+    }
+    Status err = Status::kOk;
+    const serving::TicketId t = srv.submit("main", qpick(rng), k, so, &err);
+    if (t != 0) {
+      tickets.push_back(t);
+    } else if (err == Status::kResourceExhausted) {
+      ++shed;  // open loop: overload sheds, the trace does not stall
+    } else {
+      throw std::runtime_error("serve-sim: submit failed");
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interarrival(rng)));
+  }
+  std::uint64_t ok = 0, expired = 0, stale = 0, other = 0;
+  for (const serving::TicketId t : tickets) {
+    switch (srv.wait(t)) {
+      case Status::kOk: ++ok; break;
+      case Status::kDeadlineExceeded: ++expired; break;
+      case Status::kStale: ++stale; break;
+      default: ++other; break;
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stop.store(true, std::memory_order_relaxed);
+  if (mutator.joinable()) mutator.join();
+
+  const serving::Server::Stats st = srv.stats();
+  std::printf("serve-sim: %d arrivals in %.3fs (%.0f/s offered)\n", queries,
+              wall, queries / wall);
+  std::printf("  ok %llu, expired %llu, stale %llu, other %llu, shed %llu\n",
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(expired),
+              static_cast<unsigned long long>(stale),
+              static_cast<unsigned long long>(other),
+              static_cast<unsigned long long>(shed));
+  std::printf("  fusion: %llu queries over %llu fused calls (ratio %.2f), "
+              "%llu requeues\n",
+              static_cast<unsigned long long>(st.fused_queries),
+              static_cast<unsigned long long>(st.fused_calls),
+              srv.fusion_ratio(),
+              static_cast<unsigned long long>(st.requeues));
+  const metrics::MetricsSnapshot snap = metrics::snapshot();
+  const auto lane_line = [&snap](const char* name, metrics::EntryPoint ep) {
+    std::printf("  %s: %llu tickets, p50 %.3fms, p99 %.3fms (<=2x bucket "
+                "upper bounds)\n",
+                name,
+                static_cast<unsigned long long>(snap.calls_total(ep)),
+                snap.latency_quantile_ns(ep, 0.50) / 1e6,
+                snap.latency_quantile_ns(ep, 0.99) / 1e6);
+  };
+  lane_line("interactive", metrics::EntryPoint::kServeInteractive);
+  lane_line("bulk", metrics::EntryPoint::kServeBulk);
+  emit_metrics(a, a.get("out", "gsknn_serve_sim"));
+  return 0;
+}
+
 void usage() {
-  std::puts("usage: gsknn <generate|search|batch|allnn|info|doctor> [--options]\n"
+  std::puts("usage: gsknn <generate|search|batch|allnn|info|doctor|serve-sim> [--options]\n"
             "  generate --out F --d D --n N [--dist uniform|gaussian|mixture] [--csv]\n"
             "  search   --data F --k K --out F [--queries F] [--norm l2|l1|linf|cos|lp]\n"
             "           [--variant auto|1|2|3|5|6] [--threads N] [--f32]\n"
@@ -642,7 +768,11 @@ void usage() {
             "           [--pack-cache] [--sweeps S] [--cache-budget B] [--profile [F]]\n"
             "           [--trace [F]] [--metrics [F]] [--metrics-prom [F]]\n"
             "  info     --data F\n"
-            "  doctor   [--out F]  (diagnostics bundle; default gsknn_doctor.json)");
+            "  doctor   [--out F]  (diagnostics bundle; default gsknn_doctor.json)\n"
+            "  serve-sim [--d D] [--n N] [--k K] [--queries Q] [--workers W]\n"
+            "           [--rate QPS] [--bulk-frac F] [--budget-ms B] [--mutate]\n"
+            "           [--seed S] [--metrics [F]] [--metrics-prom [F]]\n"
+            "           (open-loop trace through the async serving runtime)");
 }
 
 }  // namespace
@@ -664,6 +794,7 @@ int main(int argc, char** argv) {
     if (cmd == "allnn") return cmd_allnn(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "doctor") return cmd_doctor(args);
+    if (cmd == "serve-sim") return cmd_serve_sim(args);
     usage();
     return 2;
   } catch (const std::exception& e) {
