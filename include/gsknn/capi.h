@@ -463,6 +463,18 @@ int gsknn_server_drop_refs(gsknn_server* s, const char* name);
 long long gsknn_server_submit(gsknn_server* s, const char* refs, int query,
                               int k, int lane, double budget_ms);
 
+/* gsknn_server_submit with the overload-protection backpressure hint
+ * (docs/SERVING.md "Overload & degradation"). Identical semantics and
+ * return, except that when the submit is refused GSKNN_ERR_RESOURCE_-
+ * EXHAUSTED by predictive admission or an open circuit breaker,
+ * *retry_after_ms (when non-NULL) receives the computed hint: retrying
+ * that many milliseconds later would — at equal backlog — fit the same
+ * budget. 0 when no hint applies (admitted, argument errors, plain
+ * queue-cap sheds). */
+long long gsknn_server_submit_ex(gsknn_server* s, const char* refs,
+                                 int query, int k, int lane,
+                                 double budget_ms, double* retry_after_ms);
+
 /* 1 once the ticket is terminal, 0 while pending, GSKNN_ERR_* on bad
  * arguments (unknown tickets are terminal with GSKNN_ERR_BAD_INDEX). */
 int gsknn_server_poll(gsknn_server* s, long long ticket);
@@ -480,6 +492,22 @@ int gsknn_server_cancel(gsknn_server* s, long long ticket);
  * when the ticket is unknown, pending, or did not complete. */
 int gsknn_server_result(gsknn_server* s, long long ticket, int* ids,
                         double* dists, int cap);
+
+/* Serving health states (mirror gsknn::serving::HealthState; also exported
+ * process-wide as the gsknn_serve_health metrics gauge). */
+enum {
+  GSKNN_HEALTH_HEALTHY = 0,
+  GSKNN_HEALTH_DEGRADED = 1,
+  GSKNN_HEALTH_UNHEALTHY = 2
+};
+
+/* Current derived health of the server: GSKNN_HEALTH_UNHEALTHY while the
+ * circuit breaker is open, GSKNN_HEALTH_DEGRADED while it is half-open, a
+ * worker is suspect after a watchdog fire, or the rolling-window SLO burn
+ * rate is high under live traffic; GSKNN_HEALTH_HEALTHY otherwise
+ * (docs/SERVING.md "Overload & degradation"). GSKNN_ERR_* on bad
+ * arguments. */
+int gsknn_server_health(const gsknn_server* s);
 
 /* ---- misc ------------------------------------------------------------ */
 

@@ -17,8 +17,15 @@
 //                  alloc_nth; either trigger fails the call).
 //   cancel_at=N    force Status::kCancelled at the Nth governance poll
 //                  (block-boundary poll points in the drivers), once.
+//   cancel_every=N force Status::kCancelled at every Nth governance poll —
+//                  the "cancel storm" the serving chaos harness leans on
+//                  (combinable with cancel_at; either trigger cancels).
 //   slow_us=N      sleep N microseconds at every governance poll — makes a
 //                  "slow kernel" so real deadlines can land mid-run.
+//   serve_slow_us=N sleep N microseconds in the serving worker before each
+//                  fused dispatch (gsknn::serving::Server) — a "stuck
+//                  worker" the watchdog must detect, independent of how
+//                  often the kernel itself polls.
 //
 // Disarmed (the default), the only cost on the hot paths is one relaxed
 // load of a global flag per allocation / per block-boundary poll.
@@ -29,10 +36,12 @@
 namespace gsknn::fault {
 
 struct FaultConfig {
-  std::int64_t alloc_nth = 0;    ///< 0 = off
-  std::int64_t alloc_every = 0;  ///< 0 = off
-  std::int64_t cancel_at = 0;    ///< 0 = off
-  std::int64_t slow_us = 0;      ///< 0 = off
+  std::int64_t alloc_nth = 0;      ///< 0 = off
+  std::int64_t alloc_every = 0;    ///< 0 = off
+  std::int64_t cancel_at = 0;      ///< 0 = off
+  std::int64_t cancel_every = 0;   ///< 0 = off
+  std::int64_t slow_us = 0;        ///< 0 = off
+  std::int64_t serve_slow_us = 0;  ///< 0 = off
 };
 
 /// Arm the hooks with `cfg` and reset all counters. Overrides GSKNN_FAULT.
@@ -52,8 +61,13 @@ bool inject_alloc_failure() noexcept;
 
 /// Governance-poll hook, called by the drivers at block boundaries. Applies
 /// the slow_us delay, then returns true when this poll must report
-/// Status::kCancelled (the cancel_at trigger).
+/// Status::kCancelled (the cancel_at / cancel_every triggers).
 bool inject_cancel() noexcept;
+
+/// Serving-worker hook, called by gsknn::serving::Server before each fused
+/// dispatch. Applies the serve_slow_us delay; returns true when it slept
+/// (so the worker re-checks its cancel token before touching the kernel).
+bool inject_serve_delay() noexcept;
 
 /// Aligned allocations observed since the last configure()/reset() — lets a
 /// fuzzer size alloc_nth to the kernel it is attacking.

@@ -69,6 +69,11 @@ enum class Kind : int {
                    ///< depth after enqueue)
   kServeFuse,      ///< fused serving dispatch (entry = lane, value = tickets
                    ///< carried by the call)
+  kServeShed,      ///< submit refused by predictive admission (entry = lane,
+                   ///< value = retry_after hint in ns)
+  kServeWatchdog,  ///< watchdog cancelled a stuck fused call (entry = lane,
+                   ///< value = elapsed ns when fired)
+  kServeBreaker,   ///< circuit-breaker transition (value = 1 open, 0 close)
   kNumKinds,
 };
 

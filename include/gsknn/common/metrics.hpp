@@ -156,12 +156,30 @@ enum class Counter : int {
   kServeFusedQueries,          ///< tickets carried by those dispatches
   kServeCancelled,             ///< tickets cancelled before dispatch
   kServeExpired,               ///< tickets failed on their own deadline
+  // Overload protection (docs/SERVING.md "Overload & degradation"). The
+  // first two make refused/avoided work visible as rates; the last two are
+  // the incident counters a watchdog/breaker alert keys on.
+  kServeShedPredictive,        ///< submits refused: predicted start > budget
+  kServeDoomedEvicted,         ///< queued tickets evicted already-expired
+  kServeWatchdogFires,         ///< fused calls cancelled by the watchdog
+  kServeBreakerOpen,           ///< circuit-breaker closed -> open transitions
   kNumCounters,
 };
 
 inline constexpr int kCounterCount = static_cast<int>(Counter::kNumCounters);
 
 const char* counter_name(Counter c);
+
+// ---- serving-health gauge --------------------------------------------------
+
+/// Process-wide serving health gauge, exported as `gsknn_serve_health` in
+/// the Prometheus exposition and as `serve_health` in the JSON snapshot:
+/// 0 = healthy, 1 = degraded, 2 = unhealthy. The serving runtime
+/// (gsknn::serving::Server) publishes its derived HealthState here whenever
+/// it changes; with several servers in one process the last writer wins.
+/// Defaults to 0 (an idle process with no server is healthy).
+void set_serve_health(int state);
+int serve_health();
 
 // ---- snapshot --------------------------------------------------------------
 
@@ -180,6 +198,8 @@ struct MetricsSnapshot {
   /// Sum of milli-log2 ratios, for the Prometheus histogram _sum series.
   std::int64_t drift_sum_millilog2[2] = {};
   std::uint64_t counters[kCounterCount] = {};
+  /// Serving health gauge at snapshot time (see set_serve_health above).
+  int serve_health = 0;
   bool enabled = true;
 
   /// Rolling-window series (see kWindowBuckets above). window_epoch[i] is

@@ -22,7 +22,9 @@ struct State {
   std::atomic<std::int64_t> alloc_nth{0};
   std::atomic<std::int64_t> alloc_every{0};
   std::atomic<std::int64_t> cancel_at{0};
+  std::atomic<std::int64_t> cancel_every{0};
   std::atomic<std::int64_t> slow_us{0};
+  std::atomic<std::int64_t> serve_slow_us{0};
   std::atomic<std::uint64_t> allocs{0};
   std::atomic<std::uint64_t> polls{0};
 };
@@ -48,7 +50,13 @@ void parse_env(const char* e) {
       cfg.alloc_every = v;
     }
     if (klen == 9 && std::strncmp(p, "cancel_at", 9) == 0) cfg.cancel_at = v;
+    if (klen == 12 && std::strncmp(p, "cancel_every", 12) == 0) {
+      cfg.cancel_every = v;
+    }
     if (klen == 7 && std::strncmp(p, "slow_us", 7) == 0) cfg.slow_us = v;
+    if (klen == 13 && std::strncmp(p, "serve_slow_us", 13) == 0) {
+      cfg.serve_slow_us = v;
+    }
     if (end == nullptr) break;
     p = end + 1;
   }
@@ -78,11 +86,14 @@ void configure(const FaultConfig& cfg) {
   s.alloc_nth.store(cfg.alloc_nth, std::memory_order_relaxed);
   s.alloc_every.store(cfg.alloc_every, std::memory_order_relaxed);
   s.cancel_at.store(cfg.cancel_at, std::memory_order_relaxed);
+  s.cancel_every.store(cfg.cancel_every, std::memory_order_relaxed);
   s.slow_us.store(cfg.slow_us, std::memory_order_relaxed);
+  s.serve_slow_us.store(cfg.serve_slow_us, std::memory_order_relaxed);
   s.allocs.store(0, std::memory_order_relaxed);
   s.polls.store(0, std::memory_order_relaxed);
   const bool any = cfg.alloc_nth > 0 || cfg.alloc_every > 0 ||
-                   cfg.cancel_at > 0 || cfg.slow_us > 0;
+                   cfg.cancel_at > 0 || cfg.cancel_every > 0 ||
+                   cfg.slow_us > 0 || cfg.serve_slow_us > 0;
   s.armed.store(any, std::memory_order_release);
   // Mark the env as consumed even if nobody set it: a programmatic
   // configure() must win over a GSKNN_FAULT picked up later.
@@ -125,12 +136,24 @@ bool inject_cancel() noexcept {
   const auto seq = static_cast<std::int64_t>(
       s.polls.fetch_add(1, std::memory_order_relaxed) + 1);
   const std::int64_t at = s.cancel_at.load(std::memory_order_relaxed);
-  if (at > 0 && seq == at) {
+  const std::int64_t every = s.cancel_every.load(std::memory_order_relaxed);
+  if ((at > 0 && seq == at) || (every > 0 && seq % every == 0)) {
     // value 2 = cancel-poll site.
     flightrec::record(flightrec::Kind::kFault, -1, 0, 2);
     return true;
   }
   return false;
+}
+
+bool inject_serve_delay() noexcept {
+  if (!active()) return false;
+  State& s = state();
+  const std::int64_t slow = s.serve_slow_us.load(std::memory_order_relaxed);
+  if (slow <= 0) return false;
+  // value 3 = serving-worker delay site.
+  flightrec::record(flightrec::Kind::kFault, -1, 0, 3);
+  std::this_thread::sleep_for(std::chrono::microseconds(slow));
+  return true;
 }
 
 std::uint64_t alloc_count() noexcept {

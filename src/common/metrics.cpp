@@ -33,8 +33,13 @@ const char* const kCounterNames[kCounterCount] = {
     "trace_spans_dropped",     "pmu_multiplexed_reads",  "pack_hits",
     "pack_misses",             "pack_evictions",         "cache_bytes",
     "serve_enqueued",          "serve_fused_calls",      "serve_fused_queries",
-    "serve_cancelled",         "serve_expired",
+    "serve_cancelled",         "serve_expired",          "serve_shed_predictive",
+    "serve_doomed_evicted",    "serve_watchdog_fires",   "serve_breaker_open",
 };
+
+// Serving health gauge (metrics.hpp set_serve_health). One relaxed word:
+// the serving runtime stores transitions, scrapes read it into snapshots.
+std::atomic<int> g_serve_health{0};
 
 const char* const kShapeDims[4] = {"m", "n", "d", "k"};
 
@@ -319,6 +324,16 @@ void add_counter(Counter c, std::uint64_t v) {
   bump(ref.shard->counters[i], v, ref.shared);
 }
 
+void set_serve_health(int state) {
+  if (state < 0) state = 0;
+  if (state > 2) state = 2;
+  g_serve_health.store(state, std::memory_order_relaxed);
+}
+
+int serve_health() {
+  return g_serve_health.load(std::memory_order_relaxed);
+}
+
 const Slo& slo_from_env() {
   static const Slo slo = [] {
     Slo s;
@@ -344,6 +359,7 @@ MetricsSnapshot snapshot() { return snapshot_at(now_ns()); }
 MetricsSnapshot snapshot_at(std::uint64_t now) {
   MetricsSnapshot out;
   out.enabled = enabled();
+  out.serve_health = serve_health();
   out.window_now_sec = now / 1000000000u;
   out.slo = slo_from_env();
   // Window slots align across shards (slot = second % kWindowBuckets), but
@@ -652,6 +668,9 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
     drift_sum_millilog2[p] += other.drift_sum_millilog2[p];
   }
   for (int c = 0; c < kCounterCount; ++c) counters[c] += other.counters[c];
+  // Health is a gauge, not a counter: the merged view is as sick as the
+  // sickest contributor.
+  if (other.serve_health > serve_health) serve_health = other.serve_health;
 }
 
 std::string MetricsSnapshot::to_json() const {
@@ -760,7 +779,7 @@ std::string MetricsSnapshot::to_json() const {
                counter_name(static_cast<Counter>(c)),
                static_cast<unsigned long long>(counters[c]));
   }
-  out += "}}";
+  append_fmt(out, "},\"serve_health\":%d}", serve_health);
   return out;
 }
 
@@ -825,6 +844,13 @@ std::string MetricsSnapshot::to_prometheus() const {
                counter_name(static_cast<Counter>(c)),
                static_cast<unsigned long long>(counters[c]));
   }
+
+  append_fmt(out,
+             "# HELP gsknn_serve_health Serving-runtime health state "
+             "(0 healthy, 1 degraded, 2 unhealthy).\n"
+             "# TYPE gsknn_serve_health gauge\n"
+             "gsknn_serve_health %d\n",
+             serve_health);
 
   // Rolling-window health gauges (last kWindowBuckets seconds).
   append_fmt(out,

@@ -191,6 +191,24 @@ void append_model(std::string& out) {
   out += "]}";
 }
 
+/// Serving-health section (docs/SERVING.md "Overload & degradation"): the
+/// process-wide health gauge plus the rolling-window burn rates it was
+/// derived from, so a triage bundle answers "was the server degraded, and
+/// why" without a separate metrics scrape.
+void append_health(std::string& out, const metrics::MetricsSnapshot& snap) {
+  const int h = snap.serve_health;
+  const char* state = h == 0 ? "healthy" : (h == 1 ? "degraded" : "unhealthy");
+  append_fmt(out,
+             "\"health\":{\"serve_health\":%d,\"state\":\"%s\","
+             "\"window_latency_burn_rate\":%.9g,"
+             "\"window_availability_burn_rate\":%.9g,"
+             "\"window_calls\":%llu,\"window_errors\":%llu}",
+             h, state, snap.window_latency_burn_rate(),
+             snap.window_availability_burn_rate(),
+             static_cast<unsigned long long>(snap.window_calls()),
+             static_cast<unsigned long long>(snap.window_errors()));
+}
+
 bool trigger_dump_hook(const char* path, const char* reason) {
   if (path == nullptr) return false;
   return write_bundle(path, reason);
@@ -214,8 +232,11 @@ std::string bundle_json(const char* reason) {
   append_arch(out);
   out += ',';
   append_env(out);
+  const metrics::MetricsSnapshot snap = metrics::snapshot();
   out += ",\"metrics\":";
-  out += metrics::snapshot().to_json();
+  out += snap.to_json();
+  out += ',';
+  append_health(out, snap);
   out += ',';
   append_flightrec(out);
   out += ',';

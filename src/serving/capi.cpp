@@ -131,8 +131,10 @@ int gsknn_server_drop_refs(gsknn_server* s, const char* name) {
   return status_code(s->server.drop_refs(name));
 }
 
-long long gsknn_server_submit(gsknn_server* s, const char* refs, int query,
-                              int k, int lane, double budget_ms) {
+long long gsknn_server_submit_ex(gsknn_server* s, const char* refs,
+                                 int query, int k, int lane,
+                                 double budget_ms, double* retry_after_ms) {
+  if (retry_after_ms != nullptr) *retry_after_ms = 0.0;
   if (s == nullptr || refs == nullptr) return GSKNN_ERR_INVALID_ARGUMENT;
   if (lane != GSKNN_LANE_INTERACTIVE && lane != GSKNN_LANE_BULK) {
     return GSKNN_ERR_INVALID_ARGUMENT;
@@ -144,16 +146,25 @@ long long gsknn_server_submit(gsknn_server* s, const char* refs, int query,
         static_cast<std::int64_t>(budget_ms * 1e6));
   }
   try {
-    gsknn::Status err = gsknn::Status::kOk;
-    const gsknn::serving::TicketId t =
-        s->server.submit(refs, query, k, opt, &err);
-    if (t == 0) return status_code(err);
-    return static_cast<long long>(t);
+    const gsknn::serving::SubmitResult r =
+        s->server.submit_ex(refs, query, k, opt);
+    if (r.ticket == 0) {
+      if (retry_after_ms != nullptr) {
+        *retry_after_ms = static_cast<double>(r.retry_after.count()) * 1e-6;
+      }
+      return status_code(r.status);
+    }
+    return static_cast<long long>(r.ticket);
   } catch (const std::bad_alloc&) {
     return GSKNN_ERR_RESOURCE_EXHAUSTED;
   } catch (const std::exception&) {
     return GSKNN_ERR_INTERNAL;
   }
+}
+
+long long gsknn_server_submit(gsknn_server* s, const char* refs, int query,
+                              int k, int lane, double budget_ms) {
+  return gsknn_server_submit_ex(s, refs, query, k, lane, budget_ms, nullptr);
 }
 
 int gsknn_server_poll(gsknn_server* s, long long ticket) {
@@ -192,6 +203,11 @@ int gsknn_server_result(gsknn_server* s, long long ticket, int* ids,
     return st == gsknn::Status::kOk ? GSKNN_ERR_INTERNAL : status_code(st);
   }
   return n;
+}
+
+int gsknn_server_health(const gsknn_server* s) {
+  if (s == nullptr) return GSKNN_ERR_INVALID_ARGUMENT;
+  return static_cast<int>(s->server.health());
 }
 
 }  // extern "C"

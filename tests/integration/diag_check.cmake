@@ -42,3 +42,13 @@ endif()
 run(${PYTHON} ${CHECK_DIAG} ${WORK_DIR}/trigger.json
     --require-reason status_trigger --require-kind cancel --verbose)
 message(STATUS "${last_output}")
+
+# Leg 3: overload-protection bundle. serve-sim --chaos --doctor writes its
+# bundle from the same process that just fired the watchdog, so the dump
+# must carry serve_watchdog events and the serving-health section the
+# validator now requires on every bundle.
+run(${GSKNN_CLI} serve-sim --queries 64 --rate 1000000 --n 2048
+    --workers 1 --chaos --doctor ${WORK_DIR}/chaos_doctor.json)
+run(${PYTHON} ${CHECK_DIAG} ${WORK_DIR}/chaos_doctor.json
+    --require-reason serve-sim --require-kind serve_watchdog --verbose)
+message(STATUS "${last_output}")

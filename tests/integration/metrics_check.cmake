@@ -74,3 +74,17 @@ run(${PYTHON} ${CHECK_METRICS} --json ${WORK_DIR}/ms.json
     --require-counter serve_enqueued --require-counter serve_fused_calls
     --require-counter serve_fused_queries)
 message(STATUS "${last_output}")
+
+# Overload-protection leg: --chaos drives a deliberately slow worker past
+# the watchdog, trips the breaker, and sheds hopeless-budget submits via
+# predictive admission — all three protection counters must reach the
+# export (the CLI itself also asserts they fired).
+run(${GSKNN_CLI} serve-sim --queries 64 --rate 1000000 --n 2048
+    --workers 1 --chaos --metrics=${WORK_DIR}/mc.json
+    --metrics-prom=${WORK_DIR}/mc.prom)
+run(${PYTHON} ${CHECK_METRICS} --json ${WORK_DIR}/mc.json
+    --prom ${WORK_DIR}/mc.prom
+    --require-counter serve_shed_predictive
+    --require-counter serve_watchdog_fires
+    --require-counter serve_breaker_open)
+message(STATUS "${last_output}")

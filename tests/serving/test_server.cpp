@@ -16,6 +16,7 @@
 
 #include "../test_util.hpp"
 #include "gsknn/capi.h"
+#include "gsknn/common/fault.hpp"
 #include "gsknn/common/metrics.hpp"
 #include "gsknn/core/knn.hpp"
 #include "gsknn/data/generators.hpp"
@@ -189,7 +190,11 @@ TEST(Serving, WarmFusedPathMovesZeroPackedBytes) {
 
 TEST(Serving, ZeroBudgetTicketExpiresCleanly) {
   const PointTable X = make_uniform(16, 512, 0xDEAD);
-  Server srv(X);
+  // Predictive admission would refuse a 1 ns budget at submit (tested
+  // separately); this pins the queue-then-expire path behind it.
+  ServerOptions sopt;
+  sopt.predictive_admission = false;
+  Server srv(X, sopt);
   ASSERT_EQ(srv.create_refs("main", iota_ids(480)), Status::kOk);
 
   SubmitOptions opt;
@@ -201,6 +206,31 @@ TEST(Serving, ZeroBudgetTicketExpiresCleanly) {
   std::vector<double> dists(8);
   EXPECT_EQ(srv.result(t, ids, dists), -1);
   EXPECT_EQ(srv.stats().expired, 1u);
+}
+
+TEST(Serving, PredictiveAdmissionShedsHopelessBudget) {
+  const PointTable X = make_uniform(16, 512, 0x5ED5);
+  Server srv(X);  // predictive admission on by default
+  ASSERT_EQ(srv.create_refs("main", iota_ids(480)), Status::kOk);
+
+  // A 1 ns budget can never cover even the ticket's own predicted runtime:
+  // predictive admission must refuse it with a positive retry_after hint
+  // instead of queueing doomed work.
+  SubmitOptions opt;
+  opt.budget = std::chrono::nanoseconds(1);
+  const serving::SubmitResult r = srv.submit_ex("main", 500, 8, opt);
+  EXPECT_EQ(r.ticket, 0u);
+  EXPECT_EQ(r.status, Status::kResourceExhausted);
+  EXPECT_GT(r.retry_after.count(), 0);
+  const Server::Stats st = srv.stats();
+  EXPECT_EQ(st.shed_predictive, 1u);
+  EXPECT_EQ(st.submitted, 0u);
+  EXPECT_TRUE(st.consistent());
+
+  // Unbudgeted tickets are never predictively shed.
+  const serving::SubmitResult ok = srv.submit_ex("main", 500, 8, {});
+  ASSERT_NE(ok.ticket, 0u);
+  EXPECT_EQ(srv.wait(ok.ticket), Status::kOk);
 }
 
 TEST(Serving, GenerousBudgetStillCompletes) {
@@ -456,6 +486,206 @@ TEST(Serving, CApiRoundTripMatchesSearch) {
             0);
 
   gsknn_result_destroy(cold);
+  gsknn_server_destroy(srv);
+  gsknn_table_destroy(table);
+}
+
+
+// ---- overload protection (docs/SERVING.md "Overload & degradation") ------
+
+/// Arm the fault hooks for one test body; disarm on every exit path so a
+/// failing ASSERT cannot leak a stalled worker into the next test.
+struct FaultGuard {
+  explicit FaultGuard(const fault::FaultConfig& fc) { fault::configure(fc); }
+  ~FaultGuard() { fault::reset(); }
+};
+
+TEST(Serving, WatchdogCancelsStuckWorkerAndRetryCapFails) {
+  const PointTable X = make_uniform(16, 512, 0x7D06);
+  ServerOptions sopt;
+  sopt.workers = 1;
+  // Fire on anything slower than 1 ms; the injected 20 ms stall per fused
+  // dispatch is 20x past that, and the 1 ms monitor tick lands inside it.
+  sopt.watchdog_factor = 0.5;
+  sopt.watchdog_floor = std::chrono::milliseconds(1);
+  sopt.retry.max_attempts = 2;
+  sopt.retry.base = std::chrono::microseconds(50);
+  Server srv(X, sopt);
+  ASSERT_EQ(srv.create_refs("main", iota_ids(480)), Status::kOk);
+
+  fault::FaultConfig fc;
+  fc.serve_slow_us = 20000;
+  FaultGuard guard(fc);
+
+  // Every dispatch attempt stalls and is watchdog-cancelled; the retry
+  // policy re-admits the ticket until its attempts run out, then fails it
+  // with the infrastructure cause (kResourceExhausted, not kCancelled:
+  // the caller never asked for the cancellation).
+  const TicketId t = srv.submit("main", 500, 8);
+  ASSERT_NE(t, 0u);
+  EXPECT_EQ(srv.wait(t), Status::kResourceExhausted);
+  std::vector<int> ids(8);
+  std::vector<double> dists(8);
+  EXPECT_EQ(srv.result(t, ids, dists), -1);
+
+  const Server::Stats st = srv.stats();
+  EXPECT_GE(st.watchdog_fires, 1u);
+  EXPECT_GE(st.requeues, 1u);
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_TRUE(st.consistent());
+  // A watchdog fire marks the worker suspect: health cannot read healthy
+  // this soon after (degraded, or unhealthy once the breaker opened).
+  EXPECT_NE(srv.health(), serving::HealthState::kHealthy);
+}
+
+TEST(Serving, RetentionEvictsOldestTerminalTicketsFifo) {
+  const PointTable X = make_uniform(16, 512, 0x2E7A);
+  ServerOptions sopt;
+  sopt.max_retained_tickets = 4;
+  // Every wait below demands kOk; an oversubscribed sanitizer run can
+  // deschedule the worker past the default watchdog floor, so disarm it.
+  sopt.watchdog_floor = std::chrono::seconds(30);
+  Server srv(X, sopt);
+  const std::vector<int> ids = iota_ids(480);
+  ASSERT_EQ(srv.create_refs("main", ids), Status::kOk);
+
+  std::vector<TicketId> ts;
+  for (int i = 0; i < 10; ++i) {
+    const TicketId t = srv.submit("main", 490 + (i % 8), 6);
+    ASSERT_NE(t, 0u);
+    ASSERT_EQ(srv.wait(t), Status::kOk);
+    ts.push_back(t);
+  }
+  EXPECT_EQ(srv.stats().evicted_tickets, 6u);
+
+  // Forgotten tickets take the unknown-ticket contract: terminal with
+  // kBadIndex, no result. The newest max_retained_tickets stay queryable.
+  for (std::size_t i = 0; i < 6; ++i) {
+    Status s = Status::kOk;
+    EXPECT_TRUE(srv.poll(ts[i], &s)) << i;
+    EXPECT_EQ(s, Status::kBadIndex) << i;
+    std::vector<int> rid(6);
+    std::vector<double> rd(6);
+    EXPECT_EQ(srv.result(ts[i], rid, rd), -1) << i;
+  }
+  for (std::size_t i = 6; i < 10; ++i) {
+    expect_ticket_matches_cold(srv, ts[i], X, 490 + (static_cast<int>(i) % 8),
+                               ids, 6);
+  }
+  // Eviction is bookkeeping, not accounting: completed still counts all 10.
+  const Server::Stats st = srv.stats();
+  EXPECT_EQ(st.completed, 10u);
+  EXPECT_TRUE(st.consistent());
+}
+
+TEST(Serving, StatsSnapshotStaysConsistentUnderConcurrentLoad) {
+  // The conservation identity must hold for *every* snapshot, not just
+  // quiescent ones: a reader hammers stats()/health() while submissions,
+  // cancellations and completions race on two workers.
+  const PointTable X = make_uniform(24, 2048, 0x57A7);
+  ServerOptions sopt;
+  sopt.workers = 2;
+  sopt.max_retained_tickets = 64;
+  // Timing protection is not under test here, and on a loaded sanitizer
+  // run a fused call can legitimately run 10-20x past the model
+  // prediction — an armed watchdog would cancel it and the breaker would
+  // shed the drain's submits. Keep this test about snapshot coherence.
+  sopt.watchdog_floor = std::chrono::seconds(30);
+  Server srv(X, sopt);
+  ASSERT_EQ(srv.create_refs("main", iota_ids(2000)), Status::kOk);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> snapshots{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Server::Stats st = srv.stats();
+      EXPECT_TRUE(st.consistent())
+          << st.submitted << " != " << st.completed << "+" << st.cancelled
+          << "+" << st.expired << "+" << st.failed << "+" << st.in_flight;
+      (void)srv.health();
+      (void)srv.fusion_ratio();
+      snapshots.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  struct JoinGuard {
+    std::atomic<bool>& stop;
+    std::thread& th;
+    ~JoinGuard() {
+      stop.store(true, std::memory_order_relaxed);
+      if (th.joinable()) th.join();
+    }
+  } join_guard{stop, reader};
+
+  std::vector<TicketId> ts;
+  for (int i = 0; i < 300; ++i) {
+    const TicketId t = srv.submit(
+        "main", 2010 + (i % 30), 8,
+        lane_opt((i % 3) != 0 ? Lane::kBulk : Lane::kInteractive));
+    ASSERT_NE(t, 0u);
+    if (i % 7 == 0) (void)srv.cancel(t);
+    ts.push_back(t);
+  }
+  for (const TicketId t : ts) {
+    // kBadIndex = already evicted from the 64-deep terminal FIFO by the
+    // time this wait lands — retention eviction racing the drain is part
+    // of what the reader is hammering.
+    const Status s = srv.wait(t);
+    EXPECT_TRUE(s == Status::kOk || s == Status::kCancelled ||
+                s == Status::kBadIndex)
+        << static_cast<int>(s);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_GT(snapshots.load(), 0u);
+  const Server::Stats st = srv.stats();
+  EXPECT_EQ(st.submitted, 300u);
+  EXPECT_EQ(st.in_flight, 0u);
+  EXPECT_TRUE(st.consistent());
+}
+
+TEST(Serving, CApiSubmitExHintAndHealth) {
+  const int d = 8, n = 200, k = 5;
+  std::vector<double> coords(static_cast<std::size_t>(d) * n);
+  std::mt19937_64 rng(0x5EA1);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (double& c : coords) c = u(rng);
+  gsknn_table* table = gsknn_table_create(d, n, coords.data());
+  ASSERT_NE(table, nullptr);
+  gsknn_server* srv =
+      gsknn_server_create(table, GSKNN_NORM_L2SQ, /*workers=*/1);
+  ASSERT_NE(srv, nullptr);
+
+  EXPECT_EQ(gsknn_server_health(srv), GSKNN_HEALTH_HEALTHY);
+  EXPECT_LT(gsknn_server_health(nullptr), 0);
+
+  const std::vector<int> ids = iota_ids(160);
+  ASSERT_EQ(gsknn_server_create_refs(srv, "main", ids.data(),
+                                     static_cast<int>(ids.size())),
+            GSKNN_OK);
+
+  // A 1 ns budget (1e-6 ms) is predictively hopeless: refused with the
+  // resource-exhausted code and a positive retry_after hint.
+  double hint = -1.0;
+  EXPECT_EQ(gsknn_server_submit_ex(srv, "main", 190, k,
+                                   GSKNN_LANE_INTERACTIVE, 1e-6, &hint),
+            GSKNN_ERR_RESOURCE_EXHAUSTED);
+  EXPECT_GT(hint, 0.0);
+  // The hint out-param is optional.
+  EXPECT_EQ(gsknn_server_submit_ex(srv, "main", 190, k,
+                                   GSKNN_LANE_INTERACTIVE, 1e-6, nullptr),
+            GSKNN_ERR_RESOURCE_EXHAUSTED);
+
+  // Admitted submissions zero the hint and behave like gsknn_server_submit.
+  hint = -1.0;
+  const long long t = gsknn_server_submit_ex(srv, "main", 190, k,
+                                             GSKNN_LANE_BULK, 0.0, &hint);
+  ASSERT_GT(t, 0);
+  EXPECT_EQ(hint, 0.0);
+  ASSERT_EQ(gsknn_server_wait(srv, t), GSKNN_OK);
+  std::vector<int> got_ids(static_cast<std::size_t>(k));
+  std::vector<double> got_d(static_cast<std::size_t>(k));
+  EXPECT_EQ(gsknn_server_result(srv, t, got_ids.data(), got_d.data(), k), k);
+
   gsknn_server_destroy(srv);
   gsknn_table_destroy(table);
 }

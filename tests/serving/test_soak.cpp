@@ -1,0 +1,342 @@
+// Serving soak: a sustained mixed-lane storm with the chaos hooks armed —
+// stuck-worker stalls, cancel storms, concurrent mutation and set drops, caller
+// cancellations and tight budgets all at once — must leave the runtime in a
+// fully-accounted state, and once the storm stops the server must *recover*:
+// health returns to kHealthy, and a fresh ticket completes bitwise-identical
+// to the cold kernel (docs/SERVING.md "Overload & degradation").
+//
+// Also the steady-RSS regression for ServerOptions::max_retained_tickets:
+// a long-lived server whose callers never poll old tickets must not grow
+// its resident set with ticket count (the terminal FIFO bounds it).
+//
+// Wall time is dominated by the storm duration (default 30 s; override with
+// GSKNN_SOAK_SECONDS for local iteration). Registered under
+// `ctest -L serving`; the tsan preset picks it up with the full suite, so
+// every assertion path here is thread-sanitizer clean by construction.
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "../test_util.hpp"
+#include "gsknn/common/fault.hpp"
+#include "gsknn/core/knn.hpp"
+#include "gsknn/data/generators.hpp"
+#include "gsknn/serving/server.hpp"
+
+namespace gsknn {
+namespace {
+
+using serving::HealthState;
+using serving::Lane;
+using serving::Server;
+using serving::ServerOptions;
+using serving::SubmitOptions;
+using serving::TicketId;
+
+// RSS bounds only hold for plain builds: sanitizer shadow/quarantine memory
+// grows with distinct addresses touched, not live bytes. The structural
+// assertions (eviction counts, balanced accounting) still run sanitized.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+std::vector<int> iota_ids(int n, int start = 0) {
+  std::vector<int> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), start);
+  return ids;
+}
+
+/// Peak resident set in bytes (ru_maxrss is KiB on Linux).
+std::size_t max_rss_bytes() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024u;
+}
+
+double soak_seconds() {
+  if (const char* env = std::getenv("GSKNN_SOAK_SECONDS")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 30.0;
+}
+
+/// Disarm the fault hooks on every exit path (a failing ASSERT returns from
+/// the test body; a leaked stall would poison every later test).
+struct FaultGuard {
+  explicit FaultGuard(const fault::FaultConfig& fc) { fault::configure(fc); }
+  ~FaultGuard() { fault::reset(); }
+};
+
+TEST(ServingSoak, ChaosStormDrainsCleanAndRecoversHealthy) {
+  const int d = 16, n = 2048, k = 8;
+  const PointTable X = make_uniform(d, n, 0x50AC);
+
+  ServerOptions sopt;
+  sopt.workers = 2;
+  sopt.max_queue_depth = 512;
+  sopt.max_fused_queries = 16;
+  // Aggressive protection so the storm actually exercises it: the injected
+  // 5 ms worker stall is well past floor x factor, the breaker trips after
+  // 3 consecutive infrastructure failures and re-closes fast enough to
+  // cycle many times over the soak.
+  sopt.watchdog_factor = 2.0;
+  sopt.watchdog_floor = std::chrono::milliseconds(1);
+  sopt.breaker_threshold = 3;
+  sopt.breaker_cooldown = std::chrono::milliseconds(25);
+  sopt.retry.max_attempts = 3;
+  sopt.retry.base = std::chrono::microseconds(100);
+  sopt.max_retained_tickets = 256;
+  Server srv(X, sopt);
+
+  const std::vector<int> base = iota_ids(1800);
+  const std::vector<int> extra = iota_ids(100, 1800);
+  std::vector<int> grown = base;
+  grown.insert(grown.end(), extra.begin(), extra.end());
+  ASSERT_EQ(srv.create_refs("main", base), Status::kOk);
+  // A second set the mutator drops and re-creates mid-storm: submissions
+  // racing a drop are refused kInvalidArgument (unknown set), while
+  // already-admitted tickets still complete against the dropped set.
+  ASSERT_EQ(srv.create_refs("aux", base), Status::kOk);
+
+  fault::FaultConfig fc;
+  fc.serve_slow_us = 5000;  // stuck worker: every dispatch stalls 5 ms
+  fc.cancel_every = 64;     // cancel storm inside the kernel
+  FaultGuard fault_guard(fc);
+
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    int cycle = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_EQ(srv.insert_refs("main", extra), Status::kOk);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      ASSERT_EQ(srv.erase_refs("main", extra), Status::kOk);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      if (++cycle % 8 == 0) {
+        ASSERT_EQ(srv.drop_refs("aux"), Status::kOk);
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+        ASSERT_EQ(srv.create_refs("aux", base), Status::kOk);
+      }
+    }
+  });
+
+  std::mutex tickets_mu;
+  std::vector<TicketId> open_tickets;
+  std::thread canceller([&] {
+    std::mt19937_64 rng(0xCA11);
+    while (!stop.load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard<std::mutex> lk(tickets_mu);
+        if (!open_tickets.empty()) {
+          const std::size_t i = rng() % open_tickets.size();
+          (void)srv.cancel(open_tickets[i]);
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  struct JoinGuard {
+    std::atomic<bool>& stop;
+    std::thread& a;
+    std::thread& b;
+    ~JoinGuard() {
+      stop.store(true, std::memory_order_relaxed);
+      if (a.joinable()) a.join();
+      if (b.joinable()) b.join();
+    }
+  } join_guard{stop, mutator, canceller};
+
+  // Every terminal status the storm can legally produce. kBadIndex is a
+  // ticket the 256-deep retention FIFO already forgot by the time the
+  // drain loop waits on it.
+  const auto legal = [](Status s) {
+    return s == Status::kOk || s == Status::kCancelled ||
+           s == Status::kStale || s == Status::kDeadlineExceeded ||
+           s == Status::kResourceExhausted || s == Status::kBadIndex;
+  };
+  const auto drain = [&](std::vector<TicketId>& ts) {
+    for (const TicketId t : ts) {
+      const Status s = srv.wait(t);
+      ASSERT_TRUE(legal(s)) << static_cast<int>(s);
+    }
+    ts.clear();
+  };
+
+  std::mt19937_64 rng(0x50AC'57);
+  const auto t_start = std::chrono::steady_clock::now();
+  const auto t_end =
+      t_start + std::chrono::duration<double>(soak_seconds());
+  const auto t_mid = t_start + (t_end - t_start) / 3;
+  std::size_t rss_checkpoint = 0;
+  std::uint64_t accepted = 0, refused = 0;
+  std::vector<TicketId> waiting;
+  while (std::chrono::steady_clock::now() < t_end) {
+    for (int i = 0; i < 16; ++i) {
+      SubmitOptions opt;
+      opt.lane = (rng() % 3 != 0) ? Lane::kBulk : Lane::kInteractive;
+      if (rng() % 4 == 0) {
+        opt.budget =
+            std::chrono::milliseconds(1 + static_cast<int>(rng() % 20));
+      }
+      const int query = 1900 + static_cast<int>(rng() % 148);
+      const bool aux = rng() % 5 == 0;
+      Status err = Status::kOk;
+      const TicketId t =
+          srv.submit(aux ? "aux" : "main", query, k, opt, &err);
+      if (t == 0) {
+        // Shed (predictive / queue cap / open breaker) — always the
+        // backpressure status — or, on the aux set only, a submit that
+        // raced the mutator's drop_refs window (unknown set).
+        ASSERT_TRUE(err == Status::kResourceExhausted ||
+                    (aux && err == Status::kInvalidArgument))
+            << static_cast<int>(err);
+        ++refused;
+        continue;
+      }
+      ++accepted;
+      waiting.push_back(t);
+      std::lock_guard<std::mutex> lk(tickets_mu);
+      open_tickets.push_back(t);
+      if (open_tickets.size() > 128) {
+        open_tickets.erase(open_tickets.begin(),
+                           open_tickets.begin() + 64);
+      }
+    }
+    if (waiting.size() > 256) drain(waiting);
+    if (rss_checkpoint == 0 && std::chrono::steady_clock::now() >= t_mid) {
+      rss_checkpoint = max_rss_bytes();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Storm over: stop the mutator/canceller, disarm the chaos hooks, then
+  // drain every outstanding ticket to a terminal state.
+  stop.store(true, std::memory_order_relaxed);
+  mutator.join();
+  canceller.join();
+  fault::reset();
+  drain(waiting);
+
+  EXPECT_GT(accepted, 0u);
+  const Server::Stats st = srv.stats();
+  EXPECT_EQ(st.submitted, accepted);
+  EXPECT_EQ(st.in_flight, 0u);
+  EXPECT_EQ(st.queue_depth[0], 0);
+  EXPECT_EQ(st.queue_depth[1], 0);
+  EXPECT_TRUE(st.consistent());
+  // The chaos knobs are tuned so the protection machinery demonstrably ran.
+  EXPECT_GT(st.watchdog_fires, 0u);
+  EXPECT_GT(st.requeues, 0u);
+  EXPECT_GT(st.evicted_tickets, 0u);
+
+  // Retention bounds steady-state RSS: peak memory must not keep growing
+  // with ticket count once the FIFO is at depth.
+  if (!kSanitized && rss_checkpoint != 0) {
+    const std::size_t rss_final = max_rss_bytes();
+    EXPECT_LT(rss_final, rss_checkpoint + (64u << 20))
+        << "RSS grew " << (rss_final - rss_checkpoint) / (1u << 20)
+        << " MiB over the final two thirds of the soak";
+  }
+
+  // Recovery: with the chaos gone, suspect-worker marks decay, the breaker
+  // idles closed and the SLO window loses its recent-traffic pressure —
+  // health must return to kHealthy without any intervention.
+  const auto recover_end =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  HealthState h = srv.health();
+  while (h != HealthState::kHealthy &&
+         std::chrono::steady_clock::now() < recover_end) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    h = srv.health();
+  }
+  EXPECT_EQ(h, HealthState::kHealthy) << "still " << static_cast<int>(h)
+                                      << " 15 s after the storm stopped";
+
+  // And a recovered server still serves bitwise-correct results.
+  const int query = 1950;
+  const TicketId t = srv.submit("main", query, k);
+  ASSERT_NE(t, 0u);
+  ASSERT_EQ(srv.wait(t), Status::kOk);
+  std::vector<int> rid(static_cast<std::size_t>(k));
+  std::vector<double> rd(static_cast<std::size_t>(k));
+  ASSERT_EQ(srv.result(t, rid, rd), k);
+  const std::vector<int>& gen =
+      srv.refs_size("main") == static_cast<int>(grown.size()) ? grown : base;
+  NeighborTable cold(1, k);
+  const int qidx[1] = {query};
+  KnnConfig cfg;
+  ASSERT_EQ(knn_kernel_status(X, std::span<const int>(qidx, 1), gen, cold,
+                              cfg),
+            Status::kOk);
+  const auto row = cold.sorted_row(0);
+  for (int j = 0; j < k; ++j) {
+    EXPECT_EQ(rd[static_cast<std::size_t>(j)],
+              row[static_cast<std::size_t>(j)].first);
+    EXPECT_EQ(rid[static_cast<std::size_t>(j)],
+              row[static_cast<std::size_t>(j)].second);
+  }
+}
+
+TEST(ServingSoak, RetainedTicketFifoBoundsResidentSet) {
+  const int d = 8, n = 512, k = 4;
+  const PointTable X = make_uniform(d, n, 0x2551);
+  ServerOptions sopt;
+  sopt.max_retained_tickets = 128;
+  Server srv(X, sopt);
+  ASSERT_EQ(srv.create_refs("main", iota_ids(480)), Status::kOk);
+
+  // 8000 submit/wait round trips in batches of 64; after the first 1000
+  // the ticket map is at its FIFO depth, so peak RSS must plateau.
+  constexpr int kTotal = 8000, kBatch = 64, kWarm = 1000;
+  std::size_t rss_warm = 0;
+  std::vector<TicketId> batch;
+  for (int i = 0; i < kTotal; i += kBatch) {
+    batch.clear();
+    for (int j = 0; j < kBatch; ++j) {
+      const TicketId t = srv.submit("main", 490 + ((i + j) % 20), k);
+      ASSERT_NE(t, 0u);
+      batch.push_back(t);
+    }
+    for (const TicketId t : batch) {
+      const Status s = srv.wait(t);
+      ASSERT_TRUE(s == Status::kOk || s == Status::kBadIndex)
+          << static_cast<int>(s);
+    }
+    if (rss_warm == 0 && i + kBatch >= kWarm) rss_warm = max_rss_bytes();
+  }
+
+  const Server::Stats st = srv.stats();
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(st.evicted_tickets,
+            static_cast<std::uint64_t>(kTotal) - sopt.max_retained_tickets);
+  EXPECT_TRUE(st.consistent());
+
+  if (!kSanitized) {
+    const std::size_t rss_final = max_rss_bytes();
+    EXPECT_LT(rss_final, rss_warm + (16u << 20))
+        << "RSS grew " << (rss_final - rss_warm) / (1u << 20)
+        << " MiB across " << (kTotal - kWarm) << " retained-evicted tickets";
+  }
+}
+
+}  // namespace
+}  // namespace gsknn

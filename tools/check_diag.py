@@ -7,7 +7,8 @@ Two formats come out of the flight-recorder/diagnostics layer
   bundle   one JSON object from `gsknn_cli doctor`, `gsknn_diag_dump()`, or
            a non-OK-status trigger when diag is linked in: diag_version,
            reason, build/arch/env, an embedded metrics snapshot, the
-           flight-recorder drain, and the section-2.6 model table.
+           serving-health section, the flight-recorder drain, and the
+           section-2.6 model table.
   events   versioned JSON-lines from a raw flight-recorder dump (trigger
            without the diag hook, or the fatal-signal handler): a
            flightrec_version header line followed by one event object per
@@ -31,7 +32,8 @@ import sys
 EVENT_KINDS = [
     "call_begin", "call_end", "retile", "demotion", "deadline", "cancel",
     "pack_evict", "pack_update", "stale_reject", "fault",
-    "serve_submit", "serve_fuse",
+    "serve_submit", "serve_fuse", "serve_shed", "serve_watchdog",
+    "serve_breaker",
 ]
 ENTRY_POINTS = [
     "kernel_f64", "kernel_f32", "parallel_refs", "batch",
@@ -44,7 +46,11 @@ STATUSES = [
     "cancelled", "stale",
 ]
 BUNDLE_KEYS = ["diag_version", "reason", "build", "arch", "env", "metrics",
-               "flightrec", "model"]
+               "health", "flightrec", "model"]
+HEALTH_KEYS = ["serve_health", "state", "window_latency_burn_rate",
+               "window_availability_burn_rate", "window_calls",
+               "window_errors"]
+HEALTH_STATES = {0: "healthy", 1: "degraded", 2: "unhealthy"}
 ENV_KNOBS = [
     "GSKNN_METRICS", "GSKNN_FLIGHTREC", "GSKNN_FLIGHTREC_DUMP",
     "GSKNN_FLIGHTREC_TRIGGER", "GSKNN_SLO_LATENCY_MS",
@@ -169,6 +175,23 @@ def check_bundle(path, doc):
              f"{sorted(ENTRY_POINTS)}")
     if not isinstance(metrics.get("window"), dict):
         fail("metrics.window missing (rolling-window snapshot)")
+
+    # Serving-health section (docs/SERVING.md "Overload & degradation"):
+    # the gauge, its symbolic state, and the burn rates it derives from.
+    health = doc["health"]
+    if not isinstance(health, dict) or sorted(health) != sorted(HEALTH_KEYS):
+        fail(f"health keys {sorted(health or {})} != {sorted(HEALTH_KEYS)}")
+    if health["serve_health"] not in HEALTH_STATES:
+        fail(f"health.serve_health {health['serve_health']!r} not in [0, 2]")
+    if health["state"] != HEALTH_STATES[health["serve_health"]]:
+        fail(f"health.state {health['state']!r} disagrees with gauge "
+             f"{health['serve_health']}")
+    for key in ("window_latency_burn_rate", "window_availability_burn_rate"):
+        if not isinstance(health[key], (int, float)) or health[key] < 0:
+            fail(f"health.{key} must be a non-negative number")
+    for key in ("window_calls", "window_errors"):
+        if not isinstance(health[key], int) or health[key] < 0:
+            fail(f"health.{key} must be a non-negative integer")
 
     fr = doc["flightrec"]
     if not isinstance(fr.get("dropped"), int) or fr["dropped"] < 0:

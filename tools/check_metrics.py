@@ -37,7 +37,8 @@ COUNTERS = [
     "trace_spans_dropped", "pmu_multiplexed_reads", "pack_hits",
     "pack_misses", "pack_evictions", "cache_bytes",
     "serve_enqueued", "serve_fused_calls", "serve_fused_queries",
-    "serve_cancelled", "serve_expired",
+    "serve_cancelled", "serve_expired", "serve_shed_predictive",
+    "serve_doomed_evicted", "serve_watchdog_fires", "serve_breaker_open",
 ]
 SHAPE_DIMS = ["m", "n", "d", "k"]
 HIST_BUCKETS = 64
@@ -62,6 +63,7 @@ PROM_FAMILIES = {
     "gsknn_window_latency_seconds": "gauge",
     "gsknn_window_drift_log2": "gauge",
     "gsknn_window_burn_rate": "gauge",
+    "gsknn_serve_health": "gauge",
 }
 
 
@@ -186,6 +188,12 @@ def check_json(path, require_entries, require_drift, require_counters=()):
     if not all(isinstance(v, int) and v >= 0 for v in counters.values()):
         fail("counter values must be non-negative integers")
 
+    # Serving health gauge (docs/SERVING.md "Overload & degradation"):
+    # 0 = healthy, 1 = degraded, 2 = unhealthy.
+    health = m.get("serve_health")
+    if not isinstance(health, int) or not 0 <= health <= 2:
+        fail(f"serve_health {health!r} must be an integer in [0, 2]")
+
     for name in require_entries:
         if name not in eps:
             fail(f"--require-entry {name}: unknown entry point")
@@ -291,6 +299,9 @@ def check_prom(path):
     rate = [s[2] for s in families["gsknn_window_error_rate"]["samples"]]
     if len(rate) != 1 or not 0.0 <= rate[0] <= 1.0:
         fail(f"gsknn_window_error_rate must be one sample in [0, 1]: {rate}")
+    health = [s[2] for s in families["gsknn_serve_health"]["samples"]]
+    if len(health) != 1 or health[0] not in (0.0, 1.0, 2.0):
+        fail(f"gsknn_serve_health must be one sample in {{0, 1, 2}}: {health}")
 
     # Histogram series: cumulative non-decreasing buckets, +Inf == _count.
     for fam in ("gsknn_latency_seconds", "gsknn_shape",

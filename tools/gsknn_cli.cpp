@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "gsknn/common/arch.hpp"
+#include "gsknn/common/fault.hpp"
 #include "gsknn/common/flightrec.hpp"
 #include "gsknn/common/metrics.hpp"
 #include "gsknn/common/pmu.hpp"
@@ -750,6 +751,70 @@ int cmd_serve_sim(const Args& a) {
   };
   lane_line("interactive", metrics::EntryPoint::kServeInteractive);
   lane_line("bulk", metrics::EntryPoint::kServeBulk);
+
+  if (a.has("chaos")) {
+    // Deterministic overload epilogue (docs/SERVING.md "Overload &
+    // degradation"): a stalled-worker fault makes every fused call trip
+    // the watchdog, the resulting consecutive infrastructure failures open
+    // the circuit breaker, and a hopeless budget guarantees a predictive
+    // shed — so the chaos leg of `ctest -L observability` can assert all
+    // three overload counters, the serve_watchdog flightrec events and the
+    // health gauge end to end from one command.
+    serving::ServerOptions copt;
+    copt.workers = 1;
+    copt.watchdog_factor = 0.5;
+    copt.watchdog_floor = std::chrono::milliseconds(1);
+    copt.breaker_threshold = 3;
+    copt.breaker_cooldown = std::chrono::milliseconds(100);
+    copt.retry.max_attempts = 2;
+    copt.retry.base = std::chrono::microseconds(100);
+    serving::Server chaos_srv(data, copt);
+    if (chaos_srv.create_refs("main", ids) != Status::kOk) {
+      throw std::runtime_error("serve-sim: chaos create_refs failed");
+    }
+    fault::FaultConfig fc;
+    fc.serve_slow_us = 5000;  // every fused dispatch stalls 5 ms
+    fault::configure(fc);
+    for (int i = 0; i < 8; ++i) {
+      const serving::SubmitResult r =
+          chaos_srv.submit_ex("main", qpick(rng), k, {});
+      if (r.ticket != 0) chaos_srv.wait(r.ticket);
+    }
+    fault::reset();
+    serving::SubmitOptions tiny;
+    tiny.budget = std::chrono::nanoseconds(1);  // can never fit: must shed
+    std::uint64_t chaos_shed = 0;
+    for (int i = 0; i < 4; ++i) {
+      const serving::SubmitResult r =
+          chaos_srv.submit_ex("main", qpick(rng), k, tiny);
+      if (r.ticket == 0 && r.status == Status::kResourceExhausted) {
+        ++chaos_shed;
+      } else if (r.ticket != 0) {
+        chaos_srv.wait(r.ticket);
+      }
+    }
+    const serving::Server::Stats cst = chaos_srv.stats();
+    std::printf("  chaos: watchdog fires %llu, breaker opens %llu, "
+                "predictive sheds %llu, health %s\n",
+                static_cast<unsigned long long>(cst.watchdog_fires),
+                static_cast<unsigned long long>(cst.breaker_opens),
+                static_cast<unsigned long long>(chaos_shed),
+                serving::health_state_name(chaos_srv.health()));
+    if (cst.watchdog_fires == 0 || cst.breaker_opens == 0 ||
+        chaos_shed == 0) {
+      throw std::runtime_error(
+          "serve-sim: chaos epilogue failed to trip the overload machinery");
+    }
+  }
+
+  if (a.has("doctor")) {
+    // Bundle *this* process (chaos events included), for check_diag.py.
+    const std::string path = a.get("doctor", "gsknn_serve_sim_doctor.json");
+    if (!diag::write_bundle(path.c_str(), "serve-sim")) {
+      throw std::runtime_error("serve-sim: cannot write bundle to " + path);
+    }
+    std::printf("  doctor: diagnostics bundle -> %s\n", path.c_str());
+  }
   emit_metrics(a, a.get("out", "gsknn_serve_sim"));
   return 0;
 }
@@ -771,8 +836,11 @@ void usage() {
             "  doctor   [--out F]  (diagnostics bundle; default gsknn_doctor.json)\n"
             "  serve-sim [--d D] [--n N] [--k K] [--queries Q] [--workers W]\n"
             "           [--rate QPS] [--bulk-frac F] [--budget-ms B] [--mutate]\n"
-            "           [--seed S] [--metrics [F]] [--metrics-prom [F]]\n"
-            "           (open-loop trace through the async serving runtime)");
+            "           [--chaos] [--doctor [F]] [--seed S] [--metrics [F]]\n"
+            "           [--metrics-prom [F]]\n"
+            "           (open-loop trace through the async serving runtime;\n"
+            "            --chaos runs a deterministic overload epilogue that\n"
+            "            trips the watchdog, breaker and predictive shed)");
 }
 
 }  // namespace
